@@ -1,0 +1,114 @@
+// Shared driver for the Table 4 / 5 / 6 accuracy benches: run WASAI,
+// EOSFuzzer and EOSAFE over a generated benchmark and print the paper-style
+// per-category P/R/F1 table next to the paper's reported values.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "baselines/eosafe.hpp"
+#include "baselines/eosfuzzer.hpp"
+#include "bench/bench_util.hpp"
+#include "corpus/dataset.hpp"
+#include "wasai/wasai.hpp"
+
+namespace wasai::bench {
+
+struct PaperRow {
+  const char* wasai;
+  const char* eosfuzzer;
+  const char* eosafe;
+};
+
+using PaperTable = std::map<scanner::VulnType, PaperRow>;
+
+struct ToolTallies {
+  Prf wasai, eosfuzzer, eosafe;
+};
+
+inline void run_accuracy_bench(const char* title,
+                               corpus::BenchmarkSpec spec,
+                               const PaperTable& paper,
+                               const PaperRow& paper_total) {
+  const double scale = env_double("WASAI_BENCH_SCALE", spec.scale);
+  spec.scale = scale;
+  const int iterations =
+      static_cast<int>(env_long("WASAI_BENCH_ITERATIONS", 36));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto samples = corpus::make_benchmark(spec);
+
+  std::map<scanner::VulnType, ToolTallies> per_type;
+  std::size_t done = 0;
+  for (const auto& sample : samples) {
+    ToolTallies& tally = per_type[sample.category];
+
+    AnalysisOptions wasai_opts;
+    wasai_opts.fuzz.iterations = iterations;
+    wasai_opts.fuzz.rng_seed = 1 + done;
+    const auto wasai_result = analyze(sample.wasm, sample.abi, wasai_opts);
+    tally.wasai.add(sample.vulnerable, wasai_result.has(sample.category));
+
+    baselines::EosFuzzer eosfuzzer(
+        sample.wasm, sample.abi,
+        baselines::EosFuzzerOptions{iterations, 1 + done});
+    tally.eosfuzzer.add(sample.vulnerable,
+                        eosfuzzer.run().has(sample.category));
+
+    baselines::Eosafe eosafe(sample.wasm, sample.abi);
+    tally.eosafe.add(sample.vulnerable, eosafe.run().has(sample.category));
+    ++done;
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::printf("%s\n", title);
+  std::printf(
+      "samples=%zu (scale=%.3f of the paper's benchmark), %d fuzzing "
+      "iterations/tool, %.1fs total\n\n",
+      samples.size(), scale, iterations, secs);
+  std::printf("%-13s %-7s | %-21s | %-21s | %-21s\n", "Type",
+              "(V/N)", "WASAI  P      R     F1",
+              "EOSFuzzer P    R     F1", "EOSAFE P     R     F1");
+
+  static const std::array<scanner::VulnType, 5> kOrder = {
+      scanner::VulnType::FakeEos, scanner::VulnType::FakeNotif,
+      scanner::VulnType::MissAuth, scanner::VulnType::BlockinfoDep,
+      scanner::VulnType::Rollback};
+
+  ToolTallies total;
+  for (const auto type : kOrder) {
+    const auto it = per_type.find(type);
+    if (it == per_type.end()) continue;
+    const ToolTallies& tally = it->second;
+    const bool eosfuzzer_supported =
+        type == scanner::VulnType::FakeEos ||
+        type == scanner::VulnType::FakeNotif ||
+        type == scanner::VulnType::BlockinfoDep;
+    const bool eosafe_supported = type != scanner::VulnType::BlockinfoDep;
+    std::printf("%-13s %3zu/%-3zu | %s | %s | %s\n",
+                scanner::to_string(type), tally.wasai.tp + tally.wasai.fn,
+                tally.wasai.fp + tally.wasai.tn, prf_cell(tally.wasai).c_str(),
+                prf_cell(tally.eosfuzzer, eosfuzzer_supported).c_str(),
+                prf_cell(tally.eosafe, eosafe_supported).c_str());
+    const auto paper_it = paper.find(type);
+    if (paper_it != paper.end()) {
+      std::printf("%-13s %7s | %-21s | %-21s | %-21s\n", "  (paper)", "",
+                  paper_it->second.wasai, paper_it->second.eosfuzzer,
+                  paper_it->second.eosafe);
+    }
+    total.wasai.merge(tally.wasai);
+    if (eosfuzzer_supported) total.eosfuzzer.merge(tally.eosfuzzer);
+    if (eosafe_supported) total.eosafe.merge(tally.eosafe);
+  }
+  std::printf("%-13s %7s | %s | %s | %s\n", "Total", "",
+              prf_cell(total.wasai).c_str(), prf_cell(total.eosfuzzer).c_str(),
+              prf_cell(total.eosafe).c_str());
+  std::printf("%-13s %7s | %-21s | %-21s | %-21s\n", "  (paper)", "",
+              paper_total.wasai, paper_total.eosfuzzer, paper_total.eosafe);
+}
+
+}  // namespace wasai::bench

@@ -1,0 +1,122 @@
+// Micro-benchmarks: raw interpreter throughput, the §3.3.1 instrumentation
+// overhead (hooks execute alongside every contract instruction), rewrite
+// and codec throughput.
+#include <benchmark/benchmark.h>
+
+#include "corpus/templates.hpp"
+#include "instrument/instrumenter.hpp"
+#include "instrument/trace_sink.hpp"
+#include "tests/test_support.hpp"
+#include "util/rng.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/encoder.hpp"
+
+namespace {
+
+using namespace wasai;
+using vm::Value;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+/// f(n): tight arithmetic loop with a branch per iteration.
+wasm::Module loop_module() {
+  wasm::ModuleBuilder b;
+  b.add_memory(1);
+  constexpr ValType I64 = ValType::I64;
+  const std::vector<Instr> body = {
+      wasm::loop(),
+      // acc = acc * 3 + i
+      wasm::local_get(2),
+      wasm::i64_const(3),
+      Instr(Opcode::I64Mul),
+      wasm::local_get(1),
+      Instr(Opcode::I64Add),
+      wasm::local_set(2),
+      // i++ < n ?
+      wasm::local_get(1),
+      wasm::i64_const(1),
+      Instr(Opcode::I64Add),
+      wasm::local_tee(1),
+      wasm::local_get(0),
+      Instr(Opcode::I64LtU),
+      wasm::br_if(0),
+      Instr(Opcode::End),
+      wasm::local_get(2),
+      Instr(Opcode::End),
+  };
+  const auto f = b.add_func(FuncType{{I64}, {I64}}, {I64, I64}, body, "f");
+  b.export_func("f", f);
+  return std::move(b).build();
+}
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  test::RecordingHost host;
+  vm::Instance inst = test::instantiate(loop_module(), host);
+  const auto f = *inst.module().find_export("f");
+  vm::Vm vm;
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    vm.reset_steps();
+    auto out = vm.invoke(inst, f, {{Value::i64(10'000)}});
+    total_steps += vm.steps();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total_steps), benchmark::Counter::kIsRate);
+}
+
+void BM_InterpreterLoopInstrumented(benchmark::State& state) {
+  const auto instrumented = instrument::instrument(loop_module());
+  instrument::TraceSink sink;
+  vm::Instance inst(std::make_shared<wasm::Module>(instrumented.module),
+                    sink);
+  // No open action: hook calls are dispatched but dropped, isolating the
+  // instrumentation overhead itself.
+  const auto f = *inst.module().find_export("f");
+  vm::Vm vm;
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    vm.reset_steps();
+    auto out = vm.invoke(inst, f, {{Value::i64(10'000)}});
+    total_steps += vm.steps();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total_steps), benchmark::Counter::kIsRate);
+}
+
+void BM_InstrumenterRewrite(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto sample = corpus::make_fake_notif_sample(rng, true);
+  const auto module = wasm::decode(sample.wasm);
+  for (auto _ : state) {
+    auto result = instrument::instrument(module);
+    benchmark::DoNotOptimize(result.sites.size());
+  }
+}
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto sample = corpus::make_rollback_sample(rng, true);
+  for (auto _ : state) {
+    auto module = wasm::decode(sample.wasm);
+    auto bytes = wasm::encode(module);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sample.wasm.size()));
+}
+
+BENCHMARK(BM_InterpreterLoop);
+BENCHMARK(BM_InterpreterLoopInstrumented);
+BENCHMARK(BM_InstrumenterRewrite);
+BENCHMARK(BM_CodecRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

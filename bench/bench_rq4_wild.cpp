@@ -1,0 +1,95 @@
+// Reproduces RQ4 (§4.4): applying WASAI to the profitable-contract
+// population. The paper ran 991 Mainnet contracts and found 707 (71.3%)
+// vulnerable (241 Fake EOS, 264 Fake Notif, 470 MissAuth, 22 BlockinfoDep,
+// 122 Rollback); 58.4% of flagged contracts were still operating and 341
+// remained exposed. Our population is synthetic with known injections, so
+// this bench additionally reports per-type precision/recall — something
+// the paper could only sample manually (it found 2 FPs and 1 FN in 100
+// manually-verified contracts).
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "corpus/dataset.hpp"
+#include "util/rng.hpp"
+#include "wasai/wasai.hpp"
+
+int main() {
+  using namespace wasai;
+  const auto n = static_cast<std::size_t>(bench::env_long("WASAI_RQ4_N", 160));
+  const int iterations =
+      static_cast<int>(bench::env_long("WASAI_BENCH_ITERATIONS", 36));
+  const auto population = corpus::make_wild_population(n, /*seed=*/991);
+
+  static const scanner::VulnType kTypes[] = {
+      scanner::VulnType::FakeEos, scanner::VulnType::FakeNotif,
+      scanner::VulnType::MissAuth, scanner::VulnType::BlockinfoDep,
+      scanner::VulnType::Rollback};
+
+  std::map<scanner::VulnType, std::size_t> flagged_counts;
+  std::map<scanner::VulnType, bench::Prf> accuracy;
+  std::size_t flagged_contracts = 0;
+  std::size_t injected_contracts = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t idx = 0;
+  for (const auto& wc : population) {
+    AnalysisOptions options;
+    options.fuzz.iterations = iterations;
+    options.fuzz.rng_seed = 7000 + idx++;
+    const auto result = analyze(wc.sample.wasm, wc.sample.abi, options);
+    if (result.vulnerable()) ++flagged_contracts;
+    if (!wc.injected.empty()) ++injected_contracts;
+    for (const auto type : kTypes) {
+      if (result.has(type)) ++flagged_counts[type];
+      accuracy[type].add(wc.injected.contains(type), result.has(type));
+    }
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::printf("RQ4: vulnerabilities in the wild (profitable contracts)\n");
+  std::printf("population=%zu, iterations=%d, %.1fs total\n\n",
+              population.size(), iterations, secs);
+  std::printf("flagged contracts: %zu/%zu (%.1f%%)   paper: 707/991 (71.3%%)\n",
+              flagged_contracts, population.size(),
+              100.0 * flagged_contracts / population.size());
+  std::printf("injected ground truth: %zu vulnerable contracts\n\n",
+              injected_contracts);
+
+  const std::map<scanner::VulnType, double> paper_counts = {
+      {scanner::VulnType::FakeEos, 241},
+      {scanner::VulnType::FakeNotif, 264},
+      {scanner::VulnType::MissAuth, 470},
+      {scanner::VulnType::BlockinfoDep, 22},
+      {scanner::VulnType::Rollback, 122}};
+
+  std::printf("%-13s %9s %16s %10s %8s\n", "Type", "flagged",
+              "paper(scaled)", "precision", "recall");
+  for (const auto type : kTypes) {
+    const double paper_scaled =
+        paper_counts.at(type) * static_cast<double>(n) / 991.0;
+    std::printf("%-13s %9zu %16.1f %9.1f%% %7.1f%%\n",
+                scanner::to_string(type), flagged_counts[type], paper_scaled,
+                accuracy[type].precision(), accuracy[type].recall());
+  }
+
+  // Patch-status model (§4.4): the paper found 58.4% of flagged contracts
+  // still operating, 72 of those patched, 341 exposed. Mainnet history is
+  // not available offline; a seeded model reproduces the proportions.
+  util::Rng rng(404);
+  std::size_t operating = 0, patched = 0;
+  for (std::size_t i = 0; i < flagged_contracts; ++i) {
+    if (rng.chance(0.584)) {
+      ++operating;
+      if (rng.chance(72.0 / 413.0)) ++patched;
+    }
+  }
+  std::printf(
+      "\npatch-status model: %zu still operating (paper 413), %zu patched "
+      "(paper 72), %zu exposed (paper 341)\n",
+      operating, patched, operating - patched);
+  return 0;
+}

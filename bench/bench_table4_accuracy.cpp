@@ -1,0 +1,40 @@
+// Reproduces Table 4 (RQ2): detection accuracy of WASAI vs EOSFuzzer vs
+// EOSAFE on the ground-truth benchmark (paper: 3,340 samples, half
+// vulnerable). Scale with WASAI_BENCH_SCALE (1.0 = full size).
+#include "bench/accuracy_common.hpp"
+
+int main() {
+  using wasai::bench::PaperRow;
+  using wasai::bench::PaperTable;
+  using wasai::scanner::VulnType;
+
+  const PaperTable paper = {
+      {VulnType::FakeEos,
+       {"100.0% 100.0% 100.0%", " 90.7%  84.3%  87.3%",
+        " 98.3%  44.9%  61.6%"}},
+      {VulnType::FakeNotif,
+       {"100.0% 100.0% 100.0%", " 94.9%  78.7%  86.0%",
+        " 67.4%  98.3%  79.9%"}},
+      {VulnType::MissAuth,
+       {"100.0%  96.0%  97.9%", "    -      -      -  ",
+        "100.0%  38.9%  56.0%"}},
+      {VulnType::BlockinfoDep,
+       {"100.0% 100.0% 100.0%", "  0.0%   0.0%   0.0%",
+        "    -      -      -  "}},
+      {VulnType::Rollback,
+       {"100.0%  95.7%  97.8%", "    -      -      -  ",
+        " 50.5%  97.6%  66.6%"}},
+  };
+  const PaperRow paper_total = {"100.0%  98.4%  99.2%",
+                                " 94.2%  63.9%  76.1%",
+                                " 67.7%  75.6%  71.4%"};
+
+  wasai::corpus::BenchmarkSpec spec;
+  spec.scale = 0.08;  // default CI-friendly subset; override via env
+  spec.seed = 42;
+  wasai::bench::run_accuracy_bench(
+      "Table 4 (RQ2): vulnerability-detection accuracy on the ground-truth "
+      "benchmark",
+      spec, paper, paper_total);
+  return 0;
+}

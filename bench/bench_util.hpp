@@ -1,0 +1,68 @@
+// Shared helpers for the experiment-reproduction benches: precision /
+// recall / F1 accumulation and paper-style table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wasai::bench {
+
+/// Binary-classification tally.
+struct Prf {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  void add(bool truth, bool flagged) {
+    if (truth && flagged) {
+      ++tp;
+    } else if (truth && !flagged) {
+      ++fn;
+    } else if (!truth && flagged) {
+      ++fp;
+    } else {
+      ++tn;
+    }
+  }
+
+  void merge(const Prf& other) {
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+  }
+
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0.0 : 100.0 * tp / static_cast<double>(tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 0.0 : 100.0 * tp / static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  [[nodiscard]] std::size_t total() const { return tp + fp + tn + fn; }
+};
+
+/// "P/R/F1" cell, or "-" for unsupported detectors.
+inline std::string prf_cell(const Prf& prf, bool supported = true) {
+  if (!supported) return "    -      -      -  ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.1f%% %5.1f%% %5.1f%%", prf.precision(),
+                prf.recall(), prf.f1());
+  return buf;
+}
+
+/// Environment-variable override with a default (for scale knobs).
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atol(v);
+}
+
+}  // namespace wasai::bench

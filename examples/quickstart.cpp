@@ -1,0 +1,51 @@
+// Quickstart: analyze a Wasm smart contract with WASAI.
+//
+// The library takes a contract binary + its ABI (the two artifacts the
+// EOSIO compiler produces) and runs the full concolic-fuzzing pipeline:
+// instrumentation, a local blockchain with adversary agents, trace-driven
+// symbolic feedback, and the five vulnerability oracles.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "corpus/templates.hpp"
+#include "wasai/wasai.hpp"
+
+int main() {
+  using namespace wasai;
+
+  // A Listing-1-style contract: its eosponser accepts token transfers
+  // without checking that the issuer is the real eosio.token.
+  util::Rng rng(1);
+  const corpus::Sample contract = corpus::make_fake_eos_sample(
+      rng, /*vulnerable=*/true);
+
+  std::printf("analyzing %zu-byte contract (%s)...\n\n",
+              contract.wasm.size(), contract.tag.c_str());
+
+  AnalysisOptions options;
+  options.fuzz.iterations = 48;  // the paper fuzzes for 5 minutes; the
+                                 // simulator needs only a few dozen rounds
+  const AnalysisResult result = analyze(contract.wasm, contract.abi, options);
+
+  if (result.report.found.empty()) {
+    std::printf("no vulnerabilities detected\n");
+  } else {
+    std::printf("vulnerabilities detected:\n");
+    for (const auto& finding : result.report.findings) {
+      std::printf("  [%s] %s\n", scanner::to_string(finding.type),
+                  finding.detail.c_str());
+    }
+  }
+
+  std::printf("\nfuzzing statistics:\n");
+  std::printf("  transactions executed : %zu\n", result.details.transactions);
+  std::printf("  distinct branches     : %zu\n",
+              result.details.distinct_branches);
+  std::printf("  trace replays         : %zu\n", result.details.replays);
+  std::printf("  SMT queries           : %zu\n",
+              result.details.solver_queries);
+  std::printf("  adaptive seeds        : %zu\n",
+              result.details.adaptive_seeds);
+  return 0;
+}

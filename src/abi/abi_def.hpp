@@ -1,0 +1,63 @@
+// ABI definitions: the per-contract description of action signatures that
+// the EOSIO compiler emits next to the Wasm binary, and that WASAI takes as
+// its second input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "abi/asset.hpp"
+#include "abi/name.hpp"
+
+namespace wasai::abi {
+
+/// Parameter types supported by the serializer (the subset EOSIO contracts
+/// use for action parameters; the paper's seeds cover exactly these).
+enum class ParamType : std::uint8_t {
+  Name,    // 8-byte account/action name
+  Asset,   // 16-byte amount+symbol struct (passed by pointer in Wasm)
+  String,  // length-prefixed bytes (passed by pointer in Wasm)
+  U64,
+  I64,
+  U32,
+  F64,
+};
+
+const char* to_string(ParamType t);
+
+/// A runtime parameter value matching a ParamType.
+using ParamValue =
+    std::variant<Name, Asset, std::string, std::uint64_t, std::int64_t,
+                 std::uint32_t, double>;
+
+/// True if `value`'s alternative matches `type`.
+bool matches(ParamType type, const ParamValue& value);
+
+/// Debug rendering of a value.
+std::string to_string(const ParamValue& v);
+
+struct ActionDef {
+  Name name;
+  std::vector<ParamType> params;
+};
+
+/// The contract ABI: list of action signatures.
+struct Abi {
+  std::vector<ActionDef> actions;
+
+  [[nodiscard]] const ActionDef* find(Name action) const {
+    for (const auto& a : actions) {
+      if (a.name == action) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// The signature every eosponser must share with transfer@eosio.token:
+/// transfer(name from, name to, asset quantity, string memo) — §2.1.
+ActionDef transfer_action_def();
+
+}  // namespace wasai::abi

@@ -1,0 +1,110 @@
+#include "abi/abi_json.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace wasai::abi {
+
+using util::DecodeError;
+using util::Json;
+
+const char* param_type_name(ParamType type) {
+  switch (type) {
+    case ParamType::Name:
+      return "name";
+    case ParamType::Asset:
+      return "asset";
+    case ParamType::String:
+      return "string";
+    case ParamType::U64:
+      return "uint64";
+    case ParamType::I64:
+      return "int64";
+    case ParamType::U32:
+      return "uint32";
+    case ParamType::F64:
+      return "float64";
+  }
+  return "?";
+}
+
+ParamType param_type_from_name(const std::string& name) {
+  static const std::map<std::string, ParamType> kTypes = {
+      {"name", ParamType::Name},     {"account_name", ParamType::Name},
+      {"asset", ParamType::Asset},   {"string", ParamType::String},
+      {"uint64", ParamType::U64},    {"int64", ParamType::I64},
+      {"uint32", ParamType::U32},    {"float64", ParamType::F64},
+  };
+  const auto it = kTypes.find(name);
+  if (it == kTypes.end()) {
+    throw DecodeError("abi: unsupported field type '" + name + "'");
+  }
+  return it->second;
+}
+
+Abi abi_from_json(std::string_view json_text) {
+  const Json doc = util::parse_json(json_text);
+
+  // struct name -> ordered field types
+  std::map<std::string, std::vector<ParamType>> structs;
+  if (const Json* struct_list = doc.find("structs")) {
+    for (const auto& s : struct_list->as_array()) {
+      std::vector<ParamType> fields;
+      for (const auto& field : s.at("fields").as_array()) {
+        fields.push_back(
+            param_type_from_name(field.at("type").as_string()));
+      }
+      structs.emplace(s.at("name").as_string(), std::move(fields));
+    }
+  }
+
+  Abi abi;
+  if (const Json* actions = doc.find("actions")) {
+    for (const auto& action : actions->as_array()) {
+      ActionDef def;
+      def.name = Name::from_string(action.at("name").as_string());
+      const std::string& type = action.at("type").as_string();
+      const auto it = structs.find(type);
+      if (it == structs.end()) {
+        throw DecodeError("abi: action '" + action.at("name").as_string() +
+                          "' references unknown struct '" + type + "'");
+      }
+      def.params = it->second;
+      abi.actions.push_back(std::move(def));
+    }
+  }
+  return abi;
+}
+
+std::string abi_to_json(const Abi& abi) {
+  std::ostringstream os;
+  os << "{\n  \"version\": \"eosio::abi/1.1\",\n  \"structs\": [";
+  bool first = true;
+  for (const auto& action : abi.actions) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << action.name.to_string()
+       << "\", \"base\": \"\", \"fields\": [";
+    for (std::size_t i = 0; i < action.params.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"name\": \"p" << i << "\", \"type\": \""
+         << param_type_name(action.params[i]) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"actions\": [";
+  first = true;
+  for (const auto& action : abi.actions) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << action.name.to_string()
+       << "\", \"type\": \"" << action.name.to_string()
+       << "\", \"ricardian_contract\": \"\"}";
+  }
+  os << "\n  ],\n  \"tables\": []\n}\n";
+  return os.str();
+}
+
+}  // namespace wasai::abi

@@ -1,0 +1,23 @@
+// EOSIO ABI JSON ingestion/emission: the `.abi` files the CDT compiler
+// ships next to `.wasm` binaries ("eosio::abi/1.1" format, the subset with
+// scalar/asset/string fields that action parameters use).
+#pragma once
+
+#include <string>
+
+#include "abi/abi_def.hpp"
+
+namespace wasai::abi {
+
+/// Parse an EOSIO ABI JSON document into the library's Abi model. Throws
+/// util::DecodeError for malformed JSON or unsupported field types.
+Abi abi_from_json(std::string_view json_text);
+
+/// Emit an Abi as EOSIO ABI JSON (round-trips through abi_from_json).
+std::string abi_to_json(const Abi& abi);
+
+/// ABI param type <-> EOSIO type-name strings ("name", "asset", ...).
+const char* param_type_name(ParamType type);
+ParamType param_type_from_name(const std::string& name);
+
+}  // namespace wasai::abi

@@ -1,0 +1,87 @@
+#include "abi/asset.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wasai::abi {
+
+using util::DecodeError;
+
+Symbol Symbol::from_code(std::uint8_t precision, std::string_view code) {
+  if (code.empty() || code.size() > 7) {
+    throw DecodeError("symbol code must be 1-7 characters");
+  }
+  std::uint64_t value = precision;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c < 'A' || c > 'Z') {
+      throw DecodeError("symbol code must be uppercase A-Z: " +
+                        std::string(code));
+    }
+    value |= static_cast<std::uint64_t>(c) << (8 * (i + 1));
+  }
+  return Symbol(value);
+}
+
+std::string Symbol::code() const {
+  std::string out;
+  std::uint64_t v = value_ >> 8;
+  while (v != 0) {
+    out.push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+  return out;
+}
+
+Asset Asset::from_string(std::string_view s) {
+  const auto space = s.find(' ');
+  if (space == std::string_view::npos) {
+    throw DecodeError("asset missing symbol: " + std::string(s));
+  }
+  const std::string_view amount_str = s.substr(0, space);
+  const std::string_view code = s.substr(space + 1);
+
+  const auto dot = amount_str.find('.');
+  std::uint8_t precision = 0;
+  std::string digits;
+  if (dot == std::string_view::npos) {
+    digits = std::string(amount_str);
+  } else {
+    const auto frac = amount_str.substr(dot + 1);
+    precision = static_cast<std::uint8_t>(frac.size());
+    digits = std::string(amount_str.substr(0, dot)) + std::string(frac);
+  }
+  std::int64_t amount = 0;
+  const char* begin = digits.data();
+  const char* end = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, amount);
+  if (ec != std::errc() || ptr != end) {
+    throw DecodeError("bad asset amount: " + std::string(s));
+  }
+  return Asset{amount, Symbol::from_code(precision, code)};
+}
+
+std::string Asset::to_string() const {
+  const std::uint8_t prec = symbol.precision();
+  std::int64_t whole = amount;
+  std::int64_t frac = 0;
+  std::int64_t scale = 1;
+  for (std::uint8_t i = 0; i < prec; ++i) scale *= 10;
+  whole = amount / scale;
+  frac = amount % scale;
+  std::string out = std::to_string(whole);
+  if (prec > 0) {
+    std::string frac_str = std::to_string(frac < 0 ? -frac : frac);
+    frac_str.insert(0, prec - frac_str.size(), '0');
+    out += "." + frac_str;
+  }
+  return out + " " + symbol.code();
+}
+
+Symbol eos_symbol() { return Symbol::from_code(4, "EOS"); }
+
+Asset eos(std::int64_t milli_amount) { return Asset{milli_amount, eos_symbol()}; }
+
+}  // namespace wasai::abi

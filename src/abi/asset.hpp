@@ -1,0 +1,52 @@
+// EOSIO asset and symbol types. An asset is a 128-bit struct: a 64-bit
+// signed amount plus a 64-bit symbol (precision byte + up to 7 uppercase
+// code characters) — the layout the paper's Table 2 describes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wasai::abi {
+
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint64_t value) : value_(value) {}
+
+  /// Construct from precision + code, e.g. (4, "EOS") -> 0x...534F4504.
+  static Symbol from_code(std::uint8_t precision, std::string_view code);
+
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint8_t precision() const {
+    return static_cast<std::uint8_t>(value_ & 0xff);
+  }
+  [[nodiscard]] std::string code() const;
+
+  auto operator<=>(const Symbol&) const = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+struct Asset {
+  std::int64_t amount = 0;
+  Symbol symbol;
+
+  /// Parse "100.0000 EOS" (precision = number of decimals). Throws
+  /// util::DecodeError on malformed input.
+  static Asset from_string(std::string_view s);
+
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Asset&) const = default;
+};
+
+/// The official EOS symbol: precision 4, code "EOS".
+Symbol eos_symbol();
+
+/// Convenience: amount in 1/10^4 EOS units.
+Asset eos(std::int64_t milli_amount);
+
+}  // namespace wasai::abi

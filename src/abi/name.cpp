@@ -1,0 +1,54 @@
+#include "abi/name.hpp"
+
+#include "util/error.hpp"
+
+namespace wasai::abi {
+
+namespace {
+
+constexpr char kCharmap[] = ".12345abcdefghijklmnopqrstuvwxyz";
+
+std::uint64_t char_to_symbol(char c) {
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint64_t>(c - 'a') + 6;
+  if (c >= '1' && c <= '5') return static_cast<std::uint64_t>(c - '1') + 1;
+  if (c == '.') return 0;
+  throw util::DecodeError(std::string("invalid name character '") + c + "'");
+}
+
+}  // namespace
+
+Name Name::from_string(std::string_view s) {
+  if (s.size() > 13) {
+    throw util::DecodeError("name longer than 13 characters: " +
+                            std::string(s));
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::uint64_t c = i < s.size() ? char_to_symbol(s[i]) : 0;
+    value |= (c & 0x1f) << (64 - 5 * (i + 1));
+  }
+  if (s.size() == 13) {
+    const std::uint64_t c = char_to_symbol(s[12]);
+    if (c > 0x0f) {
+      throw util::DecodeError("13th name character out of range in " +
+                              std::string(s));
+    }
+    value |= c;
+  }
+  return Name(value);
+}
+
+std::string Name::to_string() const {
+  std::string out(13, '.');
+  std::uint64_t tmp = value_;
+  for (int i = 12; i >= 0; --i) {
+    const auto c = static_cast<std::size_t>(tmp & (i == 12 ? 0x0f : 0x1f));
+    out[static_cast<std::size_t>(i)] = kCharmap[c];
+    tmp >>= (i == 12 ? 4 : 5);
+  }
+  // Trim trailing dots.
+  const auto last = out.find_last_not_of('.');
+  return last == std::string::npos ? "" : out.substr(0, last + 1);
+}
+
+}  // namespace wasai::abi

@@ -1,0 +1,34 @@
+// EOSIO account/action names: 12-character base-32 strings packed into a
+// 64-bit integer, exactly as the `N(...)` macro / name type of the EOSIO SDK.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wasai::abi {
+
+class Name {
+ public:
+  constexpr Name() = default;
+  constexpr explicit Name(std::uint64_t value) : value_(value) {}
+
+  /// Parse a name string ([.1-5a-z], up to 12 chars + restricted 13th).
+  /// Throws util::DecodeError on invalid characters or length.
+  static Name from_string(std::string_view s);
+
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool empty() const { return value_ == 0; }
+
+  auto operator<=>(const Name&) const = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Convenience literal-style helper mirroring the SDK's N(...) macro.
+inline Name name(std::string_view s) { return Name::from_string(s); }
+
+}  // namespace wasai::abi

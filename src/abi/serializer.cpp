@@ -1,0 +1,164 @@
+#include "abi/serializer.hpp"
+
+#include <bit>
+
+#include "util/leb128.hpp"
+
+namespace wasai::abi {
+
+namespace {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+void pack_one(ByteWriter& w, ParamType type, const ParamValue& value) {
+  switch (type) {
+    case ParamType::Name:
+      w.u64_le(std::get<Name>(value).value());
+      break;
+    case ParamType::Asset: {
+      const Asset& a = std::get<Asset>(value);
+      w.u64_le(static_cast<std::uint64_t>(a.amount));
+      w.u64_le(a.symbol.value());
+      break;
+    }
+    case ParamType::String: {
+      const std::string& s = std::get<std::string>(value);
+      util::write_uleb(w, s.size());
+      w.str(s);
+      break;
+    }
+    case ParamType::U64:
+      w.u64_le(std::get<std::uint64_t>(value));
+      break;
+    case ParamType::I64:
+      w.u64_le(static_cast<std::uint64_t>(std::get<std::int64_t>(value)));
+      break;
+    case ParamType::U32:
+      w.u32_le(std::get<std::uint32_t>(value));
+      break;
+    case ParamType::F64:
+      w.u64_le(std::bit_cast<std::uint64_t>(std::get<double>(value)));
+      break;
+  }
+}
+
+ParamValue unpack_one(ByteReader& r, ParamType type) {
+  switch (type) {
+    case ParamType::Name:
+      return Name(r.u64_le());
+    case ParamType::Asset: {
+      const auto amount = static_cast<std::int64_t>(r.u64_le());
+      return Asset{amount, Symbol(r.u64_le())};
+    }
+    case ParamType::String: {
+      const auto len = util::read_uleb32(r);
+      return r.str(len);
+    }
+    case ParamType::U64:
+      return r.u64_le();
+    case ParamType::I64:
+      return static_cast<std::int64_t>(r.u64_le());
+    case ParamType::U32:
+      return r.u32_le();
+    case ParamType::F64:
+      return std::bit_cast<double>(r.u64_le());
+  }
+  throw util::DecodeError("unknown param type");
+}
+
+}  // namespace
+
+bool matches(ParamType type, const ParamValue& value) {
+  switch (type) {
+    case ParamType::Name:
+      return std::holds_alternative<Name>(value);
+    case ParamType::Asset:
+      return std::holds_alternative<Asset>(value);
+    case ParamType::String:
+      return std::holds_alternative<std::string>(value);
+    case ParamType::U64:
+      return std::holds_alternative<std::uint64_t>(value);
+    case ParamType::I64:
+      return std::holds_alternative<std::int64_t>(value);
+    case ParamType::U32:
+      return std::holds_alternative<std::uint32_t>(value);
+    case ParamType::F64:
+      return std::holds_alternative<double>(value);
+  }
+  return false;
+}
+
+Bytes pack(const ActionDef& def, const std::vector<ParamValue>& values) {
+  if (values.size() != def.params.size()) {
+    throw util::UsageError("pack: arity mismatch for action " +
+                           def.name.to_string());
+  }
+  ByteWriter w;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!matches(def.params[i], values[i])) {
+      throw util::UsageError("pack: parameter " + std::to_string(i) +
+                             " kind mismatch for action " +
+                             def.name.to_string());
+    }
+    pack_one(w, def.params[i], values[i]);
+  }
+  return std::move(w).take();
+}
+
+std::vector<ParamValue> unpack(const ActionDef& def,
+                               std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  std::vector<ParamValue> out;
+  out.reserve(def.params.size());
+  for (const auto type : def.params) out.push_back(unpack_one(r, type));
+  if (!r.eof()) {
+    throw util::DecodeError("trailing bytes in action data for " +
+                            def.name.to_string());
+  }
+  return out;
+}
+
+const char* to_string(ParamType t) {
+  switch (t) {
+    case ParamType::Name:
+      return "name";
+    case ParamType::Asset:
+      return "asset";
+    case ParamType::String:
+      return "string";
+    case ParamType::U64:
+      return "uint64";
+    case ParamType::I64:
+      return "int64";
+    case ParamType::U32:
+      return "uint32";
+    case ParamType::F64:
+      return "float64";
+  }
+  return "?";
+}
+
+std::string to_string(const ParamValue& v) {
+  struct Visitor {
+    std::string operator()(const Name& n) const { return n.to_string(); }
+    std::string operator()(const Asset& a) const { return a.to_string(); }
+    std::string operator()(const std::string& s) const {
+      return '"' + s + '"';
+    }
+    std::string operator()(std::uint64_t x) const { return std::to_string(x); }
+    std::string operator()(std::int64_t x) const { return std::to_string(x); }
+    std::string operator()(std::uint32_t x) const { return std::to_string(x); }
+    std::string operator()(double x) const { return std::to_string(x); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+ActionDef transfer_action_def() {
+  return ActionDef{name("transfer"),
+                   {ParamType::Name, ParamType::Name, ParamType::Asset,
+                    ParamType::String}};
+}
+
+}  // namespace wasai::abi

@@ -1,0 +1,22 @@
+// Action-data serializer: packs parameter values into the byte stream a
+// contract deserializes via read_action_data, and unpacks it again.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "abi/abi_def.hpp"
+#include "util/bytes.hpp"
+
+namespace wasai::abi {
+
+/// Serialize values per the action signature. Throws util::UsageError when
+/// arity or variant kinds do not match the definition.
+util::Bytes pack(const ActionDef& def, const std::vector<ParamValue>& values);
+
+/// Deserialize action data per the signature; throws util::DecodeError on
+/// short or trailing input.
+std::vector<ParamValue> unpack(const ActionDef& def,
+                               std::span<const std::uint8_t> data);
+
+}  // namespace wasai::abi

@@ -1,0 +1,40 @@
+// EOSAFE's memory model (§3.2-C2): a mapping list of (address expression,
+// value) pairs. Every load linearly scans the list to merge overlapping
+// writes — the behaviour the paper identifies as the throughput bottleneck
+// its concrete-address model replaces. Kept faithful here both for the
+// EOSAFE baseline and for the memory-model ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "symbolic/symvalue.hpp"
+
+namespace wasai::baselines {
+
+class EosafeMemory {
+ public:
+  explicit EosafeMemory(symbolic::Z3Env& env) : env_(&env) {}
+
+  /// Record a store of `size_bytes` at the (possibly symbolic) address.
+  void store(const z3::expr& addr, const z3::expr& value,
+             unsigned size_bytes);
+
+  /// Load by scanning the write list newest-to-oldest for a syntactically
+  /// matching address; unknown locations produce fresh variables.
+  symbolic::SymValue load(const z3::expr& addr, unsigned size_bytes,
+                          bool sign_extend, wasm::ValType result_type);
+
+  [[nodiscard]] std::size_t entries() const { return writes_.size(); }
+
+ private:
+  struct Entry {
+    z3::expr addr;
+    unsigned size;
+    z3::expr value;
+  };
+
+  symbolic::Z3Env* env_;
+  std::vector<Entry> writes_;
+};
+
+}  // namespace wasai::baselines

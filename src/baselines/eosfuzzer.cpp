@@ -1,0 +1,139 @@
+#include "baselines/eosfuzzer.hpp"
+
+#include <chrono>
+
+#include "scanner/facts.hpp"
+
+namespace wasai::baselines {
+
+using engine::Seed;
+using scanner::PayloadMode;
+using scanner::VulnType;
+
+namespace {
+
+std::vector<abi::Name> account_pool(const engine::HarnessNames& names) {
+  return {names.attacker, names.victim, names.token, names.fake_token,
+          names.fake_notif};
+}
+
+/// Did the victim perform a side effect in this trace (the profit evidence
+/// EOSFuzzer's Fake Notif oracle looks for)?
+bool has_side_effect(const scanner::TraceFacts& facts) {
+  return facts.called_api("db_store_i64") ||
+         facts.called_api("db_update_i64") ||
+         facts.called_api("db_remove_i64") ||
+         facts.called_api("send_inline");
+}
+
+}  // namespace
+
+EosFuzzer::EosFuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
+                     EosFuzzerOptions options)
+    : options_(options),
+      harness_(contract_wasm, std::move(abi), engine::HarnessNames{}),
+      mutator_(util::Rng(options.rng_seed),
+               account_pool(harness_.names())) {
+  for (const auto& def : harness_.contract_abi().actions) {
+    actions_.push_back(def.name);
+  }
+}
+
+EosFuzzerReport EosFuzzer::run() {
+  EosFuzzerReport report;
+  const auto start = std::chrono::steady_clock::now();
+  std::set<std::uint64_t> branches;
+  static const abi::ActionDef kTransferDef = abi::transfer_action_def();
+
+  std::size_t rotation = 0;
+  for (int i = 0; i < options_.iterations; ++i) {
+    // Same payload schedule as WASAI's Engine, but seeds are pure random —
+    // EOSFuzzer has no feedback phase.
+    PayloadMode mode;
+    switch (i % 6) {
+      case 0:
+        mode = PayloadMode::ValidTransfer;
+        break;
+      case 1:
+        mode = PayloadMode::DirectFakeEos;
+        break;
+      case 2:
+        mode = PayloadMode::FakeTokenTransfer;
+        break;
+      case 3:
+        mode = PayloadMode::FakeNotifForward;
+        break;
+      default:
+        mode = PayloadMode::Normal;
+        break;
+    }
+
+    Seed seed;
+    if (mode == PayloadMode::Normal && !actions_.empty()) {
+      const abi::Name action = actions_[rotation++ % actions_.size()];
+      const abi::ActionDef* def = harness_.contract_abi().find(action);
+      seed = mutator_.random_seed(def != nullptr ? *def : kTransferDef);
+    } else {
+      seed = mutator_.random_seed(kTransferDef);
+    }
+
+    chain::TxResult result;
+    switch (mode) {
+      case PayloadMode::ValidTransfer:
+        result = harness_.run_valid_transfer(seed);
+        break;
+      case PayloadMode::DirectFakeEos:
+        result = harness_.run_direct_fake_eos(seed);
+        break;
+      case PayloadMode::FakeTokenTransfer:
+        result = harness_.run_fake_token_transfer(seed);
+        break;
+      case PayloadMode::FakeNotifForward:
+        result = harness_.run_fake_notif_forward(seed);
+        break;
+      case PayloadMode::Normal:
+        result = harness_.run_normal(seed);
+        break;
+    }
+    ++report.transactions;
+    report.any_success |= result.success;
+
+    for (const auto* trace : harness_.victim_traces()) {
+      const auto facts = scanner::extract_facts(*trace, harness_.sites(),
+                                                harness_.original());
+      // Fake EOS: ANY successful victim execution after fake tokens.
+      if (result.success && (mode == PayloadMode::DirectFakeEos ||
+                             mode == PayloadMode::FakeTokenTransfer)) {
+        report.found.insert(VulnType::FakeEos);
+      }
+      // Fake Notif: the forged notification landed with a side effect.
+      if (result.success && mode == PayloadMode::FakeNotifForward &&
+          has_side_effect(facts)) {
+        report.found.insert(VulnType::FakeNotif);
+      }
+      // BlockinfoDep: same API oracle as WASAI — the difference is that
+      // random seeds rarely reach the tapos call.
+      if (facts.called_api("tapos_block_num") ||
+          facts.called_api("tapos_block_prefix")) {
+        report.found.insert(VulnType::BlockinfoDep);
+      }
+    }
+
+    harness_.accumulate_branches(branches);
+    report.curve.push_back(engine::CoveragePoint{
+        i,
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count(),
+        branches.size()});
+  }
+
+  // The documented oracle flaw: a campaign where nothing ever executed
+  // successfully is reported as Fake EOS-positive.
+  if (!report.any_success) report.found.insert(VulnType::FakeEos);
+
+  report.distinct_branches = branches.size();
+  return report;
+}
+
+}  // namespace wasai::baselines

@@ -1,0 +1,51 @@
+// Behavioural reproduction of EOSFuzzer (Huang et al. 2020), the blind
+// fuzzing baseline of the paper's evaluation: random seeds, no feedback,
+// and the oracle flaws §4.2/§4.3 document —
+//   * Fake EOS is flagged whenever ANY victim action executes successfully
+//     after a counterfeit transfer (honeypot false positives), and also
+//     whenever NO transaction of the whole campaign succeeded (the flaw
+//     that collapses its precision to 50% under complicated verification);
+//   * Fake Notif needs the forged notification to land AND a side effect
+//     to be observed — random seeds rarely get that deep;
+//   * MissAuth and Rollback have no oracle at all ("-" in the tables).
+#pragma once
+
+#include "engine/harness.hpp"
+#include "engine/fuzzer.hpp"
+#include "engine/mutator.hpp"
+#include "scanner/scanner.hpp"
+
+namespace wasai::baselines {
+
+struct EosFuzzerOptions {
+  int iterations = 48;
+  std::uint64_t rng_seed = 1;
+};
+
+struct EosFuzzerReport {
+  std::set<scanner::VulnType> found;
+  std::size_t distinct_branches = 0;
+  std::vector<engine::CoveragePoint> curve;
+  std::size_t transactions = 0;
+  bool any_success = false;
+
+  [[nodiscard]] bool has(scanner::VulnType t) const {
+    return found.contains(t);
+  }
+};
+
+class EosFuzzer {
+ public:
+  EosFuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
+            EosFuzzerOptions options = {});
+
+  EosFuzzerReport run();
+
+ private:
+  EosFuzzerOptions options_;
+  engine::ChainHarness harness_;
+  engine::Mutator mutator_;
+  std::vector<abi::Name> actions_;
+};
+
+}  // namespace wasai::baselines

@@ -1,0 +1,41 @@
+#include "chain/action.hpp"
+
+#include "util/leb128.hpp"
+
+namespace wasai::chain {
+
+util::Bytes pack_action(const Action& act) {
+  util::ByteWriter w;
+  w.u64_le(act.account.value());
+  w.u64_le(act.name.value());
+  util::write_uleb(w, act.authorization.size());
+  for (const auto& auth : act.authorization) {
+    w.u64_le(auth.actor.value());
+    w.u64_le(auth.permission.value());
+  }
+  util::write_uleb(w, act.data.size());
+  w.bytes(act.data);
+  return std::move(w).take();
+}
+
+Action unpack_action(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  Action act;
+  act.account = Name(r.u64_le());
+  act.name = Name(r.u64_le());
+  const auto nauth = util::read_uleb32(r);
+  act.authorization.reserve(nauth);
+  for (std::uint32_t i = 0; i < nauth; ++i) {
+    PermissionLevel p;
+    p.actor = Name(r.u64_le());
+    p.permission = Name(r.u64_le());
+    act.authorization.push_back(p);
+  }
+  const auto len = util::read_uleb32(r);
+  const auto data = r.bytes(len);
+  act.data.assign(data.begin(), data.end());
+  if (!r.eof()) throw util::DecodeError("trailing bytes in packed action");
+  return act;
+}
+
+}  // namespace wasai::chain

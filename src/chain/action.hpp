@@ -1,0 +1,69 @@
+// Transactions and actions: the unit of execution in EOSIO (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/name.hpp"
+#include "util/bytes.hpp"
+
+namespace wasai::chain {
+
+using abi::Name;
+
+struct PermissionLevel {
+  Name actor;
+  Name permission;  // "active" by default
+
+  bool operator==(const PermissionLevel&) const = default;
+};
+
+inline PermissionLevel active(Name actor) {
+  return {actor, abi::name("active")};
+}
+
+/// One action: `name@account` with serialized parameters. Smart contracts
+/// also create these at runtime via send_inline / send_deferred.
+struct Action {
+  Name account;  // the contract the action belongs to (the paper's `code`)
+  Name name;     // action function name
+  std::vector<PermissionLevel> authorization;
+  util::Bytes data;
+};
+
+struct Transaction {
+  std::vector<Action> actions;
+};
+
+/// Serialize an action into the packed format used by send_inline /
+/// send_deferred (account, name, auth vector, data bytes).
+util::Bytes pack_action(const Action& act);
+Action unpack_action(std::span<const std::uint8_t> bytes);
+
+/// How one contract execution came about, for reports and oracles.
+struct ExecutedAction {
+  Name receiver;  // the account whose code ran
+  Name code;      // the action's account (the `code` parameter of apply)
+  Name action;
+  bool notification = false;  // ran because of require_recipient
+  bool from_inline = false;   // queued by send_inline
+  bool from_deferred = false;
+};
+
+/// Result of pushing one transaction.
+struct TxResult {
+  bool success = false;
+  std::string error;  // trap message when !success
+  std::vector<ExecutedAction> executed;
+  std::uint64_t steps = 0;  // Wasm instructions interpreted
+
+  [[nodiscard]] bool executed_on(Name receiver) const {
+    for (const auto& e : executed) {
+      if (e.receiver == receiver) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace wasai::chain

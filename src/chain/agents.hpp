@@ -1,0 +1,37 @@
+// Adversary agent contracts used by the vulnerability oracles (§2.3).
+#pragma once
+
+#include "chain/native.hpp"
+
+namespace wasai::chain {
+
+/// The `fake.notif` agent of the Fake Notification exploit (§2.3.2): upon
+/// being notified of a real eosio.token transfer it forwards the
+/// notification to the victim. Because notifications keep the original
+/// `code` (eosio.token), the victim's Fake-EOS guard is bypassed.
+class ForwardNotifAgent : public NativeContract {
+ public:
+  ForwardNotifAgent(Name token_account, Name victim)
+      : token_account_(token_account), victim_(victim) {}
+
+  void apply(ApplyContext& ctx) override {
+    if (ctx.is_notification() && ctx.code() == token_account_ &&
+        ctx.action_name() == abi::name("transfer")) {
+      ctx.require_recipient(victim_);
+    }
+  }
+
+  void set_victim(Name victim) { victim_ = victim; }
+
+ private:
+  Name token_account_;
+  Name victim_;
+};
+
+/// A passive account that accepts anything (used as a generic player).
+class SinkAgent : public NativeContract {
+ public:
+  void apply(ApplyContext&) override {}
+};
+
+}  // namespace wasai::chain

@@ -1,0 +1,151 @@
+#include "chain/apply_context.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "chain/controller.hpp"
+#include "util/error.hpp"
+
+namespace wasai::chain {
+
+using util::Trap;
+
+ApplyContext::ApplyContext(Controller& chain, const Action& act, Name receiver,
+                           bool is_notification)
+    : chain_(&chain),
+      act_(&act),
+      receiver_(receiver),
+      is_notification_(is_notification) {}
+
+bool ApplyContext::has_auth(Name account) const {
+  return std::any_of(act_->authorization.begin(), act_->authorization.end(),
+                     [&](const PermissionLevel& p) {
+                       return p.actor == account;
+                     });
+}
+
+void ApplyContext::require_auth(Name account) const {
+  if (!has_auth(account)) {
+    throw Trap("missing authority of " + account.to_string());
+  }
+}
+
+void ApplyContext::require_recipient(Name account) {
+  if (account == receiver_) return;
+  if (std::find(notified_.begin(), notified_.end(), account) !=
+      notified_.end()) {
+    return;
+  }
+  notified_.push_back(account);
+}
+
+void ApplyContext::send_inline(Action act) {
+  // EOSIO checks the sender is allowed to use the claimed authority; we
+  // model the common case: a contract may authorize as itself or reuse an
+  // authorizer of the triggering action.
+  for (const auto& auth : act.authorization) {
+    if (auth.actor != receiver_ && !has_auth(auth.actor)) {
+      throw Trap("inline action declares unauthorized actor " +
+                 auth.actor.to_string());
+    }
+  }
+  inline_actions_.push_back(std::move(act));
+}
+
+void ApplyContext::send_deferred(Action act) {
+  deferred_actions_.push_back(std::move(act));
+}
+
+std::int32_t ApplyContext::db_store(std::uint64_t scope, std::uint64_t table,
+                                    std::uint64_t primary, util::Bytes value) {
+  chain_->database(receiver_).store(TableKey{scope, table}, primary,
+                                    std::move(value));
+  return add_iterator(receiver_, scope, table, primary);
+}
+
+std::int32_t ApplyContext::db_find(Name code, std::uint64_t scope,
+                                   std::uint64_t table,
+                                   std::uint64_t primary) {
+  const Database* db = chain_->find_database(code);
+  if (db == nullptr || db->find(TableKey{scope, table}, primary) == nullptr) {
+    return -1;
+  }
+  return add_iterator(code, scope, table, primary);
+}
+
+std::int32_t ApplyContext::db_lowerbound(Name code, std::uint64_t scope,
+                                         std::uint64_t table,
+                                         std::uint64_t primary) {
+  const Database* db = chain_->find_database(code);
+  if (db == nullptr) return -1;
+  const auto key = db->lower_bound(TableKey{scope, table}, primary);
+  if (!key) return -1;
+  return add_iterator(code, scope, table, *key);
+}
+
+std::int32_t ApplyContext::db_get(std::int32_t iterator,
+                                  std::span<std::uint8_t> out) {
+  const ItrEntry& e = iterator_at(iterator);
+  const Database* db = chain_->find_database(e.code);
+  const util::Bytes* row =
+      db ? db->find(TableKey{e.scope, e.table}, e.primary) : nullptr;
+  if (row == nullptr) throw Trap("db_get: stale iterator");
+  const auto n = std::min(out.size(), row->size());
+  std::memcpy(out.data(), row->data(), n);
+  return static_cast<std::int32_t>(row->size());
+}
+
+void ApplyContext::db_update(std::int32_t iterator, util::Bytes value) {
+  const ItrEntry& e = iterator_at(iterator);
+  if (e.code != receiver_) {
+    throw Trap("db_update: cannot modify another contract's table");
+  }
+  chain_->database(receiver_).update(TableKey{e.scope, e.table}, e.primary,
+                                     std::move(value));
+}
+
+void ApplyContext::db_remove(std::int32_t iterator) {
+  const ItrEntry& e = iterator_at(iterator);
+  if (e.code != receiver_) {
+    throw Trap("db_remove: cannot modify another contract's table");
+  }
+  chain_->database(receiver_).erase(TableKey{e.scope, e.table}, e.primary);
+}
+
+std::int32_t ApplyContext::db_next(std::int32_t iterator,
+                                   std::uint64_t& primary) {
+  const ItrEntry& e = iterator_at(iterator);
+  const Database* db = chain_->find_database(e.code);
+  if (db == nullptr) return -1;
+  const auto key = db->next(TableKey{e.scope, e.table}, e.primary);
+  if (!key) return -1;
+  primary = *key;
+  return add_iterator(e.code, e.scope, e.table, *key);
+}
+
+std::uint32_t ApplyContext::tapos_block_num() const {
+  return chain_->tapos_block_num();
+}
+
+std::uint32_t ApplyContext::tapos_block_prefix() const {
+  return chain_->tapos_block_prefix();
+}
+
+std::uint64_t ApplyContext::current_time() const { return chain_->now_us(); }
+
+std::int32_t ApplyContext::add_iterator(Name code, std::uint64_t scope,
+                                        std::uint64_t table,
+                                        std::uint64_t primary) {
+  iterators_.push_back(ItrEntry{code, scope, table, primary});
+  return static_cast<std::int32_t>(iterators_.size()) - 1;
+}
+
+const ApplyContext::ItrEntry& ApplyContext::iterator_at(
+    std::int32_t handle) const {
+  if (handle < 0 || static_cast<std::size_t>(handle) >= iterators_.size()) {
+    throw Trap("invalid db iterator " + std::to_string(handle));
+  }
+  return iterators_[static_cast<std::size_t>(handle)];
+}
+
+}  // namespace wasai::chain

@@ -1,0 +1,97 @@
+// Per-(action, receiver) execution context — the object behind every
+// library API a contract can call (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chain/action.hpp"
+#include "chain/database.hpp"
+
+namespace wasai::chain {
+
+class Controller;
+
+class ApplyContext {
+ public:
+  ApplyContext(Controller& chain, const Action& act, Name receiver,
+               bool is_notification);
+
+  [[nodiscard]] Name receiver() const { return receiver_; }
+  /// The `code` parameter of void apply(): the account the action belongs
+  /// to. During a notification this stays the original account — the
+  /// property the Fake Notification attack abuses.
+  [[nodiscard]] Name code() const { return act_->account; }
+  [[nodiscard]] Name action_name() const { return act_->name; }
+  [[nodiscard]] const Action& action() const { return *act_; }
+  [[nodiscard]] bool is_notification() const { return is_notification_; }
+
+  [[nodiscard]] std::span<const std::uint8_t> action_data() const {
+    return act_->data;
+  }
+
+  // ---- authorization -------------------------------------------------
+  [[nodiscard]] bool has_auth(Name account) const;
+  /// Throws util::Trap ("missing authority") unless authorized.
+  void require_auth(Name account) const;
+
+  // ---- inter-contract communication -----------------------------------
+  void require_recipient(Name account);
+  void send_inline(Action act);
+  void send_deferred(Action act);
+
+  [[nodiscard]] const std::vector<Name>& notified() const { return notified_; }
+  [[nodiscard]] const std::vector<Action>& inline_actions() const {
+    return inline_actions_;
+  }
+  [[nodiscard]] const std::vector<Action>& deferred_actions() const {
+    return deferred_actions_;
+  }
+
+  // ---- database (EOSIO db_*_i64 interface) ----------------------------
+  /// Returns an iterator handle, always >= 0.
+  std::int32_t db_store(std::uint64_t scope, std::uint64_t table,
+                        std::uint64_t primary, util::Bytes value);
+  /// Returns -1 when not found.
+  std::int32_t db_find(Name code, std::uint64_t scope, std::uint64_t table,
+                       std::uint64_t primary);
+  std::int32_t db_lowerbound(Name code, std::uint64_t scope,
+                             std::uint64_t table, std::uint64_t primary);
+  /// Copy up to `out.size()` bytes of the row; returns the full row size.
+  std::int32_t db_get(std::int32_t iterator, std::span<std::uint8_t> out);
+  void db_update(std::int32_t iterator, util::Bytes value);
+  void db_remove(std::int32_t iterator);
+  /// Iterator after `iterator` within the same table; fills `primary`.
+  std::int32_t db_next(std::int32_t iterator, std::uint64_t& primary);
+
+  // ---- blockchain state ------------------------------------------------
+  [[nodiscard]] std::uint32_t tapos_block_num() const;
+  [[nodiscard]] std::uint32_t tapos_block_prefix() const;
+  [[nodiscard]] std::uint64_t current_time() const;
+
+  [[nodiscard]] Controller& chain() { return *chain_; }
+
+ private:
+  struct ItrEntry {
+    Name code;
+    std::uint64_t scope;
+    std::uint64_t table;
+    std::uint64_t primary;
+  };
+
+  std::int32_t add_iterator(Name code, std::uint64_t scope,
+                            std::uint64_t table, std::uint64_t primary);
+  const ItrEntry& iterator_at(std::int32_t handle) const;
+
+  Controller* chain_;
+  const Action* act_;
+  Name receiver_;
+  bool is_notification_;
+  std::vector<Name> notified_;
+  std::vector<Action> inline_actions_;
+  std::vector<Action> deferred_actions_;
+  std::vector<ItrEntry> iterators_;
+};
+
+}  // namespace wasai::chain

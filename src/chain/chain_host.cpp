@@ -1,0 +1,236 @@
+#include "chain/chain_host.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "chain/controller.hpp"
+#include "eosvm/instance.hpp"
+#include "util/error.hpp"
+
+namespace wasai::chain {
+
+namespace {
+
+using util::Trap;
+using vm::Value;
+using wasm::FuncType;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+
+enum class Api : std::uint32_t {
+  RequireAuth,
+  HasAuth,
+  RequireAuth2,
+  EosioAssert,
+  ReadActionData,
+  ActionDataSize,
+  CurrentReceiver,
+  RequireRecipient,
+  SendInline,
+  SendDeferred,
+  TaposBlockNum,
+  TaposBlockPrefix,
+  CurrentTime,
+  DbStoreI64,
+  DbFindI64,
+  DbGetI64,
+  DbUpdateI64,
+  DbRemoveI64,
+  DbNextI64,
+  DbLowerboundI64,
+  PrintI,
+  Count,
+};
+
+struct ApiDef {
+  std::string_view name;
+  Api api;
+  FuncType type;
+};
+
+const std::array<ApiDef, static_cast<std::size_t>(Api::Count)>& api_table() {
+  static const std::array<ApiDef, static_cast<std::size_t>(Api::Count)> defs =
+      {{
+          {"require_auth", Api::RequireAuth, {{I64}, {}}},
+          {"has_auth", Api::HasAuth, {{I64}, {I32}}},
+          {"require_auth2", Api::RequireAuth2, {{I64, I64}, {}}},
+          {"eosio_assert", Api::EosioAssert, {{I32, I32}, {}}},
+          {"read_action_data", Api::ReadActionData, {{I32, I32}, {I32}}},
+          {"action_data_size", Api::ActionDataSize, {{}, {I32}}},
+          {"current_receiver", Api::CurrentReceiver, {{}, {I64}}},
+          {"require_recipient", Api::RequireRecipient, {{I64}, {}}},
+          {"send_inline", Api::SendInline, {{I32, I32}, {}}},
+          {"send_deferred", Api::SendDeferred, {{I32, I64, I32, I32}, {}}},
+          {"tapos_block_num", Api::TaposBlockNum, {{}, {I32}}},
+          {"tapos_block_prefix", Api::TaposBlockPrefix, {{}, {I32}}},
+          {"current_time", Api::CurrentTime, {{}, {I64}}},
+          {"db_store_i64",
+           Api::DbStoreI64,
+           {{I64, I64, I64, I64, I32, I32}, {I32}}},
+          {"db_find_i64", Api::DbFindI64, {{I64, I64, I64, I64}, {I32}}},
+          {"db_get_i64", Api::DbGetI64, {{I32, I32, I32}, {I32}}},
+          {"db_update_i64", Api::DbUpdateI64, {{I32, I64, I32, I32}, {}}},
+          {"db_remove_i64", Api::DbRemoveI64, {{I32}, {}}},
+          {"db_next_i64", Api::DbNextI64, {{I32, I32}, {I32}}},
+          {"db_lowerbound_i64",
+           Api::DbLowerboundI64,
+           {{I64, I64, I64, I64}, {I32}}},
+          {"printi", Api::PrintI, {{I64}, {}}},
+      }};
+  return defs;
+}
+
+/// Offset separating "env" bindings from forwarded hook bindings.
+constexpr std::uint32_t kExtraBase = 0x10000;
+
+std::string read_cstring(vm::Instance& inst, std::uint32_t ptr,
+                         std::size_t max_len = 256) {
+  std::string out;
+  for (std::size_t i = 0; i < max_len; ++i) {
+    const auto byte = inst.memory_at(ptr + i, 1)[0];
+    if (byte == 0) break;
+    out.push_back(static_cast<char>(byte));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChainHost::ChainHost(ApplyContext& ctx, vm::HostInterface* extra)
+    : ctx_(&ctx), extra_(extra) {}
+
+bool ChainHost::is_library_api(std::string_view field) {
+  for (const auto& def : api_table()) {
+    if (def.name == field) return true;
+  }
+  return false;
+}
+
+std::uint32_t ChainHost::bind(std::string_view module, std::string_view field,
+                              const wasm::FuncType& type) {
+  if (module != "env") {
+    if (extra_ == nullptr) {
+      throw util::ValidationError("unresolved import " + std::string(module) +
+                                  "." + std::string(field));
+    }
+    return kExtraBase + extra_->bind(module, field, type);
+  }
+  for (const auto& def : api_table()) {
+    if (def.name == field) {
+      if (def.type != type) {
+        throw util::ValidationError("import signature mismatch for env." +
+                                    std::string(field));
+      }
+      return static_cast<std::uint32_t>(def.api);
+    }
+  }
+  throw util::ValidationError("unknown library API env." + std::string(field));
+}
+
+std::optional<Value> ChainHost::call_host(std::uint32_t binding,
+                                          std::span<const Value> args,
+                                          vm::Instance& instance) {
+  if (binding >= kExtraBase) {
+    return extra_->call_host(binding - kExtraBase, args, instance);
+  }
+  switch (static_cast<Api>(binding)) {
+    case Api::RequireAuth:
+      ctx_->require_auth(Name(args[0].u64()));
+      return std::nullopt;
+    case Api::HasAuth:
+      return Value::i32(ctx_->has_auth(Name(args[0].u64())) ? 1 : 0);
+    case Api::RequireAuth2:
+      // Permission-level granularity is not modelled; actor check only.
+      ctx_->require_auth(Name(args[0].u64()));
+      return std::nullopt;
+    case Api::EosioAssert:
+      if (args[0].u32() == 0) {
+        throw Trap("eosio_assert: " + read_cstring(instance, args[1].u32()));
+      }
+      return std::nullopt;
+    case Api::ReadActionData: {
+      const auto data = ctx_->action_data();
+      const std::uint32_t ptr = args[0].u32();
+      const std::size_t len =
+          std::min<std::size_t>(args[1].u32(), data.size());
+      if (len > 0) {
+        auto dst = instance.memory_at(ptr, len);
+        std::memcpy(dst.data(), data.data(), len);
+      }
+      return Value::i32(static_cast<std::uint32_t>(len));
+    }
+    case Api::ActionDataSize:
+      return Value::i32(static_cast<std::uint32_t>(ctx_->action_data().size()));
+    case Api::CurrentReceiver:
+      return Value::i64(ctx_->receiver().value());
+    case Api::RequireRecipient:
+      ctx_->require_recipient(Name(args[0].u64()));
+      return std::nullopt;
+    case Api::SendInline: {
+      const auto bytes = instance.memory_at(args[0].u32(), args[1].u32());
+      ctx_->send_inline(unpack_action(bytes));
+      return std::nullopt;
+    }
+    case Api::SendDeferred: {
+      // (sender_id ptr, payer, packed action ptr, len); sender id unused.
+      const auto bytes = instance.memory_at(args[2].u32(), args[3].u32());
+      ctx_->send_deferred(unpack_action(bytes));
+      return std::nullopt;
+    }
+    case Api::TaposBlockNum:
+      return Value::i32(ctx_->tapos_block_num());
+    case Api::TaposBlockPrefix:
+      return Value::i32(ctx_->tapos_block_prefix());
+    case Api::CurrentTime:
+      return Value::i64(ctx_->current_time());
+    case Api::DbStoreI64: {
+      const auto bytes = instance.memory_at(args[4].u32(), args[5].u32());
+      return Value::i32s(ctx_->db_store(
+          args[0].u64(), args[1].u64(), args[3].u64(),
+          util::Bytes(bytes.begin(), bytes.end())));
+      // note: args[2] (payer) is not modelled
+    }
+    case Api::DbFindI64:
+      return Value::i32s(ctx_->db_find(Name(args[0].u64()), args[1].u64(),
+                                       args[2].u64(), args[3].u64()));
+    case Api::DbGetI64: {
+      const std::uint32_t len = args[2].u32();
+      if (len == 0) {
+        std::span<std::uint8_t> empty;
+        return Value::i32s(ctx_->db_get(args[0].s32(), empty));
+      }
+      auto dst = instance.memory_at(args[1].u32(), len);
+      return Value::i32s(ctx_->db_get(args[0].s32(), dst));
+    }
+    case Api::DbUpdateI64: {
+      const auto bytes = instance.memory_at(args[2].u32(), args[3].u32());
+      ctx_->db_update(args[0].s32(), util::Bytes(bytes.begin(), bytes.end()));
+      return std::nullopt;
+    }
+    case Api::DbRemoveI64:
+      ctx_->db_remove(args[0].s32());
+      return std::nullopt;
+    case Api::DbNextI64: {
+      std::uint64_t primary = 0;
+      const auto next = ctx_->db_next(args[0].s32(), primary);
+      if (next >= 0) {
+        auto dst = instance.memory_at(args[1].u32(), 8);
+        std::memcpy(dst.data(), &primary, 8);
+      }
+      return Value::i32s(next);
+    }
+    case Api::DbLowerboundI64:
+      return Value::i32s(ctx_->db_lowerbound(Name(args[0].u64()),
+                                             args[1].u64(), args[2].u64(),
+                                             args[3].u64()));
+    case Api::PrintI:
+      return std::nullopt;  // console output is a no-op in the simulator
+    case Api::Count:
+      break;
+  }
+  throw Trap("unknown host binding " + std::to_string(binding));
+}
+
+}  // namespace wasai::chain

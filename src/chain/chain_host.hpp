@@ -1,0 +1,35 @@
+// Maps the EOSVM library-API imports ("env" module) of a contract onto an
+// ApplyContext. Imports from any other module (the instrumenter's "wasai"
+// hooks) are forwarded to the observer's hook host.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "chain/apply_context.hpp"
+#include "eosvm/host.hpp"
+
+namespace wasai::chain {
+
+class ChainHost : public vm::HostInterface {
+ public:
+  /// `extra` (may be null) receives bindings for non-"env" imports; its
+  /// binding ids are offset so both spaces coexist.
+  ChainHost(ApplyContext& ctx, vm::HostInterface* extra);
+
+  std::uint32_t bind(std::string_view module, std::string_view field,
+                     const wasm::FuncType& type) override;
+
+  std::optional<vm::Value> call_host(std::uint32_t binding,
+                                     std::span<const vm::Value> args,
+                                     vm::Instance& instance) override;
+
+  /// Names of the library APIs this host provides ("require_auth", ...).
+  static bool is_library_api(std::string_view field);
+
+ private:
+  ApplyContext* ctx_;
+  vm::HostInterface* extra_;
+};
+
+}  // namespace wasai::chain

@@ -1,0 +1,187 @@
+#include "chain/controller.hpp"
+
+#include "chain/chain_host.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::chain {
+
+using util::Trap;
+
+Controller::Controller() = default;
+
+void Controller::create_account(Name account) {
+  accounts_.try_emplace(account);
+}
+
+bool Controller::account_exists(Name account) const {
+  return accounts_.contains(account);
+}
+
+void Controller::deploy_contract(Name account, util::Bytes wasm_binary,
+                                 abi::Abi abi) {
+  auto module = std::make_shared<wasm::Module>(wasm::decode(wasm_binary));
+  wasm::validate(*module);
+  if (!module->find_export("apply")) {
+    throw util::ValidationError("contract has no apply export");
+  }
+  AccountRec& rec = accounts_[account];
+  rec.module = std::move(module);
+  rec.abi = std::move(abi);
+  rec.native = nullptr;
+}
+
+void Controller::deploy_native(Name account,
+                               std::shared_ptr<NativeContract> contract) {
+  AccountRec& rec = accounts_[account];
+  rec.native = std::move(contract);
+  rec.module = nullptr;
+}
+
+const abi::Abi* Controller::contract_abi(Name account) const {
+  const auto it = accounts_.find(account);
+  return it == accounts_.end() ? nullptr : &it->second.abi;
+}
+
+std::shared_ptr<const wasm::Module> Controller::contract_module(
+    Name account) const {
+  const auto it = accounts_.find(account);
+  return it == accounts_.end() ? nullptr : it->second.module;
+}
+
+const Database* Controller::find_database(Name code) const {
+  const auto it = dbs_.find(code);
+  return it == dbs_.end() ? nullptr : &it->second;
+}
+
+TxResult Controller::push_transaction(const Transaction& tx) {
+  Snapshot snap{dbs_, deferred_};
+  TxResult result;
+  vm::Vm vm(limits);
+  try {
+    for (const auto& act : tx.actions) {
+      execute_action(act, act.account, /*notification=*/false,
+                     /*from_inline=*/false, /*from_deferred=*/false, 0, vm,
+                     result);
+    }
+    result.success = true;
+  } catch (const util::Error& e) {
+    dbs_ = std::move(snap.dbs);
+    deferred_ = std::move(snap.deferred);
+    result.success = false;
+    result.error = e.what();
+  }
+  result.steps = vm.steps();
+  advance_block();
+  return result;
+}
+
+TxResult Controller::push_action(Action act) {
+  Transaction tx;
+  tx.actions.push_back(std::move(act));
+  return push_transaction(tx);
+}
+
+std::vector<TxResult> Controller::execute_deferred() {
+  std::vector<Action> pending = std::move(deferred_);
+  deferred_.clear();
+  std::vector<TxResult> results;
+  results.reserve(pending.size());
+  for (const auto& act : pending) {
+    Snapshot snap{dbs_, deferred_};
+    TxResult result;
+    vm::Vm vm(limits);
+    try {
+      execute_action(act, act.account, /*notification=*/false,
+                     /*from_inline=*/false, /*from_deferred=*/true, 0, vm,
+                     result);
+      result.success = true;
+    } catch (const util::Error& e) {
+      dbs_ = std::move(snap.dbs);
+      deferred_ = std::move(snap.deferred);
+      result.success = false;
+      result.error = e.what();
+    }
+    result.steps = vm.steps();
+    advance_block();
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void Controller::execute_action(const Action& act, Name receiver,
+                                bool notification, bool from_inline,
+                                bool from_deferred, int depth, vm::Vm& vm,
+                                TxResult& result) {
+  if (depth > max_action_depth) {
+    throw Trap("max inline action depth reached");
+  }
+  const auto it = accounts_.find(receiver);
+  if (it == accounts_.end()) {
+    if (notification) return;  // notifying a non-existent account is a no-op
+    throw Trap("account " + receiver.to_string() + " does not exist");
+  }
+
+  result.executed.push_back(ExecutedAction{receiver, act.account, act.name,
+                                           notification, from_inline,
+                                           from_deferred});
+
+  ApplyContext ctx(*this, act, receiver, notification);
+  if (observer_ != nullptr) {
+    observer_->on_action_begin(receiver, act.account, act.name);
+  }
+  try {
+    if (it->second.native != nullptr) {
+      it->second.native->apply(ctx);
+    } else if (it->second.module != nullptr) {
+      run_contract(ctx, vm);
+    }
+    // Accounts without code simply accept the action (plain wallets).
+  } catch (...) {
+    if (observer_ != nullptr) observer_->on_action_end(false);
+    throw;
+  }
+  if (observer_ != nullptr) observer_->on_action_end(true);
+
+  // Notifications first (they see the same action), then inline actions.
+  for (const Name recipient : ctx.notified()) {
+    execute_action(act, recipient, /*notification=*/true, from_inline,
+                   from_deferred, depth + 1, vm, result);
+  }
+  for (const Action& inline_act : ctx.inline_actions()) {
+    execute_action(inline_act, inline_act.account, /*notification=*/false,
+                   /*from_inline=*/true, from_deferred, depth + 1, vm,
+                   result);
+  }
+  for (const Action& deferred_act : ctx.deferred_actions()) {
+    deferred_.push_back(deferred_act);
+  }
+}
+
+void Controller::run_contract(ApplyContext& ctx, vm::Vm& vm) {
+  const AccountRec& rec = accounts_.at(ctx.receiver());
+  ChainHost host(ctx,
+                 observer_ != nullptr ? observer_->hook_host() : nullptr);
+  vm::Instance instance(rec.module, host);
+  const auto apply_fn = rec.module->find_export("apply");
+  const std::vector<vm::Value> args = {
+      vm::Value::i64(ctx.receiver().value()),
+      vm::Value::i64(ctx.code().value()),
+      vm::Value::i64(ctx.action_name().value()),
+  };
+  vm.invoke(instance, *apply_fn, args);
+}
+
+void Controller::advance_block() {
+  ++block_num_;
+  // Cheap deterministic mix for the prefix (stands in for the block hash).
+  std::uint64_t x = (static_cast<std::uint64_t>(block_prefix_) << 32) |
+                    block_num_;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  block_prefix_ = static_cast<std::uint32_t>(x);
+  time_us_ += 500'000;  // one EOSIO block interval
+}
+
+}  // namespace wasai::chain

@@ -1,0 +1,100 @@
+// The local blockchain: accounts, contract deployment, transaction
+// execution with EOSIO semantics — notifications keep the original `code`,
+// inline actions revert with their transaction, deferred actions run as
+// separate transactions (§2.1, §2.3.5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "abi/abi_def.hpp"
+#include "chain/action.hpp"
+#include "chain/database.hpp"
+#include "chain/native.hpp"
+#include "chain/observer.hpp"
+#include "eosvm/vm.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::chain {
+
+class Controller {
+ public:
+  Controller();
+
+  // ---- setup -----------------------------------------------------------
+  void create_account(Name account);
+  [[nodiscard]] bool account_exists(Name account) const;
+
+  /// Deploy Wasm bytecode + ABI on an account (creates it if needed).
+  /// The binary is decoded and validated here, like nodeos set_code.
+  void deploy_contract(Name account, util::Bytes wasm_binary, abi::Abi abi);
+
+  /// Deploy a native (C++) contract.
+  void deploy_native(Name account, std::shared_ptr<NativeContract> contract);
+
+  [[nodiscard]] const abi::Abi* contract_abi(Name account) const;
+  [[nodiscard]] std::shared_ptr<const wasm::Module> contract_module(
+      Name account) const;
+
+  // ---- execution ---------------------------------------------------------
+  TxResult push_transaction(const Transaction& tx);
+  TxResult push_action(Action act);
+
+  /// Run all currently queued deferred actions, each as its own
+  /// transaction. Returns one result per deferred action.
+  std::vector<TxResult> execute_deferred();
+  [[nodiscard]] std::size_t pending_deferred() const {
+    return deferred_.size();
+  }
+
+  // ---- state access ------------------------------------------------------
+  Database& database(Name code) { return dbs_[code]; }
+  [[nodiscard]] const Database* find_database(Name code) const;
+
+  [[nodiscard]] std::uint32_t tapos_block_num() const { return block_num_; }
+  [[nodiscard]] std::uint32_t tapos_block_prefix() const {
+    return block_prefix_;
+  }
+  [[nodiscard]] std::uint64_t now_us() const { return time_us_; }
+
+  void set_observer(ExecutionObserver* obs) { observer_ = obs; }
+  [[nodiscard]] ExecutionObserver* observer() const { return observer_; }
+
+  /// Per-transaction execution limits.
+  vm::ExecLimits limits;
+
+  /// Maximum nesting depth of inline actions + notifications.
+  int max_action_depth = 16;
+
+ private:
+  friend class ApplyContext;
+
+  struct AccountRec {
+    std::shared_ptr<const wasm::Module> module;  // Wasm contract, if any
+    abi::Abi abi;
+    std::shared_ptr<NativeContract> native;  // native contract, if any
+  };
+
+  struct Snapshot {
+    std::map<Name, Database> dbs;
+    std::vector<Action> deferred;
+  };
+
+  void execute_action(const Action& act, Name receiver, bool notification,
+                      bool from_inline, bool from_deferred, int depth,
+                      vm::Vm& vm, TxResult& result);
+  void run_contract(ApplyContext& ctx, vm::Vm& vm);
+  void advance_block();
+
+  std::map<Name, AccountRec> accounts_;
+  std::map<Name, Database> dbs_;
+  std::vector<Action> deferred_;
+  ExecutionObserver* observer_ = nullptr;
+
+  std::uint32_t block_num_ = 1000;
+  std::uint32_t block_prefix_ = 0x5eed1e55;
+  std::uint64_t time_us_ = 1'600'000'000'000'000ull;
+};
+
+}  // namespace wasai::chain

@@ -1,0 +1,72 @@
+#include "chain/database.hpp"
+
+#include "util/error.hpp"
+
+namespace wasai::chain {
+
+void Database::store(TableKey tk, std::uint64_t primary, util::Bytes value) {
+  auto& table = tables_[tk];
+  const auto [it, inserted] = table.emplace(primary, std::move(value));
+  if (!inserted) {
+    throw util::UsageError("db store: primary key " + std::to_string(primary) +
+                           " already exists");
+  }
+}
+
+const util::Bytes* Database::find(TableKey tk, std::uint64_t primary) const {
+  const auto t = tables_.find(tk);
+  if (t == tables_.end()) return nullptr;
+  const auto row = t->second.find(primary);
+  return row == t->second.end() ? nullptr : &row->second;
+}
+
+void Database::update(TableKey tk, std::uint64_t primary, util::Bytes value) {
+  auto t = tables_.find(tk);
+  if (t == tables_.end()) throw util::UsageError("db update: no such table");
+  auto row = t->second.find(primary);
+  if (row == t->second.end()) {
+    throw util::UsageError("db update: no such row");
+  }
+  row->second = std::move(value);
+}
+
+void Database::erase(TableKey tk, std::uint64_t primary) {
+  auto t = tables_.find(tk);
+  if (t == tables_.end() || t->second.erase(primary) == 0) {
+    throw util::UsageError("db erase: no such row");
+  }
+  if (t->second.empty()) tables_.erase(t);
+}
+
+std::optional<std::uint64_t> Database::lower_bound(
+    TableKey tk, std::uint64_t primary) const {
+  const auto t = tables_.find(tk);
+  if (t == tables_.end()) return std::nullopt;
+  const auto it = t->second.lower_bound(primary);
+  if (it == t->second.end()) return std::nullopt;
+  return it->first;
+}
+
+std::optional<std::uint64_t> Database::next(TableKey tk,
+                                            std::uint64_t primary) const {
+  const auto t = tables_.find(tk);
+  if (t == tables_.end()) return std::nullopt;
+  const auto it = t->second.upper_bound(primary);
+  if (it == t->second.end()) return std::nullopt;
+  return it->first;
+}
+
+std::size_t Database::row_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, rows] : tables_) n += rows.size();
+  return n;
+}
+
+std::vector<TableKey> Database::table_keys() const {
+  std::vector<TableKey> out;
+  out.reserve(tables_.size());
+  for (const auto& [tk, _] : tables_) out.push_back(tk);
+  return out;
+}
+
+}  // namespace wasai::chain

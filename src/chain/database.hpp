@@ -1,0 +1,59 @@
+// The per-contract key-value database of EOSVM (§2.2): rows addressed by
+// (code, scope, table, primary key). Snapshot/restore gives transactions
+// their atomicity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "abi/name.hpp"
+#include "util/bytes.hpp"
+
+namespace wasai::chain {
+
+/// Identifies one table within a contract's database.
+struct TableKey {
+  std::uint64_t scope = 0;
+  std::uint64_t table = 0;
+
+  auto operator<=>(const TableKey&) const = default;
+};
+
+/// Database of a single contract (one per code account).
+class Database {
+ public:
+  /// Insert a row; throws util::UsageError if the key already exists.
+  void store(TableKey tk, std::uint64_t primary, util::Bytes value);
+
+  /// Row lookup.
+  [[nodiscard]] const util::Bytes* find(TableKey tk,
+                                        std::uint64_t primary) const;
+
+  /// Overwrite an existing row; throws if absent.
+  void update(TableKey tk, std::uint64_t primary, util::Bytes value);
+
+  /// Remove an existing row; throws if absent.
+  void erase(TableKey tk, std::uint64_t primary);
+
+  /// Smallest key >= primary in the table, if any.
+  [[nodiscard]] std::optional<std::uint64_t> lower_bound(
+      TableKey tk, std::uint64_t primary) const;
+
+  /// Smallest key strictly greater than primary.
+  [[nodiscard]] std::optional<std::uint64_t> next(TableKey tk,
+                                                  std::uint64_t primary) const;
+
+  [[nodiscard]] std::size_t row_count() const;
+  [[nodiscard]] bool empty() const { return tables_.empty(); }
+
+  /// All (scope, table) pairs present — the DBG builder walks these.
+  [[nodiscard]] std::vector<TableKey> table_keys() const;
+
+ private:
+  std::map<TableKey, std::map<std::uint64_t, util::Bytes>> tables_;
+};
+
+}  // namespace wasai::chain

@@ -1,0 +1,18 @@
+// Native contracts: C++-implemented accounts (eosio.token, adversary
+// agents) that run against the same ApplyContext/Database machinery as
+// deployed Wasm contracts.
+#pragma once
+
+#include "chain/apply_context.hpp"
+
+namespace wasai::chain {
+
+class NativeContract {
+ public:
+  virtual ~NativeContract() = default;
+
+  /// Equivalent of void apply(receiver, code, action) for native code.
+  virtual void apply(ApplyContext& ctx) = 0;
+};
+
+}  // namespace wasai::chain

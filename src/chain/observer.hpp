@@ -1,0 +1,28 @@
+// Hook points the fuzzer uses to watch chain execution without the chain
+// layer depending on the instrumentation layer.
+#pragma once
+
+#include "abi/name.hpp"
+#include "eosvm/host.hpp"
+
+namespace wasai::chain {
+
+/// Installed on the Controller. `hook_host()` (if non-null) receives the
+/// bindings of any import outside the "env" module — in practice the
+/// `wasai.trace_*` hooks the instrumenter injects. The action callbacks
+/// bracket each contract execution so the trace consumer can split events
+/// per action, the way WASAI exports per-thread trace files (§3.3.1).
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void on_action_begin(abi::Name /*receiver*/, abi::Name /*code*/,
+                               abi::Name /*action*/) {}
+  virtual void on_action_end(bool /*ok*/) {}
+
+  /// Secondary host for non-"env" imports (trace hooks). May return null
+  /// when no instrumented contract is loaded.
+  virtual vm::HostInterface* hook_host() { return nullptr; }
+};
+
+}  // namespace wasai::chain

@@ -1,0 +1,234 @@
+#include "chain/token.hpp"
+
+#include <cstring>
+
+#include "chain/controller.hpp"
+#include "util/error.hpp"
+
+namespace wasai::chain {
+
+namespace {
+
+using abi::Asset;
+using abi::ParamType;
+using abi::ParamValue;
+using abi::Symbol;
+using util::Bytes;
+using util::Trap;
+
+const std::uint64_t kAccountsTable = abi::name("accounts").value();
+const std::uint64_t kStatTable = abi::name("stat").value();
+
+std::uint64_t sym_code(Symbol s) { return s.value() >> 8; }
+
+Bytes encode_asset(const Asset& a) {
+  Bytes out(16);
+  std::memcpy(out.data(), &a.amount, 8);
+  const std::uint64_t sym = a.symbol.value();
+  std::memcpy(out.data() + 8, &sym, 8);
+  return out;
+}
+
+Asset decode_asset(const Bytes& bytes) {
+  if (bytes.size() != 16) throw Trap("token: corrupt balance row");
+  Asset a;
+  std::memcpy(&a.amount, bytes.data(), 8);
+  std::uint64_t sym = 0;
+  std::memcpy(&sym, bytes.data() + 8, 8);
+  a.symbol = Symbol(sym);
+  return a;
+}
+
+struct Stat {
+  std::int64_t supply = 0;
+  std::int64_t max_supply = 0;
+  std::uint64_t issuer = 0;
+};
+
+Bytes encode_stat(const Stat& s) {
+  Bytes out(24);
+  std::memcpy(out.data(), &s.supply, 8);
+  std::memcpy(out.data() + 8, &s.max_supply, 8);
+  std::memcpy(out.data() + 16, &s.issuer, 8);
+  return out;
+}
+
+Stat decode_stat(const Bytes& bytes) {
+  if (bytes.size() != 24) throw Trap("token: corrupt stat row");
+  Stat s;
+  std::memcpy(&s.supply, bytes.data(), 8);
+  std::memcpy(&s.max_supply, bytes.data() + 8, 8);
+  std::memcpy(&s.issuer, bytes.data() + 16, 8);
+  return s;
+}
+
+const abi::ActionDef& create_def() {
+  static const abi::ActionDef def{abi::name("create"),
+                                  {ParamType::Name, ParamType::Asset}};
+  return def;
+}
+
+const abi::ActionDef& issue_def() {
+  static const abi::ActionDef def{
+      abi::name("issue"),
+      {ParamType::Name, ParamType::Asset, ParamType::String}};
+  return def;
+}
+
+/// Direct database helpers (token code always operates on its own tables).
+const Bytes* find_row(ApplyContext& ctx, std::uint64_t scope,
+                      std::uint64_t table, std::uint64_t pk) {
+  const Database* db = ctx.chain().find_database(ctx.receiver());
+  return db ? db->find(TableKey{scope, table}, pk) : nullptr;
+}
+
+void upsert_row(ApplyContext& ctx, std::uint64_t scope, std::uint64_t table,
+                std::uint64_t pk, Bytes value) {
+  Database& db = ctx.chain().database(ctx.receiver());
+  if (db.find(TableKey{scope, table}, pk) != nullptr) {
+    db.update(TableKey{scope, table}, pk, std::move(value));
+  } else {
+    db.store(TableKey{scope, table}, pk, std::move(value));
+  }
+}
+
+void add_balance(ApplyContext& ctx, Name owner, const Asset& delta) {
+  const std::uint64_t pk = sym_code(delta.symbol);
+  Asset balance{0, delta.symbol};
+  if (const Bytes* row = find_row(ctx, owner.value(), kAccountsTable, pk)) {
+    balance = decode_asset(*row);
+  }
+  balance.amount += delta.amount;
+  if (balance.amount < 0) {
+    throw Trap("token: overdrawn balance of " + owner.to_string());
+  }
+  upsert_row(ctx, owner.value(), kAccountsTable, pk, encode_asset(balance));
+}
+
+}  // namespace
+
+abi::Abi TokenContract::abi() {
+  abi::Abi out;
+  out.actions = {create_def(), issue_def(), abi::transfer_action_def()};
+  return out;
+}
+
+void TokenContract::apply(ApplyContext& ctx) {
+  if (ctx.code() != ctx.receiver()) {
+    return;  // notification from another contract: nothing to do
+  }
+  const Name action = ctx.action_name();
+  if (action == abi::name("create")) {
+    do_create(ctx);
+  } else if (action == abi::name("issue")) {
+    do_issue(ctx);
+  } else if (action == abi::name("transfer")) {
+    do_transfer(ctx);
+  } else {
+    throw Trap("token: unknown action " + action.to_string());
+  }
+}
+
+void TokenContract::do_create(ApplyContext& ctx) {
+  const auto values = abi::unpack(create_def(), ctx.action_data());
+  const Name issuer = std::get<Name>(values[0]);
+  const Asset max_supply = std::get<Asset>(values[1]);
+  if (max_supply.amount <= 0) throw Trap("token: invalid max supply");
+  const std::uint64_t pk = sym_code(max_supply.symbol);
+  if (find_row(ctx, pk, kStatTable, pk) != nullptr) {
+    throw Trap("token: symbol already exists");
+  }
+  upsert_row(ctx, pk, kStatTable, pk,
+             encode_stat(Stat{0, max_supply.amount, issuer.value()}));
+}
+
+void TokenContract::do_issue(ApplyContext& ctx) {
+  const auto values = abi::unpack(issue_def(), ctx.action_data());
+  const Name to = std::get<Name>(values[0]);
+  const Asset quantity = std::get<Asset>(values[1]);
+  const std::uint64_t pk = sym_code(quantity.symbol);
+  const Bytes* stat_row = find_row(ctx, pk, kStatTable, pk);
+  if (stat_row == nullptr) {
+    throw Trap("token: symbol does not exist");
+  }
+  Stat stat = decode_stat(*stat_row);
+  ctx.require_auth(Name(stat.issuer));
+  if (quantity.amount <= 0) throw Trap("token: must issue positive quantity");
+  if (stat.supply + quantity.amount > stat.max_supply) {
+    throw Trap("token: issue exceeds max supply");
+  }
+  stat.supply += quantity.amount;
+  upsert_row(ctx, pk, kStatTable, pk, encode_stat(stat));
+  add_balance(ctx, to, quantity);
+  ctx.require_recipient(to);
+}
+
+void TokenContract::do_transfer(ApplyContext& ctx) {
+  const auto values =
+      abi::unpack(abi::transfer_action_def(), ctx.action_data());
+  const Name from = std::get<Name>(values[0]);
+  const Name to = std::get<Name>(values[1]);
+  const Asset quantity = std::get<Asset>(values[2]);
+
+  ctx.require_auth(from);
+  if (from == to) throw Trap("token: cannot transfer to self");
+  if (!ctx.chain().account_exists(to)) {
+    throw Trap("token: destination account does not exist");
+  }
+  if (quantity.amount <= 0) {
+    throw Trap("token: must transfer positive quantity");
+  }
+  const std::uint64_t pk = sym_code(quantity.symbol);
+  if (find_row(ctx, pk, kStatTable, pk) == nullptr) {
+    throw Trap("token: symbol does not exist");
+  }
+  add_balance(ctx, from, Asset{-quantity.amount, quantity.symbol});
+  add_balance(ctx, to, quantity);
+  // Notify both sides — steps ② and ③ of Figure 1.
+  ctx.require_recipient(from);
+  ctx.require_recipient(to);
+}
+
+Action token_create(Name token_account, Name issuer, abi::Asset max_supply) {
+  Action act;
+  act.account = token_account;
+  act.name = abi::name("create");
+  act.authorization = {active(token_account)};
+  act.data = abi::pack(create_def(), {issuer, max_supply});
+  return act;
+}
+
+Action token_issue(Name token_account, Name issuer, Name to,
+                   abi::Asset quantity, const std::string& memo) {
+  Action act;
+  act.account = token_account;
+  act.name = abi::name("issue");
+  act.authorization = {active(issuer)};
+  act.data = abi::pack(issue_def(), {to, quantity, memo});
+  return act;
+}
+
+Action token_transfer(Name token_account, Name from, Name to,
+                      abi::Asset quantity, const std::string& memo) {
+  Action act;
+  act.account = token_account;
+  act.name = abi::name("transfer");
+  act.authorization = {active(from)};
+  act.data =
+      abi::pack(abi::transfer_action_def(), {from, to, quantity, memo});
+  return act;
+}
+
+abi::Asset token_balance(const Controller& chain, Name token_account,
+                         Name owner, abi::Symbol symbol) {
+  const Database* db = chain.find_database(token_account);
+  if (db != nullptr) {
+    if (const Bytes* row = db->find(
+            TableKey{owner.value(), kAccountsTable}, sym_code(symbol))) {
+      return decode_asset(*row);
+    }
+  }
+  return abi::Asset{0, symbol};
+}
+
+}  // namespace wasai::chain

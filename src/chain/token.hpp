@@ -1,0 +1,39 @@
+// Native implementation of the eosio.token contract (§2.1). Any account can
+// run an instance of this code — including an attacker's fake.token issuing
+// counterfeit "EOS" — which is exactly what the Fake EOS oracle exploits.
+#pragma once
+
+#include <string>
+
+#include "abi/abi_def.hpp"
+#include "abi/serializer.hpp"
+#include "chain/native.hpp"
+
+namespace wasai::chain {
+
+class TokenContract : public NativeContract {
+ public:
+  void apply(ApplyContext& ctx) override;
+
+  /// The token ABI: create/issue/transfer.
+  static abi::Abi abi();
+
+ private:
+  void do_create(ApplyContext& ctx);
+  void do_issue(ApplyContext& ctx);
+  void do_transfer(ApplyContext& ctx);
+};
+
+// ---- action builders ----------------------------------------------------
+
+Action token_create(Name token_account, Name issuer, abi::Asset max_supply);
+Action token_issue(Name token_account, Name issuer, Name to,
+                   abi::Asset quantity, const std::string& memo);
+Action token_transfer(Name token_account, Name from, Name to,
+                      abi::Asset quantity, const std::string& memo);
+
+/// Read a balance directly from the token's database (0 if no row).
+abi::Asset token_balance(const class Controller& chain, Name token_account,
+                         Name owner, abi::Symbol symbol);
+
+}  // namespace wasai::chain

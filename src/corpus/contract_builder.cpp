@@ -1,0 +1,291 @@
+#include "corpus/contract_builder.hpp"
+
+#include "util/error.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai::corpus {
+
+namespace {
+
+using abi::ParamType;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+constexpr ValType F64 = ValType::F64;
+
+/// Bytes each parameter occupies in the packed action data.
+std::uint32_t packed_size(ParamType t) {
+  switch (t) {
+    case ParamType::Name:
+    case ParamType::U64:
+    case ParamType::I64:
+    case ParamType::F64:
+      return 8;
+    case ParamType::U32:
+      return 4;
+    case ParamType::Asset:
+      return 16;
+    case ParamType::String:
+      return 0;  // variable; must be last
+  }
+  return 0;
+}
+
+}  // namespace
+
+ContractBuilder::ContractBuilder() {
+  // Fixed import order: every generated contract shares this layout.
+  env_.require_auth = b_.import_func("env", "require_auth", {{I64}, {}});
+  env_.has_auth = b_.import_func("env", "has_auth", {{I64}, {I32}});
+  env_.require_auth2 =
+      b_.import_func("env", "require_auth2", {{I64, I64}, {}});
+  env_.eosio_assert = b_.import_func("env", "eosio_assert", {{I32, I32}, {}});
+  env_.read_action_data =
+      b_.import_func("env", "read_action_data", {{I32, I32}, {I32}});
+  env_.action_data_size =
+      b_.import_func("env", "action_data_size", {{}, {I32}});
+  env_.current_receiver =
+      b_.import_func("env", "current_receiver", {{}, {I64}});
+  env_.require_recipient =
+      b_.import_func("env", "require_recipient", {{I64}, {}});
+  env_.send_inline = b_.import_func("env", "send_inline", {{I32, I32}, {}});
+  env_.send_deferred =
+      b_.import_func("env", "send_deferred", {{I32, I64, I32, I32}, {}});
+  env_.tapos_block_num =
+      b_.import_func("env", "tapos_block_num", {{}, {I32}});
+  env_.tapos_block_prefix =
+      b_.import_func("env", "tapos_block_prefix", {{}, {I32}});
+  env_.current_time = b_.import_func("env", "current_time", {{}, {I64}});
+  env_.db_store = b_.import_func(
+      "env", "db_store_i64", {{I64, I64, I64, I64, I32, I32}, {I32}});
+  env_.db_find =
+      b_.import_func("env", "db_find_i64", {{I64, I64, I64, I64}, {I32}});
+  env_.db_get = b_.import_func("env", "db_get_i64", {{I32, I32, I32}, {I32}});
+  env_.db_update =
+      b_.import_func("env", "db_update_i64", {{I32, I64, I32, I32}, {}});
+  env_.db_remove = b_.import_func("env", "db_remove_i64", {{I32}, {}});
+  env_.db_next = b_.import_func("env", "db_next_i64", {{I32, I32}, {I32}});
+  env_.db_lowerbound = b_.import_func("env", "db_lowerbound_i64",
+                                      {{I64, I64, I64, I64}, {I32}});
+  env_.printi = b_.import_func("env", "printi", {{I64}, {}});
+
+  b_.add_memory(4);
+  // Default assert message at kMsgRegion: "revert\0".
+  b_.add_data(kMsgRegion, {'r', 'e', 'v', 'e', 'r', 't', 0});
+}
+
+wasm::ValType ContractBuilder::local_type(ParamType t) {
+  switch (t) {
+    case ParamType::Name:
+    case ParamType::U64:
+    case ParamType::I64:
+      return I64;
+    case ParamType::U32:
+      return I32;
+    case ParamType::F64:
+      return F64;
+    case ParamType::Asset:
+    case ParamType::String:
+      return I32;  // pointer into kActionBuf
+  }
+  return I64;
+}
+
+std::uint32_t ContractBuilder::param_offset(const abi::ActionDef& def,
+                                            std::size_t index) {
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    const std::uint32_t sz = packed_size(def.params[i]);
+    if (sz == 0) {
+      throw util::UsageError(
+          "string parameters must come last in generated actions");
+    }
+    offset += sz;
+  }
+  return offset;
+}
+
+std::uint32_t ContractBuilder::add_action(const abi::ActionDef& def,
+                                          std::vector<ValType> extra_locals,
+                                          std::vector<Instr> body,
+                                          ActionOptions options) {
+  for (std::size_t i = 0; i + 1 < def.params.size(); ++i) {
+    if (def.params[i] == ParamType::String) {
+      throw util::UsageError(
+          "string parameters must be the last action parameter");
+    }
+  }
+  FuncType type;
+  type.params.push_back(I64);  // self
+  for (const auto p : def.params) type.params.push_back(local_type(p));
+
+  const auto fn =
+      b_.add_func(type, std::move(extra_locals), std::move(body),
+                  def.name.to_string());
+  actions_.push_back(PendingAction{def, fn, options});
+  return fn;
+}
+
+wasm::Module ContractBuilder::build_module(DispatcherStyle style) && {
+  if (actions_.empty()) {
+    throw util::UsageError("contract has no actions");
+  }
+  // Function table: element i -> action i's function.
+  std::vector<std::uint32_t> table_entries;
+  table_entries.reserve(actions_.size());
+  for (const auto& a : actions_) table_entries.push_back(a.func_index);
+  b_.add_table(static_cast<std::uint32_t>(actions_.size()));
+  b_.add_elem(0, table_entries);
+
+  // void apply(i64 receiver, i64 code, i64 action)
+  std::vector<Instr> body;
+  const std::uint64_t mask = 0x5a5a5a5a5a5a5a5aull;  // Obscured style
+
+  // Deserialize + push self/params + invoke `target` (by table element j
+  // or, for DirectCall style and honeypot loggers, a direct call).
+  const auto emit_invoke = [&](std::vector<Instr>& out,
+                               const PendingAction& a, std::size_t j,
+                               std::optional<std::uint32_t> direct_target) {
+    out.push_back(wasm::i32_const(kActionBuf));
+    out.push_back(wasm::i32_const(kActionBufCap));
+    out.push_back(wasm::call(env_.read_action_data));
+    out.push_back(Instr(Opcode::Drop));
+
+    out.push_back(wasm::local_get(0));  // self
+    for (std::size_t i = 0; i < a.def.params.size(); ++i) {
+      const std::uint32_t off = kActionBuf + param_offset(a.def, i);
+      out.push_back(wasm::i32_const(static_cast<std::int32_t>(off)));
+      switch (a.def.params[i]) {
+        case ParamType::Name:
+        case ParamType::U64:
+        case ParamType::I64:
+          out.push_back(wasm::mem_load(Opcode::I64Load));
+          break;
+        case ParamType::U32:
+          out.push_back(wasm::mem_load(Opcode::I32Load));
+          break;
+        case ParamType::F64:
+          out.push_back(wasm::mem_load(Opcode::F64Load));
+          break;
+        case ParamType::Asset:
+        case ParamType::String:
+          // Passed by pointer; data already in place in the buffer. (The
+          // string's uleb length byte doubles as the in-memory length
+          // prefix — generated memos stay under 128 bytes.)
+          break;
+      }
+    }
+
+    if (direct_target) {
+      out.push_back(wasm::call(*direct_target));
+    } else if (style == DispatcherStyle::DirectCall) {
+      out.push_back(wasm::call(a.func_index));
+    } else {
+      out.push_back(wasm::i32_const(static_cast<std::int32_t>(j)));
+      Instr ci(Opcode::CallIndirect);
+      FuncType type;
+      type.params.push_back(I64);
+      for (const auto p : a.def.params) type.params.push_back(local_type(p));
+      ci.a = b_.type_index(type);
+      out.push_back(ci);
+    }
+  };
+
+  // Honeypot loggers are synthesized up front (they share the action's
+  // signature; the body just probes a log table).
+  std::vector<std::optional<std::uint32_t>> loggers(actions_.size());
+  for (std::size_t j = 0; j < actions_.size(); ++j) {
+    if (!actions_[j].options.honeypot_fallback) continue;
+    FuncType type;
+    type.params.push_back(I64);
+    for (const auto p : actions_[j].def.params) {
+      type.params.push_back(local_type(p));
+    }
+    std::vector<Instr> logger_body = {
+        wasm::local_get(0),
+        wasm::i64_const(0),
+        wasm::i64_const_u(abi::name("hlog").value()),
+        wasm::i64_const(1),
+        wasm::call(env_.db_find),
+        Instr(Opcode::Drop),
+        Instr(Opcode::End),
+    };
+    loggers[j] = b_.add_func(type, {}, std::move(logger_body), "hlogger");
+  }
+
+  for (std::size_t j = 0; j < actions_.size(); ++j) {
+    const PendingAction& a = actions_[j];
+    const std::uint64_t action_name = a.def.name.value();
+
+    body.push_back(wasm::block());
+    // Skip unless action matches.
+    if (style == DispatcherStyle::Obscured) {
+      body.push_back(wasm::local_get(2));
+      body.push_back(wasm::i64_const_u(mask));
+      body.push_back(Instr(Opcode::I64Xor));
+      body.push_back(wasm::i64_const_u(action_name ^ mask));
+      body.push_back(Instr(Opcode::I64Ne));
+    } else {
+      body.push_back(wasm::local_get(2));
+      body.push_back(wasm::i64_const_u(action_name));
+      body.push_back(Instr(Opcode::I64Ne));
+    }
+    body.push_back(wasm::br_if(0));
+
+    if (a.options.honeypot_fallback) {
+      // if (code == eosio.token) run the real action else run the logger —
+      // the transaction succeeds either way.
+      body.push_back(wasm::local_get(1));
+      body.push_back(wasm::i64_const_u(abi::name("eosio.token").value()));
+      body.push_back(Instr(Opcode::I64Eq));
+      body.push_back(wasm::if_());
+      emit_invoke(body, a, j, std::nullopt);
+      body.push_back(Instr(Opcode::Else));
+      emit_invoke(body, a, j, loggers[j]);
+      body.push_back(Instr(Opcode::End));
+      body.push_back(Instr(Opcode::End));  // close the action block
+      continue;
+    }
+
+    if (a.options.guard_code_is_token) {
+      // Listing 1's patch: assert(code == N(eosio.token), "").
+      body.push_back(wasm::local_get(1));
+      body.push_back(wasm::i64_const_u(abi::name("eosio.token").value()));
+      body.push_back(Instr(Opcode::I64Eq));
+      body.push_back(wasm::i32_const(kMsgRegion));
+      body.push_back(wasm::call(env_.eosio_assert));
+    }
+    if (a.options.require_code_match) {
+      // Normal dispatch rule: only run when code == receiver.
+      body.push_back(wasm::local_get(1));
+      body.push_back(wasm::local_get(0));
+      body.push_back(Instr(Opcode::I64Ne));
+      body.push_back(wasm::br_if(0));
+    }
+
+    emit_invoke(body, a, j, std::nullopt);
+    body.push_back(Instr(Opcode::End));
+  }
+  body.push_back(Instr(Opcode::End));
+
+  const auto apply = b_.add_func(FuncType{{I64, I64, I64}, {}}, {},
+                                 std::move(body), "apply");
+  b_.export_func("apply", apply);
+  return std::move(b_).build();
+}
+
+util::Bytes ContractBuilder::build_binary(DispatcherStyle style) && {
+  return wasm::encode(std::move(*this).build_module(style));
+}
+
+abi::Abi ContractBuilder::abi() const {
+  abi::Abi out;
+  for (const auto& a : actions_) out.actions.push_back(a.def);
+  return out;
+}
+
+}  // namespace wasai::corpus

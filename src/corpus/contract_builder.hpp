@@ -1,0 +1,121 @@
+// Emits EOSIO-SDK-shaped Wasm contracts: an `apply` dispatcher that matches
+// the action name, deserializes the packed action data into memory, and
+// hands control to the action function via call_indirect — the exact idiom
+// WASAI's calling-convention analysis targets (§3.4.2). The corpus templates
+// compose their payload logic as action-function bodies on top of this.
+#pragma once
+
+#include <vector>
+
+#include "abi/abi_def.hpp"
+#include "util/bytes.hpp"
+#include "wasm/builder.hpp"
+
+namespace wasai::corpus {
+
+/// Function-space indices of the imported library APIs, shared by all
+/// generated contracts (imported in a fixed order).
+struct EnvImports {
+  std::uint32_t require_auth;
+  std::uint32_t has_auth;
+  std::uint32_t require_auth2;
+  std::uint32_t eosio_assert;
+  std::uint32_t read_action_data;
+  std::uint32_t action_data_size;
+  std::uint32_t current_receiver;
+  std::uint32_t require_recipient;
+  std::uint32_t send_inline;
+  std::uint32_t send_deferred;
+  std::uint32_t tapos_block_num;
+  std::uint32_t tapos_block_prefix;
+  std::uint32_t current_time;
+  std::uint32_t db_store;
+  std::uint32_t db_find;
+  std::uint32_t db_get;
+  std::uint32_t db_update;
+  std::uint32_t db_remove;
+  std::uint32_t db_next;
+  std::uint32_t db_lowerbound;
+  std::uint32_t printi;
+};
+
+/// How the apply() dispatcher is written. Real-world contracts differ here,
+/// which is exactly what breaks EOSAFE's dispatcher pattern heuristic
+/// (§4.2): it only recognises the Standard idiom.
+enum class DispatcherStyle : std::uint8_t {
+  Standard,   // if (action == N(a)) { ...; call_indirect a; }
+  Obscured,   // the comparison is computed through an xor mask
+  DirectCall, // plain `call` instead of the SDK's call_indirect
+};
+
+/// Per-action dispatch options.
+struct ActionOptions {
+  /// Insert the Listing-1 patch: eosio_assert(code == N(eosio.token)) before
+  /// running the action. Used by Fake-EOS-safe eosponsers.
+  bool guard_code_is_token = false;
+  /// Require code == receiver (the normal non-notification dispatch rule).
+  /// Off for eosponsers, which must accept notifications.
+  bool require_code_match = true;
+  /// Honeypot shape: when code != eosio.token, route to a synthesized
+  /// logger function instead of the real action (the transaction still
+  /// succeeds — the flaw EOSFuzzer's "any action ran" oracle falls for).
+  bool honeypot_fallback = false;
+};
+
+/// Memory layout constants shared with the deserializer.
+constexpr std::uint32_t kMsgRegion = 256;    // assert message strings
+constexpr std::uint32_t kActionBuf = 1024;   // deserialized action data
+constexpr std::uint32_t kActionBufCap = 512;
+constexpr std::uint32_t kScratchRegion = 2048;  // free for action bodies
+
+class ContractBuilder {
+ public:
+  ContractBuilder();
+
+  [[nodiscard]] const EnvImports& env() const { return env_; }
+
+  /// Declare an action. `body` is the body of the action *function*, whose
+  /// locals follow Table 2: local 0 = self (i64), locals 1..n = parameters
+  /// (scalars by value, asset/string as i32 pointers into kActionBuf);
+  /// `extra_locals` append after. The terminating `end` is added if absent.
+  /// Returns the action function's index (useful for direct calls).
+  std::uint32_t add_action(const abi::ActionDef& def,
+                           std::vector<wasm::ValType> extra_locals,
+                           std::vector<wasm::Instr> body,
+                           ActionOptions options = {});
+
+  /// Number of actions added so far.
+  [[nodiscard]] std::size_t action_count() const { return actions_.size(); }
+
+  /// Escape hatch for templates that need extra data segments etc.
+  [[nodiscard]] wasm::ModuleBuilder& raw() { return b_; }
+
+  /// Finalize: generates apply() in the requested style. Consumes the
+  /// builder.
+  wasm::Module build_module(DispatcherStyle style) &&;
+  util::Bytes build_binary(DispatcherStyle style) &&;
+
+  [[nodiscard]] abi::Abi abi() const;
+
+  /// The value type an ABI parameter occupies in the action function's
+  /// Local section (pointers for asset/string).
+  static wasm::ValType local_type(abi::ParamType t);
+
+  /// Static offset of parameter `i` inside kActionBuf. Only valid when no
+  /// string parameter precedes it (the builder enforces strings-last).
+  static std::uint32_t param_offset(const abi::ActionDef& def,
+                                    std::size_t index);
+
+ private:
+  struct PendingAction {
+    abi::ActionDef def;
+    std::uint32_t func_index;
+    ActionOptions options;
+  };
+
+  wasm::ModuleBuilder b_;
+  EnvImports env_{};
+  std::vector<PendingAction> actions_;
+};
+
+}  // namespace wasai::corpus

@@ -1,0 +1,176 @@
+#include "corpus/dataset.hpp"
+
+#include <cmath>
+
+#include "corpus/obfuscator.hpp"
+
+namespace wasai::corpus {
+
+namespace {
+
+using scanner::VulnType;
+using util::Rng;
+
+std::size_t scaled(std::size_t full, double scale) {
+  const auto n = static_cast<std::size_t>(std::llround(full * scale));
+  return n == 0 ? 1 : n;
+}
+
+// Mixture rates use deterministic index quotas rather than Bernoulli draws
+// so scaled-down benchmarks keep the intended proportions exactly.
+bool quota(std::size_t i, std::size_t num, std::size_t den) {
+  return (i * num) % den < num;
+}
+
+DispatcherStyle style_quota(std::size_t i, std::size_t standard_pct,
+                            std::size_t obscured_pct) {
+  const std::size_t r = (i * 37 + 11) % 100;  // deterministic shuffle
+  if (r < standard_pct) return DispatcherStyle::Standard;
+  if (r < standard_pct + obscured_pct) return DispatcherStyle::Obscured;
+  return DispatcherStyle::DirectCall;
+}
+
+}  // namespace
+
+CategoryCounts rq2_counts() { return {127, 689, 445, 200, 209}; }
+CategoryCounts verification_counts() { return {95, 589, 378, 200, 200}; }
+
+std::vector<Sample> make_benchmark(const BenchmarkSpec& spec) {
+  const CategoryCounts counts =
+      spec.complicated_verification ? verification_counts() : rq2_counts();
+  Rng root(spec.seed);
+  std::vector<Sample> out;
+
+  const auto common = [&](Rng& rng) {
+    TemplateOptions o;
+    o.complicated_verification = spec.complicated_verification;
+    (void)rng;
+    return o;
+  };
+
+  // ---- Fake EOS --------------------------------------------------------
+  // Vulnerable: dispatcher-style diversity defeats EOSAFE's heuristic on
+  // ~55% of samples; ~20% carry hard entry gates random fuzzing cannot
+  // pass. Safe: ~9% are honeypots (EOSFuzzer's oracle FPs on them).
+  for (std::size_t i = 0; i < scaled(counts.fake_eos, spec.scale); ++i) {
+    for (const bool vulnerable : {true, false}) {
+      Rng rng = root.fork(0x1000 + i * 2 + vulnerable);
+      TemplateOptions o = common(rng);
+      o.style = style_quota(i, 45, 30);
+      if (vulnerable && quota(i, 1, 5)) o.assert_gates = 1;  // 20%
+      const bool honeypot = !vulnerable && quota(i, 1, 11);  // ~9%
+      out.push_back(make_fake_eos_sample(rng, vulnerable, o, honeypot));
+    }
+  }
+
+  // ---- Fake Notif ------------------------------------------------------
+  // Vulnerable: ~25% gated (EOSFuzzer FNs). Safe: ~47% carry a memo-scan
+  // loop that path-explodes whole-program symbolic execution (EOSAFE's
+  // timeout-means-vulnerable rule FPs on them).
+  for (std::size_t i = 0; i < scaled(counts.fake_notif, spec.scale); ++i) {
+    for (const bool vulnerable : {true, false}) {
+      Rng rng = root.fork(0x2000 + i * 2 + vulnerable);
+      TemplateOptions o = common(rng);
+      if (vulnerable && quota(i, 1, 4)) o.assert_gates = 1;   // 25%
+      if (!vulnerable && quota(i, 8, 17)) o.memo_scan = true;  // ~47%
+      out.push_back(make_fake_notif_sample(rng, vulnerable, o));
+    }
+  }
+
+  // ---- MissAuth --------------------------------------------------------
+  // Vulnerable: only ~39% use the standard dispatcher EOSAFE can locate;
+  // ~4% have a circular database dependency (WASAI's table-level DBG FN).
+  for (std::size_t i = 0; i < scaled(counts.miss_auth, spec.scale); ++i) {
+    for (const bool vulnerable : {true, false}) {
+      Rng rng = root.fork(0x3000 + i * 2 + vulnerable);
+      TemplateOptions o = common(rng);
+      o.style = style_quota(i, 39, 35);
+      const bool circular = vulnerable && quota(i, 1, 25);  // 4%
+      out.push_back(make_missauth_sample(rng, vulnerable, o, circular));
+    }
+  }
+
+  // ---- BlockinfoDep ----------------------------------------------------
+  for (std::size_t i = 0; i < scaled(counts.blockinfo, spec.scale); ++i) {
+    for (const bool vulnerable : {true, false}) {
+      Rng rng = root.fork(0x4000 + i * 2 + vulnerable);
+      out.push_back(make_blockinfo_sample(rng, vulnerable, common(rng)));
+    }
+  }
+
+  // ---- Rollback --------------------------------------------------------
+  // Vulnerable: ~4% admin-gated (WASAI has no address pool — §4.2 FNs).
+  // Safe: ~85% keep the inline payout behind an unsatisfiable branch
+  // (EOSAFE's satisfiability-blind rule FPs), the rest use defer.
+  for (std::size_t i = 0; i < scaled(counts.rollback, spec.scale); ++i) {
+    for (const bool vulnerable : {true, false}) {
+      Rng rng = root.fork(0x5000 + i * 2 + vulnerable);
+      const bool admin = vulnerable && quota(i, 1, 23);  // ~4.3%
+      const auto safe_variant = quota(i, 17, 20)          // 85%
+                                    ? RollbackSafeVariant::UnreachableInline
+                                    : RollbackSafeVariant::Deferred;
+      out.push_back(make_rollback_sample(rng, vulnerable, common(rng), admin,
+                                         safe_variant));
+    }
+  }
+
+  if (spec.obfuscated) {
+    for (auto& sample : out) sample.wasm = obfuscate(sample.wasm);
+  }
+  return out;
+}
+
+std::vector<Sample> make_coverage_set(std::size_t n, std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = root.fork(0x6000 + i);
+    WildFlags flags;
+    flags.fake_eos = rng.chance(0.4);
+    flags.fake_notif = rng.chance(0.4);
+    flags.miss_auth = rng.chance(0.5);
+    flags.blockinfo = rng.chance(0.2);
+    flags.rollback = rng.chance(0.3);
+    // Deep verification: the branch population only adaptive seeds reach.
+    flags.verification_depth = 3 + static_cast<int>(rng.below(3));
+    out.push_back(make_wild_sample(rng, flags));
+  }
+  return out;
+}
+
+std::vector<WildContract> make_wild_population(std::size_t n,
+                                               std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<WildContract> out;
+  out.reserve(n);
+  // The paper's per-type rates among the 707 vulnerable contracts.
+  const double p_vulnerable = 707.0 / 991.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = root.fork(0x7000 + i);
+    WildFlags flags;
+    flags.verification_depth = 1 + static_cast<int>(rng.below(2));
+    WildContract wc;
+    if (rng.chance(p_vulnerable)) {
+      flags.fake_eos = rng.chance(241.0 / 707.0);
+      flags.fake_notif = rng.chance(264.0 / 707.0);
+      flags.miss_auth = rng.chance(470.0 / 707.0);
+      flags.blockinfo = rng.chance(22.0 / 707.0);
+      flags.rollback = rng.chance(122.0 / 707.0);
+      if (!flags.fake_eos && !flags.fake_notif && !flags.miss_auth &&
+          !flags.blockinfo && !flags.rollback) {
+        flags.miss_auth = true;
+      }
+    }
+    if (flags.fake_eos) wc.injected.insert(VulnType::FakeEos);
+    if (flags.fake_notif) wc.injected.insert(VulnType::FakeNotif);
+    if (flags.miss_auth) wc.injected.insert(VulnType::MissAuth);
+    if (flags.blockinfo) wc.injected.insert(VulnType::BlockinfoDep);
+    if (flags.rollback) wc.injected.insert(VulnType::Rollback);
+    wc.sample = make_wild_sample(rng, flags);
+    out.push_back(std::move(wc));
+  }
+  return out;
+}
+
+}  // namespace wasai::corpus

@@ -1,0 +1,57 @@
+// Benchmark assembly (§4.2-§4.4): the RQ2 ground-truth dataset (Table 4
+// counts), its obfuscated (Table 5) and complicated-verification (Table 6)
+// variants, the RQ1 coverage set, and the RQ4 wild population.
+//
+// Mixture rates inside each category encode the *structural diversity* of
+// the paper's harvested corpus (dispatcher styles, honeypots, guard depth,
+// admin gating). They are calibrated so each tool fails for the reasons the
+// paper documents; see DESIGN.md "Substitutions".
+#pragma once
+
+#include <set>
+
+#include "corpus/templates.hpp"
+
+namespace wasai::corpus {
+
+struct BenchmarkSpec {
+  std::uint64_t seed = 42;
+  /// Fraction of the paper's sample counts to generate (1.0 = the full
+  /// 3,340-sample benchmark; benches default lower for CI speed).
+  double scale = 1.0;
+  /// Apply the §4.3 bytecode obfuscator to every sample (Table 5).
+  bool obfuscated = false;
+  /// Build the complicated-verification benchmark (Table 6 counts and the
+  /// injected input checks).
+  bool complicated_verification = false;
+};
+
+/// Per-category vulnerable/safe pair counts.
+struct CategoryCounts {
+  std::size_t fake_eos, fake_notif, miss_auth, blockinfo, rollback;
+};
+
+/// Table 4 counts (half vulnerable / half safe within each category).
+CategoryCounts rq2_counts();
+/// Table 6 counts.
+CategoryCounts verification_counts();
+
+std::vector<Sample> make_benchmark(const BenchmarkSpec& spec);
+
+/// RQ1: branch-heavy contracts for the coverage comparison.
+std::vector<Sample> make_coverage_set(std::size_t n, std::uint64_t seed);
+
+/// RQ4: one "profitable Mainnet contract" with a set of injected
+/// vulnerabilities (possibly several, possibly none).
+struct WildContract {
+  Sample sample;
+  std::set<scanner::VulnType> injected;
+};
+
+/// RQ4 population: vulnerability mixture approximating the paper's counts
+/// (241 FakeEos / 264 FakeNotif / 470 MissAuth / 22 BlockinfoDep /
+/// 122 Rollback over 991 contracts, 707 vulnerable).
+std::vector<WildContract> make_wild_population(std::size_t n,
+                                               std::uint64_t seed);
+
+}  // namespace wasai::corpus

@@ -1,0 +1,132 @@
+#include "corpus/obfuscator.hpp"
+
+#include "wasm/decoder.hpp"
+#include "wasm/encoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::corpus {
+
+namespace {
+
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+/// The popcount-style decoder: reconstructs its argument bit by bit while
+/// accumulating the population count (HAKMEM-flavoured, §4.3). Locals:
+/// 0 = x (param), 1 = i, 2 = acc, 3 = popcnt.
+wasm::Function make_decoder(std::uint32_t type_index) {
+  wasm::Function fn;
+  fn.type_index = type_index;
+  fn.locals = {ValType::I64, ValType::I64, ValType::I64};
+  fn.name = "wasai.obf.decode";
+  fn.body = {
+      wasm::loop(),
+      // bit = (x >> i) & 1
+      wasm::local_get(0),
+      wasm::local_get(1),
+      Instr(Opcode::I64ShrU),
+      wasm::i64_const(1),
+      Instr(Opcode::I64And),
+      // acc |= bit << i
+      wasm::local_tee(3),  // reuse 3 as bit temp before counting
+      wasm::local_get(1),
+      Instr(Opcode::I64Shl),
+      wasm::local_get(2),
+      Instr(Opcode::I64Or),
+      wasm::local_set(2),
+      // popcnt += bit
+      wasm::local_get(3),
+      wasm::local_get(3),
+      Instr(Opcode::I64Add),
+      Instr(Opcode::Drop),
+      // i += 1; continue while i < 64
+      wasm::local_get(1),
+      wasm::i64_const(1),
+      Instr(Opcode::I64Add),
+      wasm::local_tee(1),
+      wasm::i64_const(64),
+      Instr(Opcode::I64LtU),
+      wasm::br_if(0),
+      Instr(Opcode::End),
+      wasm::local_get(2),
+      Instr(Opcode::End),
+  };
+  return fn;
+}
+
+/// Opaque recursion: rec(x) recurses only under `x > 0 && x < 0` (never),
+/// then returns x. Needs its own function index for the self-call.
+wasm::Function make_recursor(std::uint32_t type_index,
+                             std::uint32_t self_index) {
+  wasm::Function fn;
+  fn.type_index = type_index;
+  fn.name = "wasai.obf.rec";
+  fn.body = {
+      wasm::local_get(0),
+      wasm::i64_const(0),
+      Instr(Opcode::I64GtS),
+      wasm::if_(),
+      wasm::local_get(0),
+      wasm::i64_const(0),
+      Instr(Opcode::I64LtS),
+      wasm::if_(),
+      wasm::local_get(0),
+      wasm::i64_const(1),
+      Instr(Opcode::I64Sub),
+      wasm::call(self_index),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+      wasm::local_get(0),
+      Instr(Opcode::End),
+  };
+  return fn;
+}
+
+}  // namespace
+
+wasm::Module obfuscate(const wasm::Module& original) {
+  wasm::Module m = original;
+
+  const FuncType i64_to_i64{{ValType::I64}, {ValType::I64}};
+  const std::uint32_t type_index = m.type_index_for(i64_to_i64);
+  const std::uint32_t imports = m.num_imported_functions();
+  const std::uint32_t decoder_index =
+      imports + static_cast<std::uint32_t>(m.functions.size());
+  const std::uint32_t recursor_index = decoder_index + 1;
+  const std::size_t original_count = m.functions.size();
+
+  m.functions.push_back(make_decoder(type_index));
+  m.functions.push_back(make_recursor(type_index, recursor_index));
+
+  // Prepend the argument-encoding prologue to every original function.
+  for (std::size_t d = 0; d < original_count; ++d) {
+    wasm::Function& fn = m.functions[d];
+    const FuncType& ft = m.types.at(fn.type_index);
+    std::vector<Instr> prologue;
+    bool first_i64 = true;
+    for (std::uint32_t p = 0; p < ft.params.size(); ++p) {
+      if (ft.params[p] != ValType::I64) continue;
+      prologue.push_back(wasm::local_get(p));
+      prologue.push_back(wasm::call(decoder_index));
+      if (first_i64) {
+        // Route the first argument through the opaque recursion too.
+        prologue.push_back(wasm::call(recursor_index));
+        first_i64 = false;
+      }
+      prologue.push_back(wasm::local_set(p));
+    }
+    fn.body.insert(fn.body.begin(), prologue.begin(), prologue.end());
+  }
+
+  wasm::validate(m);
+  return m;
+}
+
+util::Bytes obfuscate(const util::Bytes& wasm_binary) {
+  return wasm::encode(obfuscate(wasm::decode(wasm_binary)));
+}
+
+}  // namespace wasai::corpus

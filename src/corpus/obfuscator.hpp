@@ -1,0 +1,22 @@
+// The Wasm bytecode obfuscator of §4.3 (RQ3): since no off-the-shelf
+// obfuscator exists for Wasm, the paper built one with two methods —
+//   1. data-flow obfuscation: function arguments are passed through a
+//      popcount-style bit-reconstruction loop (semantically the identity,
+//      but opaque to static pattern matching and expensive to unroll), and
+//   2. control-flow obfuscation: recursive calls whose entry condition is
+//      unsatisfiable are inserted, bloating the static CFG.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::corpus {
+
+/// Obfuscate a module. Behaviour-preserving by construction; the returned
+/// module re-validates.
+wasm::Module obfuscate(const wasm::Module& original);
+
+/// Convenience: decode → obfuscate → encode.
+util::Bytes obfuscate(const util::Bytes& wasm_binary);
+
+}  // namespace wasai::corpus

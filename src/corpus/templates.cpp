@@ -1,0 +1,684 @@
+#include "corpus/templates.hpp"
+
+#include "chain/token.hpp"
+#include "util/error.hpp"
+
+namespace wasai::corpus {
+
+namespace {
+
+using abi::ActionDef;
+using abi::name;
+using abi::ParamType;
+using util::Rng;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+using Code = std::vector<Instr>;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+
+// Locals of a transfer-shaped action function (Table 2):
+constexpr std::uint32_t kSelf = 0;
+constexpr std::uint32_t kFrom = 1;
+constexpr std::uint32_t kTo = 2;
+constexpr std::uint32_t kQty = 3;   // i32 pointer
+constexpr std::uint32_t kMemo = 4;  // i32 pointer
+
+Code cat(std::initializer_list<Code> parts) { return wasm::concat(parts); }
+
+Code amount_at(std::uint32_t qty_local) {
+  return {wasm::local_get(qty_local), wasm::mem_load(Opcode::I64Load)};
+}
+Code amount() { return amount_at(kQty); }
+Code symbol_at(std::uint32_t qty_local) {
+  return {wasm::local_get(qty_local), wasm::mem_load(Opcode::I64Load, 8)};
+}
+Code symbol() { return symbol_at(kQty); }
+Code memo_byte(std::uint32_t index) {
+  return {wasm::local_get(kMemo),
+          wasm::mem_load(Opcode::I32Load8U, 1 + index)};
+}
+
+Code if_then(Code cond, Code then) {
+  Code out = std::move(cond);
+  out.push_back(wasm::if_());
+  out.insert(out.end(), then.begin(), then.end());
+  out.emplace_back(Opcode::End);
+  return out;
+}
+
+Code assert_cond(const EnvImports& env, Code cond) {
+  Code out = std::move(cond);
+  out.push_back(wasm::i32_const(kMsgRegion));
+  out.push_back(wasm::call(env.eosio_assert));
+  return out;
+}
+
+Code unreachable_unless_eq64(Code value, std::uint64_t expected) {
+  Code out = std::move(value);
+  out.push_back(wasm::i64_const_u(expected));
+  out.emplace_back(Opcode::I64Ne);
+  out.push_back(wasm::if_());
+  out.emplace_back(Opcode::Unreachable);
+  out.emplace_back(Opcode::End);
+  return out;
+}
+
+/// §4.3's injected verification: the transfer must carry exactly
+/// 100.0000 EOS (amount 1000000, symbol 1397703940).
+Code complicated_verification(std::uint32_t qty_local = kQty) {
+  return cat(
+      {unreachable_unless_eq64(amount_at(qty_local), 1'000'000),
+       unreachable_unless_eq64(symbol_at(qty_local),
+                               abi::eos_symbol().value())});
+}
+
+/// Hard entry gate: eosio_assert(<input> == random constant) — impassable
+/// for random seeds, one assert-flip for the solver. Memo-based when the
+/// §4.3 verification already pins the amount (the conditions must stay
+/// jointly satisfiable).
+Code assert_gate(const EnvImports& env, Rng& rng, bool memo_based) {
+  Code cond;
+  if (memo_based) {
+    cond = memo_byte(3);
+    cond.push_back(
+        wasm::i32_const('a' + static_cast<std::int32_t>(rng.below(26))));
+    cond.emplace_back(Opcode::I32Eq);
+  } else {
+    cond = amount();
+    cond.push_back(wasm::i64_const(rng.range(2, 9'0000'0000ll)));
+    cond.emplace_back(Opcode::I64Eq);
+  }
+  return assert_cond(env, std::move(cond));
+}
+
+// Extra-local layout for transfer-shaped eosponser bodies.
+constexpr std::uint32_t kItr = 5;   // i32: db iterator scratch
+constexpr std::uint32_t kIdx = 6;   // i32: memo-scan index
+constexpr std::uint32_t kSum = 7;   // i32: memo-scan checksum
+constexpr std::uint32_t kLen = 8;   // i32: memo length
+
+std::vector<ValType> eosponser_locals() { return {I32, I32, I32, I32}; }
+
+/// Checksum loop over the memo bytes. Concretely bounded by the seed's
+/// memo length; statically, the bound is symbolic — a path-explosion trap
+/// for whole-program symbolic executors.
+Code memo_scan() {
+  return {
+      wasm::local_get(kMemo),
+      wasm::mem_load(Opcode::I32Load8U),
+      wasm::local_set(kLen),
+      wasm::block(),
+      wasm::loop(),
+      wasm::local_get(kIdx),
+      wasm::local_get(kLen),
+      Instr(Opcode::I32GeU),
+      wasm::br_if(1),
+      wasm::local_get(kMemo),
+      wasm::local_get(kIdx),
+      Instr(Opcode::I32Add),
+      wasm::mem_load(Opcode::I32Load8U, 1),
+      wasm::local_get(kSum),
+      Instr(Opcode::I32Add),
+      wasm::local_set(kSum),
+      wasm::local_get(kIdx),
+      wasm::i32_const(1),
+      Instr(Opcode::I32Add),
+      wasm::local_set(kIdx),
+      wasm::br(0),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+  };
+}
+
+/// tapos_block_prefix() * tapos_block_num() — the BlockinfoDep pattern.
+Code tapos_randomness(const EnvImports& env) {
+  return {wasm::call(env.tapos_block_prefix), wasm::call(env.tapos_block_num),
+          Instr(Opcode::I32Mul), Instr(Opcode::Drop)};
+}
+
+/// Find-or-store a row keyed by the amount, storing the amount as payload —
+/// a generic profitable-service side effect. `itr_local` must be an i32
+/// scratch local.
+Code upsert_row(const EnvImports& env, std::uint64_t table,
+                std::uint32_t itr_local) {
+  Code out;
+  // Stage the value: scratch <- amount.
+  out = cat({{wasm::i32_const(kScratchRegion)}, amount(),
+             {wasm::mem_store(Opcode::I64Store)}});
+  // itr = db_find(self, from, table, amount)
+  out.push_back(wasm::local_get(kSelf));
+  out.push_back(wasm::local_get(kFrom));
+  out.push_back(wasm::i64_const_u(table));
+  out = cat({out, amount()});
+  out.push_back(wasm::call(env.db_find));
+  out.push_back(wasm::local_set(itr_local));
+  // if (itr < 0) db_store else db_update
+  out.push_back(wasm::local_get(itr_local));
+  out.push_back(wasm::i32_const(0));
+  out.emplace_back(Opcode::I32LtS);
+  out.push_back(wasm::if_());
+  {
+    out.push_back(wasm::local_get(kFrom));       // scope
+    out.push_back(wasm::i64_const_u(table));
+    out.push_back(wasm::local_get(kSelf));       // payer
+    out = cat({out, amount()});                  // id
+    out.push_back(wasm::i32_const(kScratchRegion));
+    out.push_back(wasm::i32_const(8));
+    out.push_back(wasm::call(env.db_store));
+    out.emplace_back(Opcode::Drop);
+  }
+  out.emplace_back(Opcode::Else);
+  {
+    out.push_back(wasm::local_get(itr_local));
+    out.push_back(wasm::local_get(kSelf));  // payer
+    out.push_back(wasm::i32_const(kScratchRegion));
+    out.push_back(wasm::i32_const(8));
+    out.push_back(wasm::call(env.db_update));
+  }
+  out.emplace_back(Opcode::End);
+  return out;
+}
+
+/// Packed inline/deferred payout action template. Placeholders are patched
+/// at runtime with _self (authorizer + token sender) and the `from`
+/// parameter (payee).
+struct PayoutTemplate {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint32_t> self_offsets;  // write local 0 here
+  std::vector<std::uint32_t> from_offsets;  // write local 1 here
+};
+
+PayoutTemplate make_payout_template() {
+  const abi::Name placeholder_self(0xd1d2d3d4d5d6d7d8ull);
+  const abi::Name placeholder_from(0xe1e2e3e4e5e6e7e8ull);
+  const chain::Action act = chain::token_transfer(
+      name("eosio.token"), placeholder_self, placeholder_from,
+      abi::eos(5'0000), "w");
+  PayoutTemplate out;
+  out.bytes = chain::pack_action(act);
+  auto find_all = [&](std::uint64_t pattern,
+                      std::vector<std::uint32_t>& offsets) {
+    for (std::size_t i = 0; i + 8 <= out.bytes.size(); ++i) {
+      std::uint64_t v = 0;
+      std::memcpy(&v, out.bytes.data() + i, 8);
+      if (v == pattern) offsets.push_back(static_cast<std::uint32_t>(i));
+    }
+  };
+  find_all(placeholder_self.value(), out.self_offsets);
+  find_all(placeholder_from.value(), out.from_offsets);
+  if (out.self_offsets.size() != 2 || out.from_offsets.size() != 1) {
+    throw util::UsageError("payout template layout changed");
+  }
+  return out;
+}
+
+constexpr std::uint32_t kPayoutRegion = kScratchRegion + 256;
+
+/// Emit the payout: patch the embedded packed action, then send it inline
+/// (Rollback-vulnerable) or deferred (the paper's suggested fix).
+Code payout(const EnvImports& env, const PayoutTemplate& tmpl,
+            bool use_inline) {
+  Code out;
+  for (const auto off : tmpl.self_offsets) {
+    out.push_back(wasm::i32_const(kPayoutRegion + off));
+    out.push_back(wasm::local_get(kSelf));
+    out.push_back(wasm::mem_store(Opcode::I64Store));
+  }
+  for (const auto off : tmpl.from_offsets) {
+    out.push_back(wasm::i32_const(kPayoutRegion + off));
+    out.push_back(wasm::local_get(kFrom));
+    out.push_back(wasm::mem_store(Opcode::I64Store));
+  }
+  if (use_inline) {
+    out.push_back(wasm::i32_const(kPayoutRegion));
+    out.push_back(
+        wasm::i32_const(static_cast<std::int32_t>(tmpl.bytes.size())));
+    out.push_back(wasm::call(env.send_inline));
+  } else {
+    out.push_back(wasm::i32_const(0));            // sender id ptr (unused)
+    out.push_back(wasm::local_get(kSelf));        // payer
+    out.push_back(wasm::i32_const(kPayoutRegion));
+    out.push_back(
+        wasm::i32_const(static_cast<std::int32_t>(tmpl.bytes.size())));
+    out.push_back(wasm::call(env.send_deferred));
+  }
+  return out;
+}
+
+/// Wrap `leaf` in `depth` solvable verification branches over the transfer
+/// parameters (amount / from / memo byte) — random constants per §4.2's
+/// BlockinfoDep & Rollback construction.
+Code nested_verification(Rng& rng, int depth, Code leaf,
+                         bool amount_conditions = true) {
+  // Conditions verify only attacker-controllable inputs (quantity, memo):
+  // the payer name is fixed by the transfer's authorization. Each nesting
+  // level constrains a DIFFERENT input so the leaf stays satisfiable:
+  // one amount condition at most, then one memo byte per further level.
+  Code inner = std::move(leaf);
+  for (int d = 0; d < depth; ++d) {
+    Code cond;
+    if (d == 0 && amount_conditions) {
+      if (rng.chance(0.5)) {
+        // Equality above every template's minimum-payment assert (10 EOS).
+        cond = cat({amount(),
+                    {wasm::i64_const(rng.range(10'0000, 100'0000)),
+                     Instr(Opcode::I64Eq)}});
+      } else {
+        // Thresholds far above any random amount (mutator max 10^7) yet
+        // within the harness's affordable-transfer clamp (10^10).
+        cond = cat({amount(),
+                    {wasm::i64_const(rng.range(1'0000'0000ll,
+                                               49'0000'0000ll)),
+                     Instr(Opcode::I64GtS)}});
+      }
+    } else {
+      const auto byte_index =
+          static_cast<std::uint32_t>(amount_conditions ? d - 1 : d);
+      cond = cat({memo_byte(byte_index),
+                  {wasm::i32_const('a' + static_cast<std::int32_t>(
+                                             rng.below(26))),
+                   Instr(Opcode::I32Eq)}});
+    }
+    inner = if_then(std::move(cond), std::move(inner));
+  }
+  return inner;
+}
+
+/// An unsatisfiable wrapper: amount == c1 && amount == c2 with c1 != c2.
+Code unreachable_branch(Rng& rng, Code leaf) {
+  const std::int64_t c1 = rng.range(10, 1000);
+  const std::int64_t c2 = c1 + 1 + rng.range(0, 1000);
+  Code inner = if_then(
+      cat({amount(), {wasm::i64_const(c2), Instr(Opcode::I64Eq)}}),
+      std::move(leaf));
+  return if_then(cat({amount(), {wasm::i64_const(c1), Instr(Opcode::I64Eq)}}),
+                 std::move(inner));
+}
+
+Code end_body(Code body) {
+  body.emplace_back(Opcode::End);
+  return body;
+}
+
+Sample finish(ContractBuilder&& builder, scanner::VulnType category,
+              bool vulnerable, const TemplateOptions& options,
+              std::string tag) {
+  Sample sample;
+  sample.abi = builder.abi();
+  sample.wasm = std::move(builder).build_binary(options.style);
+  sample.category = category;
+  sample.vulnerable = vulnerable;
+  sample.style = options.style;
+  sample.tag = std::move(tag);
+  return sample;
+}
+
+Code eosponser_prelude(const TemplateOptions& options, const EnvImports& env,
+                       Rng& rng) {
+  Code out;
+  if (options.complicated_verification) {
+    out = cat({out, complicated_verification()});
+  }
+  for (int g = 0; g < options.assert_gates; ++g) {
+    out = cat({out, assert_gate(env, rng, options.complicated_verification)});
+  }
+  if (options.memo_scan) out = cat({out, memo_scan()});
+  return out;
+}
+
+}  // namespace
+
+Sample make_fake_eos_sample(Rng& rng, bool vulnerable,
+                            TemplateOptions options,
+                            bool honeypot_when_safe) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  ActionOptions act_opts;
+  act_opts.require_code_match = false;
+  if (!vulnerable && honeypot_when_safe) {
+    act_opts.honeypot_fallback = true;  // accepts fake EOS, runs a logger
+  } else {
+    act_opts.guard_code_is_token = !vulnerable;  // Listing 1's patch
+  }
+
+  // Service: credit the payer's balance row when the payment is positive.
+  Code service = if_then(
+      cat({amount(), {wasm::i64_const(0), Instr(Opcode::I64GtS)}}),
+      upsert_row(env, name("credits").value(), kItr));
+  Code body = cat({eosponser_prelude(options, env, rng),
+                   nested_verification(rng, options.verification_depth,
+                                       std::move(service),
+                                       !options.complicated_verification)});
+  b.add_action(abi::transfer_action_def(), eosponser_locals(),
+               end_body(std::move(body)), act_opts);
+
+  // A harmless status action (real contracts always have one). Under the
+  // complicated-verification benchmark it gets its own injected check, so
+  // that *no* transaction can succeed randomly — the precondition of
+  // EOSFuzzer's all-failed oracle flaw (§4.3).
+  {
+    ActionDef ping_def{name("ping"), {ParamType::Name}};
+    Code ping;
+    if (options.complicated_verification) {
+      ping = unreachable_unless_eq64({wasm::local_get(1)},
+                                     name("statuscheck").value());
+    }
+    ping = cat({ping,
+                {wasm::local_get(kSelf), wasm::i64_const(0),
+                 wasm::i64_const_u(name("status").value()), wasm::i64_const(1),
+                 wasm::call(env.db_find), Instr(Opcode::Drop)}});
+    b.add_action(ping_def, {}, end_body(std::move(ping)));
+  }
+  return finish(std::move(b), scanner::VulnType::FakeEos, vulnerable, options,
+                vulnerable ? "fake-eos/no-code-check"
+                : honeypot_when_safe ? "fake-eos/honeypot"
+                                     : "fake-eos/patched");
+}
+
+Sample make_fake_notif_sample(Rng& rng, bool vulnerable,
+                              TemplateOptions options) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  ActionOptions act_opts;
+  act_opts.require_code_match = false;
+  act_opts.guard_code_is_token = true;  // Fake-EOS-safe; Fake Notif bypasses
+
+  Code guard;
+  if (!vulnerable) {
+    // Listing 2's patch: if (to != _self) return — ignore forwarded
+    // notifications whose payee is someone else.
+    guard = {wasm::local_get(kTo), wasm::local_get(kSelf),
+             Instr(Opcode::I64Ne), wasm::if_(), Instr(Opcode::Return),
+             Instr(Opcode::End)};
+  }
+  Code service = if_then(
+      cat({amount(), {wasm::i64_const(0), Instr(Opcode::I64GtS)}}),
+      upsert_row(env, name("credits").value(), kItr));
+  Code body = cat({eosponser_prelude(options, env, rng), std::move(guard),
+                   nested_verification(rng, options.verification_depth,
+                                       std::move(service),
+                                       !options.complicated_verification)});
+  b.add_action(abi::transfer_action_def(), eosponser_locals(),
+               end_body(std::move(body)), act_opts);
+  return finish(std::move(b), scanner::VulnType::FakeNotif, vulnerable,
+                options,
+                vulnerable ? "fake-notif/no-payee-check"
+                           : "fake-notif/patched");
+}
+
+Sample make_missauth_sample(Rng& rng, bool vulnerable,
+                            TemplateOptions options,
+                            bool circular_dependency) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  const std::uint64_t t1 = name("inittab").value();
+  const std::uint64_t t2 = name("inittab2").value();
+  const std::uint64_t balances = name("balances").value();
+
+  auto find_row = [&](std::uint64_t table) {
+    return Code{wasm::local_get(kSelf), wasm::i64_const(0),
+                wasm::i64_const_u(table), wasm::i64_const(1),
+                wasm::call(env.db_find), wasm::i32_const(0),
+                Instr(Opcode::I32GeS)};
+  };
+  auto store_row = [&](std::uint64_t table) {
+    // Blind store: only valid while the row is absent, so writer actions
+    // guard with a find first.
+    return Code{wasm::i64_const(0),      wasm::i64_const_u(table),
+                wasm::local_get(kSelf),  wasm::i64_const(1),
+                wasm::i32_const(kScratchRegion), wasm::i32_const(8),
+                wasm::call(env.db_store), Instr(Opcode::Drop)};
+  };
+  auto store_if_absent = [&](std::uint64_t table) {
+    Code cond = find_row(table);
+    cond.emplace_back(Opcode::I32Eqz);
+    return if_then(std::move(cond), store_row(table));
+  };
+
+  // withdraw(owner, amount): [db dependency asserts]; [auth]; side effect.
+  // Locals: 0 = self, 1 = owner (name), 2 = amount (asset pointer).
+  ActionDef withdraw_def{name("withdraw"), {ParamType::Name, ParamType::Asset}};
+  Code body;
+  if (options.complicated_verification) {
+    // withdraw's asset pointer lives in local 2.
+    body = cat({body, complicated_verification(/*qty_local=*/2)});
+  }
+  body = cat({body, assert_cond(env, find_row(t1))});
+  if (circular_dependency) body = cat({body, assert_cond(env, find_row(t2))});
+  if (!vulnerable) {
+    // The patch (Listing 3): check the owner's authority first.
+    body.push_back(wasm::local_get(1));
+    body.push_back(wasm::call(env.require_auth));
+  }
+  // Stage the amount as the row payload.
+  body = cat({body,
+              {wasm::i32_const(kScratchRegion), wasm::local_get(2),
+               wasm::mem_load(Opcode::I64Load),
+               wasm::mem_store(Opcode::I64Store)}});
+  // Side effect: db_store into balances keyed by the amount (guarded by a
+  // find so repeated seeds stay re-runnable).
+  {
+    Code cond = Code{wasm::local_get(kSelf), wasm::local_get(1),
+                     wasm::i64_const_u(balances), wasm::local_get(2),
+                     wasm::mem_load(Opcode::I64Load), wasm::call(env.db_find),
+                     wasm::i32_const(0), Instr(Opcode::I32LtS)};
+    Code store = Code{wasm::local_get(1), wasm::i64_const_u(balances),
+                      wasm::local_get(kSelf), wasm::local_get(2),
+                      wasm::mem_load(Opcode::I64Load),
+                      wasm::i32_const(kScratchRegion), wasm::i32_const(8),
+                      wasm::call(env.db_store), Instr(Opcode::Drop)};
+    body = cat({body, if_then(std::move(cond), std::move(store))});
+  }
+  b.add_action(withdraw_def, {}, end_body(std::move(body)));
+
+  // prepare / prepare2: the writer actions the DBG discovers.
+  {
+    ActionDef prepare_def{name("prepare"), {ParamType::Name}};
+    Code prep;
+    if (circular_dependency) prep = cat({prep, assert_cond(env, find_row(t2))});
+    if (!vulnerable) {
+      prep.push_back(wasm::local_get(1));
+      prep.push_back(wasm::call(env.require_auth));
+    }
+    prep = cat({prep, store_if_absent(t1)});
+    b.add_action(prepare_def, {}, end_body(std::move(prep)));
+  }
+  if (circular_dependency) {
+    ActionDef prepare2_def{name("preparetwo"), {ParamType::Name}};
+    Code prep = assert_cond(env, find_row(t1));
+    prep = cat({prep, store_if_absent(t2)});
+    b.add_action(prepare2_def, {}, end_body(std::move(prep)));
+  }
+  (void)rng;
+  return finish(std::move(b), scanner::VulnType::MissAuth, vulnerable, options,
+                circular_dependency ? "missauth/circular-dep"
+                : vulnerable       ? "missauth/no-check"
+                                   : "missauth/guarded");
+}
+
+Sample make_blockinfo_sample(Rng& rng, bool vulnerable,
+                             TemplateOptions options) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  ActionOptions act_opts;
+  act_opts.require_code_match = false;
+  act_opts.guard_code_is_token = true;
+
+  Code leaf;
+  std::string tag;
+  if (vulnerable) {
+    leaf = tapos_randomness(env);
+    tag = "blockinfo/tapos";
+  } else if (rng.chance(0.5)) {
+    // Vulnerable-looking code behind an unsatisfiable branch: ground-truth
+    // negative that satisfiability-blind tools flag anyway.
+    leaf = unreachable_branch(rng, tapos_randomness(env));
+    tag = "blockinfo/unreachable-tapos";
+  } else {
+    // Verified PRNG service stand-in: a database-backed random beacon.
+    leaf = {wasm::local_get(kSelf), wasm::i64_const(0),
+            wasm::i64_const_u(name("beacon").value()), wasm::i64_const(1),
+            wasm::call(env.db_find), Instr(Opcode::Drop)};
+    tag = "blockinfo/safe-prng";
+  }
+  const int depth = options.verification_depth > 0
+                        ? options.verification_depth
+                        : 1 + static_cast<int>(rng.below(2));
+  Code body = cat({eosponser_prelude(options, env, rng),
+                   assert_cond(env, cat({amount(),
+                                         {wasm::i64_const(10'0000),
+                                          Instr(Opcode::I64GeS)}})),
+                   nested_verification(rng, depth, std::move(leaf),
+                                       !options.complicated_verification)});
+  b.add_action(abi::transfer_action_def(), eosponser_locals(),
+               end_body(std::move(body)), act_opts);
+  return finish(std::move(b), scanner::VulnType::BlockinfoDep, vulnerable,
+                options, tag);
+}
+
+Sample make_rollback_sample(Rng& rng, bool vulnerable,
+                            TemplateOptions options, bool admin_gated,
+                            RollbackSafeVariant safe_variant) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  const PayoutTemplate tmpl = make_payout_template();
+  b.raw().add_data(kPayoutRegion,
+                   std::vector<std::uint8_t>(tmpl.bytes.begin(),
+                                             tmpl.bytes.end()));
+  ActionOptions act_opts;
+  act_opts.require_code_match = false;
+  act_opts.guard_code_is_token = true;
+
+  Code leaf;
+  std::string tag;
+  if (vulnerable) {
+    leaf = payout(env, tmpl, /*use_inline=*/true);
+    tag = "rollback/inline-payout";
+  } else if (safe_variant == RollbackSafeVariant::Deferred) {
+    leaf = payout(env, tmpl, /*use_inline=*/false);
+    tag = "rollback/deferred-payout";
+  } else {
+    // Inline payout exists in the binary but only behind an unsatisfiable
+    // branch — a ground-truth negative with vulnerable-looking code.
+    leaf = unreachable_branch(rng, payout(env, tmpl, /*use_inline=*/true));
+    tag = "rollback/unreachable-inline";
+  }
+  if (admin_gated) {
+    // Only the (unknown) administrator can reach the payout: WASAI has no
+    // address pool, so its seeds never pass require_auth(from) — §4.2 FN.
+    Code gated = if_then(
+        {wasm::local_get(kFrom),
+         wasm::i64_const_u(name("superadmin").value()), Instr(Opcode::I64Eq)},
+        std::move(leaf));
+    leaf = cat({{wasm::local_get(kFrom), wasm::call(env.require_auth)},
+                std::move(gated)});
+    tag += "/admin-gated";
+  }
+  const int depth = options.verification_depth > 0
+                        ? options.verification_depth
+                        : 1 + static_cast<int>(rng.below(2));
+  Code body = cat({eosponser_prelude(options, env, rng),
+                   assert_cond(env, cat({amount(),
+                                         {wasm::i64_const(10'0000),
+                                          Instr(Opcode::I64GeS)}})),
+                   nested_verification(rng, depth, std::move(leaf),
+                                       !options.complicated_verification)});
+  b.add_action(abi::transfer_action_def(), eosponser_locals(),
+               end_body(std::move(body)), act_opts);
+  return finish(std::move(b), scanner::VulnType::Rollback, vulnerable,
+                options, tag);
+}
+
+Sample make_wild_sample(Rng& rng, const WildFlags& flags) {
+  ContractBuilder b;
+  const EnvImports env = b.env();
+  const PayoutTemplate tmpl = make_payout_template();
+  b.raw().add_data(kPayoutRegion,
+                   std::vector<std::uint8_t>(tmpl.bytes.begin(),
+                                             tmpl.bytes.end()));
+
+  // ---- eosponser: verification → lottery leaf -------------------------
+  ActionOptions act_opts;
+  act_opts.require_code_match = false;
+  act_opts.guard_code_is_token = !flags.fake_eos;
+
+  Code guard;
+  if (!flags.fake_notif) {
+    guard = {wasm::local_get(kTo), wasm::local_get(kSelf),
+             Instr(Opcode::I64Ne), wasm::if_(), Instr(Opcode::Return),
+             Instr(Opcode::End)};
+  }
+  Code leaf;
+  if (flags.blockinfo) leaf = cat({leaf, tapos_randomness(env)});
+  leaf = cat({leaf, payout(env, tmpl, /*use_inline=*/flags.rollback)});
+  leaf = cat({leaf, upsert_row(env, name("credits").value(), kItr)});
+
+  Code body = cat(
+      {std::move(guard),
+       assert_cond(env, cat({amount(), {wasm::i64_const(1'0000),
+                                        Instr(Opcode::I64GeS)}})),
+       nested_verification(rng, flags.verification_depth, std::move(leaf))});
+  b.add_action(abi::transfer_action_def(), eosponser_locals(),
+               end_body(std::move(body)), act_opts);
+
+  // ---- withdraw / prepare (account management) -------------------------
+  const std::uint64_t t1 = name("inittab").value();
+  const std::uint64_t balances = name("balances").value();
+  auto find_row = [&](std::uint64_t table) {
+    return Code{wasm::local_get(kSelf), wasm::i64_const(0),
+                wasm::i64_const_u(table), wasm::i64_const(1),
+                wasm::call(env.db_find), wasm::i32_const(0),
+                Instr(Opcode::I32GeS)};
+  };
+  {
+    ActionDef withdraw_def{name("withdraw"),
+                           {ParamType::Name, ParamType::Asset}};
+    Code w = assert_cond(env, find_row(t1));
+    if (!flags.miss_auth) {
+      w.push_back(wasm::local_get(1));
+      w.push_back(wasm::call(env.require_auth));
+    }
+    Code cond = Code{wasm::local_get(kSelf), wasm::local_get(1),
+                     wasm::i64_const_u(balances), wasm::local_get(2),
+                     wasm::mem_load(Opcode::I64Load), wasm::call(env.db_find),
+                     wasm::i32_const(0), Instr(Opcode::I32LtS)};
+    Code store = Code{wasm::local_get(1), wasm::i64_const_u(balances),
+                      wasm::local_get(kSelf), wasm::local_get(2),
+                      wasm::mem_load(Opcode::I64Load),
+                      wasm::i32_const(kScratchRegion), wasm::i32_const(8),
+                      wasm::call(env.db_store), Instr(Opcode::Drop)};
+    w = cat({w, if_then(std::move(cond), std::move(store))});
+    b.add_action(withdraw_def, {}, end_body(std::move(w)));
+  }
+  {
+    ActionDef prepare_def{name("prepare"), {ParamType::Name}};
+    Code prep;
+    if (!flags.miss_auth) {
+      // Safe contracts check authority on every state-changing action.
+      prep.push_back(wasm::local_get(1));
+      prep.push_back(wasm::call(env.require_auth));
+    }
+    Code cond = find_row(t1);
+    cond.emplace_back(Opcode::I32Eqz);
+    Code store = Code{wasm::i64_const(0), wasm::i64_const_u(t1),
+                      wasm::local_get(kSelf), wasm::i64_const(1),
+                      wasm::i32_const(kScratchRegion), wasm::i32_const(8),
+                      wasm::call(env.db_store), Instr(Opcode::Drop)};
+    prep = cat({prep, if_then(std::move(cond), std::move(store))});
+    b.add_action(prepare_def, {}, end_body(std::move(prep)));
+  }
+
+  Sample sample;
+  sample.abi = b.abi();
+  sample.wasm = std::move(b).build_binary(DispatcherStyle::Standard);
+  sample.category = scanner::VulnType::FakeEos;  // nominal; see `injected`
+  sample.vulnerable = flags.fake_eos || flags.fake_notif || flags.miss_auth ||
+                      flags.blockinfo || flags.rollback;
+  sample.tag = "wild";
+  return sample;
+}
+
+}  // namespace wasai::corpus

@@ -1,0 +1,95 @@
+// The five vulnerability template families of the evaluation benchmark
+// (§4.2): each generator emits a labeled contract sample, vulnerable or
+// patched, in one of several dispatcher styles, optionally wrapped in the
+// complicated-verification checks of §4.3.
+#pragma once
+
+#include <string>
+
+#include "corpus/contract_builder.hpp"
+#include "scanner/scanner.hpp"
+#include "util/rng.hpp"
+
+namespace wasai::corpus {
+
+struct Sample {
+  util::Bytes wasm;
+  abi::Abi abi;
+  scanner::VulnType category;
+  bool vulnerable = false;
+  DispatcherStyle style = DispatcherStyle::Standard;
+  std::string tag;
+};
+
+struct TemplateOptions {
+  DispatcherStyle style = DispatcherStyle::Standard;
+  /// §4.3: prepend `if (i64.ne <param> <const>) unreachable` input checks
+  /// to the eosponser — only adaptive seeds get past them.
+  bool complicated_verification = false;
+  /// Extra solvable verification branches wrapped around the payload.
+  int verification_depth = 0;
+  /// Number of hard entry gates: eosio_assert(amount == random constant).
+  /// Random fuzzing cannot pass them; the assert-flip rule can.
+  int assert_gates = 0;
+  /// Prepend a memo checksum loop whose bound is the (symbolic, for static
+  /// tools) memo length — cheap concretely, path-explosive statically.
+  bool memo_scan = false;
+};
+
+/// §2.3.1 — eosponser without (vulnerable) / with (safe) the
+/// code == eosio.token dispatcher guard. `honeypot_when_safe` builds the
+/// safe variant as a honeypot: counterfeit transfers succeed but land in a
+/// logger function instead of the eosponser.
+Sample make_fake_eos_sample(util::Rng& rng, bool vulnerable,
+                            TemplateOptions options = {},
+                            bool honeypot_when_safe = false);
+
+/// §2.3.2 — eosponser without (vulnerable) / with (safe) the to == _self
+/// payee check. Always carries the Fake-EOS dispatcher patch.
+Sample make_fake_notif_sample(util::Rng& rng, bool vulnerable,
+                              TemplateOptions options = {});
+
+/// §2.3.3 — a `withdraw` action with a database side effect, with a
+/// `prepare` action it depends on through the database (exercises the DBG).
+/// `circular_dependency` makes the dependency unresolvable at table level —
+/// the documented WASAI false-negative source.
+Sample make_missauth_sample(util::Rng& rng, bool vulnerable,
+                            TemplateOptions options = {},
+                            bool circular_dependency = false);
+
+/// §2.3.4 — Listing-4-style lottery whose leaf uses tapos_* randomness
+/// (vulnerable) or a safe source / an unreachable branch (safe).
+Sample make_blockinfo_sample(util::Rng& rng, bool vulnerable,
+                             TemplateOptions options = {});
+
+/// How a safe Rollback sample is patched.
+enum class RollbackSafeVariant : std::uint8_t {
+  Deferred,           // the paper's suggested defer-scheme fix
+  UnreachableInline,  // §4.2: inline payout behind an unsatisfiable branch
+                      // (ground-truth negative; satisfiability-blind static
+                      // tools flag it anyway)
+};
+
+/// §2.3.5 — Listing-4-style lottery paying out via send_inline
+/// (vulnerable) or a safe variant. `admin_gated` reproduces the
+/// address-pool false-negative of §4.2.
+Sample make_rollback_sample(
+    util::Rng& rng, bool vulnerable, TemplateOptions options = {},
+    bool admin_gated = false,
+    RollbackSafeVariant safe_variant = RollbackSafeVariant::Deferred);
+
+/// Profile of a "wild" contract (RQ1/RQ4): a profitable lottery-style
+/// service combining an eosponser, a lottery leaf and account-management
+/// actions, with independently toggleable vulnerabilities.
+struct WildFlags {
+  bool fake_eos = false;    // no code == eosio.token dispatcher guard
+  bool fake_notif = false;  // no to == _self payee check
+  bool miss_auth = false;   // withdraw lacks require_auth
+  bool blockinfo = false;   // lottery leaf draws randomness from tapos_*
+  bool rollback = false;    // lottery pays out via send_inline
+  int verification_depth = 1;
+};
+
+Sample make_wild_sample(util::Rng& rng, const WildFlags& flags);
+
+}  // namespace wasai::corpus

@@ -1,0 +1,41 @@
+#include "engine/dbg.hpp"
+
+namespace wasai::engine {
+
+void Dbg::record(abi::Name action,
+                 const std::vector<symbolic::ApiCall>& api_calls) {
+  auto& blocked = blocked_[action.value()];
+  blocked.clear();
+  for (const auto& api : api_calls) {
+    if (api.name == "db_store_i64" || api.name == "db_update_i64") {
+      // db_store_i64(scope, table, payer, id, ...): table is argument 1.
+      if (api.args.size() > 1) {
+        if (const auto table = api.args[1].concrete()) {
+          writers_[*table].insert(action.value());
+        }
+      }
+    } else if (api.name == "db_find_i64" || api.name == "db_lowerbound_i64") {
+      // db_find_i64(code, scope, table, id): table is argument 2.
+      if (api.args.size() > 2 && api.ret.has_value()) {
+        if (const auto table = api.args[2].concrete()) {
+          if (api.ret->s32() < 0) blocked.insert(*table);
+        }
+      }
+    }
+  }
+}
+
+std::optional<abi::Name> Dbg::writer_for(abi::Name reader) const {
+  const auto it = blocked_.find(reader.value());
+  if (it == blocked_.end()) return std::nullopt;
+  for (const auto table : it->second) {
+    const auto w = writers_.find(table);
+    if (w == writers_.end()) continue;
+    for (const auto writer : w->second) {
+      if (writer != reader.value()) return abi::Name(writer);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wasai::engine

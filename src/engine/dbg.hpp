@@ -1,0 +1,40 @@
+// The database dependency graph (§3.3.2): table-level reads/writes per
+// action, used to build transaction sequences that satisfy transaction
+// dependency (write the table another action needs before fuzzing it).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "abi/name.hpp"
+#include "symbolic/replayer.hpp"
+
+namespace wasai::engine {
+
+class Dbg {
+ public:
+  /// Update the graph from one executed action's API calls. Reads that
+  /// returned "not found" mark the action as blocked on its table.
+  void record(abi::Name action,
+              const std::vector<symbolic::ApiCall>& api_calls);
+
+  /// An action that writes a table `reader` failed to read, if known.
+  [[nodiscard]] std::optional<abi::Name> writer_for(abi::Name reader) const;
+
+  /// True when `action`'s last run read a table that had no row.
+  [[nodiscard]] bool blocked(abi::Name action) const {
+    const auto it = blocked_.find(action.value());
+    return it != blocked_.end() && !it->second.empty();
+  }
+
+  [[nodiscard]] std::size_t tables_seen() const { return writers_.size(); }
+
+ private:
+  // table id -> actions that wrote it
+  std::map<std::uint64_t, std::set<std::uint64_t>> writers_;
+  // action -> tables whose read came back empty on the last run
+  std::map<std::uint64_t, std::set<std::uint64_t>> blocked_;
+};
+
+}  // namespace wasai::engine

@@ -1,0 +1,218 @@
+#include "engine/fuzzer.hpp"
+
+#include "scanner/facts.hpp"
+#include "symbolic/parallel_solver.hpp"
+
+namespace wasai::engine {
+
+using scanner::PayloadMode;
+
+namespace {
+
+std::vector<abi::Name> default_accounts(const HarnessNames& names) {
+  return {names.attacker, names.victim, names.token, names.fake_token,
+          names.fake_notif, abi::name("lucky"), abi::name("admin")};
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
+               FuzzOptions options)
+    : options_(options),
+      harness_(contract_wasm, std::move(abi), HarnessNames{}),
+      mutator_(util::Rng(options.rng_seed), default_accounts(harness_.names())),
+      scanner_(scanner::Scanner::Config{
+          harness_.names().victim, harness_.names().token,
+          harness_.names().fake_token, harness_.names().fake_notif}),
+      rng_(options.rng_seed ^ 0xfeedfacecafebeefull) {
+  // L2 of Algorithm 1: fill the seed pool with random data. The eosponser
+  // ("transfer") is exercised by the payload modes; Normal mode rotates
+  // over the remaining actions.
+  for (const auto& def : harness_.contract_abi().actions) {
+    if (def.name != abi::name("transfer")) {
+      action_rotation_.push_back(def.name);
+    }
+    for (int i = 0; i < 2; ++i) pool_.add(mutator_.random_seed(def));
+  }
+  // Payload transfers mutate transfer-shaped seeds even when the ABI does
+  // not declare a transfer action.
+  if (harness_.contract_abi().find(abi::name("transfer")) == nullptr) {
+    pool_.add(mutator_.random_seed(abi::transfer_action_def()));
+  }
+  harness_.set_dynamic_senders(options_.dynamic_address_pool);
+}
+
+PayloadMode Fuzzer::schedule(int iteration) const {
+  if (!options_.adversary_payloads) return PayloadMode::Normal;
+  if (iteration == 0) return PayloadMode::ValidTransfer;
+  switch (iteration % 6) {
+    case 1:
+      return PayloadMode::DirectFakeEos;
+    case 2:
+      return PayloadMode::FakeTokenTransfer;
+    case 3:
+      return PayloadMode::FakeNotifForward;
+    case 4:
+      return PayloadMode::ValidTransfer;
+    default:
+      return PayloadMode::Normal;
+  }
+}
+
+Seed Fuzzer::select_seed(PayloadMode mode, int iteration) {
+  const abi::ActionDef transfer_def = abi::transfer_action_def();
+  if (mode != PayloadMode::Normal) {
+    // All payloads are parameterized by a transfer-shaped seed. The fake
+    // payloads revert at patched dispatchers regardless of the seed, so
+    // they peek at the best candidate instead of consuming it — adaptive
+    // seeds stay at the front for the modes that can actually run them.
+    auto seed = (mode == PayloadMode::DirectFakeEos ||
+                 mode == PayloadMode::FakeTokenTransfer)
+                    ? pool_.peek(transfer_def.name)
+                    : pool_.next(transfer_def.name);
+    if (!seed) seed = mutator_.random_seed(transfer_def);
+    if (rng_.chance(0.3)) mutator_.mutate(*seed, transfer_def);
+    return *seed;
+  }
+
+  // Normal mode: §3.3.2's transaction-dependency-aware selection.
+  abi::Name action;
+  if (action_rotation_.empty()) {
+    // Transfer-only contract: another valid payment beats a direct call
+    // that a patched dispatcher would reject anyway.
+    auto seed = pool_.next(transfer_def.name);
+    if (!seed) seed = mutator_.random_seed(transfer_def);
+    return *seed;
+  } else {
+    action = action_rotation_[rotation_pos_++ % action_rotation_.size()];
+    if (options_.use_dbg && dbg_.blocked(action)) {
+      if (const auto writer = dbg_.writer_for(action)) action = *writer;
+    }
+  }
+  const abi::ActionDef* def = harness_.contract_abi().find(action);
+  if (def == nullptr) def = &transfer_def;
+  auto seed = pool_.next(action);
+  if (!seed || rng_.chance(0.25)) {
+    Seed fresh = mutator_.random_seed(*def);
+    if (seed && rng_.chance(0.5)) {
+      fresh = *seed;
+      mutator_.mutate(fresh, *def);
+    }
+    return fresh;
+  }
+  (void)iteration;
+  return *seed;
+}
+
+FuzzReport Fuzzer::run() {
+  const auto start = std::chrono::steady_clock::now();
+  std::set<std::uint64_t> branches;
+
+  for (int i = 0; i < options_.iterations; ++i) {
+    PayloadMode mode = schedule(i);
+    const Seed seed = select_seed(mode, i);
+    if (mode == PayloadMode::Normal &&
+        seed.action == abi::name("transfer")) {
+      mode = PayloadMode::ValidTransfer;  // transfer-only contract
+    }
+
+    chain::TxResult result;
+    switch (mode) {
+      case PayloadMode::ValidTransfer:
+        result = harness_.run_valid_transfer(seed);
+        break;
+      case PayloadMode::DirectFakeEos:
+        result = harness_.run_direct_fake_eos(seed);
+        break;
+      case PayloadMode::FakeTokenTransfer:
+        result = harness_.run_fake_token_transfer(seed);
+        break;
+      case PayloadMode::FakeNotifForward:
+        result = harness_.run_fake_notif_forward(seed);
+        break;
+      case PayloadMode::Normal:
+        result = harness_.run_normal(seed);
+        break;
+    }
+    ++report_.transactions;
+
+    // Vulnerability detection on every victim trace (L7 of Algorithm 1).
+    for (const auto* trace : harness_.victim_traces()) {
+      const auto facts =
+          scanner::extract_facts(*trace, harness_.sites(), harness_.original());
+      scanner_.observe(mode, trace->action, facts, result.success);
+      for (const auto& oracle : custom_oracles_) {
+        oracle->observe(mode, trace->action, facts, result.success);
+      }
+    }
+
+    harness_.accumulate_branches(branches);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    report_.curve.push_back(
+        CoveragePoint{i, elapsed_ms, branches.size()});
+
+    // Symbolic feedback (L8-11 of Algorithm 1).
+    if (options_.symbolic_feedback) {
+      for (const auto* trace : harness_.victim_traces()) {
+        feedback_trace(*trace);
+        break;  // one replay per iteration keeps throughput high
+      }
+    }
+    pool_.trim(options_.max_pool_per_action);
+  }
+
+  report_.scan = scanner_.report();
+  for (const auto& oracle : custom_oracles_) {
+    if (const auto detail = oracle->verdict()) {
+      report_.custom.push_back(
+          scanner::CustomFinding{oracle->id(), *detail});
+    }
+  }
+  report_.distinct_branches = branches.size();
+  return report_;
+}
+
+void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
+  static const abi::ActionDef kTransferDef = abi::transfer_action_def();
+  const abi::ActionDef* def = harness_.contract_abi().find(trace.action);
+  if (def == nullptr && trace.action == kTransferDef.name) {
+    def = &kTransferDef;
+  }
+  if (def == nullptr) return;
+
+  const auto site =
+      symbolic::locate_action_call(trace, harness_.sites(),
+                                   harness_.original(),
+                                   def->params.size() + 1);
+  if (!site) return;
+  if (site->concrete_args.size() != def->params.size() + 1) return;
+  if (harness_.last_params().size() != def->params.size()) return;
+
+  ++report_.replays;
+  try {
+    const auto replayed =
+        symbolic::replay(env_, harness_.original(), harness_.sites(), trace,
+                         *site, *def, harness_.last_params());
+    dbg_.record(trace.action, replayed.api_calls);
+    auto adaptive =
+        options_.parallel_solving
+            ? symbolic::solve_flips_parallel(env_, replayed,
+                                             harness_.last_params(),
+                                             options_.solver,
+                                             options_.solver_threads)
+            : symbolic::solve_flips(env_, replayed, harness_.last_params(),
+                                    options_.solver);
+    report_.solver_queries += adaptive.queries;
+    for (auto& params : adaptive.seeds) {
+      pool_.add_priority(Seed{trace.action, std::move(params)});
+      ++report_.adaptive_seeds;
+    }
+  } catch (const util::Error&) {
+    ++report_.replay_failures;
+  }
+}
+
+}  // namespace wasai::engine

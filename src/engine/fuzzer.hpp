@@ -1,0 +1,92 @@
+// The WASAI fuzzing loop — Algorithm 1: instrument, initiate a local
+// blockchain, then iterate seed selection → execution → trace capture →
+// vulnerability detection → symbolic feedback.
+#pragma once
+
+#include <chrono>
+
+#include "engine/dbg.hpp"
+#include "engine/harness.hpp"
+#include "engine/mutator.hpp"
+#include "scanner/custom.hpp"
+#include "scanner/scanner.hpp"
+#include "symbolic/solver.hpp"
+
+namespace wasai::engine {
+
+struct FuzzOptions {
+  int iterations = 48;
+  std::uint64_t rng_seed = 1;
+  /// Symbolic feedback on/off (off ≈ a blind fuzzer; ablation knob).
+  bool symbolic_feedback = true;
+  /// DBG-guided seed selection (§3.3.2) on/off (ablation knob).
+  bool use_dbg = true;
+  /// Run the adversary payload transactions (§2.3 oracles). Off restricts
+  /// the loop to Normal mode — useful for pure coverage measurements.
+  bool adversary_payloads = true;
+  /// §3.4.4: solve the collected flip constraints on a worker pool instead
+  /// of sequentially (0 threads = hardware concurrency).
+  bool parallel_solving = false;
+  unsigned solver_threads = 0;
+  /// Extension of §4.2's "address pool" future work: let the fuzzer create
+  /// and authorize additional local sender accounts, so contracts that
+  /// serve only specific addresses (e.g. an administrator) can still be
+  /// driven. Off by default — the paper's WASAI lacks this, producing the
+  /// documented Rollback false negatives.
+  bool dynamic_address_pool = false;
+  symbolic::SolverOptions solver{};
+  std::size_t max_pool_per_action = 32;
+};
+
+struct CoveragePoint {
+  int iteration;
+  double elapsed_ms;
+  std::size_t branches;
+};
+
+struct FuzzReport {
+  scanner::Report scan;
+  std::vector<scanner::CustomFinding> custom;  // §5 extension detectors
+  std::size_t distinct_branches = 0;
+  std::vector<CoveragePoint> curve;
+  std::size_t transactions = 0;
+  std::size_t adaptive_seeds = 0;
+  std::size_t solver_queries = 0;
+  std::size_t replays = 0;
+  std::size_t replay_failures = 0;
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
+         FuzzOptions options = {});
+
+  FuzzReport run();
+
+  /// Register a §5-style extension detector; call before run().
+  void add_oracle(std::shared_ptr<scanner::CustomOracle> oracle) {
+    custom_oracles_.push_back(std::move(oracle));
+  }
+
+  [[nodiscard]] ChainHarness& harness() { return harness_; }
+
+ private:
+  scanner::PayloadMode schedule(int iteration) const;
+  Seed select_seed(scanner::PayloadMode mode, int iteration);
+  void feedback_trace(const instrument::ActionTrace& trace);
+
+  FuzzOptions options_;
+  ChainHarness harness_;
+  Mutator mutator_;
+  SeedPool pool_;
+  Dbg dbg_;
+  scanner::Scanner scanner_;
+  symbolic::Z3Env env_;
+  FuzzReport report_;
+  std::vector<abi::Name> action_rotation_;
+  std::vector<std::shared_ptr<scanner::CustomOracle>> custom_oracles_;
+  std::size_t rotation_pos_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace wasai::engine

@@ -1,0 +1,57 @@
+#include "engine/mutator.hpp"
+
+namespace wasai::engine {
+
+using abi::ParamType;
+using abi::ParamValue;
+
+Seed Mutator::random_seed(const abi::ActionDef& def) {
+  Seed seed;
+  seed.action = def.name;
+  seed.params.reserve(def.params.size());
+  for (const auto type : def.params) seed.params.push_back(random_value(type));
+  return seed;
+}
+
+void Mutator::mutate(Seed& seed, const abi::ActionDef& def) {
+  if (seed.params.empty()) return;
+  const auto i = rng_.below(seed.params.size());
+  seed.params[i] = random_value(def.params[i]);
+}
+
+ParamValue Mutator::random_value(ParamType type) {
+  switch (type) {
+    case ParamType::Name:
+      if (!accounts_.empty() && rng_.chance(0.7)) {
+        return rng_.pick(accounts_);
+      }
+      return abi::Name(rng_.next());
+    case ParamType::Asset: {
+      // Mostly well-formed EOS amounts; occasionally weird symbols.
+      const std::int64_t amount =
+          rng_.chance(0.8) ? rng_.range(0, 1'000'0000) : rng_.range(-100, 100);
+      const abi::Symbol sym =
+          rng_.chance(0.9)
+              ? abi::eos_symbol()
+              : abi::Symbol::from_code(
+                    static_cast<std::uint8_t>(rng_.below(10)), "FAKE");
+      return abi::Asset{amount, sym};
+    }
+    case ParamType::String:
+      // Memos stay >= 4 chars so memo-byte verification conditions always
+      // have bound symbolic content to solve over.
+      return rng_.name_chars(4 + rng_.below(9));
+    case ParamType::U64:
+      return rng_.chance(0.5) ? static_cast<std::uint64_t>(rng_.below(1000))
+                              : rng_.next();
+    case ParamType::I64:
+      return rng_.range(-1'000'000, 1'000'000);
+    case ParamType::U32:
+      return static_cast<std::uint32_t>(rng_.next());
+    case ParamType::F64:
+      return rng_.uniform() * 1000.0;
+  }
+  return std::uint64_t{0};
+}
+
+}  // namespace wasai::engine

@@ -1,0 +1,30 @@
+// Random seed generation and structure-aware mutation. Adaptive seeds come
+// from the solver (§3.4.4); this provides the initial random pool and the
+// exploration mutations between solver rounds.
+#pragma once
+
+#include "abi/abi_def.hpp"
+#include "engine/seed.hpp"
+#include "util/rng.hpp"
+
+namespace wasai::engine {
+
+class Mutator {
+ public:
+  Mutator(util::Rng rng, std::vector<abi::Name> account_pool)
+      : rng_(rng), accounts_(std::move(account_pool)) {}
+
+  /// Fresh random parameters for an action signature.
+  Seed random_seed(const abi::ActionDef& def);
+
+  /// Mutate one randomly chosen parameter in place.
+  void mutate(Seed& seed, const abi::ActionDef& def);
+
+ private:
+  abi::ParamValue random_value(abi::ParamType type);
+
+  util::Rng rng_;
+  std::vector<abi::Name> accounts_;
+};
+
+}  // namespace wasai::engine

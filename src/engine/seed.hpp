@@ -1,0 +1,73 @@
+// Seeds (§3.1): Γ⟨φ, ρ⃗⟩ — an action function name plus concrete parameters.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "abi/abi_def.hpp"
+
+namespace wasai::engine {
+
+struct Seed {
+  abi::Name action;                     // φ
+  std::vector<abi::ParamValue> params;  // ρ⃗
+};
+
+/// The seed pool of §3.3.2: one circular queue of candidates per action.
+class SeedPool {
+ public:
+  void add(Seed seed) {
+    pools_[seed.action.value()].push_back(std::move(seed));
+  }
+
+  /// Adaptive seeds go to the front so the very next round executes them —
+  /// the feedback loop of Algorithm 1 (L11: "solve constraints and find
+  /// new seeds") is only effective if solved seeds run promptly.
+  void add_priority(Seed seed) {
+    pools_[seed.action.value()].push_front(std::move(seed));
+  }
+
+  /// Pop the head of φ's queue and push it back to the tail.
+  std::optional<Seed> next(abi::Name action) {
+    const auto it = pools_.find(action.value());
+    if (it == pools_.end() || it->second.empty()) return std::nullopt;
+    Seed seed = it->second.front();
+    it->second.pop_front();
+    it->second.push_back(seed);
+    return seed;
+  }
+
+  /// Front of φ's queue without rotating (used by oracle payloads that
+  /// should reuse the best candidate instead of consuming it).
+  [[nodiscard]] std::optional<Seed> peek(abi::Name action) const {
+    const auto it = pools_.find(action.value());
+    if (it == pools_.end() || it->second.empty()) return std::nullopt;
+    return it->second.front();
+  }
+
+  [[nodiscard]] std::size_t size(abi::Name action) const {
+    const auto it = pools_.find(action.value());
+    return it == pools_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& [_, q] : pools_) n += q.size();
+    return n;
+  }
+
+  /// Bound each queue. The tail holds the seeds that have already been
+  /// rotated through; fresh adaptive seeds sit at the front and survive.
+  void trim(std::size_t max_per_action) {
+    for (auto& [_, q] : pools_) {
+      while (q.size() > max_per_action) q.pop_back();
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, std::deque<Seed>> pools_;
+};
+
+}  // namespace wasai::engine

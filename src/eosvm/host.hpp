@@ -1,0 +1,39 @@
+// Host-function interface: how the EOSVM reaches the blockchain's library
+// APIs (require_auth, db_*, eosio_assert, ...) and the instrumentation trace
+// hooks (trace_*).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "eosvm/value.hpp"
+#include "wasm/types.hpp"
+
+namespace wasai::vm {
+
+class Vm;
+class Instance;
+
+/// Implemented by the chain layer (library APIs) and wrapped by the
+/// instrumentation layer (trace hooks). Bindings are resolved once at
+/// instantiation; calls then dispatch on the integer binding id.
+class HostInterface {
+ public:
+  virtual ~HostInterface() = default;
+
+  /// Resolve an import to a binding id. Throws util::ValidationError when
+  /// the import is unknown or its signature does not match.
+  virtual std::uint32_t bind(std::string_view module, std::string_view field,
+                             const wasm::FuncType& type) = 0;
+
+  /// Invoke the bound host function. `instance` gives access to the calling
+  /// contract's linear memory. Returns the result value, if the signature
+  /// has one. May throw util::Trap to abort the transaction.
+  virtual std::optional<Value> call_host(std::uint32_t binding,
+                                         std::span<const Value> args,
+                                         Instance& instance) = 0;
+};
+
+}  // namespace wasai::vm

@@ -1,0 +1,115 @@
+#include "eosvm/instance.hpp"
+
+#include <cstring>
+
+namespace wasai::vm {
+
+using util::Trap;
+using util::ValidationError;
+
+Instance::Instance(std::shared_ptr<const wasm::Module> module,
+                   HostInterface& host)
+    : module_(std::move(module)), host_(&host) {
+  const wasm::Module& m = *module_;
+
+  if (!m.memories.empty()) {
+    const auto& lim = m.memories.front().limits;
+    memory_.assign(static_cast<std::size_t>(lim.min) * wasm::kWasmPageSize, 0);
+    if (lim.max) max_pages = *lim.max;
+  }
+  for (const auto& seg : m.data) {
+    if (static_cast<std::uint64_t>(seg.offset) + seg.bytes.size() >
+        memory_.size()) {
+      throw ValidationError("data segment out of memory bounds");
+    }
+    std::memcpy(memory_.data() + seg.offset, seg.bytes.data(),
+                seg.bytes.size());
+  }
+
+  globals_.reserve(m.globals.size());
+  for (const auto& g : m.globals) {
+    globals_.push_back(Value{g.type.type, g.init_bits});
+  }
+
+  if (!m.tables.empty()) {
+    table_.assign(m.tables.front().limits.min, kNullFuncRef);
+  }
+  for (const auto& seg : m.elements) {
+    if (static_cast<std::uint64_t>(seg.offset) + seg.func_indices.size() >
+        table_.size()) {
+      throw ValidationError("element segment out of table bounds");
+    }
+    for (std::size_t i = 0; i < seg.func_indices.size(); ++i) {
+      table_[seg.offset + i] = seg.func_indices[i];
+    }
+  }
+
+  const auto imported = m.num_imported_functions();
+  bindings_.reserve(imported);
+  for (std::uint32_t f = 0; f < imported; ++f) {
+    const auto& imp = m.function_import(f);
+    bindings_.push_back(
+        host_->bind(imp.module, imp.field, m.types.at(imp.type_index)));
+  }
+
+  control_maps_.resize(m.functions.size());
+}
+
+std::span<std::uint8_t> Instance::memory_at(std::uint64_t addr,
+                                            std::uint64_t len) {
+  if (addr + len > memory_.size() || addr + len < addr) {
+    throw Trap("memory access out of bounds: addr=" + std::to_string(addr) +
+               " len=" + std::to_string(len) +
+               " size=" + std::to_string(memory_.size()));
+  }
+  return {memory_.data() + addr, static_cast<std::size_t>(len)};
+}
+
+std::span<const std::uint8_t> Instance::memory_at(std::uint64_t addr,
+                                                  std::uint64_t len) const {
+  return const_cast<Instance*>(this)->memory_at(addr, len);
+}
+
+std::int32_t Instance::memory_grow(std::uint32_t delta) {
+  const auto current = memory_pages();
+  const std::uint64_t target = static_cast<std::uint64_t>(current) + delta;
+  if (target > max_pages) return -1;
+  memory_.resize(static_cast<std::size_t>(target) * wasm::kWasmPageSize, 0);
+  return static_cast<std::int32_t>(current);
+}
+
+Value Instance::global(std::uint32_t idx) const {
+  if (idx >= globals_.size()) throw Trap("global index out of range");
+  return globals_[idx];
+}
+
+void Instance::set_global(std::uint32_t idx, Value v) {
+  if (idx >= globals_.size()) throw Trap("global index out of range");
+  globals_[idx] = v;
+}
+
+std::uint32_t Instance::table_at(std::uint32_t idx) const {
+  if (idx >= table_.size()) {
+    throw Trap("call_indirect index " + std::to_string(idx) +
+               " out of table bounds");
+  }
+  return table_[idx];
+}
+
+std::uint32_t Instance::host_binding(std::uint32_t func_index) const {
+  if (func_index >= bindings_.size()) {
+    throw Trap("host binding for non-imported function");
+  }
+  return bindings_[func_index];
+}
+
+const wasm::ControlMap& Instance::control_map(std::uint32_t defined_index) {
+  auto& slot = control_maps_.at(defined_index);
+  if (!slot) {
+    slot = std::make_unique<wasm::ControlMap>(
+        wasm::analyze_control(module_->functions[defined_index].body));
+  }
+  return *slot;
+}
+
+}  // namespace wasai::vm

@@ -1,0 +1,65 @@
+// A module instance: code plus mutable runtime state (linear memory, Global
+// section, function table) and resolved host bindings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "eosvm/host.hpp"
+#include "eosvm/value.hpp"
+#include "wasm/control.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::vm {
+
+constexpr std::uint32_t kNullFuncRef = 0xffffffff;
+
+class Instance {
+ public:
+  /// Instantiate: allocates memory, initialises globals/table from the
+  /// module's segments and resolves every function import against `host`.
+  Instance(std::shared_ptr<const wasm::Module> module, HostInterface& host);
+
+  [[nodiscard]] const wasm::Module& module() const { return *module_; }
+  [[nodiscard]] HostInterface& host() { return *host_; }
+
+  // --- linear memory -------------------------------------------------
+  [[nodiscard]] std::size_t memory_size() const { return memory_.size(); }
+  [[nodiscard]] std::uint32_t memory_pages() const {
+    return static_cast<std::uint32_t>(memory_.size() / wasm::kWasmPageSize);
+  }
+  /// Bounds-checked view; throws util::Trap on out-of-bounds.
+  std::span<std::uint8_t> memory_at(std::uint64_t addr, std::uint64_t len);
+  std::span<const std::uint8_t> memory_at(std::uint64_t addr,
+                                          std::uint64_t len) const;
+  /// Grow by `delta` pages; returns previous page count or -1 on failure.
+  std::int32_t memory_grow(std::uint32_t delta);
+
+  // --- globals / table ------------------------------------------------
+  [[nodiscard]] Value global(std::uint32_t idx) const;
+  void set_global(std::uint32_t idx, Value v);
+  /// Resolve a table element to a function index; kNullFuncRef if empty.
+  [[nodiscard]] std::uint32_t table_at(std::uint32_t idx) const;
+
+  /// Host binding id for an imported function (function-space index).
+  [[nodiscard]] std::uint32_t host_binding(std::uint32_t func_index) const;
+
+  /// Control maps are computed lazily per function and cached.
+  const wasm::ControlMap& control_map(std::uint32_t defined_index);
+
+  /// Maximum pages the memory may grow to (EOSIO caps contract memory).
+  std::uint32_t max_pages = 528;  // 33 MiB, the nodeos default
+
+ private:
+  std::shared_ptr<const wasm::Module> module_;
+  HostInterface* host_;
+  std::vector<std::uint8_t> memory_;
+  std::vector<Value> globals_;
+  std::vector<std::uint32_t> table_;
+  std::vector<std::uint32_t> bindings_;
+  std::vector<std::unique_ptr<wasm::ControlMap>> control_maps_;
+};
+
+}  // namespace wasai::vm

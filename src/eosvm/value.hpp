@@ -1,0 +1,60 @@
+// Runtime values of the EOSVM: one of the four Wasm numeric types, stored
+// uniformly as 64 bit patterns.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "wasm/types.hpp"
+
+namespace wasai::vm {
+
+struct Value {
+  wasm::ValType type = wasm::ValType::I32;
+  std::uint64_t bits = 0;
+
+  static Value i32(std::uint32_t v) {
+    return {wasm::ValType::I32, static_cast<std::uint64_t>(v)};
+  }
+  static Value i32s(std::int32_t v) {
+    return i32(static_cast<std::uint32_t>(v));
+  }
+  static Value i64(std::uint64_t v) { return {wasm::ValType::I64, v}; }
+  static Value i64s(std::int64_t v) {
+    return i64(static_cast<std::uint64_t>(v));
+  }
+  static Value f32(float v) {
+    return {wasm::ValType::F32, std::bit_cast<std::uint32_t>(v)};
+  }
+  static Value f64(double v) {
+    return {wasm::ValType::F64, std::bit_cast<std::uint64_t>(v)};
+  }
+  /// Zero value of the given type (initial locals per the Wasm spec).
+  static Value zero(wasm::ValType t) { return {t, 0}; }
+
+  [[nodiscard]] std::uint32_t u32() const {
+    return static_cast<std::uint32_t>(bits);
+  }
+  [[nodiscard]] std::int32_t s32() const {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
+  }
+  [[nodiscard]] std::uint64_t u64() const { return bits; }
+  [[nodiscard]] std::int64_t s64() const {
+    return static_cast<std::int64_t>(bits);
+  }
+  [[nodiscard]] float as_f32() const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+  }
+  [[nodiscard]] double as_f64() const { return std::bit_cast<double>(bits); }
+
+  /// Truthiness of an i32 condition.
+  [[nodiscard]] bool truthy() const { return u32() != 0; }
+
+  bool operator==(const Value&) const = default;
+};
+
+/// Debug rendering, e.g. "i64:42".
+std::string to_string(const Value& v);
+
+}  // namespace wasai::vm

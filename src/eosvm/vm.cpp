@@ -1,0 +1,748 @@
+#include "eosvm/vm.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "wasm/control.hpp"
+
+namespace wasai::vm {
+
+using util::Trap;
+using wasm::Opcode;
+using wasm::ValType;
+
+namespace {
+
+using wasm::ControlMap;
+using wasm::Function;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::kNoMatch;
+using wasm::Module;
+using wasm::Opcode;
+using wasm::ValType;
+
+/// Runtime control-stack entry (one per entered block/loop/if).
+struct Ctrl {
+  std::uint32_t opener;   // index of the block/loop/if instruction
+  std::uint32_t end_idx;  // matching `end`
+  bool is_loop;
+  std::size_t height;  // absolute value-stack height at entry
+  std::uint8_t arity;  // branch arity (block/if: result count; loop: 0)
+};
+
+/// One call-stack frame of a defined function.
+struct Frame {
+  std::uint32_t func_index = 0;
+  const Function* fn = nullptr;
+  const ControlMap* cmap = nullptr;
+  std::vector<Value> locals;
+  std::uint32_t pc = 0;
+  std::size_t stack_base = 0;
+  std::size_t ctrl_base = 0;
+  std::uint8_t result_arity = 0;
+};
+
+class Executor {
+ public:
+  Executor(Instance& inst, const ExecLimits& limits, std::uint64_t& steps)
+      : inst_(inst), limits_(limits), steps_(steps) {}
+
+  std::vector<Value> run(std::uint32_t func_index,
+                         std::span<const Value> args) {
+    const Module& m = inst_.module();
+    if (m.is_imported_function(func_index)) {
+      // Direct host invocation without a Wasm frame.
+      auto result = inst_.host().call_host(inst_.host_binding(func_index),
+                                           args, inst_);
+      std::vector<Value> out;
+      if (result) out.push_back(*result);
+      return out;
+    }
+    push_frame(func_index, args);
+    const std::uint8_t arity = frames_.back().result_arity;
+    while (!frames_.empty()) step();
+    std::vector<Value> out(stack_.end() - arity, stack_.end());
+    return out;
+  }
+
+ private:
+  void step() {
+    if (++steps_ > limits_.max_steps) {
+      throw Trap("step limit exceeded (" + std::to_string(limits_.max_steps) +
+                 ")");
+    }
+    Frame& f = frames_.back();
+    const Instr& ins = f.fn->body[f.pc];
+    switch (ins.op) {
+      // ---- control ----
+      case Opcode::Unreachable:
+        throw Trap("unreachable executed");
+      case Opcode::Nop:
+        ++f.pc;
+        break;
+      case Opcode::Block:
+      case Opcode::Loop: {
+        ctrls_.push_back(Ctrl{f.pc, f.cmap->end_idx[f.pc],
+                              ins.op == Opcode::Loop, stack_.size(),
+                              block_arity(ins)});
+        ++f.pc;
+        break;
+      }
+      case Opcode::If: {
+        const bool cond = pop().truthy();
+        const auto end = f.cmap->end_idx[f.pc];
+        const auto els = f.cmap->else_idx[f.pc];
+        if (cond) {
+          ctrls_.push_back(
+              Ctrl{f.pc, end, false, stack_.size(), block_arity(ins)});
+          ++f.pc;
+        } else if (els != kNoMatch) {
+          ctrls_.push_back(
+              Ctrl{f.pc, end, false, stack_.size(), block_arity(ins)});
+          f.pc = els + 1;
+        } else {
+          f.pc = end + 1;  // empty else: skip block entirely
+        }
+        break;
+      }
+      case Opcode::Else: {
+        // Reached by falling out of the then-branch: jump past the end.
+        const Ctrl c = ctrls_.back();
+        ctrls_.pop_back();
+        f.pc = c.end_idx + 1;
+        break;
+      }
+      case Opcode::End: {
+        if (ctrls_.size() == f.ctrl_base) {
+          pop_frame();
+        } else {
+          ctrls_.pop_back();
+          ++f.pc;
+        }
+        break;
+      }
+      case Opcode::Br:
+        branch(f, ins.a);
+        break;
+      case Opcode::BrIf: {
+        if (pop().truthy()) {
+          branch(f, ins.a);
+        } else {
+          ++f.pc;
+        }
+        break;
+      }
+      case Opcode::BrTable: {
+        const std::uint32_t idx = pop().u32();
+        const std::uint32_t depth =
+            idx < ins.table.size() ? ins.table[idx] : ins.a;
+        branch(f, depth);
+        break;
+      }
+      case Opcode::Return:
+        pop_frame();
+        break;
+      case Opcode::Call:
+        do_call(ins.a, f);
+        break;
+      case Opcode::CallIndirect: {
+        const std::uint32_t elem = pop().u32();
+        const std::uint32_t target = inst_.table_at(elem);
+        if (target == kNullFuncRef) {
+          throw Trap("call_indirect to null table entry " +
+                     std::to_string(elem));
+        }
+        const FuncType& expected = inst_.module().types.at(ins.a);
+        if (inst_.module().function_type(target) != expected) {
+          throw Trap("call_indirect signature mismatch");
+        }
+        do_call(target, f);
+        break;
+      }
+
+      // ---- parametric ----
+      case Opcode::Drop:
+        pop();
+        ++f.pc;
+        break;
+      case Opcode::Select: {
+        const Value cond = pop();
+        const Value v2 = pop();
+        const Value v1 = pop();
+        push(cond.truthy() ? v1 : v2);
+        ++f.pc;
+        break;
+      }
+
+      // ---- variable ----
+      case Opcode::LocalGet:
+        push(f.locals.at(ins.a));
+        ++f.pc;
+        break;
+      case Opcode::LocalSet:
+        f.locals.at(ins.a) = pop();
+        ++f.pc;
+        break;
+      case Opcode::LocalTee:
+        f.locals.at(ins.a) = stack_.back();
+        ++f.pc;
+        break;
+      case Opcode::GlobalGet:
+        push(inst_.global(ins.a));
+        ++f.pc;
+        break;
+      case Opcode::GlobalSet:
+        inst_.set_global(ins.a, pop());
+        ++f.pc;
+        break;
+
+      // ---- memory ----
+      case Opcode::MemorySize:
+        push(Value::i32(inst_.memory_pages()));
+        ++f.pc;
+        break;
+      case Opcode::MemoryGrow: {
+        const std::uint32_t delta = pop().u32();
+        push(Value::i32s(inst_.memory_grow(delta)));
+        ++f.pc;
+        break;
+      }
+
+      default: {
+        const auto& info = wasm::op_info(ins.op);
+        switch (info.cls) {
+          case wasm::OpClass::Load:
+            do_load(ins, info);
+            break;
+          case wasm::OpClass::Store:
+            do_store(ins, info);
+            break;
+          case wasm::OpClass::Const:
+            push(Value{info.result, const_bits(ins, info)});
+            break;
+          case wasm::OpClass::Unary:
+            push(eval_unary_op(ins.op, pop()));
+            break;
+          case wasm::OpClass::Binary: {
+            const Value rhs = pop();
+            const Value lhs = pop();
+            push(eval_binary_op(ins.op, lhs, rhs));
+            break;
+          }
+          default:
+            throw Trap(std::string("unhandled opcode ") + info.name);
+        }
+        ++f.pc;
+        break;
+      }
+    }
+  }
+
+  static std::uint8_t block_arity(const Instr& ins) {
+    return ins.a == wasm::kBlockVoid ? 0 : 1;
+  }
+
+  static std::uint64_t const_bits(const Instr& ins, const wasm::OpInfo& info) {
+    // i32 constants must be stored truncated to 32 bits on the stack.
+    if (info.result == ValType::I32 || info.result == ValType::F32) {
+      return static_cast<std::uint32_t>(ins.imm);
+    }
+    return ins.imm;
+  }
+
+  void push(Value v) {
+    if (stack_.size() >= limits_.max_value_stack) {
+      throw Trap("value stack overflow");
+    }
+    stack_.push_back(v);
+  }
+
+  Value pop() {
+    if (stack_.empty()) throw Trap("value stack underflow (vm bug)");
+    const Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  void push_frame(std::uint32_t func_index, std::span<const Value> args) {
+    if (frames_.size() >= limits_.max_call_depth) {
+      throw Trap("call depth limit exceeded");
+    }
+    const Module& m = inst_.module();
+    const std::uint32_t defined_index =
+        func_index - m.num_imported_functions();
+    const Function& fn = m.functions.at(defined_index);
+    const FuncType& ft = m.types.at(fn.type_index);
+    if (args.size() != ft.params.size()) {
+      throw Trap("argument count mismatch calling function " +
+                 std::to_string(func_index));
+    }
+    Frame frame;
+    frame.func_index = func_index;
+    frame.fn = &fn;
+    frame.cmap = &inst_.control_map(defined_index);
+    frame.locals.assign(args.begin(), args.end());
+    for (const auto t : fn.locals) frame.locals.push_back(Value::zero(t));
+    frame.stack_base = stack_.size();
+    frame.ctrl_base = ctrls_.size();
+    frame.result_arity = static_cast<std::uint8_t>(ft.results.size());
+    frames_.push_back(std::move(frame));
+  }
+
+  void pop_frame() {
+    Frame& f = frames_.back();
+    const std::uint8_t arity = f.result_arity;
+    // Move the results down to the frame's base.
+    for (std::uint8_t i = 0; i < arity; ++i) {
+      stack_[f.stack_base + i] = stack_[stack_.size() - arity + i];
+    }
+    stack_.resize(f.stack_base + arity);
+    ctrls_.resize(f.ctrl_base);
+    frames_.pop_back();
+    if (!frames_.empty()) ++frames_.back().pc;
+  }
+
+  void branch(Frame& f, std::uint32_t depth) {
+    const auto target = static_cast<std::int64_t>(ctrls_.size()) - 1 - depth;
+    if (target < static_cast<std::int64_t>(f.ctrl_base)) {
+      pop_frame();  // branch to the implicit function label == return
+      return;
+    }
+    const Ctrl c = ctrls_[static_cast<std::size_t>(target)];
+    if (c.is_loop) {
+      ctrls_.resize(static_cast<std::size_t>(target) + 1);
+      stack_.resize(c.height);
+      f.pc = c.opener + 1;
+    } else {
+      for (std::uint8_t i = 0; i < c.arity; ++i) {
+        stack_[c.height + i] = stack_[stack_.size() - c.arity + i];
+      }
+      stack_.resize(c.height + c.arity);
+      ctrls_.resize(static_cast<std::size_t>(target));
+      f.pc = c.end_idx + 1;
+    }
+  }
+
+  void do_call(std::uint32_t func_index, Frame& f) {
+    const Module& m = inst_.module();
+    const FuncType& ft = m.function_type(func_index);
+    if (m.is_imported_function(func_index)) {
+      const std::size_t nargs = ft.params.size();
+      if (stack_.size() < nargs) throw Trap("host call underflow (vm bug)");
+      std::span<const Value> args(stack_.data() + stack_.size() - nargs,
+                                  nargs);
+      auto result = inst_.host().call_host(inst_.host_binding(func_index),
+                                           args, inst_);
+      stack_.resize(stack_.size() - nargs);
+      if (!ft.results.empty()) {
+        if (!result) throw Trap("host function returned no value");
+        push(Value{ft.results.front(), result->bits});
+      }
+      ++f.pc;
+    } else {
+      const std::size_t nargs = ft.params.size();
+      if (stack_.size() < nargs) throw Trap("call underflow (vm bug)");
+      std::span<const Value> args(stack_.data() + stack_.size() - nargs,
+                                  nargs);
+      // Copy args before shrinking the stack; push_frame copies them.
+      std::vector<Value> arg_copy(args.begin(), args.end());
+      stack_.resize(stack_.size() - nargs);
+      push_frame(func_index, arg_copy);
+      // pc of the caller is advanced when the callee's frame pops.
+    }
+  }
+
+  void do_load(const Instr& ins, const wasm::OpInfo& info) {
+    const std::uint64_t addr =
+        static_cast<std::uint64_t>(pop().u32()) + ins.b;
+    const auto bytes = inst_.memory_at(addr, info.access_bytes);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, bytes.data(), info.access_bytes);
+    if (info.sign_extend) {
+      const int shift = 64 - info.access_bytes * 8;
+      raw = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(raw << shift) >> shift);
+    }
+    if (info.result == ValType::I32 || info.result == ValType::F32) {
+      raw = static_cast<std::uint32_t>(raw);
+    }
+    push(Value{info.result, raw});
+  }
+
+  void do_store(const Instr& ins, const wasm::OpInfo& info) {
+    const Value value = pop();
+    const std::uint64_t addr =
+        static_cast<std::uint64_t>(pop().u32()) + ins.b;
+    const auto bytes = inst_.memory_at(addr, info.access_bytes);
+    const std::uint64_t raw = value.bits;
+    std::memcpy(bytes.data(), &raw, info.access_bytes);
+  }
+
+  Instance& inst_;
+  const ExecLimits& limits_;
+  std::uint64_t& steps_;
+  std::vector<Value> stack_;
+  std::vector<Ctrl> ctrls_;
+  std::vector<Frame> frames_;
+};
+
+template <typename T>
+T trunc_checked(double operand, const char* what) {
+  if (std::isnan(operand)) throw Trap(std::string("trunc of NaN in ") + what);
+  const double t = std::trunc(operand);
+  // Exact-range check: the representable window for the target type.
+  if constexpr (std::is_same_v<T, std::int32_t>) {
+    if (t < -2147483648.0 || t > 2147483647.0) {
+      throw Trap(std::string("integer overflow in ") + what);
+    }
+  } else if constexpr (std::is_same_v<T, std::uint32_t>) {
+    if (t < 0.0 || t > 4294967295.0) {
+      throw Trap(std::string("integer overflow in ") + what);
+    }
+  } else if constexpr (std::is_same_v<T, std::int64_t>) {
+    if (t < -9223372036854775808.0 || t >= 9223372036854775808.0) {
+      throw Trap(std::string("integer overflow in ") + what);
+    }
+  } else {
+    if (t <= -1.0 || t >= 18446744073709551616.0) {
+      throw Trap(std::string("integer overflow in ") + what);
+    }
+  }
+  return static_cast<T>(t);
+}
+
+float fnearest(float x) { return std::nearbyintf(x); }
+double fnearest(double x) { return std::nearbyint(x); }
+
+template <typename F>
+F fmin_wasm(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<F>::quiet_NaN();
+  }
+  if (a == 0 && b == 0) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+
+template <typename F>
+F fmax_wasm(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<F>::quiet_NaN();
+  }
+  if (a == 0 && b == 0) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+}  // namespace
+
+Value eval_unary_op(Opcode op, Value x) {
+  switch (op) {
+    case Opcode::I32Eqz:
+      return Value::i32(x.u32() == 0);
+    case Opcode::I64Eqz:
+      return Value::i32(x.u64() == 0);
+    case Opcode::I32Clz:
+      return Value::i32(std::countl_zero(x.u32()));
+    case Opcode::I32Ctz:
+      return Value::i32(std::countr_zero(x.u32()));
+    case Opcode::I32Popcnt:
+      return Value::i32(std::popcount(x.u32()));
+    case Opcode::I64Clz:
+      return Value::i64(std::countl_zero(x.u64()));
+    case Opcode::I64Ctz:
+      return Value::i64(std::countr_zero(x.u64()));
+    case Opcode::I64Popcnt:
+      return Value::i64(std::popcount(x.u64()));
+    case Opcode::F32Abs:
+      return Value::f32(std::fabs(x.as_f32()));
+    case Opcode::F32Neg:
+      return Value::f32(-x.as_f32());
+    case Opcode::F32Ceil:
+      return Value::f32(std::ceil(x.as_f32()));
+    case Opcode::F32Floor:
+      return Value::f32(std::floor(x.as_f32()));
+    case Opcode::F32Trunc:
+      return Value::f32(std::trunc(x.as_f32()));
+    case Opcode::F32Nearest:
+      return Value::f32(fnearest(x.as_f32()));
+    case Opcode::F32Sqrt:
+      return Value::f32(std::sqrt(x.as_f32()));
+    case Opcode::F64Abs:
+      return Value::f64(std::fabs(x.as_f64()));
+    case Opcode::F64Neg:
+      return Value::f64(-x.as_f64());
+    case Opcode::F64Ceil:
+      return Value::f64(std::ceil(x.as_f64()));
+    case Opcode::F64Floor:
+      return Value::f64(std::floor(x.as_f64()));
+    case Opcode::F64Trunc:
+      return Value::f64(std::trunc(x.as_f64()));
+    case Opcode::F64Nearest:
+      return Value::f64(fnearest(x.as_f64()));
+    case Opcode::F64Sqrt:
+      return Value::f64(std::sqrt(x.as_f64()));
+    // Conversions
+    case Opcode::I32WrapI64:
+      return Value::i32(static_cast<std::uint32_t>(x.u64()));
+    case Opcode::I32TruncF32S:
+      return Value::i32s(trunc_checked<std::int32_t>(x.as_f32(), "i32.trunc_f32_s"));
+    case Opcode::I32TruncF32U:
+      return Value::i32(trunc_checked<std::uint32_t>(x.as_f32(), "i32.trunc_f32_u"));
+    case Opcode::I32TruncF64S:
+      return Value::i32s(trunc_checked<std::int32_t>(x.as_f64(), "i32.trunc_f64_s"));
+    case Opcode::I32TruncF64U:
+      return Value::i32(trunc_checked<std::uint32_t>(x.as_f64(), "i32.trunc_f64_u"));
+    case Opcode::I64ExtendI32S:
+      return Value::i64s(x.s32());
+    case Opcode::I64ExtendI32U:
+      return Value::i64(x.u32());
+    case Opcode::I64TruncF32S:
+      return Value::i64s(trunc_checked<std::int64_t>(x.as_f32(), "i64.trunc_f32_s"));
+    case Opcode::I64TruncF32U:
+      return Value::i64(trunc_checked<std::uint64_t>(x.as_f32(), "i64.trunc_f32_u"));
+    case Opcode::I64TruncF64S:
+      return Value::i64s(trunc_checked<std::int64_t>(x.as_f64(), "i64.trunc_f64_s"));
+    case Opcode::I64TruncF64U:
+      return Value::i64(trunc_checked<std::uint64_t>(x.as_f64(), "i64.trunc_f64_u"));
+    case Opcode::F32ConvertI32S:
+      return Value::f32(static_cast<float>(x.s32()));
+    case Opcode::F32ConvertI32U:
+      return Value::f32(static_cast<float>(x.u32()));
+    case Opcode::F32ConvertI64S:
+      return Value::f32(static_cast<float>(x.s64()));
+    case Opcode::F32ConvertI64U:
+      return Value::f32(static_cast<float>(x.u64()));
+    case Opcode::F32DemoteF64:
+      return Value::f32(static_cast<float>(x.as_f64()));
+    case Opcode::F64ConvertI32S:
+      return Value::f64(static_cast<double>(x.s32()));
+    case Opcode::F64ConvertI32U:
+      return Value::f64(static_cast<double>(x.u32()));
+    case Opcode::F64ConvertI64S:
+      return Value::f64(static_cast<double>(x.s64()));
+    case Opcode::F64ConvertI64U:
+      return Value::f64(static_cast<double>(x.u64()));
+    case Opcode::F64PromoteF32:
+      return Value::f64(static_cast<double>(x.as_f32()));
+    case Opcode::I32ReinterpretF32:
+      return Value::i32(static_cast<std::uint32_t>(x.bits));
+    case Opcode::I64ReinterpretF64:
+      return Value::i64(x.bits);
+    case Opcode::F32ReinterpretI32:
+      return Value{ValType::F32, static_cast<std::uint32_t>(x.bits)};
+    case Opcode::F64ReinterpretI64:
+      return Value{ValType::F64, x.bits};
+    default:
+      throw Trap(std::string("unhandled unary op ") + wasm::op_info(op).name);
+  }
+}
+
+Value eval_binary_op(Opcode op, Value lhs, Value rhs) {
+  switch (op) {
+    // i32 relational
+    case Opcode::I32Eq:
+      return Value::i32(lhs.u32() == rhs.u32());
+    case Opcode::I32Ne:
+      return Value::i32(lhs.u32() != rhs.u32());
+    case Opcode::I32LtS:
+      return Value::i32(lhs.s32() < rhs.s32());
+    case Opcode::I32LtU:
+      return Value::i32(lhs.u32() < rhs.u32());
+    case Opcode::I32GtS:
+      return Value::i32(lhs.s32() > rhs.s32());
+    case Opcode::I32GtU:
+      return Value::i32(lhs.u32() > rhs.u32());
+    case Opcode::I32LeS:
+      return Value::i32(lhs.s32() <= rhs.s32());
+    case Opcode::I32LeU:
+      return Value::i32(lhs.u32() <= rhs.u32());
+    case Opcode::I32GeS:
+      return Value::i32(lhs.s32() >= rhs.s32());
+    case Opcode::I32GeU:
+      return Value::i32(lhs.u32() >= rhs.u32());
+    // i64 relational
+    case Opcode::I64Eq:
+      return Value::i32(lhs.u64() == rhs.u64());
+    case Opcode::I64Ne:
+      return Value::i32(lhs.u64() != rhs.u64());
+    case Opcode::I64LtS:
+      return Value::i32(lhs.s64() < rhs.s64());
+    case Opcode::I64LtU:
+      return Value::i32(lhs.u64() < rhs.u64());
+    case Opcode::I64GtS:
+      return Value::i32(lhs.s64() > rhs.s64());
+    case Opcode::I64GtU:
+      return Value::i32(lhs.u64() > rhs.u64());
+    case Opcode::I64LeS:
+      return Value::i32(lhs.s64() <= rhs.s64());
+    case Opcode::I64LeU:
+      return Value::i32(lhs.u64() <= rhs.u64());
+    case Opcode::I64GeS:
+      return Value::i32(lhs.s64() >= rhs.s64());
+    case Opcode::I64GeU:
+      return Value::i32(lhs.u64() >= rhs.u64());
+    // f32/f64 relational
+    case Opcode::F32Eq:
+      return Value::i32(lhs.as_f32() == rhs.as_f32());
+    case Opcode::F32Ne:
+      return Value::i32(lhs.as_f32() != rhs.as_f32());
+    case Opcode::F32Lt:
+      return Value::i32(lhs.as_f32() < rhs.as_f32());
+    case Opcode::F32Gt:
+      return Value::i32(lhs.as_f32() > rhs.as_f32());
+    case Opcode::F32Le:
+      return Value::i32(lhs.as_f32() <= rhs.as_f32());
+    case Opcode::F32Ge:
+      return Value::i32(lhs.as_f32() >= rhs.as_f32());
+    case Opcode::F64Eq:
+      return Value::i32(lhs.as_f64() == rhs.as_f64());
+    case Opcode::F64Ne:
+      return Value::i32(lhs.as_f64() != rhs.as_f64());
+    case Opcode::F64Lt:
+      return Value::i32(lhs.as_f64() < rhs.as_f64());
+    case Opcode::F64Gt:
+      return Value::i32(lhs.as_f64() > rhs.as_f64());
+    case Opcode::F64Le:
+      return Value::i32(lhs.as_f64() <= rhs.as_f64());
+    case Opcode::F64Ge:
+      return Value::i32(lhs.as_f64() >= rhs.as_f64());
+    // i32 arithmetic
+    case Opcode::I32Add:
+      return Value::i32(lhs.u32() + rhs.u32());
+    case Opcode::I32Sub:
+      return Value::i32(lhs.u32() - rhs.u32());
+    case Opcode::I32Mul:
+      return Value::i32(lhs.u32() * rhs.u32());
+    case Opcode::I32DivS: {
+      if (rhs.s32() == 0) throw Trap("i32.div_s by zero");
+      if (lhs.s32() == INT32_MIN && rhs.s32() == -1) {
+        throw Trap("i32.div_s overflow");
+      }
+      return Value::i32s(lhs.s32() / rhs.s32());
+    }
+    case Opcode::I32DivU:
+      if (rhs.u32() == 0) throw Trap("i32.div_u by zero");
+      return Value::i32(lhs.u32() / rhs.u32());
+    case Opcode::I32RemS: {
+      if (rhs.s32() == 0) throw Trap("i32.rem_s by zero");
+      if (lhs.s32() == INT32_MIN && rhs.s32() == -1) return Value::i32(0);
+      return Value::i32s(lhs.s32() % rhs.s32());
+    }
+    case Opcode::I32RemU:
+      if (rhs.u32() == 0) throw Trap("i32.rem_u by zero");
+      return Value::i32(lhs.u32() % rhs.u32());
+    case Opcode::I32And:
+      return Value::i32(lhs.u32() & rhs.u32());
+    case Opcode::I32Or:
+      return Value::i32(lhs.u32() | rhs.u32());
+    case Opcode::I32Xor:
+      return Value::i32(lhs.u32() ^ rhs.u32());
+    case Opcode::I32Shl:
+      return Value::i32(lhs.u32() << (rhs.u32() & 31));
+    case Opcode::I32ShrS:
+      return Value::i32s(lhs.s32() >> (rhs.u32() & 31));
+    case Opcode::I32ShrU:
+      return Value::i32(lhs.u32() >> (rhs.u32() & 31));
+    case Opcode::I32Rotl:
+      return Value::i32(std::rotl(lhs.u32(), static_cast<int>(rhs.u32() & 31)));
+    case Opcode::I32Rotr:
+      return Value::i32(std::rotr(lhs.u32(), static_cast<int>(rhs.u32() & 31)));
+    // i64 arithmetic
+    case Opcode::I64Add:
+      return Value::i64(lhs.u64() + rhs.u64());
+    case Opcode::I64Sub:
+      return Value::i64(lhs.u64() - rhs.u64());
+    case Opcode::I64Mul:
+      return Value::i64(lhs.u64() * rhs.u64());
+    case Opcode::I64DivS: {
+      if (rhs.s64() == 0) throw Trap("i64.div_s by zero");
+      if (lhs.s64() == INT64_MIN && rhs.s64() == -1) {
+        throw Trap("i64.div_s overflow");
+      }
+      return Value::i64s(lhs.s64() / rhs.s64());
+    }
+    case Opcode::I64DivU:
+      if (rhs.u64() == 0) throw Trap("i64.div_u by zero");
+      return Value::i64(lhs.u64() / rhs.u64());
+    case Opcode::I64RemS: {
+      if (rhs.s64() == 0) throw Trap("i64.rem_s by zero");
+      if (lhs.s64() == INT64_MIN && rhs.s64() == -1) return Value::i64(0);
+      return Value::i64s(lhs.s64() % rhs.s64());
+    }
+    case Opcode::I64RemU:
+      if (rhs.u64() == 0) throw Trap("i64.rem_u by zero");
+      return Value::i64(lhs.u64() % rhs.u64());
+    case Opcode::I64And:
+      return Value::i64(lhs.u64() & rhs.u64());
+    case Opcode::I64Or:
+      return Value::i64(lhs.u64() | rhs.u64());
+    case Opcode::I64Xor:
+      return Value::i64(lhs.u64() ^ rhs.u64());
+    case Opcode::I64Shl:
+      return Value::i64(lhs.u64() << (rhs.u64() & 63));
+    case Opcode::I64ShrS:
+      return Value::i64s(lhs.s64() >> (rhs.u64() & 63));
+    case Opcode::I64ShrU:
+      return Value::i64(lhs.u64() >> (rhs.u64() & 63));
+    case Opcode::I64Rotl:
+      return Value::i64(std::rotl(lhs.u64(), static_cast<int>(rhs.u64() & 63)));
+    case Opcode::I64Rotr:
+      return Value::i64(std::rotr(lhs.u64(), static_cast<int>(rhs.u64() & 63)));
+    // f32 arithmetic
+    case Opcode::F32Add:
+      return Value::f32(lhs.as_f32() + rhs.as_f32());
+    case Opcode::F32Sub:
+      return Value::f32(lhs.as_f32() - rhs.as_f32());
+    case Opcode::F32Mul:
+      return Value::f32(lhs.as_f32() * rhs.as_f32());
+    case Opcode::F32Div:
+      return Value::f32(lhs.as_f32() / rhs.as_f32());
+    case Opcode::F32Min:
+      return Value::f32(fmin_wasm(lhs.as_f32(), rhs.as_f32()));
+    case Opcode::F32Max:
+      return Value::f32(fmax_wasm(lhs.as_f32(), rhs.as_f32()));
+    case Opcode::F32Copysign:
+      return Value::f32(std::copysign(lhs.as_f32(), rhs.as_f32()));
+    // f64 arithmetic
+    case Opcode::F64Add:
+      return Value::f64(lhs.as_f64() + rhs.as_f64());
+    case Opcode::F64Sub:
+      return Value::f64(lhs.as_f64() - rhs.as_f64());
+    case Opcode::F64Mul:
+      return Value::f64(lhs.as_f64() * rhs.as_f64());
+    case Opcode::F64Div:
+      return Value::f64(lhs.as_f64() / rhs.as_f64());
+    case Opcode::F64Min:
+      return Value::f64(fmin_wasm(lhs.as_f64(), rhs.as_f64()));
+    case Opcode::F64Max:
+      return Value::f64(fmax_wasm(lhs.as_f64(), rhs.as_f64()));
+    case Opcode::F64Copysign:
+      return Value::f64(std::copysign(lhs.as_f64(), rhs.as_f64()));
+    default:
+      throw Trap(std::string("unhandled binary op ") + wasm::op_info(op).name);
+  }
+}
+
+std::vector<Value> Vm::invoke(Instance& instance, std::uint32_t func_index,
+                              std::span<const Value> args) {
+  Executor exec(instance, limits_, steps_);
+  return exec.run(func_index, args);
+}
+
+std::string to_string(const Value& v) {
+  switch (v.type) {
+    case ValType::I32:
+      return "i32:" + std::to_string(v.s32());
+    case ValType::I64:
+      return "i64:" + std::to_string(v.s64());
+    case ValType::F32:
+      return "f32:" + std::to_string(v.as_f32());
+    case ValType::F64:
+      return "f64:" + std::to_string(v.as_f64());
+  }
+  return "?";
+}
+
+}  // namespace wasai::vm

@@ -1,0 +1,50 @@
+// The EOSVM interpreter: a stack-based Wasm executor with a call stack,
+// Local/Global sections and a byte-addressable linear memory, as described
+// in §2.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eosvm/instance.hpp"
+#include "eosvm/value.hpp"
+
+namespace wasai::vm {
+
+/// Resource bounds for one execution (the chain layer uses one Vm per
+/// transaction, so the step budget covers all actions in it).
+struct ExecLimits {
+  std::uint64_t max_steps = 20'000'000;
+  std::uint32_t max_call_depth = 192;
+  std::size_t max_value_stack = 1 << 16;
+};
+
+/// Concrete evaluation of a unary/conversion instruction (shared with the
+/// symbolic replayer's concrete-fallback paths). Throws util::Trap on
+/// trapping inputs (e.g. trunc of NaN).
+Value eval_unary_op(wasm::Opcode op, Value x);
+
+/// Concrete evaluation of a binary/relational instruction.
+Value eval_binary_op(wasm::Opcode op, Value lhs, Value rhs);
+
+class Vm {
+ public:
+  explicit Vm(ExecLimits limits = {}) : limits_(limits) {}
+
+  /// Execute a function (by function-space index) with the given arguments.
+  /// Returns the result values (empty or one element in the MVP). Throws
+  /// util::Trap on any runtime fault, including limit exhaustion.
+  std::vector<Value> invoke(Instance& instance, std::uint32_t func_index,
+                            std::span<const Value> args);
+
+  /// Instructions executed since construction (or the last reset).
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  void reset_steps() { steps_ = 0; }
+
+ private:
+  ExecLimits limits_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace wasai::vm

@@ -1,0 +1,37 @@
+#include "instrument/hooks.hpp"
+
+namespace wasai::instrument {
+
+const std::array<HookDef, static_cast<std::size_t>(HookId::Count)>&
+hook_table() {
+  using wasm::ValType;
+  constexpr ValType I32 = ValType::I32;
+  constexpr ValType I64 = ValType::I64;
+  constexpr ValType F32 = ValType::F32;
+  constexpr ValType F64 = ValType::F64;
+  static const std::array<HookDef, static_cast<std::size_t>(HookId::Count)>
+      defs = {{
+          {"site_v", HookId::SiteV, {{I32}, {}}},
+          {"site_i", HookId::SiteI, {{I32, I32}, {}}},
+          {"site_ii", HookId::SiteII, {{I32, I32, I32}, {}}},
+          {"site_il", HookId::SiteIL, {{I32, I32, I64}, {}}},
+          {"site_if", HookId::SiteIF, {{I32, I32, F32}, {}}},
+          {"site_id", HookId::SiteID, {{I32, I32, F64}, {}}},
+          {"site_ll", HookId::SiteLL, {{I32, I64, I64}, {}}},
+          {"call_d", HookId::CallD, {{I32}, {}}},
+          {"call_i", HookId::CallI, {{I32, I32}, {}}},
+          {"arg_i", HookId::ArgI, {{I32, I32}, {}}},
+          {"arg_l", HookId::ArgL, {{I32, I64}, {}}},
+          {"arg_f", HookId::ArgF, {{I32, F32}, {}}},
+          {"arg_d", HookId::ArgD, {{I32, F64}, {}}},
+          {"post_v", HookId::PostV, {{I32}, {}}},
+          {"post_i", HookId::PostI, {{I32, I32}, {}}},
+          {"post_l", HookId::PostL, {{I32, I64}, {}}},
+          {"post_f", HookId::PostF, {{I32, F32}, {}}},
+          {"post_d", HookId::PostD, {{I32, F64}, {}}},
+          {"func_begin", HookId::FuncBegin, {{I32}, {}}},
+      }};
+  return defs;
+}
+
+}  // namespace wasai::instrument

@@ -1,0 +1,50 @@
+// The low-level hook import set ("wasai" module) the instrumenter injects —
+// our native equivalent of the Wasabi hooks extended with EOSVM library
+// printing APIs (§3.3.1, Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "wasm/types.hpp"
+
+namespace wasai::instrument {
+
+enum class HookId : std::uint32_t {
+  SiteV,    // site_v(site)                  bare instruction event
+  SiteI,    // site_i(site, i32)             one captured i32 operand
+  SiteII,   // site_ii(site, i32, i32)       store: (addr, i32 value)
+  SiteIL,   // site_il(site, i32, i64)       store: (addr, i64 value)
+  SiteIF,   // site_if(site, i32, f32)       store: (addr, f32 value)
+  SiteID,   // site_id(site, i32, f64)       store: (addr, f64 value)
+  SiteLL,   // site_ll(site, i64, i64)       i64.eq/ne operand pair (oracle)
+  CallD,    // call_d(site)                  direct call
+  CallI,    // call_i(site, elem)            indirect call + element index
+  ArgI,     // arg_i(site, i32)              one invocation argument (call_pre)
+  ArgL,     // arg_l(site, i64)
+  ArgF,     // arg_f(site, f32)
+  ArgD,     // arg_d(site, f64)
+  PostV,    // post_v(site)                  call returned, no value
+  PostI,    // post_i(site, i32)
+  PostL,    // post_l(site, i64)
+  PostF,    // post_f(site, f32)
+  PostD,    // post_d(site, f64)
+  FuncBegin,  // func_begin(func_index)
+  Count,
+};
+
+struct HookDef {
+  std::string_view name;
+  HookId id;
+  wasm::FuncType type;
+};
+
+/// Definition table for all hooks (import order == HookId order).
+const std::array<HookDef, static_cast<std::size_t>(HookId::Count)>&
+hook_table();
+
+/// Module name the hooks are imported from.
+inline constexpr std::string_view kHookModule = "wasai";
+
+}  // namespace wasai::instrument

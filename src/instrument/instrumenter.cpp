@@ -1,0 +1,365 @@
+#include "instrument/instrumenter.hpp"
+
+#include <map>
+
+#include "wasm/validator.hpp"
+
+namespace wasai::instrument {
+
+namespace {
+
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Opcode;
+using wasm::OpClass;
+using wasm::ValType;
+
+constexpr std::uint32_t kNumHooks = static_cast<std::uint32_t>(HookId::Count);
+
+/// Per-function rewriting state.
+class FunctionRewriter {
+ public:
+  FunctionRewriter(const Module& original, const wasm::Function& fn,
+                   const wasm::FunctionTyping& typing,
+                   std::uint32_t original_func_index,
+                   std::uint32_t old_func_imports, std::uint32_t hook_base,
+                   std::uint32_t& site_counter, SiteTable& sites)
+      : original_(original),
+        fn_(fn),
+        typing_(typing),
+        original_func_index_(original_func_index),
+        old_func_imports_(old_func_imports),
+        hook_base_(hook_base),
+        site_counter_(site_counter),
+        sites_(sites) {
+    const FuncType& ft = original.types.at(fn.type_index);
+    next_local_ = static_cast<std::uint32_t>(ft.params.size() +
+                                             fn.locals.size());
+    out_.type_index = fn.type_index;
+    out_.locals = fn.locals;
+    out_.name = fn.name;
+  }
+
+  wasm::Function run() {
+    // function_begin hook: labels entry into this function's body.
+    emit_hook1(HookId::FuncBegin,
+               wasm::i32_const(static_cast<std::int32_t>(
+                   original_func_index_)));
+
+    for (std::uint32_t idx = 0; idx < fn_.body.size(); ++idx) {
+      const Instr& ins = fn_.body[idx];
+      const std::uint32_t site = site_counter_++;
+      sites_.sites.push_back(SiteInfo{original_func_index_, idx});
+      emit_pre_hook(ins, typing_.per_instr[idx], site);
+      emit_original(ins);
+      emit_post_hook(ins, typing_.per_instr[idx], site);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Scratch local of the given type; `slot` separates concurrently live
+  /// scratches of the same type.
+  std::uint32_t scratch(ValType type, int slot) {
+    const auto key = std::make_pair(type, slot);
+    const auto it = scratch_.find(key);
+    if (it != scratch_.end()) return it->second;
+    out_.locals.push_back(type);
+    const std::uint32_t idx = next_local_++;
+    scratch_.emplace(key, idx);
+    return idx;
+  }
+
+  std::uint32_t hook_index(HookId id) const {
+    return hook_base_ + static_cast<std::uint32_t>(id);
+  }
+
+  void emit(Instr ins) { out_.body.push_back(std::move(ins)); }
+
+  /// hook(site): i32.const site; call hook
+  void emit_hook0(HookId id, std::uint32_t site) {
+    emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+    emit(wasm::call(hook_index(id)));
+  }
+
+  /// hook(arg): <arg>; call hook — used for func_begin.
+  void emit_hook1(HookId id, Instr arg) {
+    emit(std::move(arg));
+    emit(wasm::call(hook_index(id)));
+  }
+
+  /// Capture the top-of-stack value (type T) without disturbing it, then
+  /// call hook(site, value). Uses the local.tee trick.
+  void emit_capture1(HookId id, std::uint32_t site, ValType type) {
+    const std::uint32_t s = scratch(type, 0);
+    emit(wasm::local_tee(s));
+    emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+    emit(wasm::local_get(s));
+    emit(wasm::call(hook_index(id)));
+  }
+
+  /// Capture the top two values (value of type T on top, i32 address
+  /// below), restore them, then call hook(site, addr, value).
+  void emit_capture_store(HookId id, std::uint32_t site, ValType value_type) {
+    const std::uint32_t sv = scratch(value_type, 0);
+    const std::uint32_t sa =
+        scratch(ValType::I32, value_type == ValType::I32 ? 1 : 0);
+    emit(wasm::local_set(sv));
+    emit(wasm::local_set(sa));
+    emit(wasm::local_get(sa));
+    emit(wasm::local_get(sv));
+    emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+    emit(wasm::local_get(sa));
+    emit(wasm::local_get(sv));
+    emit(wasm::call(hook_index(id)));
+  }
+
+  static HookId store_hook(ValType value_type) {
+    switch (value_type) {
+      case ValType::I32:
+        return HookId::SiteII;
+      case ValType::I64:
+        return HookId::SiteIL;
+      case ValType::F32:
+        return HookId::SiteIF;
+      case ValType::F64:
+        return HookId::SiteID;
+    }
+    return HookId::SiteII;
+  }
+
+  static HookId arg_hook(ValType type) {
+    switch (type) {
+      case ValType::I32:
+        return HookId::ArgI;
+      case ValType::I64:
+        return HookId::ArgL;
+      case ValType::F32:
+        return HookId::ArgF;
+      case ValType::F64:
+        return HookId::ArgD;
+    }
+    return HookId::ArgI;
+  }
+
+  static HookId post_hook(ValType result_type) {
+    switch (result_type) {
+      case ValType::I32:
+        return HookId::PostI;
+      case ValType::I64:
+        return HookId::PostL;
+      case ValType::F32:
+        return HookId::PostF;
+      case ValType::F64:
+        return HookId::PostD;
+    }
+    return HookId::PostI;
+  }
+
+  void emit_pre_hook(const Instr& ins, const wasm::InstrOperands& ops,
+                     std::uint32_t site) {
+    // In provably dead code operand types are unreliable; a bare event is
+    // enough (it never executes anyway, but must stay valid).
+    if (ops.unreachable) {
+      emit_hook0(HookId::SiteV, site);
+      return;
+    }
+    const auto& info = wasm::op_info(ins.op);
+    switch (ins.op) {
+      case Opcode::If:
+      case Opcode::BrIf:
+      case Opcode::BrTable:
+      case Opcode::Select:
+        // Condition / table index / select condition: top i32.
+        emit_capture1(HookId::SiteI, site, ValType::I32);
+        return;
+      case Opcode::Call:
+        // call_pre: duplicate the invocation parameters (Table 1) for calls
+        // into defined functions — the replayer needs them to seed the
+        // action function's Local section without emulating the dispatcher.
+        if (ins.a >= old_func_imports_) {
+          emit_call_args(site, original_.function_type(ins.a).params, false);
+        }
+        emit_hook0(HookId::CallD, site);
+        return;
+      case Opcode::CallIndirect:
+        emit_call_args(site, original_.types.at(ins.a).params, true);
+        return;
+      // The Fake Notif guard oracle (§3.5) inspects the two operands of
+      // executed i64 equality comparisons, so those are captured too.
+      case Opcode::I64Eq:
+      case Opcode::I64Ne:
+        emit_capture_pair(HookId::SiteLL, site, ValType::I64, ValType::I64);
+        return;
+      default:
+        break;
+    }
+    switch (info.cls) {
+      case OpClass::Load:
+        emit_capture1(HookId::SiteI, site, ValType::I32);  // address
+        return;
+      case OpClass::Store:
+        emit_capture_store(store_hook(info.operand), site, info.operand);
+        return;
+      default:
+        emit_hook0(HookId::SiteV, site);
+        return;
+    }
+  }
+
+  /// Capture the arguments of an upcoming call (and, for call_indirect, the
+  /// element index on top): pop everything into scratches, restore, then
+  /// emit one arg event per parameter (in declaration order) and the call
+  /// event itself.
+  void emit_call_args(std::uint32_t site, const std::vector<ValType>& params,
+                      bool indirect) {
+    const std::uint32_t n = static_cast<std::uint32_t>(params.size());
+    const std::uint32_t elem_scratch =
+        indirect ? scratch(ValType::I32, 100) : 0;
+    if (indirect) emit(wasm::local_set(elem_scratch));
+    std::vector<std::uint32_t> slots(n);
+    for (std::uint32_t k = n; k-- > 0;) {
+      slots[k] = scratch(params[k], static_cast<int>(k) + 2);
+      emit(wasm::local_set(slots[k]));
+    }
+    for (std::uint32_t k = 0; k < n; ++k) emit(wasm::local_get(slots[k]));
+    if (indirect) emit(wasm::local_get(elem_scratch));
+    for (std::uint32_t k = 0; k < n; ++k) {
+      emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+      emit(wasm::local_get(slots[k]));
+      emit(wasm::call(hook_index(arg_hook(params[k]))));
+    }
+    if (indirect) {
+      emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+      emit(wasm::local_get(elem_scratch));
+      emit(wasm::call(hook_index(HookId::CallI)));
+    }
+  }
+
+  /// Capture the top two stack values (b on top of a) without type overlap
+  /// concerns, restore, call hook(site, a, b).
+  void emit_capture_pair(HookId id, std::uint32_t site, ValType type_a,
+                         ValType type_b) {
+    const std::uint32_t sb = scratch(type_b, 0);
+    const std::uint32_t sa = scratch(type_a, type_a == type_b ? 1 : 0);
+    emit(wasm::local_set(sb));
+    emit(wasm::local_set(sa));
+    emit(wasm::local_get(sa));
+    emit(wasm::local_get(sb));
+    emit(wasm::i32_const(static_cast<std::int32_t>(site)));
+    emit(wasm::local_get(sa));
+    emit(wasm::local_get(sb));
+    emit(wasm::call(hook_index(id)));
+  }
+
+  void emit_original(const Instr& ins) {
+    Instr copy = ins;
+    if (ins.op == Opcode::Call) {
+      // Remap defined-function targets past the added hook imports.
+      if (copy.a >= old_func_imports_) copy.a += kNumHooks;
+    }
+    emit(std::move(copy));
+  }
+
+  void emit_post_hook(const Instr& ins, const wasm::InstrOperands& ops,
+                      std::uint32_t site) {
+    if (ins.op != Opcode::Call && ins.op != Opcode::CallIndirect) return;
+    if (ops.unreachable) return;
+    const FuncType& callee = ins.op == Opcode::Call
+                                 ? original_.function_type(ins.a)
+                                 : original_.types.at(ins.a);
+    if (callee.results.empty()) {
+      emit_hook0(HookId::PostV, site);
+    } else {
+      emit_capture1(post_hook(callee.results[0]), site, callee.results[0]);
+    }
+  }
+
+  const Module& original_;
+  const wasm::Function& fn_;
+  const wasm::FunctionTyping& typing_;
+  std::uint32_t original_func_index_;
+  std::uint32_t old_func_imports_;
+  std::uint32_t hook_base_;
+  std::uint32_t& site_counter_;
+  SiteTable& sites_;
+
+  wasm::Function out_;
+  std::map<std::pair<ValType, int>, std::uint32_t> scratch_;
+  std::uint32_t next_local_ = 0;
+};
+
+}  // namespace
+
+Instrumented instrument(const Module& original) {
+  for (const auto& imp : original.imports) {
+    if (imp.module == kHookModule) {
+      throw util::ValidationError("module already instrumented");
+    }
+  }
+  const wasm::ValidationResult typing = wasm::validate(original);
+
+  Instrumented out;
+  Module& m = out.module;
+  m = original;  // copy, then rewrite in place
+
+  const std::uint32_t old_func_imports = original.num_imported_functions();
+  const std::uint32_t hook_base = old_func_imports;
+
+  // Register hook imports (after the original imports, so original import
+  // indices are stable; defined functions shift by kNumHooks).
+  for (const auto& def : hook_table()) {
+    wasm::Import imp;
+    imp.module = std::string(kHookModule);
+    imp.field = std::string(def.name);
+    imp.kind = wasm::ExternalKind::Function;
+    imp.type_index = m.type_index_for(def.type);
+    m.imports.push_back(std::move(imp));
+  }
+
+  // Remap all function-index references outside code bodies.
+  const auto remap = [&](std::uint32_t idx) {
+    return idx < old_func_imports ? idx : idx + kNumHooks;
+  };
+  for (auto& e : m.exports) {
+    if (e.kind == wasm::ExternalKind::Function) e.index = remap(e.index);
+  }
+  for (auto& seg : m.elements) {
+    for (auto& f : seg.func_indices) f = remap(f);
+  }
+  if (m.start) m.start = remap(*m.start);
+
+  // Rewrite every function body.
+  std::uint32_t site_counter = 0;
+  for (std::uint32_t d = 0; d < original.functions.size(); ++d) {
+    FunctionRewriter rewriter(original, original.functions[d],
+                              typing.functions[d], old_func_imports + d,
+                              old_func_imports, hook_base, site_counter,
+                              out.sites);
+    m.functions[d] = rewriter.run();
+  }
+
+  wasm::validate(m);  // the rewrite must preserve validity
+  return out;
+}
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Instr:
+      return "instr";
+    case EventKind::CallDirect:
+      return "call";
+    case EventKind::CallIndirect:
+      return "call_indirect";
+    case EventKind::CallArg:
+      return "call_arg";
+    case EventKind::CallPost:
+      return "call_post";
+    case EventKind::FunctionBegin:
+      return "function_begin";
+  }
+  return "?";
+}
+
+}  // namespace wasai::instrument

@@ -1,0 +1,24 @@
+// Contract-level instrumentation (§3.3.1): rewrites a Wasm module so that a
+// low-level hook runs before every original instruction, duplicating the
+// runtime operands the symbolic replayer needs (memory addresses, branch
+// conditions, indirect-call targets, host-call returns) via scratch locals.
+#pragma once
+
+#include "instrument/hooks.hpp"
+#include "instrument/trace.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::instrument {
+
+struct Instrumented {
+  wasm::Module module;  // hook-injected module (deploy this)
+  SiteTable sites;      // site id -> original instruction
+};
+
+/// Instrument `original`. The returned module imports the full hook set
+/// from the "wasai" module; all function indices are remapped accordingly.
+/// Throws util::ValidationError if the module is invalid or already
+/// imports from "wasai".
+Instrumented instrument(const wasm::Module& original);
+
+}  // namespace wasai::instrument

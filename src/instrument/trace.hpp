@@ -1,0 +1,63 @@
+// Trace model: the τ(i, p̄) records of §3.1, produced by the low-level hooks
+// the instrumenter injects and consumed by the Symback replayer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abi/name.hpp"
+#include "eosvm/value.hpp"
+
+namespace wasai::instrument {
+
+/// What a trace event describes.
+enum class EventKind : std::uint8_t {
+  Instr,          // an original instruction is about to execute
+  CallDirect,     // a (direct) call instruction is about to execute
+  CallIndirect,   // a call_indirect; vals[0] = runtime element index
+  CallArg,        // one invocation argument of the upcoming call (call_pre)
+  CallPost,       // a call returned; vals[0] = return value (if any)
+  FunctionBegin,  // a defined function's body was entered; site = func index
+};
+
+/// One trace record. `site` indexes the SiteTable for instruction events
+/// (and call events); for FunctionBegin it is the function-space index in
+/// the ORIGINAL module.
+struct TraceEvent {
+  EventKind kind = EventKind::Instr;
+  std::uint32_t site = 0;
+  std::uint8_t nvals = 0;
+  vm::Value vals[2];
+
+  [[nodiscard]] const vm::Value& val(std::size_t i) const { return vals[i]; }
+};
+
+/// Maps a site id back to the original instruction.
+struct SiteInfo {
+  std::uint32_t func_index;   // function-space index in the original module
+  std::uint32_t instr_index;  // position within that function's body
+};
+
+struct SiteTable {
+  std::vector<SiteInfo> sites;
+
+  [[nodiscard]] const SiteInfo& at(std::uint32_t site) const {
+    return sites.at(site);
+  }
+  [[nodiscard]] std::size_t size() const { return sites.size(); }
+};
+
+/// Trace of one action execution (one apply() run on one receiver) —
+/// the per-thread trace file WASAI exports when a run finishes (§3.3.1).
+struct ActionTrace {
+  abi::Name receiver;
+  abi::Name code;
+  abi::Name action;
+  bool completed = false;  // false when the execution trapped
+  std::vector<TraceEvent> events;
+};
+
+std::string to_string(EventKind kind);
+
+}  // namespace wasai::instrument

@@ -1,0 +1,112 @@
+#include "instrument/trace_io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/leb128.hpp"
+
+namespace wasai::instrument {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43525457;  // "WTRC"
+constexpr std::uint32_t kVersion = 1;
+
+void write_event(util::ByteWriter& w, const TraceEvent& ev) {
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  util::write_uleb(w, ev.site);
+  w.u8(ev.nvals);
+  for (std::uint8_t i = 0; i < ev.nvals; ++i) {
+    w.u8(static_cast<std::uint8_t>(ev.vals[i].type));
+    w.u64_le(ev.vals[i].bits);
+  }
+}
+
+TraceEvent read_event(util::ByteReader& r) {
+  TraceEvent ev;
+  const auto kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(EventKind::FunctionBegin)) {
+    throw util::DecodeError("invalid trace event kind");
+  }
+  ev.kind = static_cast<EventKind>(kind);
+  ev.site = util::read_uleb32(r);
+  ev.nvals = r.u8();
+  if (ev.nvals > 2) throw util::DecodeError("invalid trace value count");
+  for (std::uint8_t i = 0; i < ev.nvals; ++i) {
+    ev.vals[i].type = wasm::valtype_from_byte(r.u8());
+    ev.vals[i].bits = r.u64_le();
+  }
+  return ev;
+}
+
+}  // namespace
+
+util::Bytes serialize_traces(const std::vector<ActionTrace>& traces) {
+  util::ByteWriter w;
+  w.u32_le(kMagic);
+  w.u32_le(kVersion);
+  util::write_uleb(w, traces.size());
+  for (const auto& trace : traces) {
+    w.u64_le(trace.receiver.value());
+    w.u64_le(trace.code.value());
+    w.u64_le(trace.action.value());
+    w.u8(trace.completed ? 1 : 0);
+    util::write_uleb(w, trace.events.size());
+    for (const auto& ev : trace.events) write_event(w, ev);
+  }
+  return std::move(w).take();
+}
+
+std::vector<ActionTrace> deserialize_traces(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32_le() != kMagic) throw util::DecodeError("bad trace file magic");
+  if (r.u32_le() != kVersion) {
+    throw util::DecodeError("unsupported trace file version");
+  }
+  const auto count = util::read_uleb32(r);
+  std::vector<ActionTrace> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ActionTrace trace;
+    trace.receiver = abi::Name(r.u64_le());
+    trace.code = abi::Name(r.u64_le());
+    trace.action = abi::Name(r.u64_le());
+    trace.completed = r.u8() != 0;
+    const auto n = util::read_uleb32(r);
+    trace.events.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      trace.events.push_back(read_event(r));
+    }
+    out.push_back(std::move(trace));
+  }
+  if (!r.eof()) throw util::DecodeError("trailing bytes in trace file");
+  return out;
+}
+
+void save_traces(const std::string& path,
+                 const std::vector<ActionTrace>& traces) {
+  const auto bytes = serialize_traces(traces);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file) throw util::UsageError("cannot open " + path + " for writing");
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file.get()) !=
+      bytes.size()) {
+    throw util::UsageError("short write to " + path);
+  }
+}
+
+std::vector<ActionTrace> load_traces(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) throw util::UsageError("cannot open " + path);
+  util::Bytes bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  return deserialize_traces(bytes);
+}
+
+}  // namespace wasai::instrument

@@ -1,0 +1,25 @@
+// Offline trace files (§3.3.1): WASAI redirects captured traces to files
+// once an EOSVM thread finishes, so Symback can analyze them on demand.
+// This module serializes ActionTraces to a compact binary format and back.
+#pragma once
+
+#include <string>
+
+#include "instrument/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace wasai::instrument {
+
+/// Serialize traces (magic "WTRC" + version header).
+util::Bytes serialize_traces(const std::vector<ActionTrace>& traces);
+
+/// Parse traces; throws util::DecodeError on malformed input.
+std::vector<ActionTrace> deserialize_traces(
+    std::span<const std::uint8_t> bytes);
+
+/// Write/read a trace file on disk. Throws util::UsageError on IO failure.
+void save_traces(const std::string& path,
+                 const std::vector<ActionTrace>& traces);
+std::vector<ActionTrace> load_traces(const std::string& path);
+
+}  // namespace wasai::instrument

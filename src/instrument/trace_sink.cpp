@@ -1,0 +1,134 @@
+#include "instrument/trace_sink.hpp"
+
+#include "util/error.hpp"
+
+namespace wasai::instrument {
+
+std::uint32_t TraceSink::bind(std::string_view module, std::string_view field,
+                              const wasm::FuncType& type) {
+  if (module != kHookModule) {
+    throw util::ValidationError("TraceSink cannot bind " +
+                                std::string(module) + "." +
+                                std::string(field));
+  }
+  for (const auto& def : hook_table()) {
+    if (def.name == field) {
+      if (def.type != type) {
+        throw util::ValidationError("hook signature mismatch for " +
+                                    std::string(field));
+      }
+      return static_cast<std::uint32_t>(def.id);
+    }
+  }
+  throw util::ValidationError("unknown hook " + std::string(field));
+}
+
+std::optional<vm::Value> TraceSink::call_host(std::uint32_t binding,
+                                              std::span<const vm::Value> args,
+                                              vm::Instance&) {
+  if (open_.empty()) return std::nullopt;  // hooks outside an action: drop
+  ActionTrace& trace = actions_[open_.back()];
+
+  TraceEvent ev;
+  switch (static_cast<HookId>(binding)) {
+    case HookId::SiteV:
+      ev.kind = EventKind::Instr;
+      ev.site = args[0].u32();
+      break;
+    case HookId::SiteI:
+      ev.kind = EventKind::Instr;
+      ev.site = args[0].u32();
+      ev.nvals = 1;
+      ev.vals[0] = args[1];
+      break;
+    case HookId::SiteII:
+    case HookId::SiteIL:
+    case HookId::SiteIF:
+    case HookId::SiteID:
+    case HookId::SiteLL:
+      ev.kind = EventKind::Instr;
+      ev.site = args[0].u32();
+      ev.nvals = 2;
+      ev.vals[0] = args[1];  // address (stores) / lhs (comparisons)
+      ev.vals[1] = args[2];  // stored value / rhs
+      break;
+    case HookId::CallD:
+      ev.kind = EventKind::CallDirect;
+      ev.site = args[0].u32();
+      break;
+    case HookId::CallI:
+      ev.kind = EventKind::CallIndirect;
+      ev.site = args[0].u32();
+      ev.nvals = 1;
+      ev.vals[0] = args[1];  // element index
+      break;
+    case HookId::ArgI:
+    case HookId::ArgL:
+    case HookId::ArgF:
+    case HookId::ArgD:
+      ev.kind = EventKind::CallArg;
+      ev.site = args[0].u32();
+      ev.nvals = 1;
+      ev.vals[0] = args[1];
+      break;
+    case HookId::PostV:
+      ev.kind = EventKind::CallPost;
+      ev.site = args[0].u32();
+      break;
+    case HookId::PostI:
+    case HookId::PostL:
+    case HookId::PostF:
+    case HookId::PostD:
+      ev.kind = EventKind::CallPost;
+      ev.site = args[0].u32();
+      ev.nvals = 1;
+      ev.vals[0] = args[1];  // return value
+      break;
+    case HookId::FuncBegin:
+      ev.kind = EventKind::FunctionBegin;
+      ev.site = args[0].u32();  // original function index
+      break;
+    case HookId::Count:
+      throw util::Trap("invalid hook binding");
+  }
+  trace.events.push_back(ev);
+  return std::nullopt;
+}
+
+void TraceSink::on_action_begin(abi::Name receiver, abi::Name code,
+                                abi::Name action) {
+  ActionTrace trace;
+  trace.receiver = receiver;
+  trace.code = code;
+  trace.action = action;
+  actions_.push_back(std::move(trace));
+  open_.push_back(actions_.size() - 1);
+}
+
+void TraceSink::on_action_end(bool ok) {
+  if (open_.empty()) return;
+  actions_[open_.back()].completed = ok;
+  open_.pop_back();
+}
+
+std::vector<const ActionTrace*> TraceSink::actions_of(
+    abi::Name receiver) const {
+  std::vector<const ActionTrace*> out;
+  for (const auto& a : actions_) {
+    if (a.receiver == receiver) out.push_back(&a);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  actions_.clear();
+  open_.clear();
+}
+
+std::size_t TraceSink::event_count() const {
+  std::size_t n = 0;
+  for (const auto& a : actions_) n += a.events.size();
+  return n;
+}
+
+}  // namespace wasai::instrument

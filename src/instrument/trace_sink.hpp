@@ -1,0 +1,48 @@
+// Collects trace events emitted by the injected hooks, segmented per action
+// execution — the in-memory equivalent of the per-thread trace files WASAI
+// redirects on apply_context::finalize_trace() (§3.3.1).
+#pragma once
+
+#include <vector>
+
+#include "chain/observer.hpp"
+#include "instrument/hooks.hpp"
+#include "instrument/trace.hpp"
+
+namespace wasai::instrument {
+
+class TraceSink : public vm::HostInterface, public chain::ExecutionObserver {
+ public:
+  // ---- vm::HostInterface (receives the "wasai" hook calls) -------------
+  std::uint32_t bind(std::string_view module, std::string_view field,
+                     const wasm::FuncType& type) override;
+  std::optional<vm::Value> call_host(std::uint32_t binding,
+                                     std::span<const vm::Value> args,
+                                     vm::Instance& instance) override;
+
+  // ---- chain::ExecutionObserver ----------------------------------------
+  void on_action_begin(abi::Name receiver, abi::Name code,
+                       abi::Name action) override;
+  void on_action_end(bool ok) override;
+  vm::HostInterface* hook_host() override { return this; }
+
+  // ---- collected traces -------------------------------------------------
+  [[nodiscard]] const std::vector<ActionTrace>& actions() const {
+    return actions_;
+  }
+  /// Traces of a specific receiver only (the fuzzing target) — auxiliary
+  /// contracts produce no events but do produce action segments.
+  [[nodiscard]] std::vector<const ActionTrace*> actions_of(
+      abi::Name receiver) const;
+
+  void clear();
+
+  /// Total events captured since the last clear().
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  std::vector<ActionTrace> actions_;
+  std::vector<std::size_t> open_;  // stack of indices into actions_
+};
+
+}  // namespace wasai::instrument

@@ -1,0 +1,65 @@
+// Detector extension interface (§5): "the bug detectors can be extended in
+// two steps: (1) adding oracles and constructing the payload templates ...
+// (2) analyzing traces to confirm the exploit events." Custom oracles
+// observe the same per-trace facts as the built-in detectors and deliver a
+// verdict when the campaign ends.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "scanner/scanner.hpp"
+
+namespace wasai::scanner {
+
+class CustomOracle {
+ public:
+  virtual ~CustomOracle() = default;
+
+  /// Stable identifier shown in reports (e.g. "uses-current-time").
+  [[nodiscard]] virtual std::string id() const = 0;
+
+  /// Called once per victim trace, with the payload mode that produced it.
+  virtual void observe(PayloadMode mode, abi::Name action,
+                       const TraceFacts& facts, bool transaction_succeeded) = 0;
+
+  /// Final verdict: a finding detail when triggered, nullopt otherwise.
+  [[nodiscard]] virtual std::optional<std::string> verdict() const = 0;
+};
+
+/// Convenience oracle: triggers when any of the given library APIs is
+/// called in a victim trace — the shape of BlockinfoDep-style detectors.
+class ApiUseOracle : public CustomOracle {
+ public:
+  ApiUseOracle(std::string id, std::vector<std::string> apis)
+      : id_(std::move(id)), apis_(std::move(apis)) {}
+
+  [[nodiscard]] std::string id() const override { return id_; }
+
+  void observe(PayloadMode, abi::Name action, const TraceFacts& facts,
+               bool) override {
+    for (const auto& api : apis_) {
+      if (facts.called_api(api)) {
+        triggered_ = "action " + action.to_string() + " calls " + api;
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> verdict() const override {
+    return triggered_.empty() ? std::nullopt
+                              : std::optional<std::string>(triggered_);
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::string> apis_;
+  std::string triggered_;
+};
+
+struct CustomFinding {
+  std::string id;
+  std::string detail;
+};
+
+}  // namespace wasai::scanner

@@ -1,0 +1,76 @@
+#include "scanner/facts.hpp"
+
+#include "wasm/control.hpp"
+
+namespace wasai::scanner {
+
+using instrument::EventKind;
+
+TraceFacts extract_facts(const instrument::ActionTrace& trace,
+                         const instrument::SiteTable& sites,
+                         const wasm::Module& module) {
+  // Table image for call_indirect resolution.
+  std::vector<std::uint32_t> table;
+  if (!module.tables.empty()) {
+    table.assign(module.tables[0].limits.min, wasm::kNoMatch);
+  }
+  for (const auto& seg : module.elements) {
+    for (std::size_t i = 0; i < seg.func_indices.size(); ++i) {
+      if (seg.offset + i < table.size()) {
+        table[seg.offset + i] = seg.func_indices[i];
+      }
+    }
+  }
+
+  const wasm::FuncType transfer_sig{
+      {wasm::ValType::I64, wasm::ValType::I64, wasm::ValType::I64,
+       wasm::ValType::I32, wasm::ValType::I32},
+      {}};
+
+  TraceFacts facts;
+  for (const auto& ev : trace.events) {
+    switch (ev.kind) {
+      case EventKind::FunctionBegin:
+        facts.function_ids.push_back(ev.site);
+        if (module.function_type(ev.site) == transfer_sig) {
+          facts.transfer_shaped.push_back(ev.site);
+        }
+        break;
+      case EventKind::CallDirect: {
+        const auto& info = sites.at(ev.site);
+        const auto& ins =
+            module.defined(info.func_index).body[info.instr_index];
+        if (module.is_imported_function(ins.a)) {
+          facts.api_calls.push_back(
+              ApiEvent{module.function_import(ins.a).field, ev.site});
+        }
+        break;
+      }
+      case EventKind::CallIndirect: {
+        const std::uint32_t elem = ev.val(0).u32();
+        if (elem < table.size() && table[elem] != wasm::kNoMatch &&
+            module.is_imported_function(table[elem])) {
+          facts.api_calls.push_back(
+              ApiEvent{module.function_import(table[elem]).field, ev.site});
+        }
+        break;
+      }
+      case EventKind::Instr: {
+        if (ev.nvals != 2) break;
+        const auto& info = sites.at(ev.site);
+        const auto& ins =
+            module.defined(info.func_index).body[info.instr_index];
+        if (ins.op == wasm::Opcode::I64Eq || ins.op == wasm::Opcode::I64Ne) {
+          facts.i64_comparisons.push_back(
+              CmpEvent{ev.val(0).u64(), ev.val(1).u64()});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return facts;
+}
+
+}  // namespace wasai::scanner

@@ -1,0 +1,59 @@
+// Trace-level facts the oracles consume (§3.5): the executed-function id
+// chain, the ordered library-API call sequence, and the operand pairs of
+// executed i64 equality comparisons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instrument/trace.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::scanner {
+
+struct ApiEvent {
+  std::string name;        // import field, e.g. "send_inline"
+  std::uint32_t site = 0;
+};
+
+struct CmpEvent {
+  std::uint64_t lhs = 0;
+  std::uint64_t rhs = 0;
+
+  [[nodiscard]] bool matches(std::uint64_t a, std::uint64_t b) const {
+    return (lhs == a && rhs == b) || (lhs == b && rhs == a);
+  }
+};
+
+/// Facts extracted from one action trace without symbolic replay.
+struct TraceFacts {
+  std::vector<std::uint32_t> function_ids;  // the paper's id⃗ (defined fns)
+  std::vector<ApiEvent> api_calls;          // ordered library-API calls
+  std::vector<CmpEvent> i64_comparisons;    // executed i64.eq/ne operands
+  /// Subset of function_ids whose signature matches transfer@eosio.token
+  /// (self + name,name,asset*,string*) — eosponser candidates. Keeps the
+  /// id_e location robust when helpers run before the action function.
+  std::vector<std::uint32_t> transfer_shaped;
+
+  [[nodiscard]] bool ran_function(std::uint32_t func_index) const {
+    for (const auto id : function_ids) {
+      if (id == func_index) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool called_api(std::string_view name) const {
+    for (const auto& api : api_calls) {
+      if (api.name == name) return true;
+    }
+    return false;
+  }
+};
+
+/// Walk the raw events; `module` must be the original (uninstrumented)
+/// module matching `sites`.
+TraceFacts extract_facts(const instrument::ActionTrace& trace,
+                         const instrument::SiteTable& sites,
+                         const wasm::Module& module);
+
+}  // namespace wasai::scanner

@@ -1,0 +1,49 @@
+// Input inference (§3.4.2, Table 2): builds the symbolic Local section of
+// the action function directly from the calling convention, so symbolic
+// execution can start there and skip the dispatcher/deserializer paths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "abi/abi_def.hpp"
+#include "eosvm/value.hpp"
+#include "symbolic/memory_model.hpp"
+
+namespace wasai::symbolic {
+
+/// Connects a solver variable back to the seed parameter it mutates.
+struct InputBinding {
+  enum class Kind : std::uint8_t {
+    Whole,        // the parameter is the 64/32-bit value itself
+    AssetAmount,  // 64-bit amount of an asset parameter
+    AssetSymbol,  // 64-bit symbol of an asset parameter
+    StringLen,    // the 8-bit length byte of a string parameter
+    StringByte,   // one content byte of a string parameter
+  };
+
+  std::uint32_t param_index;
+  Kind kind;
+  std::uint32_t byte_index;  // for StringByte
+  z3::expr var;
+};
+
+struct InferredInputs {
+  /// Initial symbolic values for the action function's parameters:
+  /// locals[0] = self (concrete), locals[1 + i] = parameter i (symbolic
+  /// scalar, or the concrete pointer for asset/string parameters whose
+  /// content was bound into the memory model).
+  std::vector<SymValue> params;
+  std::vector<InputBinding> bindings;
+};
+
+/// `concrete_args` are the runtime invocation arguments captured by the
+/// call_pre hooks: [self, p0, p1, ...]. `seed_params` is the executed seed
+/// ρ (string lengths are taken from it). Throws util::UsageError when the
+/// argument count does not match the ABI signature + self.
+InferredInputs infer_inputs(Z3Env& env, MemoryModel& mem,
+                            const abi::ActionDef& def,
+                            const std::vector<abi::ParamValue>& seed_params,
+                            std::span<const vm::Value> concrete_args);
+
+}  // namespace wasai::symbolic

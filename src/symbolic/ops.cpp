@@ -1,0 +1,182 @@
+#include "symbolic/ops.hpp"
+
+#include "eosvm/vm.hpp"
+
+namespace wasai::symbolic {
+
+namespace {
+
+using wasm::Opcode;
+using wasm::ValType;
+
+vm::Value to_concrete(const SymValue& v) {
+  return vm::Value{v.type, v.concrete().value()};
+}
+
+/// Concrete fallback: evaluate with the interpreter's semantics when all
+/// operands are concrete; otherwise return a fresh unconstrained variable.
+SymValue fallback_unary(Z3Env& env, Opcode op, const SymValue& x) {
+  const auto& info = wasm::op_info(op);
+  const unsigned bits =
+      (info.result == ValType::I32 || info.result == ValType::F32) ? 32 : 64;
+  if (x.is_concrete()) {
+    const vm::Value r = vm::eval_unary_op(op, to_concrete(x));
+    return SymValue{info.result, env.bv(r.bits, bits)};
+  }
+  return SymValue{info.result, env.fresh(info.name, bits)};
+}
+
+SymValue fallback_binary(Z3Env& env, Opcode op, const SymValue& a,
+                         const SymValue& b) {
+  const auto& info = wasm::op_info(op);
+  const unsigned bits =
+      (info.result == ValType::I32 || info.result == ValType::F32) ? 32 : 64;
+  if (a.is_concrete() && b.is_concrete()) {
+    const vm::Value r =
+        vm::eval_binary_op(op, to_concrete(a), to_concrete(b));
+    return SymValue{info.result, env.bv(r.bits, bits)};
+  }
+  return SymValue{info.result, env.fresh(info.name, bits)};
+}
+
+z3::expr masked_shift(Z3Env& env, const z3::expr& amount, unsigned bits) {
+  return amount & env.bv(bits - 1, bits);
+}
+
+z3::expr rotl_expr(Z3Env& env, const z3::expr& a, const z3::expr& n,
+                   unsigned bits) {
+  const z3::expr k = masked_shift(env, n, bits);
+  return z3::shl(a, k) | z3::lshr(a, env.bv(bits, bits) - k);
+}
+
+z3::expr rotr_expr(Z3Env& env, const z3::expr& a, const z3::expr& n,
+                   unsigned bits) {
+  const z3::expr k = masked_shift(env, n, bits);
+  return z3::lshr(a, k) | z3::shl(a, env.bv(bits, bits) - k);
+}
+
+}  // namespace
+
+SymValue sym_unary(Z3Env& env, Opcode op, const SymValue& x) {
+  const auto& info = wasm::op_info(op);
+  switch (op) {
+    case Opcode::I32Eqz:
+    case Opcode::I64Eqz:
+      return {ValType::I32,
+              env.bool_to_bv32(x.e == env.bv(0, x.bits())).simplify()};
+    case Opcode::I32WrapI64:
+      return {ValType::I32, x.e.extract(31, 0).simplify()};
+    case Opcode::I64ExtendI32S:
+      return {ValType::I64, z3::sext(x.e, 32).simplify()};
+    case Opcode::I64ExtendI32U:
+      return {ValType::I64, z3::zext(x.e, 32).simplify()};
+    case Opcode::I32ReinterpretF32:
+      return {ValType::I32, x.e};
+    case Opcode::I64ReinterpretF64:
+      return {ValType::I64, x.e};
+    case Opcode::F32ReinterpretI32:
+      return {ValType::F32, x.e};
+    case Opcode::F64ReinterpretI64:
+      return {ValType::F64, x.e};
+    default:
+      // clz/ctz/popcnt and all float unaries/conversions: concrete
+      // evaluation or fresh variable.
+      return fallback_unary(env, op, x);
+  }
+  (void)info;
+}
+
+SymValue sym_binary(Z3Env& env, Opcode op, const SymValue& a,
+                    const SymValue& b) {
+  const auto& info = wasm::op_info(op);
+  const auto bv32 = [&](const z3::expr& cond) {
+    return SymValue{ValType::I32, env.bool_to_bv32(cond).simplify()};
+  };
+  const auto arith = [&](const z3::expr& e) {
+    return SymValue{info.result, e.simplify()};
+  };
+  switch (op) {
+    // relational (i32/i64)
+    case Opcode::I32Eq:
+    case Opcode::I64Eq:
+      return bv32(a.e == b.e);
+    case Opcode::I32Ne:
+    case Opcode::I64Ne:
+      return bv32(a.e != b.e);
+    case Opcode::I32LtS:
+    case Opcode::I64LtS:
+      return bv32(a.e < b.e);
+    case Opcode::I32LtU:
+    case Opcode::I64LtU:
+      return bv32(z3::ult(a.e, b.e));
+    case Opcode::I32GtS:
+    case Opcode::I64GtS:
+      return bv32(a.e > b.e);
+    case Opcode::I32GtU:
+    case Opcode::I64GtU:
+      return bv32(z3::ugt(a.e, b.e));
+    case Opcode::I32LeS:
+    case Opcode::I64LeS:
+      return bv32(a.e <= b.e);
+    case Opcode::I32LeU:
+    case Opcode::I64LeU:
+      return bv32(z3::ule(a.e, b.e));
+    case Opcode::I32GeS:
+    case Opcode::I64GeS:
+      return bv32(a.e >= b.e);
+    case Opcode::I32GeU:
+    case Opcode::I64GeU:
+      return bv32(z3::uge(a.e, b.e));
+    // arithmetic / bitwise
+    case Opcode::I32Add:
+    case Opcode::I64Add:
+      return arith(a.e + b.e);
+    case Opcode::I32Sub:
+    case Opcode::I64Sub:
+      return arith(a.e - b.e);
+    case Opcode::I32Mul:
+    case Opcode::I64Mul:
+      return arith(a.e * b.e);
+    case Opcode::I32DivS:
+    case Opcode::I64DivS:
+      return arith(a.e / b.e);  // bvsdiv
+    case Opcode::I32DivU:
+    case Opcode::I64DivU:
+      return arith(z3::udiv(a.e, b.e));
+    case Opcode::I32RemS:
+    case Opcode::I64RemS:
+      return arith(z3::srem(a.e, b.e));
+    case Opcode::I32RemU:
+    case Opcode::I64RemU:
+      return arith(z3::urem(a.e, b.e));
+    case Opcode::I32And:
+    case Opcode::I64And:
+      return arith(a.e & b.e);
+    case Opcode::I32Or:
+    case Opcode::I64Or:
+      return arith(a.e | b.e);
+    case Opcode::I32Xor:
+    case Opcode::I64Xor:
+      return arith(a.e ^ b.e);
+    case Opcode::I32Shl:
+    case Opcode::I64Shl:
+      return arith(z3::shl(a.e, masked_shift(env, b.e, a.bits())));
+    case Opcode::I32ShrS:
+    case Opcode::I64ShrS:
+      return arith(z3::ashr(a.e, masked_shift(env, b.e, a.bits())));
+    case Opcode::I32ShrU:
+    case Opcode::I64ShrU:
+      return arith(z3::lshr(a.e, masked_shift(env, b.e, a.bits())));
+    case Opcode::I32Rotl:
+    case Opcode::I64Rotl:
+      return arith(rotl_expr(env, a.e, b.e, a.bits()));
+    case Opcode::I32Rotr:
+    case Opcode::I64Rotr:
+      return arith(rotr_expr(env, a.e, b.e, a.bits()));
+    default:
+      // Float arithmetic and comparisons.
+      return fallback_binary(env, op, a, b);
+  }
+}
+
+}  // namespace wasai::symbolic

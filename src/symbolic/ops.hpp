@@ -1,0 +1,16 @@
+// Symbolic counterparts of the Wasm numeric instructions (Table 3's unary /
+// binary rows). Integer ops map directly onto Z3 bitvector theory; float
+// ops evaluate concretely when both operands are concrete and degrade to
+// fresh variables otherwise.
+#pragma once
+
+#include "symbolic/symvalue.hpp"
+#include "wasm/opcode.hpp"
+
+namespace wasai::symbolic {
+
+SymValue sym_unary(Z3Env& env, wasm::Opcode op, const SymValue& x);
+SymValue sym_binary(Z3Env& env, wasm::Opcode op, const SymValue& lhs,
+                    const SymValue& rhs);
+
+}  // namespace wasai::symbolic

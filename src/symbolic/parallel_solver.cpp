@@ -1,0 +1,160 @@
+#include "symbolic/parallel_solver.hpp"
+
+#include <bit>
+#include <future>
+#include <map>
+#include <thread>
+
+namespace wasai::symbolic {
+
+namespace {
+
+using abi::ParamValue;
+
+struct QueryResult {
+  enum class Verdict { Sat, Unsat, Unknown } verdict = Verdict::Unknown;
+  std::map<std::string, std::uint64_t> model;  // var name -> value
+};
+
+/// Solve one SMT-LIB2 query in a worker-owned context.
+QueryResult solve_one(const std::string& smt2, unsigned timeout_ms) {
+  QueryResult out;
+  z3::context ctx;
+  z3::solver solver(ctx);
+  z3::params p(ctx);
+  p.set("timeout", timeout_ms);
+  solver.set(p);
+  solver.from_string(smt2.c_str());
+  const auto verdict = solver.check();
+  if (verdict == z3::unsat) {
+    out.verdict = QueryResult::Verdict::Unsat;
+  } else if (verdict == z3::sat) {
+    out.verdict = QueryResult::Verdict::Sat;
+    z3::model model = solver.get_model();
+    for (unsigned i = 0; i < model.size(); ++i) {
+      const z3::func_decl decl = model.get_const_decl(i);
+      if (decl.arity() != 0) continue;
+      const z3::expr value = model.get_const_interp(decl);
+      if (value.is_numeral()) {
+        out.model.emplace(decl.name().str(), value.get_numeral_uint64());
+      }
+    }
+  }
+  return out;
+}
+
+/// Name-keyed version of the serial solver's binding application.
+void apply_named_binding(std::vector<ParamValue>& params,
+                         const InputBinding& binding, std::uint64_t value) {
+  ParamValue& p = params.at(binding.param_index);
+  switch (binding.kind) {
+    case InputBinding::Kind::Whole:
+      if (std::holds_alternative<abi::Name>(p)) {
+        p = abi::Name(value);
+      } else if (std::holds_alternative<std::uint64_t>(p)) {
+        p = value;
+      } else if (std::holds_alternative<std::int64_t>(p)) {
+        p = static_cast<std::int64_t>(value);
+      } else if (std::holds_alternative<std::uint32_t>(p)) {
+        p = static_cast<std::uint32_t>(value);
+      } else if (std::holds_alternative<double>(p)) {
+        p = std::bit_cast<double>(value);
+      }
+      break;
+    case InputBinding::Kind::AssetAmount:
+      std::get<abi::Asset>(p).amount = static_cast<std::int64_t>(value);
+      break;
+    case InputBinding::Kind::AssetSymbol:
+      std::get<abi::Asset>(p).symbol = abi::Symbol(value);
+      break;
+    case InputBinding::Kind::StringLen: {
+      auto& s = std::get<std::string>(p);
+      s.resize(std::min<std::uint64_t>(value & 0xff, 64), 'a');
+      break;
+    }
+    case InputBinding::Kind::StringByte: {
+      auto& s = std::get<std::string>(p);
+      if (binding.byte_index < s.size()) {
+        s[binding.byte_index] = static_cast<char>(value & 0xff);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
+                                   const std::vector<ParamValue>& seed,
+                                   const SolverOptions& options,
+                                   unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Export every flip query as SMT-LIB2 in the shared context.
+  std::vector<std::string> queries;
+  std::size_t flips = 0;
+  for (std::size_t k = 0;
+       k < replay.path.size() && flips < options.max_flips; ++k) {
+    const PathStep& step = replay.path[k];
+    if (!step.can_flip || !step.flip) continue;
+    ++flips;
+    z3::solver exporter(env.ctx());
+    for (std::size_t j = 0; j < k; ++j) {
+      if (replay.path[j].hold) exporter.add(*replay.path[j].hold);
+    }
+    exporter.add(*step.flip);
+    queries.push_back(exporter.to_smt2());
+  }
+
+  // Fan the queries out over the worker pool.
+  AdaptiveSeeds out;
+  out.queries = queries.size();
+  std::vector<QueryResult> results(queries.size());
+  std::size_t next = 0;
+  std::mutex mu;
+  std::vector<std::thread> pool;
+  const auto worker = [&] {
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (next >= queries.size()) return;
+        index = next++;
+      }
+      results[index] = solve_one(queries[index], options.timeout_ms);
+    }
+  };
+  const unsigned n = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(queries.size(), 1)));
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // Map each model back onto the seed parameters by variable name.
+  for (const auto& result : results) {
+    switch (result.verdict) {
+      case QueryResult::Verdict::Unsat:
+        ++out.unsat;
+        break;
+      case QueryResult::Verdict::Unknown:
+        ++out.unknown;
+        break;
+      case QueryResult::Verdict::Sat: {
+        ++out.sat;
+        std::vector<ParamValue> mutated = seed;
+        for (const auto& binding : replay.bindings) {
+          const auto it = result.model.find(binding.var.decl().name().str());
+          if (it == result.model.end()) continue;
+          apply_named_binding(mutated, binding, it->second);
+        }
+        out.seeds.push_back(std::move(mutated));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wasai::symbolic

@@ -1,0 +1,20 @@
+// Parallel constraint solving (§3.4.4): "we collect the target constraints
+// together and solve them in parallel. Thus we can solve more constraints
+// at the same time and generate more adaptive seeds before reaching the
+// timeout." Queries are exported as SMT-LIB2 text and each worker thread
+// solves in its own Z3 context (contexts are not thread-shareable).
+#pragma once
+
+#include "symbolic/solver.hpp"
+
+namespace wasai::symbolic {
+
+/// Drop-in parallel variant of solve_flips. `threads` = 0 picks the
+/// hardware concurrency. Produces the same seed set as the serial version
+/// (up to solver-timeout nondeterminism and seed order).
+AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
+                                   const std::vector<abi::ParamValue>& seed,
+                                   const SolverOptions& options = {},
+                                   unsigned threads = 0);
+
+}  // namespace wasai::symbolic

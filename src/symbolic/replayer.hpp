@@ -1,0 +1,88 @@
+// The EOSVM simulator (§3.4.3): replays a captured trace through the
+// operational semantics of Table 3, building symbolic machine states and
+// collecting the conditional states whose constraints the flipper negates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instrument/trace.hpp"
+#include "symbolic/inputs.hpp"
+#include "symbolic/memory_model.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::symbolic {
+
+/// Raised when the trace and module disagree (corrupt trace, wrong site
+/// table). The fuzzer skips symbolic feedback for that run.
+class ReplayError : public util::Error {
+ public:
+  explicit ReplayError(const std::string& what)
+      : util::Error("replay: " + what) {}
+};
+
+/// One conditional state (§3.1): a br_if/if branch or an eosio_assert.
+struct PathStep {
+  std::uint32_t site;
+  bool is_assert = false;
+  bool can_flip = false;     // condition depends on symbolic input
+  bool taken = false;        // concrete direction (branches)
+  std::optional<z3::expr> hold;  // constraint satisfied by this trace
+  std::optional<z3::expr> flip;  // constraint for the unexplored side
+};
+
+/// One library-API invocation observed in the trace.
+struct ApiCall {
+  std::string name;
+  std::uint32_t site = 0;
+  std::vector<SymValue> args;
+  std::optional<vm::Value> ret;  // captured by call_post
+  bool completed = false;
+};
+
+/// Concrete operand pair of an executed i64.eq / i64.ne — inspected by the
+/// Fake Notif guard oracle (§3.5).
+struct ComparisonRecord {
+  std::uint32_t site;
+  std::uint64_t lhs;
+  std::uint64_t rhs;
+};
+
+struct ReplayResult {
+  std::vector<PathStep> path;
+  std::vector<ApiCall> api_calls;
+  std::vector<std::uint32_t> function_chain;  // defined functions, in order
+  std::vector<ComparisonRecord> i64_comparisons;
+  std::vector<InputBinding> bindings;
+  bool trapped = false;
+  bool completed_scope = false;  // the action function returned normally
+  std::size_t events_replayed = 0;
+};
+
+/// Where the dispatcher hands control to the action function.
+struct ActionCallSite {
+  std::uint32_t func_index;   // action function, original index space
+  std::size_t begin_event;    // index of its FunctionBegin in the trace
+  std::vector<vm::Value> concrete_args;  // captured by call_pre hooks
+};
+
+/// §3.4.2's dispatcher analysis: find the first call_indirect (or direct
+/// call to a defined function) made by apply() and resolve its target.
+/// When `expected_params` is given (ABI parameter count + self), candidates
+/// with a different signature — e.g. obfuscation helpers invoked from
+/// apply — are skipped.
+std::optional<ActionCallSite> locate_action_call(
+    const instrument::ActionTrace& trace, const instrument::SiteTable& sites,
+    const wasm::Module& module,
+    std::optional<std::size_t> expected_params = std::nullopt);
+
+/// Replay `trace` starting at the action function identified by `site`.
+/// `module` must be the ORIGINAL (uninstrumented) module.
+ReplayResult replay(Z3Env& env, const wasm::Module& module,
+                    const instrument::SiteTable& sites,
+                    const instrument::ActionTrace& trace,
+                    const ActionCallSite& site, const abi::ActionDef& def,
+                    const std::vector<abi::ParamValue>& seed_params);
+
+}  // namespace wasai::symbolic

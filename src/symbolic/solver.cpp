@@ -1,0 +1,105 @@
+#include "symbolic/solver.hpp"
+
+#include <bit>
+
+namespace wasai::symbolic {
+
+namespace {
+
+using abi::ParamValue;
+
+std::uint64_t eval_var(z3::model& model, const z3::expr& var) {
+  const z3::expr v = model.eval(var, /*model_completion=*/true);
+  return v.get_numeral_uint64();
+}
+
+/// Apply one solved binding onto the parameter vector.
+void apply_binding(std::vector<ParamValue>& params, const InputBinding& b,
+                   std::uint64_t value) {
+  ParamValue& p = params.at(b.param_index);
+  switch (b.kind) {
+    case InputBinding::Kind::Whole:
+      if (std::holds_alternative<abi::Name>(p)) {
+        p = abi::Name(value);
+      } else if (std::holds_alternative<std::uint64_t>(p)) {
+        p = value;
+      } else if (std::holds_alternative<std::int64_t>(p)) {
+        p = static_cast<std::int64_t>(value);
+      } else if (std::holds_alternative<std::uint32_t>(p)) {
+        p = static_cast<std::uint32_t>(value);
+      } else if (std::holds_alternative<double>(p)) {
+        p = std::bit_cast<double>(value);
+      }
+      break;
+    case InputBinding::Kind::AssetAmount:
+      std::get<abi::Asset>(p).amount = static_cast<std::int64_t>(value);
+      break;
+    case InputBinding::Kind::AssetSymbol:
+      std::get<abi::Asset>(p).symbol = abi::Symbol(value);
+      break;
+    case InputBinding::Kind::StringLen: {
+      auto& s = std::get<std::string>(p);
+      // Lengths are clamped; bytes beyond the executed length were not
+      // symbolic, so they are padded (the paper's §4.4 false-positive
+      // analysis stems from exactly this limitation).
+      const std::size_t target = std::min<std::uint64_t>(value & 0xff, 64);
+      s.resize(target, 'a');
+      break;
+    }
+    case InputBinding::Kind::StringByte: {
+      auto& s = std::get<std::string>(p);
+      if (b.byte_index < s.size()) {
+        s[b.byte_index] = static_cast<char>(value & 0xff);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
+                          const std::vector<ParamValue>& seed_params,
+                          const SolverOptions& opts) {
+  AdaptiveSeeds out;
+  std::size_t flips_attempted = 0;
+
+  for (std::size_t k = 0;
+       k < replay.path.size() && flips_attempted < opts.max_flips; ++k) {
+    const PathStep& step = replay.path[k];
+    if (!step.can_flip || !step.flip) continue;
+    ++flips_attempted;
+    ++out.queries;
+
+    z3::solver solver(env.ctx());
+    z3::params p(env.ctx());
+    p.set("timeout", opts.timeout_ms);
+    solver.set(p);
+    // Path prefix must stay feasible (§3.4.4: AND of prior constraints).
+    for (std::size_t j = 0; j < k; ++j) {
+      if (replay.path[j].hold) solver.add(*replay.path[j].hold);
+    }
+    solver.add(*step.flip);
+
+    const auto verdict = solver.check();
+    if (verdict == z3::sat) {
+      ++out.sat;
+      z3::model model = solver.get_model();
+      std::vector<ParamValue> mutated = seed_params;
+      for (const auto& binding : replay.bindings) {
+        // Mutate only the parameters the constraints actually mention;
+        // unconstrained variables keep their executed-seed values.
+        if (!model.has_interp(binding.var.decl())) continue;
+        apply_binding(mutated, binding, eval_var(model, binding.var));
+      }
+      out.seeds.push_back(std::move(mutated));
+    } else if (verdict == z3::unsat) {
+      ++out.unsat;
+    } else {
+      ++out.unknown;
+    }
+  }
+  return out;
+}
+
+}  // namespace wasai::symbolic

@@ -1,0 +1,31 @@
+// Constraint flipping and solving (§3.4.4): negate each flippable
+// conditional state, conjoin the path prefix, and ask Z3 for a model —
+// each model becomes an adaptive seed.
+#pragma once
+
+#include "symbolic/replayer.hpp"
+
+namespace wasai::symbolic {
+
+struct SolverOptions {
+  unsigned timeout_ms = 200;    // per-query budget (paper used 3,000 ms)
+  std::size_t max_flips = 24;   // cap on flip targets per executed seed
+};
+
+struct AdaptiveSeeds {
+  /// One mutated parameter vector per satisfiable flip.
+  std::vector<std::vector<abi::ParamValue>> seeds;
+  std::size_t queries = 0;
+  std::size_t sat = 0;
+  std::size_t unsat = 0;
+  std::size_t unknown = 0;  // timeouts
+};
+
+/// Solve every flippable conditional of `replay` against the path prefix,
+/// mapping each model back onto the executed seed's parameters through the
+/// input bindings.
+AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
+                          const std::vector<abi::ParamValue>& seed_params,
+                          const SolverOptions& opts = {});
+
+}  // namespace wasai::symbolic

@@ -1,0 +1,80 @@
+// Symbolic values: Wasm stack slots represented as Z3 bitvectors. Floats
+// are modelled as bit patterns; symbolic float arithmetic falls back to
+// fresh variables (the corpus never branches on symbolic float math, and
+// the fuzzer tolerates unconstrained seeds).
+#pragma once
+
+#include <z3++.h>
+
+#include <optional>
+#include <string>
+
+#include "eosvm/value.hpp"
+#include "wasm/types.hpp"
+
+namespace wasai::symbolic {
+
+/// Z3 environment shared by one analysis (context + helper constructors).
+class Z3Env {
+ public:
+  z3::context& ctx() { return ctx_; }
+
+  /// Bitvector constant of the given width.
+  z3::expr bv(std::uint64_t value, unsigned bits) {
+    return ctx_.bv_val(static_cast<std::uint64_t>(value), bits);
+  }
+
+  /// Fresh named bitvector variable.
+  z3::expr var(const std::string& name, unsigned bits) {
+    return ctx_.bv_const(name.c_str(), bits);
+  }
+
+  /// bool -> i32-style 0/1 bitvector.
+  z3::expr bool_to_bv32(const z3::expr& b) {
+    return z3::ite(b, bv(1, 32), bv(0, 32));
+  }
+
+  /// i32-style truthiness: value != 0.
+  z3::expr truthy(const z3::expr& e) {
+    return e != bv(0, e.get_sort().bv_size());
+  }
+
+  /// Fresh variable with a unique generated name.
+  z3::expr fresh(const std::string& prefix, unsigned bits) {
+    return var(prefix + "_" + std::to_string(fresh_counter_++), bits);
+  }
+
+ private:
+  z3::context ctx_;
+  std::uint64_t fresh_counter_ = 0;
+};
+
+/// One Wasm stack slot under symbolic execution.
+struct SymValue {
+  wasm::ValType type;
+  z3::expr e;
+
+  [[nodiscard]] unsigned bits() const { return e.get_sort().bv_size(); }
+
+  [[nodiscard]] bool is_concrete() const { return e.is_numeral(); }
+
+  /// Numeric value when concrete.
+  [[nodiscard]] std::optional<std::uint64_t> concrete() const {
+    if (!e.is_numeral()) return std::nullopt;
+    return e.get_numeral_uint64();
+  }
+};
+
+/// Lift a concrete runtime value into a SymValue.
+inline SymValue lift(Z3Env& env, const vm::Value& v) {
+  const unsigned bits =
+      (v.type == wasm::ValType::I32 || v.type == wasm::ValType::F32) ? 32
+                                                                     : 64;
+  return SymValue{v.type, env.bv(v.bits, bits)};
+}
+
+/// True when the expression mentions any uninterpreted constant (i.e. it
+/// depends on symbolic input or unknown memory).
+bool has_variables(const z3::expr& e);
+
+}  // namespace wasai::symbolic

@@ -1,0 +1,115 @@
+// Bounds-checked byte-stream reader and growable writer used by the Wasm
+// decoder/encoder and the ABI serializer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wasai::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Sequential reader over a borrowed byte buffer. All reads are
+/// bounds-checked and throw DecodeError on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool eof() const { return pos_ >= data_.size(); }
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  /// Peek without consuming; throws at EOF.
+  [[nodiscard]] std::uint8_t peek() const {
+    require(1);
+    return data_[pos_];
+  }
+
+  std::uint32_t u32_le() {
+    require(4);
+    std::uint32_t v = 0;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64_le() {
+    require(8);
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  /// Consume exactly n bytes and return a view into the underlying buffer.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string str(std::size_t n) {
+    auto b = bytes(n);
+    return {reinterpret_cast<const char*>(b.data()), b.size()};
+  }
+
+  void skip(std::size_t n) { require(n), pos_ += n; }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw DecodeError("unexpected end of stream (need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Growable little-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32_le(std::uint32_t v) {
+    const auto n = out_.size();
+    out_.resize(n + 4);
+    std::memcpy(out_.data() + n, &v, 4);
+  }
+
+  void u64_le(std::uint64_t v) {
+    const auto n = out_.size();
+    out_.resize(n + 8);
+    std::memcpy(out_.data() + n, &v, 8);
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  void str(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return out_; }
+  [[nodiscard]] Bytes take() && { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace wasai::util

@@ -1,0 +1,46 @@
+// Common exception hierarchy for the WASAI reproduction.
+//
+// Every subsystem throws a subclass of util::Error so callers can catch one
+// base type at tool boundaries (fuzzer loop, bench harnesses) while tests can
+// assert on the precise category.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wasai::util {
+
+/// Root of all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed Wasm binary or ABI input.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// Structurally invalid module (validation failure).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validate: " + what) {}
+};
+
+/// Runtime trap raised by the EOSVM interpreter (unreachable, OOB access,
+/// failed eosio_assert, step-limit exhaustion, ...). Traps abort the current
+/// transaction; the chain layer converts them into a reverted transaction.
+class Trap : public Error {
+ public:
+  explicit Trap(const std::string& what) : Error("trap: " + what) {}
+};
+
+/// Misuse of a library API by the caller (programming error, not input data).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage: " + what) {}
+};
+
+}  // namespace wasai::util

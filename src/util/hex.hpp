@@ -1,0 +1,17 @@
+// Hex encoding helpers for debugging output and reports.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace wasai::util {
+
+/// Lowercase hex string of the given bytes (no separators).
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parse a hex string (even length, [0-9a-fA-F]); throws DecodeError.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace wasai::util

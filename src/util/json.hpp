@@ -1,0 +1,72 @@
+// Minimal JSON parser — enough to read EOSIO ABI files (objects, arrays,
+// strings, numbers, booleans, null; UTF-8 passthrough; \uXXXX escapes for
+// the BMP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wasai::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             JsonArray, JsonObject>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  /// Typed accessors; throw DecodeError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; throws DecodeError when absent or not an object.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Object member lookup returning nullptr when absent.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+ private:
+  Value value_;
+};
+
+/// Parse a complete JSON document; throws DecodeError with position info.
+Json parse_json(std::string_view text);
+
+}  // namespace wasai::util

@@ -1,0 +1,66 @@
+#include "util/leb128.hpp"
+
+namespace wasai::util {
+
+void write_uleb(ByteWriter& w, std::uint64_t v) {
+  do {
+    std::uint8_t byte = v & 0x7f;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    w.u8(byte);
+  } while (v != 0);
+}
+
+void write_sleb(ByteWriter& w, std::int64_t v) {
+  bool more = true;
+  while (more) {
+    std::uint8_t byte = v & 0x7f;
+    v >>= 7;  // arithmetic shift
+    const bool sign_bit = (byte & 0x40) != 0;
+    if ((v == 0 && !sign_bit) || (v == -1 && sign_bit)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    w.u8(byte);
+  }
+}
+
+std::uint64_t read_uleb(ByteReader& r, int max_bits) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t byte = r.u8();
+    if (shift >= max_bits ||
+        (shift > max_bits - 7 &&
+         (byte & 0x7f) >> (max_bits - shift) != 0)) {
+      throw DecodeError("uleb128 value exceeds " + std::to_string(max_bits) +
+                        " bits");
+    }
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+}
+
+std::int64_t read_sleb(ByteReader& r, int max_bits) {
+  std::int64_t result = 0;
+  int shift = 0;
+  std::uint8_t byte = 0;
+  do {
+    byte = r.u8();
+    if (shift >= max_bits + 7) {
+      throw DecodeError("sleb128 value exceeds " + std::to_string(max_bits) +
+                        " bits");
+    }
+    result |= static_cast<std::int64_t>(static_cast<std::uint64_t>(byte & 0x7f)
+                                        << shift);
+    shift += 7;
+  } while (byte & 0x80);
+  if (shift < 64 && (byte & 0x40)) {
+    result |= -(static_cast<std::int64_t>(1) << shift);  // sign-extend
+  }
+  return result;
+}
+
+}  // namespace wasai::util

@@ -1,0 +1,27 @@
+// LEB128 variable-length integer codec (Wasm binary format §5.2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace wasai::util {
+
+/// Append an unsigned LEB128 encoding of `v` to `w`.
+void write_uleb(ByteWriter& w, std::uint64_t v);
+
+/// Append a signed LEB128 encoding of `v` to `w`.
+void write_sleb(ByteWriter& w, std::int64_t v);
+
+/// Read an unsigned LEB128 value of at most `max_bits` significant bits.
+/// Throws DecodeError on overlong/overflowing encodings.
+std::uint64_t read_uleb(ByteReader& r, int max_bits = 64);
+
+/// Read a signed LEB128 value of at most `max_bits` significant bits.
+std::int64_t read_sleb(ByteReader& r, int max_bits = 64);
+
+inline std::uint32_t read_uleb32(ByteReader& r) {
+  return static_cast<std::uint32_t>(read_uleb(r, 32));
+}
+
+}  // namespace wasai::util

@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wasai::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw UsageError("Rng::below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw UsageError("Rng::range: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t r = (span == 0) ? next() : below(span);
+  return lo + static_cast<std::int64_t>(r);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  Rng child(0);
+  std::uint64_t x = s_[0] ^ rotl(salt, 31) ^ (s_[3] + 0x632be59bd9b4e019ULL);
+  for (auto& s : child.s_) s = splitmix64(x);
+  return child;
+}
+
+std::string Rng::name_chars(std::size_t n) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz12345";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(kAlphabet[below(31)]);
+  return out;
+}
+
+}  // namespace wasai::util

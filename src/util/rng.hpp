@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// All randomness in the fuzzer, the corpus generator and the benches flows
+// through this type so that experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wasai::util {
+
+/// xoshiro256** seeded via SplitMix64. Cheap to copy; copies diverge
+/// independently, which the corpus generator uses to give every sample its
+/// own stream derived from (dataset seed, sample index).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) — bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p);
+
+  /// Uniform double in [0,1).
+  double uniform();
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+  /// Derive a child RNG whose stream is independent of this one.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
+
+  /// Random lowercase EOSIO-name-safe string of length n (a-z, 1-5).
+  std::string name_chars(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wasai::util

@@ -1,0 +1,14 @@
+#include "wasai/wasai.hpp"
+
+namespace wasai {
+
+AnalysisResult analyze(const util::Bytes& contract_wasm, const abi::Abi& abi,
+                       const AnalysisOptions& options) {
+  engine::Fuzzer fuzzer(contract_wasm, abi, options.fuzz);
+  AnalysisResult result;
+  result.details = fuzzer.run();
+  result.report = result.details.scan;
+  return result;
+}
+
+}  // namespace wasai

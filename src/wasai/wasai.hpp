@@ -1,0 +1,29 @@
+// WASAI public API: one call analyzes a contract binary + ABI and returns
+// the vulnerability report (the paper's end-to-end pipeline: instrument →
+// initiate chain → concolic fuzz → scan).
+#pragma once
+
+#include "engine/fuzzer.hpp"
+
+namespace wasai {
+
+struct AnalysisOptions {
+  engine::FuzzOptions fuzz{};
+};
+
+struct AnalysisResult {
+  scanner::Report report;
+  engine::FuzzReport details;
+
+  [[nodiscard]] bool has(scanner::VulnType type) const {
+    return report.has(type);
+  }
+  [[nodiscard]] bool vulnerable() const { return !report.found.empty(); }
+};
+
+/// Analyze one contract. Throws util::Error subtypes on malformed input
+/// (bad Wasm, missing apply export).
+AnalysisResult analyze(const util::Bytes& contract_wasm, const abi::Abi& abi,
+                       const AnalysisOptions& options = {});
+
+}  // namespace wasai

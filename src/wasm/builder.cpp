@@ -1,0 +1,107 @@
+#include "wasm/builder.hpp"
+
+namespace wasai::wasm {
+
+std::uint32_t ModuleBuilder::import_func(const std::string& module,
+                                         const std::string& field,
+                                         const FuncType& type) {
+  if (sealed_imports_) {
+    throw util::UsageError(
+        "all function imports must precede the first defined function");
+  }
+  Import imp;
+  imp.module = module;
+  imp.field = field;
+  imp.kind = ExternalKind::Function;
+  imp.type_index = m_.type_index_for(type);
+  m_.imports.push_back(std::move(imp));
+  return m_.num_imported_functions() - 1;
+}
+
+std::uint32_t ModuleBuilder::declare_func(const FuncType& type,
+                                          const std::string& name) {
+  sealed_imports_ = true;
+  Function fn;
+  fn.type_index = m_.type_index_for(type);
+  fn.name = name;
+  m_.functions.push_back(std::move(fn));
+  return m_.num_imported_functions() +
+         static_cast<std::uint32_t>(m_.functions.size()) - 1;
+}
+
+void ModuleBuilder::set_body(std::uint32_t func_index,
+                             std::vector<ValType> locals,
+                             std::vector<Instr> body) {
+  Function& fn = m_.defined(func_index);
+  fn.locals = std::move(locals);
+  fn.body = std::move(body);
+  if (fn.body.empty() || fn.body.back().op != Opcode::End) {
+    fn.body.emplace_back(Opcode::End);
+  }
+}
+
+std::uint32_t ModuleBuilder::add_func(const FuncType& type,
+                                      std::vector<ValType> locals,
+                                      std::vector<Instr> body,
+                                      const std::string& name) {
+  const auto idx = declare_func(type, name);
+  set_body(idx, std::move(locals), std::move(body));
+  return idx;
+}
+
+void ModuleBuilder::export_func(const std::string& name,
+                                std::uint32_t func_index) {
+  m_.exports.push_back(Export{name, ExternalKind::Function, func_index});
+}
+
+void ModuleBuilder::add_memory(std::uint32_t min_pages,
+                               std::uint32_t max_pages) {
+  Memory mem;
+  mem.limits.min = min_pages;
+  if (max_pages != 0) mem.limits.max = max_pages;
+  m_.memories.push_back(mem);
+}
+
+void ModuleBuilder::add_table(std::uint32_t size) {
+  Table t;
+  t.limits.min = size;
+  t.limits.max = size;
+  m_.tables.push_back(t);
+}
+
+void ModuleBuilder::add_elem(std::uint32_t offset,
+                             std::vector<std::uint32_t> funcs) {
+  m_.elements.push_back(ElemSegment{0, offset, std::move(funcs)});
+}
+
+std::uint32_t ModuleBuilder::add_global(ValType type, bool mutable_,
+                                        std::uint64_t init) {
+  m_.globals.push_back(Global{GlobalType{type, mutable_}, init});
+  return static_cast<std::uint32_t>(m_.globals.size()) - 1;
+}
+
+void ModuleBuilder::add_data(std::uint32_t offset,
+                             std::vector<std::uint8_t> bytes) {
+  m_.data.push_back(DataSegment{0, offset, std::move(bytes)});
+}
+
+Module ModuleBuilder::build() && {
+  for (const auto& fn : m_.functions) {
+    if (fn.body.empty()) {
+      throw util::UsageError("declared function '" + fn.name +
+                             "' has no body");
+    }
+  }
+  return std::move(m_);
+}
+
+std::vector<Instr> concat(std::initializer_list<std::vector<Instr>> parts) {
+  std::vector<Instr> out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace wasai::wasm

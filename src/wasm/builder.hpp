@@ -1,0 +1,69 @@
+// Programmatic module construction. The corpus generator uses this to emit
+// contracts in the shapes the EOSIO C++ SDK produces (dispatcher +
+// call_indirect + deserializer + action functions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+/// Builds a Module incrementally. Function imports must all be registered
+/// before the first defined function so the function index space stays
+/// stable (imports occupy the low indices).
+class ModuleBuilder {
+ public:
+  /// Import a function; returns its function-space index.
+  std::uint32_t import_func(const std::string& module,
+                            const std::string& field, const FuncType& type);
+
+  /// Declare a defined function (body set later via set_body); returns its
+  /// function-space index. Forward declarations enable recursion.
+  std::uint32_t declare_func(const FuncType& type, const std::string& name = "");
+
+  /// Attach locals and body to a previously declared function.
+  void set_body(std::uint32_t func_index, std::vector<ValType> locals,
+                std::vector<Instr> body);
+
+  /// Declare + define in one call.
+  std::uint32_t add_func(const FuncType& type, std::vector<ValType> locals,
+                         std::vector<Instr> body,
+                         const std::string& name = "");
+
+  void export_func(const std::string& name, std::uint32_t func_index);
+
+  /// Single linear memory with `min_pages` initial pages.
+  void add_memory(std::uint32_t min_pages, std::uint32_t max_pages = 0);
+
+  /// Single funcref table of the given size.
+  void add_table(std::uint32_t size);
+
+  /// Element segment at constant offset.
+  void add_elem(std::uint32_t offset, std::vector<std::uint32_t> funcs);
+
+  /// Returns the global index.
+  std::uint32_t add_global(ValType type, bool mutable_, std::uint64_t init);
+
+  void add_data(std::uint32_t offset, std::vector<std::uint8_t> bytes);
+
+  [[nodiscard]] const Module& module() const { return m_; }
+
+  /// Index for a signature in the type section (adding it if new). Useful
+  /// when emitting call_indirect.
+  std::uint32_t type_index(const FuncType& type) {
+    return m_.type_index_for(type);
+  }
+  [[nodiscard]] Module build() &&;
+
+ private:
+  Module m_;
+  bool sealed_imports_ = false;
+};
+
+/// Concatenate instruction sequences (corpus templates compose with this).
+std::vector<Instr> concat(std::initializer_list<std::vector<Instr>> parts);
+
+}  // namespace wasai::wasm

@@ -1,0 +1,61 @@
+#include "wasm/control.hpp"
+
+namespace wasai::wasm {
+
+ControlMap analyze_control(const std::vector<Instr>& body) {
+  ControlMap map;
+  map.end_idx.assign(body.size(), kNoMatch);
+  map.else_idx.assign(body.size(), kNoMatch);
+
+  // Stack of indices of unmatched openers. The function body itself is an
+  // implicit block whose `end` is the final instruction; we model it by
+  // pushing a sentinel.
+  std::vector<std::uint32_t> openers;
+  bool saw_function_end = false;
+
+  for (std::uint32_t i = 0; i < body.size(); ++i) {
+    switch (body[i].op) {
+      case Opcode::Block:
+      case Opcode::Loop:
+      case Opcode::If:
+        openers.push_back(i);
+        break;
+      case Opcode::Else: {
+        if (openers.empty() || body[openers.back()].op != Opcode::If ||
+            map.else_idx[openers.back()] != kNoMatch) {
+          throw util::ValidationError("else without matching if");
+        }
+        map.else_idx[openers.back()] = i;
+        break;
+      }
+      case Opcode::End: {
+        if (openers.empty()) {
+          // The implicit function block's end: must be the last instruction.
+          if (i + 1 != body.size()) {
+            throw util::ValidationError("instructions after final end");
+          }
+          saw_function_end = true;
+        } else {
+          const auto opener = openers.back();
+          openers.pop_back();
+          map.end_idx[opener] = i;
+          if (map.else_idx[opener] != kNoMatch) {
+            map.end_idx[map.else_idx[opener]] = i;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!openers.empty()) {
+    throw util::ValidationError("unterminated block/loop/if");
+  }
+  if (!saw_function_end) {
+    throw util::ValidationError("function body must end with `end`");
+  }
+  return map;
+}
+
+}  // namespace wasai::wasm

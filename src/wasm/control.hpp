@@ -1,0 +1,27 @@
+// Structured-control-flow analysis of a function body: matches each
+// block/loop/if with its end (and else), so the interpreter and the symbolic
+// replayer can jump without re-scanning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+constexpr std::uint32_t kNoMatch = 0xffffffff;
+
+/// Per-instruction control metadata. Entries are meaningful only for
+/// Block/Loop/If (end_idx / else_idx) and Else (end_idx).
+struct ControlMap {
+  /// For body[i] an opener (or else): index of the matching `end`.
+  std::vector<std::uint32_t> end_idx;
+  /// For body[i] == If: index of the matching `else`, or kNoMatch.
+  std::vector<std::uint32_t> else_idx;
+};
+
+/// Build the map; throws ValidationError on unbalanced bodies.
+ControlMap analyze_control(const std::vector<Instr>& body);
+
+}  // namespace wasai::wasm

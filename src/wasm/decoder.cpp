@@ -1,0 +1,345 @@
+#include "wasm/decoder.hpp"
+
+#include "util/leb128.hpp"
+
+namespace wasai::wasm {
+
+namespace {
+
+using util::ByteReader;
+using util::DecodeError;
+using util::read_sleb;
+using util::read_uleb;
+using util::read_uleb32;
+
+FuncType decode_functype(ByteReader& r) {
+  if (r.u8() != 0x60) throw DecodeError("expected functype tag 0x60");
+  FuncType ft;
+  const auto nparams = read_uleb32(r);
+  ft.params.reserve(nparams);
+  for (std::uint32_t i = 0; i < nparams; ++i) {
+    ft.params.push_back(valtype_from_byte(r.u8()));
+  }
+  const auto nresults = read_uleb32(r);
+  if (nresults > 1) throw DecodeError("MVP allows at most one result");
+  for (std::uint32_t i = 0; i < nresults; ++i) {
+    ft.results.push_back(valtype_from_byte(r.u8()));
+  }
+  return ft;
+}
+
+Limits decode_limits(ByteReader& r) {
+  Limits lim;
+  const auto flags = r.u8();
+  lim.min = read_uleb32(r);
+  if (flags == 1) {
+    lim.max = read_uleb32(r);
+  } else if (flags != 0) {
+    throw DecodeError("invalid limits flags");
+  }
+  return lim;
+}
+
+/// MVP constant initializer: a single const instruction + end.
+std::uint64_t decode_const_init(ByteReader& r, ValType expect) {
+  const auto op = static_cast<Opcode>(r.u8());
+  std::uint64_t bits = 0;
+  switch (op) {
+    case Opcode::I32Const:
+      if (expect != ValType::I32) throw DecodeError("init type mismatch");
+      bits = static_cast<std::uint64_t>(read_sleb(r, 32));
+      break;
+    case Opcode::I64Const:
+      if (expect != ValType::I64) throw DecodeError("init type mismatch");
+      bits = static_cast<std::uint64_t>(read_sleb(r, 64));
+      break;
+    case Opcode::F32Const:
+      if (expect != ValType::F32) throw DecodeError("init type mismatch");
+      bits = r.u32_le();
+      break;
+    case Opcode::F64Const:
+      if (expect != ValType::F64) throw DecodeError("init type mismatch");
+      bits = r.u64_le();
+      break;
+    default:
+      throw DecodeError("unsupported initializer opcode");
+  }
+  if (static_cast<Opcode>(r.u8()) != Opcode::End) {
+    throw DecodeError("initializer missing end");
+  }
+  return bits;
+}
+
+std::vector<Instr> decode_body(ByteReader& r) {
+  std::vector<Instr> body;
+  int depth = 1;  // implicit function block
+  while (depth > 0) {
+    Instr ins = decode_instr(r);
+    switch (ins.op) {
+      case Opcode::Block:
+      case Opcode::Loop:
+      case Opcode::If:
+        ++depth;
+        break;
+      case Opcode::End:
+        --depth;
+        break;
+      default:
+        break;
+    }
+    body.push_back(std::move(ins));
+  }
+  return body;
+}
+
+}  // namespace
+
+Instr decode_instr(ByteReader& r) {
+  const std::uint8_t byte = r.u8();
+  if (!is_known_opcode(byte)) {
+    throw DecodeError("unknown opcode 0x" + std::to_string(byte));
+  }
+  Instr ins(static_cast<Opcode>(byte));
+  const OpInfo& info = op_info(ins.op);
+  switch (info.imm) {
+    case ImmKind::None:
+      break;
+    case ImmKind::BlockType: {
+      const std::uint8_t bt = r.u8();
+      if (bt != kBlockVoid) valtype_from_byte(bt);  // validate
+      ins.a = bt;
+      break;
+    }
+    case ImmKind::LabelIdx:
+    case ImmKind::FuncIdx:
+    case ImmKind::LocalIdx:
+    case ImmKind::GlobalIdx:
+      ins.a = read_uleb32(r);
+      break;
+    case ImmKind::BrTable: {
+      const auto count = read_uleb32(r);
+      ins.table.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ins.table.push_back(read_uleb32(r));
+      }
+      ins.a = read_uleb32(r);  // default target
+      break;
+    }
+    case ImmKind::TypeIdx: {
+      ins.a = read_uleb32(r);
+      if (r.u8() != 0x00) throw DecodeError("call_indirect reserved byte");
+      break;
+    }
+    case ImmKind::MemArg:
+      ins.a = read_uleb32(r);  // align
+      ins.b = read_uleb32(r);  // offset
+      break;
+    case ImmKind::MemIdx:
+      if (r.u8() != 0x00) throw DecodeError("memory index reserved byte");
+      break;
+    case ImmKind::I32:
+      ins.imm = static_cast<std::uint64_t>(read_sleb(r, 32));
+      break;
+    case ImmKind::I64:
+      ins.imm = static_cast<std::uint64_t>(read_sleb(r, 64));
+      break;
+    case ImmKind::F32:
+      ins.imm = r.u32_le();
+      break;
+    case ImmKind::F64:
+      ins.imm = r.u64_le();
+      break;
+  }
+  return ins;
+}
+
+Module decode(std::span<const std::uint8_t> binary) {
+  ByteReader r(binary);
+  if (r.u32_le() != kWasmMagic) throw DecodeError("bad magic");
+  if (r.u32_le() != kWasmVersion) throw DecodeError("unsupported version");
+
+  Module m;
+  std::vector<std::uint32_t> func_type_indices;
+  int last_section = -1;
+
+  while (!r.eof()) {
+    const std::uint8_t section_id = r.u8();
+    const auto section_size = read_uleb32(r);
+    const auto section_bytes = r.bytes(section_size);
+    ByteReader s(section_bytes);
+
+    if (section_id != 0) {  // custom sections may appear anywhere
+      if (section_id <= last_section) {
+        throw DecodeError("section out of order: " +
+                          std::to_string(section_id));
+      }
+      last_section = section_id;
+    }
+
+    switch (section_id) {
+      case 0:  // custom: skipped
+        break;
+      case 1: {  // types
+        const auto n = read_uleb32(s);
+        m.types.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          m.types.push_back(decode_functype(s));
+        }
+        break;
+      }
+      case 2: {  // imports
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          Import imp;
+          imp.module = s.str(read_uleb32(s));
+          imp.field = s.str(read_uleb32(s));
+          imp.kind = static_cast<ExternalKind>(s.u8());
+          switch (imp.kind) {
+            case ExternalKind::Function:
+              imp.type_index = read_uleb32(s);
+              break;
+            case ExternalKind::Table:
+              if (s.u8() != 0x70) throw DecodeError("table elem type");
+              imp.limits = decode_limits(s);
+              break;
+            case ExternalKind::Memory:
+              imp.limits = decode_limits(s);
+              break;
+            case ExternalKind::Global:
+              imp.global_type.type = valtype_from_byte(s.u8());
+              imp.global_type.mutable_ = s.u8() != 0;
+              break;
+          }
+          m.imports.push_back(std::move(imp));
+        }
+        break;
+      }
+      case 3: {  // function declarations
+        const auto n = read_uleb32(s);
+        func_type_indices.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          func_type_indices.push_back(read_uleb32(s));
+        }
+        break;
+      }
+      case 4: {  // tables
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (s.u8() != 0x70) throw DecodeError("table elem type");
+          m.tables.push_back(Table{decode_limits(s)});
+        }
+        break;
+      }
+      case 5: {  // memories
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          m.memories.push_back(Memory{decode_limits(s)});
+        }
+        break;
+      }
+      case 6: {  // globals
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          Global g;
+          g.type.type = valtype_from_byte(s.u8());
+          g.type.mutable_ = s.u8() != 0;
+          g.init_bits = decode_const_init(s, g.type.type);
+          m.globals.push_back(g);
+        }
+        break;
+      }
+      case 7: {  // exports
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          Export e;
+          e.name = s.str(read_uleb32(s));
+          e.kind = static_cast<ExternalKind>(s.u8());
+          e.index = read_uleb32(s);
+          m.exports.push_back(std::move(e));
+        }
+        break;
+      }
+      case 8:  // start
+        m.start = read_uleb32(s);
+        break;
+      case 9: {  // element segments
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          ElemSegment seg;
+          seg.table_index = read_uleb32(s);
+          if (static_cast<Opcode>(s.u8()) != Opcode::I32Const) {
+            throw DecodeError("element offset must be i32.const");
+          }
+          seg.offset = static_cast<std::uint32_t>(read_sleb(s, 32));
+          if (static_cast<Opcode>(s.u8()) != Opcode::End) {
+            throw DecodeError("element offset missing end");
+          }
+          const auto count = read_uleb32(s);
+          seg.func_indices.reserve(count);
+          for (std::uint32_t j = 0; j < count; ++j) {
+            seg.func_indices.push_back(read_uleb32(s));
+          }
+          m.elements.push_back(std::move(seg));
+        }
+        break;
+      }
+      case 10: {  // code
+        const auto n = read_uleb32(s);
+        if (n != func_type_indices.size()) {
+          throw DecodeError("code/function section count mismatch");
+        }
+        m.functions.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const auto body_size = read_uleb32(s);
+          ByteReader body_reader(s.bytes(body_size));
+          Function fn;
+          fn.type_index = func_type_indices[i];
+          const auto nlocals = read_uleb32(body_reader);
+          for (std::uint32_t j = 0; j < nlocals; ++j) {
+            const auto count = read_uleb32(body_reader);
+            const auto type = valtype_from_byte(body_reader.u8());
+            fn.locals.insert(fn.locals.end(), count, type);
+          }
+          fn.body = decode_body(body_reader);
+          if (!body_reader.eof()) {
+            throw DecodeError("trailing bytes after function body");
+          }
+          m.functions.push_back(std::move(fn));
+        }
+        break;
+      }
+      case 11: {  // data segments
+        const auto n = read_uleb32(s);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          DataSegment seg;
+          seg.memory_index = read_uleb32(s);
+          if (static_cast<Opcode>(s.u8()) != Opcode::I32Const) {
+            throw DecodeError("data offset must be i32.const");
+          }
+          seg.offset = static_cast<std::uint32_t>(read_sleb(s, 32));
+          if (static_cast<Opcode>(s.u8()) != Opcode::End) {
+            throw DecodeError("data offset missing end");
+          }
+          const auto len = read_uleb32(s);
+          const auto bytes = s.bytes(len);
+          seg.bytes.assign(bytes.begin(), bytes.end());
+          m.data.push_back(std::move(seg));
+        }
+        break;
+      }
+      default:
+        throw DecodeError("unknown section id " + std::to_string(section_id));
+    }
+    if (section_id != 0 && !s.eof()) {
+      throw DecodeError("trailing bytes in section " +
+                        std::to_string(section_id));
+    }
+  }
+
+  if (!func_type_indices.empty() && m.functions.empty()) {
+    throw DecodeError("function section without code section");
+  }
+  return m;
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,18 @@
+// Wasm binary decoder (MVP). Inverse of encoder.hpp; `decode(encode(m))`
+// round-trips every module this library produces.
+#pragma once
+
+#include <span>
+
+#include "util/bytes.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+/// Decode a full binary module. Throws util::DecodeError on malformed input.
+Module decode(std::span<const std::uint8_t> binary);
+
+/// Decode a single instruction at the reader's position (used by tests).
+Instr decode_instr(util::ByteReader& r);
+
+}  // namespace wasai::wasm

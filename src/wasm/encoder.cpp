@@ -1,0 +1,267 @@
+#include "wasm/encoder.hpp"
+
+#include "util/leb128.hpp"
+
+namespace wasai::wasm {
+
+namespace {
+
+using util::ByteWriter;
+using util::write_sleb;
+using util::write_uleb;
+
+void write_name(ByteWriter& w, std::string_view s) {
+  write_uleb(w, s.size());
+  w.str(s);
+}
+
+void write_limits(ByteWriter& w, const Limits& lim) {
+  w.u8(lim.max ? 1 : 0);
+  write_uleb(w, lim.min);
+  if (lim.max) write_uleb(w, *lim.max);
+}
+
+void write_functype(ByteWriter& w, const FuncType& ft) {
+  w.u8(0x60);
+  write_uleb(w, ft.params.size());
+  for (const auto p : ft.params) w.u8(static_cast<std::uint8_t>(p));
+  write_uleb(w, ft.results.size());
+  for (const auto res : ft.results) w.u8(static_cast<std::uint8_t>(res));
+}
+
+void write_const_init(ByteWriter& w, ValType type, std::uint64_t bits) {
+  switch (type) {
+    case ValType::I32:
+      w.u8(static_cast<std::uint8_t>(Opcode::I32Const));
+      write_sleb(w, static_cast<std::int32_t>(bits));
+      break;
+    case ValType::I64:
+      w.u8(static_cast<std::uint8_t>(Opcode::I64Const));
+      write_sleb(w, static_cast<std::int64_t>(bits));
+      break;
+    case ValType::F32:
+      w.u8(static_cast<std::uint8_t>(Opcode::F32Const));
+      w.u32_le(static_cast<std::uint32_t>(bits));
+      break;
+    case ValType::F64:
+      w.u8(static_cast<std::uint8_t>(Opcode::F64Const));
+      w.u64_le(bits);
+      break;
+  }
+  w.u8(static_cast<std::uint8_t>(Opcode::End));
+}
+
+void write_section(ByteWriter& out, std::uint8_t id, const ByteWriter& body) {
+  if (body.size() == 0) return;
+  out.u8(id);
+  write_uleb(out, body.size());
+  out.bytes(body.data());
+}
+
+}  // namespace
+
+void encode_instr(ByteWriter& w, const Instr& ins) {
+  w.u8(static_cast<std::uint8_t>(ins.op));
+  const OpInfo& info = op_info(ins.op);
+  switch (info.imm) {
+    case ImmKind::None:
+      break;
+    case ImmKind::BlockType:
+      w.u8(static_cast<std::uint8_t>(ins.a));
+      break;
+    case ImmKind::LabelIdx:
+    case ImmKind::FuncIdx:
+    case ImmKind::LocalIdx:
+    case ImmKind::GlobalIdx:
+      write_uleb(w, ins.a);
+      break;
+    case ImmKind::BrTable:
+      write_uleb(w, ins.table.size());
+      for (const auto t : ins.table) write_uleb(w, t);
+      write_uleb(w, ins.a);
+      break;
+    case ImmKind::TypeIdx:
+      write_uleb(w, ins.a);
+      w.u8(0x00);
+      break;
+    case ImmKind::MemArg:
+      write_uleb(w, ins.a);
+      write_uleb(w, ins.b);
+      break;
+    case ImmKind::MemIdx:
+      w.u8(0x00);
+      break;
+    case ImmKind::I32:
+      write_sleb(w, static_cast<std::int32_t>(ins.imm));
+      break;
+    case ImmKind::I64:
+      write_sleb(w, static_cast<std::int64_t>(ins.imm));
+      break;
+    case ImmKind::F32:
+      w.u32_le(static_cast<std::uint32_t>(ins.imm));
+      break;
+    case ImmKind::F64:
+      w.u64_le(ins.imm);
+      break;
+  }
+}
+
+util::Bytes encode(const Module& m) {
+  ByteWriter out;
+  out.u32_le(kWasmMagic);
+  out.u32_le(kWasmVersion);
+
+  {  // 1: types
+    ByteWriter s;
+    if (!m.types.empty()) {
+      write_uleb(s, m.types.size());
+      for (const auto& t : m.types) write_functype(s, t);
+    }
+    write_section(out, 1, s);
+  }
+  {  // 2: imports
+    ByteWriter s;
+    if (!m.imports.empty()) {
+      write_uleb(s, m.imports.size());
+      for (const auto& imp : m.imports) {
+        write_name(s, imp.module);
+        write_name(s, imp.field);
+        s.u8(static_cast<std::uint8_t>(imp.kind));
+        switch (imp.kind) {
+          case ExternalKind::Function:
+            write_uleb(s, imp.type_index);
+            break;
+          case ExternalKind::Table:
+            s.u8(0x70);
+            write_limits(s, imp.limits);
+            break;
+          case ExternalKind::Memory:
+            write_limits(s, imp.limits);
+            break;
+          case ExternalKind::Global:
+            s.u8(static_cast<std::uint8_t>(imp.global_type.type));
+            s.u8(imp.global_type.mutable_ ? 1 : 0);
+            break;
+        }
+      }
+    }
+    write_section(out, 2, s);
+  }
+  {  // 3: function declarations
+    ByteWriter s;
+    if (!m.functions.empty()) {
+      write_uleb(s, m.functions.size());
+      for (const auto& f : m.functions) write_uleb(s, f.type_index);
+    }
+    write_section(out, 3, s);
+  }
+  {  // 4: tables
+    ByteWriter s;
+    if (!m.tables.empty()) {
+      write_uleb(s, m.tables.size());
+      for (const auto& t : m.tables) {
+        s.u8(0x70);
+        write_limits(s, t.limits);
+      }
+    }
+    write_section(out, 4, s);
+  }
+  {  // 5: memories
+    ByteWriter s;
+    if (!m.memories.empty()) {
+      write_uleb(s, m.memories.size());
+      for (const auto& mem : m.memories) write_limits(s, mem.limits);
+    }
+    write_section(out, 5, s);
+  }
+  {  // 6: globals
+    ByteWriter s;
+    if (!m.globals.empty()) {
+      write_uleb(s, m.globals.size());
+      for (const auto& g : m.globals) {
+        s.u8(static_cast<std::uint8_t>(g.type.type));
+        s.u8(g.type.mutable_ ? 1 : 0);
+        write_const_init(s, g.type.type, g.init_bits);
+      }
+    }
+    write_section(out, 6, s);
+  }
+  {  // 7: exports
+    ByteWriter s;
+    if (!m.exports.empty()) {
+      write_uleb(s, m.exports.size());
+      for (const auto& e : m.exports) {
+        write_name(s, e.name);
+        s.u8(static_cast<std::uint8_t>(e.kind));
+        write_uleb(s, e.index);
+      }
+    }
+    write_section(out, 7, s);
+  }
+  {  // 8: start
+    ByteWriter s;
+    if (m.start) write_uleb(s, *m.start);
+    write_section(out, 8, s);
+  }
+  {  // 9: element segments
+    ByteWriter s;
+    if (!m.elements.empty()) {
+      write_uleb(s, m.elements.size());
+      for (const auto& seg : m.elements) {
+        write_uleb(s, seg.table_index);
+        s.u8(static_cast<std::uint8_t>(Opcode::I32Const));
+        write_sleb(s, static_cast<std::int32_t>(seg.offset));
+        s.u8(static_cast<std::uint8_t>(Opcode::End));
+        write_uleb(s, seg.func_indices.size());
+        for (const auto f : seg.func_indices) write_uleb(s, f);
+      }
+    }
+    write_section(out, 9, s);
+  }
+  {  // 10: code
+    ByteWriter s;
+    if (!m.functions.empty()) {
+      write_uleb(s, m.functions.size());
+      for (const auto& f : m.functions) {
+        ByteWriter body;
+        // Group consecutive same-typed locals, as the format requires.
+        std::vector<std::pair<ValType, std::uint32_t>> groups;
+        for (const auto t : f.locals) {
+          if (!groups.empty() && groups.back().first == t) {
+            ++groups.back().second;
+          } else {
+            groups.emplace_back(t, 1);
+          }
+        }
+        write_uleb(body, groups.size());
+        for (const auto& [type, count] : groups) {
+          write_uleb(body, count);
+          body.u8(static_cast<std::uint8_t>(type));
+        }
+        for (const auto& ins : f.body) encode_instr(body, ins);
+        write_uleb(s, body.size());
+        s.bytes(body.data());
+      }
+    }
+    write_section(out, 10, s);
+  }
+  {  // 11: data segments
+    ByteWriter s;
+    if (!m.data.empty()) {
+      write_uleb(s, m.data.size());
+      for (const auto& seg : m.data) {
+        write_uleb(s, seg.memory_index);
+        s.u8(static_cast<std::uint8_t>(Opcode::I32Const));
+        write_sleb(s, static_cast<std::int32_t>(seg.offset));
+        s.u8(static_cast<std::uint8_t>(Opcode::End));
+        write_uleb(s, seg.bytes.size());
+        s.bytes(seg.bytes);
+      }
+    }
+    write_section(out, 11, s);
+  }
+
+  return std::move(out).take();
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,16 @@
+// Wasm binary encoder (MVP). Used to deploy builder-generated and
+// instrumented modules as contract bytecode.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+/// Encode a module into the Wasm binary format.
+util::Bytes encode(const Module& m);
+
+/// Encode a single instruction (used by tests and the obfuscator).
+void encode_instr(util::ByteWriter& w, const Instr& ins);
+
+}  // namespace wasai::wasm

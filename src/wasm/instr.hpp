@@ -1,0 +1,111 @@
+// In-memory instruction representation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "wasm/opcode.hpp"
+
+namespace wasai::wasm {
+
+/// One decoded instruction. Immediates are stored in `a`/`b`/`imm` according
+/// to the opcode's ImmKind:
+///   BlockType  -> a = raw byte (0x40 = empty, else a ValType encoding)
+///   LabelIdx   -> a = label depth
+///   FuncIdx    -> a = function index
+///   TypeIdx    -> a = type index (call_indirect)
+///   LocalIdx   -> a = local index
+///   GlobalIdx  -> a = global index
+///   MemArg     -> a = alignment log2, b = offset
+///   I32/I64    -> imm = value bit pattern (sign-extended for I32)
+///   F32/F64    -> imm = IEEE754 bit pattern
+///   BrTable    -> table = targets, a = default target
+struct Instr {
+  Opcode op = Opcode::Nop;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t imm = 0;
+  std::vector<std::uint32_t> table;
+
+  Instr() = default;
+  explicit Instr(Opcode o) : op(o) {}
+  Instr(Opcode o, std::uint32_t a_) : op(o), a(a_) {}
+  Instr(Opcode o, std::uint32_t a_, std::uint32_t b_) : op(o), a(a_), b(b_) {}
+
+  [[nodiscard]] std::int32_t i32_imm() const {
+    return static_cast<std::int32_t>(imm);
+  }
+  [[nodiscard]] std::int64_t i64_imm() const {
+    return static_cast<std::int64_t>(imm);
+  }
+  [[nodiscard]] float f32_imm() const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(imm));
+  }
+  [[nodiscard]] double f64_imm() const { return std::bit_cast<double>(imm); }
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Convenience constructors used heavily by the corpus builder and tests.
+inline Instr i32_const(std::int32_t v) {
+  Instr i(Opcode::I32Const);
+  i.imm = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  return i;
+}
+
+inline Instr i64_const(std::int64_t v) {
+  Instr i(Opcode::I64Const);
+  i.imm = static_cast<std::uint64_t>(v);
+  return i;
+}
+
+inline Instr i64_const_u(std::uint64_t v) {
+  Instr i(Opcode::I64Const);
+  i.imm = v;
+  return i;
+}
+
+inline Instr f32_const(float v) {
+  Instr i(Opcode::F32Const);
+  i.imm = std::bit_cast<std::uint32_t>(v);
+  return i;
+}
+
+inline Instr f64_const(double v) {
+  Instr i(Opcode::F64Const);
+  i.imm = std::bit_cast<std::uint64_t>(v);
+  return i;
+}
+
+inline Instr local_get(std::uint32_t idx) { return {Opcode::LocalGet, idx}; }
+inline Instr local_set(std::uint32_t idx) { return {Opcode::LocalSet, idx}; }
+inline Instr local_tee(std::uint32_t idx) { return {Opcode::LocalTee, idx}; }
+inline Instr global_get(std::uint32_t idx) { return {Opcode::GlobalGet, idx}; }
+inline Instr global_set(std::uint32_t idx) { return {Opcode::GlobalSet, idx}; }
+inline Instr call(std::uint32_t fn) { return {Opcode::Call, fn}; }
+inline Instr br(std::uint32_t depth) { return {Opcode::Br, depth}; }
+inline Instr br_if(std::uint32_t depth) { return {Opcode::BrIf, depth}; }
+
+/// Block type byte for "no result".
+constexpr std::uint32_t kBlockVoid = 0x40;
+
+inline Instr block(std::uint32_t block_type = kBlockVoid) {
+  return {Opcode::Block, block_type};
+}
+inline Instr loop(std::uint32_t block_type = kBlockVoid) {
+  return {Opcode::Loop, block_type};
+}
+inline Instr if_(std::uint32_t block_type = kBlockVoid) {
+  return {Opcode::If, block_type};
+}
+inline Instr mem_load(Opcode op, std::uint32_t offset = 0,
+                      std::uint32_t align = 0) {
+  return {op, align, offset};
+}
+inline Instr mem_store(Opcode op, std::uint32_t offset = 0,
+                       std::uint32_t align = 0) {
+  return {op, align, offset};
+}
+
+}  // namespace wasai::wasm

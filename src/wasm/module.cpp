@@ -1,0 +1,57 @@
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+const FuncType& Module::function_type(std::uint32_t func_index) const {
+  const std::uint32_t imported = num_imported_functions();
+  if (func_index < imported) {
+    return types.at(function_import(func_index).type_index);
+  }
+  const std::uint32_t local = func_index - imported;
+  if (local >= functions.size()) {
+    throw util::UsageError("function index " + std::to_string(func_index) +
+                           " out of range");
+  }
+  return types.at(functions[local].type_index);
+}
+
+const Import& Module::function_import(std::uint32_t func_index) const {
+  std::uint32_t n = 0;
+  for (const auto& imp : imports) {
+    if (imp.kind != ExternalKind::Function) continue;
+    if (n == func_index) return imp;
+    ++n;
+  }
+  throw util::UsageError("imported function index " +
+                         std::to_string(func_index) + " out of range");
+}
+
+Function& Module::defined(std::uint32_t func_index) {
+  const std::uint32_t imported = num_imported_functions();
+  if (func_index < imported || func_index - imported >= functions.size()) {
+    throw util::UsageError("function index " + std::to_string(func_index) +
+                           " is not a defined function");
+  }
+  return functions[func_index - imported];
+}
+
+const Function& Module::defined(std::uint32_t func_index) const {
+  return const_cast<Module*>(this)->defined(func_index);
+}
+
+std::optional<std::uint32_t> Module::find_export(std::string_view name) const {
+  for (const auto& e : exports) {
+    if (e.kind == ExternalKind::Function && e.name == name) return e.index;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Module::type_index_for(const FuncType& ft) {
+  for (std::uint32_t i = 0; i < types.size(); ++i) {
+    if (types[i] == ft) return i;
+  }
+  types.push_back(ft);
+  return static_cast<std::uint32_t>(types.size() - 1);
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,117 @@
+// In-memory representation of a Wasm module — the unit deployed as an EOSIO
+// smart contract and the unit the instrumenter rewrites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/instr.hpp"
+#include "wasm/types.hpp"
+
+namespace wasai::wasm {
+
+struct Import {
+  std::string module;  // import module name, e.g. "env"
+  std::string field;   // imported symbol, e.g. "require_auth"
+  ExternalKind kind = ExternalKind::Function;
+  std::uint32_t type_index = 0;  // for functions: index into Module::types
+  GlobalType global_type;        // for globals
+  Limits limits;                 // for tables/memories
+};
+
+struct Function {
+  std::uint32_t type_index = 0;
+  /// Additional locals beyond the parameters, in declaration order.
+  std::vector<ValType> locals;
+  /// Body instructions including the terminating `end`.
+  std::vector<Instr> body;
+  /// Optional debug name (carried through instrumentation, not encoded).
+  std::string name;
+};
+
+struct Table {
+  Limits limits;
+};
+
+struct Memory {
+  Limits limits;
+};
+
+struct Global {
+  GlobalType type;
+  /// MVP initializer: a single constant. Interpreted per type.
+  std::uint64_t init_bits = 0;
+};
+
+struct Export {
+  std::string name;
+  ExternalKind kind = ExternalKind::Function;
+  std::uint32_t index = 0;  // function-space index (imports first)
+};
+
+struct ElemSegment {
+  std::uint32_t table_index = 0;
+  std::uint32_t offset = 0;  // constant offset (MVP i32.const initializer)
+  std::vector<std::uint32_t> func_indices;
+};
+
+struct DataSegment {
+  std::uint32_t memory_index = 0;
+  std::uint32_t offset = 0;  // constant offset
+  std::vector<std::uint8_t> bytes;
+};
+
+/// A decoded module. Function index space = imported functions followed by
+/// locally defined functions, as in the Wasm spec.
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  std::vector<Function> functions;  // defined functions only
+  std::vector<Table> tables;
+  std::vector<Memory> memories;
+  std::vector<Global> globals;
+  std::vector<Export> exports;
+  std::vector<ElemSegment> elements;
+  std::vector<DataSegment> data;
+  std::optional<std::uint32_t> start;
+
+  /// Number of imported functions (the offset of defined functions in the
+  /// function index space).
+  [[nodiscard]] std::uint32_t num_imported_functions() const {
+    std::uint32_t n = 0;
+    for (const auto& imp : imports) {
+      if (imp.kind == ExternalKind::Function) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint32_t num_functions() const {
+    return num_imported_functions() +
+           static_cast<std::uint32_t>(functions.size());
+  }
+
+  [[nodiscard]] bool is_imported_function(std::uint32_t func_index) const {
+    return func_index < num_imported_functions();
+  }
+
+  /// Signature of any function in the index space (imported or defined).
+  [[nodiscard]] const FuncType& function_type(std::uint32_t func_index) const;
+
+  /// The i-th *function* import (skipping non-function imports).
+  [[nodiscard]] const Import& function_import(std::uint32_t func_index) const;
+
+  /// Defined function for a function-space index; throws for imports.
+  [[nodiscard]] Function& defined(std::uint32_t func_index);
+  [[nodiscard]] const Function& defined(std::uint32_t func_index) const;
+
+  /// Find an exported function's index by name, if present.
+  [[nodiscard]] std::optional<std::uint32_t> find_export(
+      std::string_view name) const;
+
+  /// Index of a matching type, adding it if absent.
+  std::uint32_t type_index_for(const FuncType& ft);
+};
+
+}  // namespace wasai::wasm

@@ -1,0 +1,296 @@
+#include "wasm/opcode.hpp"
+
+#include <array>
+
+namespace wasai::wasm {
+
+namespace {
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+constexpr ValType F32 = ValType::F32;
+constexpr ValType F64 = ValType::F64;
+
+struct Entry {
+  bool known = false;
+  OpInfo info{};
+};
+
+constexpr Entry make(const char* name, ImmKind imm, OpClass cls,
+                     std::uint8_t bytes = 0, ValType operand = I32,
+                     ValType result = I32, bool sext = false) {
+  return Entry{true, OpInfo{name, imm, cls, bytes, operand, result, sext}};
+}
+
+constexpr std::array<Entry, 0xc0> build_table() {
+  std::array<Entry, 0xc0> t{};
+  auto set = [&](Opcode op, Entry e) { t[static_cast<std::size_t>(op)] = e; };
+
+  using K = ImmKind;
+  using C = OpClass;
+
+  // Control
+  set(Opcode::Unreachable, make("unreachable", K::None, C::Control));
+  set(Opcode::Nop, make("nop", K::None, C::Control));
+  set(Opcode::Block, make("block", K::BlockType, C::Control));
+  set(Opcode::Loop, make("loop", K::BlockType, C::Control));
+  set(Opcode::If, make("if", K::BlockType, C::Control));
+  set(Opcode::Else, make("else", K::None, C::Control));
+  set(Opcode::End, make("end", K::None, C::Control));
+  set(Opcode::Br, make("br", K::LabelIdx, C::Control));
+  set(Opcode::BrIf, make("br_if", K::LabelIdx, C::Control));
+  set(Opcode::BrTable, make("br_table", K::BrTable, C::Control));
+  set(Opcode::Return, make("return", K::None, C::Control));
+  set(Opcode::Call, make("call", K::FuncIdx, C::Control));
+  set(Opcode::CallIndirect, make("call_indirect", K::TypeIdx, C::Control));
+
+  // Parametric
+  set(Opcode::Drop, make("drop", K::None, C::Parametric));
+  set(Opcode::Select, make("select", K::None, C::Parametric));
+
+  // Variable
+  set(Opcode::LocalGet, make("local.get", K::LocalIdx, C::Variable));
+  set(Opcode::LocalSet, make("local.set", K::LocalIdx, C::Variable));
+  set(Opcode::LocalTee, make("local.tee", K::LocalIdx, C::Variable));
+  set(Opcode::GlobalGet, make("global.get", K::GlobalIdx, C::Variable));
+  set(Opcode::GlobalSet, make("global.set", K::GlobalIdx, C::Variable));
+
+  // Loads (operand field = result type pushed onto the stack)
+  set(Opcode::I32Load, make("i32.load", K::MemArg, C::Load, 4, I32, I32));
+  set(Opcode::I64Load, make("i64.load", K::MemArg, C::Load, 8, I64, I64));
+  set(Opcode::F32Load, make("f32.load", K::MemArg, C::Load, 4, F32, F32));
+  set(Opcode::F64Load, make("f64.load", K::MemArg, C::Load, 8, F64, F64));
+  set(Opcode::I32Load8S,
+      make("i32.load8_s", K::MemArg, C::Load, 1, I32, I32, true));
+  set(Opcode::I32Load8U, make("i32.load8_u", K::MemArg, C::Load, 1, I32, I32));
+  set(Opcode::I32Load16S,
+      make("i32.load16_s", K::MemArg, C::Load, 2, I32, I32, true));
+  set(Opcode::I32Load16U,
+      make("i32.load16_u", K::MemArg, C::Load, 2, I32, I32));
+  set(Opcode::I64Load8S,
+      make("i64.load8_s", K::MemArg, C::Load, 1, I64, I64, true));
+  set(Opcode::I64Load8U, make("i64.load8_u", K::MemArg, C::Load, 1, I64, I64));
+  set(Opcode::I64Load16S,
+      make("i64.load16_s", K::MemArg, C::Load, 2, I64, I64, true));
+  set(Opcode::I64Load16U,
+      make("i64.load16_u", K::MemArg, C::Load, 2, I64, I64));
+  set(Opcode::I64Load32S,
+      make("i64.load32_s", K::MemArg, C::Load, 4, I64, I64, true));
+  set(Opcode::I64Load32U,
+      make("i64.load32_u", K::MemArg, C::Load, 4, I64, I64));
+
+  // Stores (operand field = value type popped from the stack)
+  set(Opcode::I32Store, make("i32.store", K::MemArg, C::Store, 4, I32));
+  set(Opcode::I64Store, make("i64.store", K::MemArg, C::Store, 8, I64));
+  set(Opcode::F32Store, make("f32.store", K::MemArg, C::Store, 4, F32));
+  set(Opcode::F64Store, make("f64.store", K::MemArg, C::Store, 8, F64));
+  set(Opcode::I32Store8, make("i32.store8", K::MemArg, C::Store, 1, I32));
+  set(Opcode::I32Store16, make("i32.store16", K::MemArg, C::Store, 2, I32));
+  set(Opcode::I64Store8, make("i64.store8", K::MemArg, C::Store, 1, I64));
+  set(Opcode::I64Store16, make("i64.store16", K::MemArg, C::Store, 2, I64));
+  set(Opcode::I64Store32, make("i64.store32", K::MemArg, C::Store, 4, I64));
+
+  set(Opcode::MemorySize, make("memory.size", K::MemIdx, C::Memory));
+  set(Opcode::MemoryGrow, make("memory.grow", K::MemIdx, C::Memory));
+
+  // Constants
+  set(Opcode::I32Const, make("i32.const", K::I32, C::Const, 0, I32, I32));
+  set(Opcode::I64Const, make("i64.const", K::I64, C::Const, 0, I64, I64));
+  set(Opcode::F32Const, make("f32.const", K::F32, C::Const, 0, F32, F32));
+  set(Opcode::F64Const, make("f64.const", K::F64, C::Const, 0, F64, F64));
+
+  auto unary = [&](Opcode op, const char* n, ValType in, ValType out) {
+    set(op, make(n, K::None, C::Unary, 0, in, out));
+  };
+  auto binary = [&](Opcode op, const char* n, ValType in, ValType out) {
+    set(op, make(n, K::None, C::Binary, 0, in, out));
+  };
+
+  // i32 test/relational
+  unary(Opcode::I32Eqz, "i32.eqz", I32, I32);
+  binary(Opcode::I32Eq, "i32.eq", I32, I32);
+  binary(Opcode::I32Ne, "i32.ne", I32, I32);
+  binary(Opcode::I32LtS, "i32.lt_s", I32, I32);
+  binary(Opcode::I32LtU, "i32.lt_u", I32, I32);
+  binary(Opcode::I32GtS, "i32.gt_s", I32, I32);
+  binary(Opcode::I32GtU, "i32.gt_u", I32, I32);
+  binary(Opcode::I32LeS, "i32.le_s", I32, I32);
+  binary(Opcode::I32LeU, "i32.le_u", I32, I32);
+  binary(Opcode::I32GeS, "i32.ge_s", I32, I32);
+  binary(Opcode::I32GeU, "i32.ge_u", I32, I32);
+
+  // i64 test/relational (results are i32)
+  unary(Opcode::I64Eqz, "i64.eqz", I64, I32);
+  binary(Opcode::I64Eq, "i64.eq", I64, I32);
+  binary(Opcode::I64Ne, "i64.ne", I64, I32);
+  binary(Opcode::I64LtS, "i64.lt_s", I64, I32);
+  binary(Opcode::I64LtU, "i64.lt_u", I64, I32);
+  binary(Opcode::I64GtS, "i64.gt_s", I64, I32);
+  binary(Opcode::I64GtU, "i64.gt_u", I64, I32);
+  binary(Opcode::I64LeS, "i64.le_s", I64, I32);
+  binary(Opcode::I64LeU, "i64.le_u", I64, I32);
+  binary(Opcode::I64GeS, "i64.ge_s", I64, I32);
+  binary(Opcode::I64GeU, "i64.ge_u", I64, I32);
+
+  // f32/f64 relational
+  binary(Opcode::F32Eq, "f32.eq", F32, I32);
+  binary(Opcode::F32Ne, "f32.ne", F32, I32);
+  binary(Opcode::F32Lt, "f32.lt", F32, I32);
+  binary(Opcode::F32Gt, "f32.gt", F32, I32);
+  binary(Opcode::F32Le, "f32.le", F32, I32);
+  binary(Opcode::F32Ge, "f32.ge", F32, I32);
+  binary(Opcode::F64Eq, "f64.eq", F64, I32);
+  binary(Opcode::F64Ne, "f64.ne", F64, I32);
+  binary(Opcode::F64Lt, "f64.lt", F64, I32);
+  binary(Opcode::F64Gt, "f64.gt", F64, I32);
+  binary(Opcode::F64Le, "f64.le", F64, I32);
+  binary(Opcode::F64Ge, "f64.ge", F64, I32);
+
+  // i32 arithmetic
+  unary(Opcode::I32Clz, "i32.clz", I32, I32);
+  unary(Opcode::I32Ctz, "i32.ctz", I32, I32);
+  unary(Opcode::I32Popcnt, "i32.popcnt", I32, I32);
+  binary(Opcode::I32Add, "i32.add", I32, I32);
+  binary(Opcode::I32Sub, "i32.sub", I32, I32);
+  binary(Opcode::I32Mul, "i32.mul", I32, I32);
+  binary(Opcode::I32DivS, "i32.div_s", I32, I32);
+  binary(Opcode::I32DivU, "i32.div_u", I32, I32);
+  binary(Opcode::I32RemS, "i32.rem_s", I32, I32);
+  binary(Opcode::I32RemU, "i32.rem_u", I32, I32);
+  binary(Opcode::I32And, "i32.and", I32, I32);
+  binary(Opcode::I32Or, "i32.or", I32, I32);
+  binary(Opcode::I32Xor, "i32.xor", I32, I32);
+  binary(Opcode::I32Shl, "i32.shl", I32, I32);
+  binary(Opcode::I32ShrS, "i32.shr_s", I32, I32);
+  binary(Opcode::I32ShrU, "i32.shr_u", I32, I32);
+  binary(Opcode::I32Rotl, "i32.rotl", I32, I32);
+  binary(Opcode::I32Rotr, "i32.rotr", I32, I32);
+
+  // i64 arithmetic
+  unary(Opcode::I64Clz, "i64.clz", I64, I64);
+  unary(Opcode::I64Ctz, "i64.ctz", I64, I64);
+  unary(Opcode::I64Popcnt, "i64.popcnt", I64, I64);
+  binary(Opcode::I64Add, "i64.add", I64, I64);
+  binary(Opcode::I64Sub, "i64.sub", I64, I64);
+  binary(Opcode::I64Mul, "i64.mul", I64, I64);
+  binary(Opcode::I64DivS, "i64.div_s", I64, I64);
+  binary(Opcode::I64DivU, "i64.div_u", I64, I64);
+  binary(Opcode::I64RemS, "i64.rem_s", I64, I64);
+  binary(Opcode::I64RemU, "i64.rem_u", I64, I64);
+  binary(Opcode::I64And, "i64.and", I64, I64);
+  binary(Opcode::I64Or, "i64.or", I64, I64);
+  binary(Opcode::I64Xor, "i64.xor", I64, I64);
+  binary(Opcode::I64Shl, "i64.shl", I64, I64);
+  binary(Opcode::I64ShrS, "i64.shr_s", I64, I64);
+  binary(Opcode::I64ShrU, "i64.shr_u", I64, I64);
+  binary(Opcode::I64Rotl, "i64.rotl", I64, I64);
+  binary(Opcode::I64Rotr, "i64.rotr", I64, I64);
+
+  // f32 arithmetic
+  unary(Opcode::F32Abs, "f32.abs", F32, F32);
+  unary(Opcode::F32Neg, "f32.neg", F32, F32);
+  unary(Opcode::F32Ceil, "f32.ceil", F32, F32);
+  unary(Opcode::F32Floor, "f32.floor", F32, F32);
+  unary(Opcode::F32Trunc, "f32.trunc", F32, F32);
+  unary(Opcode::F32Nearest, "f32.nearest", F32, F32);
+  unary(Opcode::F32Sqrt, "f32.sqrt", F32, F32);
+  binary(Opcode::F32Add, "f32.add", F32, F32);
+  binary(Opcode::F32Sub, "f32.sub", F32, F32);
+  binary(Opcode::F32Mul, "f32.mul", F32, F32);
+  binary(Opcode::F32Div, "f32.div", F32, F32);
+  binary(Opcode::F32Min, "f32.min", F32, F32);
+  binary(Opcode::F32Max, "f32.max", F32, F32);
+  binary(Opcode::F32Copysign, "f32.copysign", F32, F32);
+
+  // f64 arithmetic
+  unary(Opcode::F64Abs, "f64.abs", F64, F64);
+  unary(Opcode::F64Neg, "f64.neg", F64, F64);
+  unary(Opcode::F64Ceil, "f64.ceil", F64, F64);
+  unary(Opcode::F64Floor, "f64.floor", F64, F64);
+  unary(Opcode::F64Trunc, "f64.trunc", F64, F64);
+  unary(Opcode::F64Nearest, "f64.nearest", F64, F64);
+  unary(Opcode::F64Sqrt, "f64.sqrt", F64, F64);
+  binary(Opcode::F64Add, "f64.add", F64, F64);
+  binary(Opcode::F64Sub, "f64.sub", F64, F64);
+  binary(Opcode::F64Mul, "f64.mul", F64, F64);
+  binary(Opcode::F64Div, "f64.div", F64, F64);
+  binary(Opcode::F64Min, "f64.min", F64, F64);
+  binary(Opcode::F64Max, "f64.max", F64, F64);
+  binary(Opcode::F64Copysign, "f64.copysign", F64, F64);
+
+  // Conversions
+  unary(Opcode::I32WrapI64, "i32.wrap_i64", I64, I32);
+  unary(Opcode::I32TruncF32S, "i32.trunc_f32_s", F32, I32);
+  unary(Opcode::I32TruncF32U, "i32.trunc_f32_u", F32, I32);
+  unary(Opcode::I32TruncF64S, "i32.trunc_f64_s", F64, I32);
+  unary(Opcode::I32TruncF64U, "i32.trunc_f64_u", F64, I32);
+  unary(Opcode::I64ExtendI32S, "i64.extend_i32_s", I32, I64);
+  unary(Opcode::I64ExtendI32U, "i64.extend_i32_u", I32, I64);
+  unary(Opcode::I64TruncF32S, "i64.trunc_f32_s", F32, I64);
+  unary(Opcode::I64TruncF32U, "i64.trunc_f32_u", F32, I64);
+  unary(Opcode::I64TruncF64S, "i64.trunc_f64_s", F64, I64);
+  unary(Opcode::I64TruncF64U, "i64.trunc_f64_u", F64, I64);
+  unary(Opcode::F32ConvertI32S, "f32.convert_i32_s", I32, F32);
+  unary(Opcode::F32ConvertI32U, "f32.convert_i32_u", I32, F32);
+  unary(Opcode::F32ConvertI64S, "f32.convert_i64_s", I64, F32);
+  unary(Opcode::F32ConvertI64U, "f32.convert_i64_u", I64, F32);
+  unary(Opcode::F32DemoteF64, "f32.demote_f64", F64, F32);
+  unary(Opcode::F64ConvertI32S, "f64.convert_i32_s", I32, F64);
+  unary(Opcode::F64ConvertI32U, "f64.convert_i32_u", I32, F64);
+  unary(Opcode::F64ConvertI64S, "f64.convert_i64_s", I64, F64);
+  unary(Opcode::F64ConvertI64U, "f64.convert_i64_u", I64, F64);
+  unary(Opcode::F64PromoteF32, "f64.promote_f32", F32, F64);
+  unary(Opcode::I32ReinterpretF32, "i32.reinterpret_f32", F32, I32);
+  unary(Opcode::I64ReinterpretF64, "i64.reinterpret_f64", F64, I64);
+  unary(Opcode::F32ReinterpretI32, "f32.reinterpret_i32", I32, F32);
+  unary(Opcode::F64ReinterpretI64, "f64.reinterpret_i64", I64, F64);
+
+  return t;
+}
+
+const std::array<Entry, 0xc0> kTable = build_table();
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx >= kTable.size() || !kTable[idx].known) {
+    throw util::DecodeError("unknown opcode byte 0x" + std::to_string(idx));
+  }
+  return kTable[idx].info;
+}
+
+bool is_known_opcode(std::uint8_t byte) {
+  return byte < kTable.size() && kTable[byte].known;
+}
+
+const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::I32:
+      return "i32";
+    case ValType::I64:
+      return "i64";
+    case ValType::F32:
+      return "f32";
+    case ValType::F64:
+      return "f64";
+  }
+  return "?";
+}
+
+ValType valtype_from_byte(std::uint8_t b) {
+  switch (b) {
+    case 0x7f:
+      return ValType::I32;
+    case 0x7e:
+      return ValType::I64;
+    case 0x7d:
+      return ValType::F32;
+    case 0x7c:
+      return ValType::F64;
+    default:
+      throw util::DecodeError("invalid value type byte " + std::to_string(b));
+  }
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,112 @@
+#include "wasm/printer.hpp"
+
+#include <sstream>
+
+namespace wasai::wasm {
+
+std::string to_string(const Instr& ins) {
+  const OpInfo& info = op_info(ins.op);
+  std::ostringstream os;
+  os << info.name;
+  switch (info.imm) {
+    case ImmKind::None:
+    case ImmKind::MemIdx:
+      break;
+    case ImmKind::BlockType:
+      if (ins.a != kBlockVoid) {
+        os << " (result "
+           << to_string(valtype_from_byte(static_cast<std::uint8_t>(ins.a)))
+           << ")";
+      }
+      break;
+    case ImmKind::LabelIdx:
+    case ImmKind::FuncIdx:
+    case ImmKind::LocalIdx:
+    case ImmKind::GlobalIdx:
+      os << ' ' << ins.a;
+      break;
+    case ImmKind::BrTable:
+      for (const auto t : ins.table) os << ' ' << t;
+      os << ' ' << ins.a;
+      break;
+    case ImmKind::TypeIdx:
+      os << " (type " << ins.a << ")";
+      break;
+    case ImmKind::MemArg:
+      if (ins.b != 0) os << " offset=" << ins.b;
+      if (ins.a != 0) os << " align=" << ins.a;
+      break;
+    case ImmKind::I32:
+      os << ' ' << ins.i32_imm();
+      break;
+    case ImmKind::I64:
+      os << ' ' << ins.i64_imm();
+      break;
+    case ImmKind::F32:
+      os << ' ' << ins.f32_imm();
+      break;
+    case ImmKind::F64:
+      os << ' ' << ins.f64_imm();
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  os << "(module\n";
+  for (std::size_t i = 0; i < m.types.size(); ++i) {
+    os << "  (type " << i << " (func";
+    if (!m.types[i].params.empty()) {
+      os << " (param";
+      for (const auto p : m.types[i].params) os << ' ' << to_string(p);
+      os << ')';
+    }
+    if (!m.types[i].results.empty()) {
+      os << " (result";
+      for (const auto r : m.types[i].results) os << ' ' << to_string(r);
+      os << ')';
+    }
+    os << "))\n";
+  }
+  for (const auto& imp : m.imports) {
+    os << "  (import \"" << imp.module << "\" \"" << imp.field << "\"";
+    if (imp.kind == ExternalKind::Function) {
+      os << " (func (type " << imp.type_index << "))";
+    }
+    os << ")\n";
+  }
+  const auto imported = m.num_imported_functions();
+  for (std::size_t i = 0; i < m.functions.size(); ++i) {
+    const Function& fn = m.functions[i];
+    os << "  (func " << (imported + i);
+    if (!fn.name.empty()) os << " $" << fn.name;
+    os << " (type " << fn.type_index << ")";
+    if (!fn.locals.empty()) {
+      os << " (local";
+      for (const auto l : fn.locals) os << ' ' << to_string(l);
+      os << ')';
+    }
+    os << '\n';
+    int indent = 2;
+    for (const auto& ins : fn.body) {
+      if (ins.op == Opcode::End || ins.op == Opcode::Else) {
+        indent = indent > 2 ? indent - 1 : 2;
+      }
+      for (int s = 0; s < indent; ++s) os << "  ";
+      os << to_string(ins) << '\n';
+      if (ins.op == Opcode::Block || ins.op == Opcode::Loop ||
+          ins.op == Opcode::If || ins.op == Opcode::Else) {
+        ++indent;
+      }
+    }
+    os << "  )\n";
+  }
+  for (const auto& e : m.exports) {
+    os << "  (export \"" << e.name << "\" (func " << e.index << "))\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,16 @@
+// WAT-flavoured pretty printer for debugging and reports.
+#pragma once
+
+#include <string>
+
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+/// Render one instruction as text, e.g. "i64.ne" or "i32.const 1024".
+std::string to_string(const Instr& ins);
+
+/// Render a whole module in a compact WAT-like form.
+std::string to_string(const Module& m);
+
+}  // namespace wasai::wasm

@@ -1,0 +1,65 @@
+// Core type definitions of the WebAssembly MVP binary format (the subset
+// EOSIO contracts are compiled against).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wasai::wasm {
+
+/// Wasm value types. Numeric values equal their binary-format encodings.
+enum class ValType : std::uint8_t {
+  I32 = 0x7f,
+  I64 = 0x7e,
+  F32 = 0x7d,
+  F64 = 0x7c,
+};
+
+/// Human-readable name ("i32", ...).
+const char* to_string(ValType t);
+
+/// Decode a value-type byte; throws DecodeError for unknown encodings.
+ValType valtype_from_byte(std::uint8_t b);
+
+/// A function signature: parameter and result types. The MVP allows at most
+/// one result.
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType&) const = default;
+};
+
+/// Resizable limits for memories and tables (unit: pages / elements).
+struct Limits {
+  std::uint32_t min = 0;
+  std::optional<std::uint32_t> max;
+
+  bool operator==(const Limits&) const = default;
+};
+
+/// A global variable's type: value type + mutability.
+struct GlobalType {
+  ValType type = ValType::I32;
+  bool mutable_ = false;
+
+  bool operator==(const GlobalType&) const = default;
+};
+
+/// Kinds of imports/exports.
+enum class ExternalKind : std::uint8_t {
+  Function = 0,
+  Table = 1,
+  Memory = 2,
+  Global = 3,
+};
+
+constexpr std::uint32_t kWasmPageSize = 64 * 1024;
+constexpr std::uint32_t kWasmMagic = 0x6d736100;  // "\0asm"
+constexpr std::uint32_t kWasmVersion = 1;
+
+}  // namespace wasai::wasm

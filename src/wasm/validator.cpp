@@ -1,0 +1,395 @@
+#include "wasm/validator.hpp"
+
+#include <optional>
+
+#include "wasm/control.hpp"
+
+namespace wasai::wasm {
+
+namespace {
+
+using util::ValidationError;
+
+// std::nullopt models the "Unknown" type of the spec's validation algorithm
+// (values produced in unreachable code).
+using MaybeType = std::optional<ValType>;
+
+struct CtrlFrame {
+  Opcode op;  // Block / Loop / If / Else
+  std::vector<ValType> start_types;
+  std::vector<ValType> end_types;
+  std::size_t height = 0;
+  bool unreachable = false;
+};
+
+class FuncValidator {
+ public:
+  FuncValidator(const Module& m, const Function& fn) : m_(m), fn_(fn) {
+    const FuncType& ft = m.types.at(fn.type_index);
+    locals_ = ft.params;
+    locals_.insert(locals_.end(), fn.locals.begin(), fn.locals.end());
+    results_ = ft.results;
+  }
+
+  FunctionTyping run() {
+    FunctionTyping typing;
+    typing.per_instr.resize(fn_.body.size());
+    push_ctrl(Opcode::Block, {}, results_);
+
+    for (std::size_t i = 0; i < fn_.body.size(); ++i) {
+      cur_popped_ = &typing.per_instr[i];
+      cur_popped_->unreachable =
+          !ctrls_.empty() && ctrls_.back().unreachable;
+      step(fn_.body[i], i + 1 == fn_.body.size());
+    }
+    if (!ctrls_.empty()) throw ValidationError("unclosed control frame");
+    return typing;
+  }
+
+ private:
+  void step(const Instr& ins, bool is_last) {
+    const OpInfo& info = op_info(ins.op);
+    switch (info.cls) {
+      case OpClass::Const:
+        push_val(info.result);
+        break;
+      case OpClass::Unary:
+        pop_val(info.operand);
+        push_val(info.result);
+        break;
+      case OpClass::Binary:
+        pop_val(info.operand);
+        pop_val(info.operand);
+        push_val(info.result);
+        break;
+      case OpClass::Load:
+        require_memory();
+        pop_val(ValType::I32);
+        push_val(info.result);
+        break;
+      case OpClass::Store:
+        require_memory();
+        pop_val(info.operand);  // value (top)
+        pop_val(ValType::I32);  // address
+        break;
+      case OpClass::Memory:
+        require_memory();
+        if (ins.op == Opcode::MemoryGrow) pop_val(ValType::I32);
+        push_val(ValType::I32);
+        break;
+      case OpClass::Parametric:
+        if (ins.op == Opcode::Drop) {
+          pop_val();
+        } else {  // select
+          pop_val(ValType::I32);
+          const MaybeType t1 = pop_val();
+          const MaybeType t2 = pop_val(t1);
+          push_maybe(t2 ? t2 : t1);
+        }
+        break;
+      case OpClass::Variable:
+        step_variable(ins);
+        break;
+      case OpClass::Control:
+        step_control(ins, is_last);
+        break;
+    }
+  }
+
+  void step_variable(const Instr& ins) {
+    switch (ins.op) {
+      case Opcode::LocalGet:
+        push_val(local_type(ins.a));
+        break;
+      case Opcode::LocalSet:
+        pop_val(local_type(ins.a));
+        break;
+      case Opcode::LocalTee:
+        pop_val(local_type(ins.a));
+        push_val(local_type(ins.a));
+        break;
+      case Opcode::GlobalGet:
+        push_val(global_type(ins.a).type);
+        break;
+      case Opcode::GlobalSet: {
+        const GlobalType& g = global_type(ins.a);
+        if (!g.mutable_) throw ValidationError("global.set of const global");
+        pop_val(g.type);
+        break;
+      }
+      default:
+        throw ValidationError("bad variable instruction");
+    }
+  }
+
+  void step_control(const Instr& ins, bool is_last) {
+    switch (ins.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Unreachable:
+        set_unreachable();
+        break;
+      case Opcode::Block:
+      case Opcode::Loop:
+        push_ctrl(ins.op, {}, block_results(ins.a));
+        break;
+      case Opcode::If:
+        pop_val(ValType::I32);
+        push_ctrl(Opcode::If, {}, block_results(ins.a));
+        break;
+      case Opcode::Else: {
+        CtrlFrame frame = pop_ctrl();
+        if (frame.op != Opcode::If) {
+          throw ValidationError("else without if");
+        }
+        push_ctrl(Opcode::Else, frame.start_types, frame.end_types);
+        break;
+      }
+      case Opcode::End: {
+        CtrlFrame frame = pop_ctrl();
+        if (frame.op == Opcode::If && !frame.end_types.empty()) {
+          throw ValidationError("if with result requires else branch");
+        }
+        for (const auto t : frame.end_types) push_val(t);
+        if (ctrls_.empty() && !is_last) {
+          throw ValidationError("code after function end");
+        }
+        break;
+      }
+      case Opcode::Br: {
+        pop_label_types(ins.a);
+        set_unreachable();
+        break;
+      }
+      case Opcode::BrIf: {
+        pop_val(ValType::I32);
+        const auto types = label_types(ins.a);
+        for (auto it = types.rbegin(); it != types.rend(); ++it) pop_val(*it);
+        for (const auto t : types) push_val(t);
+        break;
+      }
+      case Opcode::BrTable: {
+        pop_val(ValType::I32);
+        const auto expected = label_types(ins.a);
+        for (const auto target : ins.table) {
+          if (label_types(target) != expected) {
+            throw ValidationError("br_table label type mismatch");
+          }
+        }
+        for (auto it = expected.rbegin(); it != expected.rend(); ++it) {
+          pop_val(*it);
+        }
+        set_unreachable();
+        break;
+      }
+      case Opcode::Return:
+        for (auto it = results_.rbegin(); it != results_.rend(); ++it) {
+          pop_val(*it);
+        }
+        set_unreachable();
+        break;
+      case Opcode::Call: {
+        if (ins.a >= m_.num_functions()) {
+          throw ValidationError("call to undefined function");
+        }
+        const FuncType& ft = m_.function_type(ins.a);
+        for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) {
+          pop_val(*it);
+        }
+        for (const auto t : ft.results) push_val(t);
+        break;
+      }
+      case Opcode::CallIndirect: {
+        if (m_.tables.empty() && !has_table_import()) {
+          throw ValidationError("call_indirect without table");
+        }
+        if (ins.a >= m_.types.size()) {
+          throw ValidationError("call_indirect type out of range");
+        }
+        pop_val(ValType::I32);  // element index
+        const FuncType& ft = m_.types[ins.a];
+        for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) {
+          pop_val(*it);
+        }
+        for (const auto t : ft.results) push_val(t);
+        break;
+      }
+      default:
+        throw ValidationError("bad control instruction");
+    }
+  }
+
+  // ---- stack machinery (spec appendix algorithm) ----
+
+  void push_val(ValType t) { vals_.emplace_back(t); }
+  void push_maybe(MaybeType t) { vals_.push_back(t); }
+
+  MaybeType pop_val() {
+    CtrlFrame& frame = ctrls_.back();
+    if (vals_.size() == frame.height) {
+      if (frame.unreachable) {
+        cur_popped_->popped.push_back(ValType::I32);  // placeholder
+        return std::nullopt;
+      }
+      throw ValidationError("value stack underflow");
+    }
+    const MaybeType v = vals_.back();
+    vals_.pop_back();
+    cur_popped_->popped.push_back(v.value_or(ValType::I32));
+    return v;
+  }
+
+  MaybeType pop_val(MaybeType expect) {
+    const MaybeType actual = pop_val();
+    if (actual && expect && *actual != *expect) {
+      throw ValidationError(std::string("type mismatch: expected ") +
+                            to_string(*expect) + ", got " +
+                            to_string(*actual));
+    }
+    // Record the *expected* type when the actual one is unknown, so the
+    // instrumenter sees the right capture type.
+    if (!actual && expect) cur_popped_->popped.back() = *expect;
+    return actual ? actual : expect;
+  }
+
+  void push_ctrl(Opcode op, std::vector<ValType> start,
+                 std::vector<ValType> end) {
+    ctrls_.push_back(CtrlFrame{op, std::move(start), std::move(end),
+                               vals_.size(), false});
+  }
+
+  CtrlFrame pop_ctrl() {
+    if (ctrls_.empty()) throw ValidationError("control stack underflow");
+    // Deliberately copy: pop_val below inspects ctrls_.back().
+    CtrlFrame frame = ctrls_.back();
+    for (auto it = frame.end_types.rbegin(); it != frame.end_types.rend();
+         ++it) {
+      pop_val(*it);
+    }
+    if (vals_.size() != frame.height && !frame.unreachable) {
+      throw ValidationError("values left on stack at block end");
+    }
+    vals_.resize(frame.height);
+    ctrls_.pop_back();
+    return frame;
+  }
+
+  void set_unreachable() {
+    CtrlFrame& frame = ctrls_.back();
+    vals_.resize(frame.height);
+    frame.unreachable = true;
+  }
+
+  std::vector<ValType> label_types(std::uint32_t depth) const {
+    if (depth >= ctrls_.size()) {
+      throw ValidationError("branch depth out of range");
+    }
+    const CtrlFrame& frame = ctrls_[ctrls_.size() - 1 - depth];
+    return frame.op == Opcode::Loop ? frame.start_types : frame.end_types;
+  }
+
+  void pop_label_types(std::uint32_t depth) {
+    const auto types = label_types(depth);
+    for (auto it = types.rbegin(); it != types.rend(); ++it) pop_val(*it);
+  }
+
+  std::vector<ValType> block_results(std::uint32_t block_type) const {
+    if (block_type == kBlockVoid) return {};
+    return {valtype_from_byte(static_cast<std::uint8_t>(block_type))};
+  }
+
+  ValType local_type(std::uint32_t idx) const {
+    if (idx >= locals_.size()) {
+      throw ValidationError("local index out of range");
+    }
+    return locals_[idx];
+  }
+
+  const GlobalType& global_type(std::uint32_t idx) const {
+    std::uint32_t n = 0;
+    for (const auto& imp : m_.imports) {
+      if (imp.kind != ExternalKind::Global) continue;
+      if (n == idx) return imp.global_type;
+      ++n;
+    }
+    const std::uint32_t local = idx - n;
+    if (local >= m_.globals.size()) {
+      throw ValidationError("global index out of range");
+    }
+    return m_.globals[local].type;
+  }
+
+  void require_memory() const {
+    if (m_.memories.empty() && !has_memory_import()) {
+      throw ValidationError("memory instruction without memory");
+    }
+  }
+
+  bool has_memory_import() const {
+    for (const auto& imp : m_.imports) {
+      if (imp.kind == ExternalKind::Memory) return true;
+    }
+    return false;
+  }
+
+  bool has_table_import() const {
+    for (const auto& imp : m_.imports) {
+      if (imp.kind == ExternalKind::Table) return true;
+    }
+    return false;
+  }
+
+  const Module& m_;
+  const Function& fn_;
+  std::vector<ValType> locals_;
+  std::vector<ValType> results_;
+  std::vector<MaybeType> vals_;
+  std::vector<CtrlFrame> ctrls_;
+  InstrOperands* cur_popped_ = nullptr;
+};
+
+void validate_module_structure(const Module& m) {
+  for (const auto& imp : m.imports) {
+    if (imp.kind == ExternalKind::Function &&
+        imp.type_index >= m.types.size()) {
+      throw ValidationError("import type index out of range");
+    }
+  }
+  for (const auto& f : m.functions) {
+    if (f.type_index >= m.types.size()) {
+      throw ValidationError("function type index out of range");
+    }
+  }
+  for (const auto& e : m.exports) {
+    if (e.kind == ExternalKind::Function && e.index >= m.num_functions()) {
+      throw ValidationError("export function index out of range");
+    }
+  }
+  for (const auto& seg : m.elements) {
+    for (const auto f : seg.func_indices) {
+      if (f >= m.num_functions()) {
+        throw ValidationError("element function index out of range");
+      }
+    }
+  }
+  if (m.memories.size() > 1) throw ValidationError("multiple memories");
+  if (m.tables.size() > 1) throw ValidationError("multiple tables");
+  if (m.start && *m.start >= m.num_functions()) {
+    throw ValidationError("start function index out of range");
+  }
+}
+
+}  // namespace
+
+ValidationResult validate(const Module& m) {
+  validate_module_structure(m);
+  ValidationResult result;
+  result.functions.reserve(m.functions.size());
+  for (const auto& fn : m.functions) {
+    analyze_control(fn.body);  // structural balance check
+    result.functions.push_back(FuncValidator(m, fn).run());
+  }
+  return result;
+}
+
+}  // namespace wasai::wasm

@@ -1,0 +1,34 @@
+// Module validator implementing the spec's type-checking algorithm, extended
+// to record — for every instruction — the types of the operands it pops.
+// The instrumenter uses that annotation to emit operand-capturing hooks for
+// polymorphic instructions (select/drop) whose operand types cannot be read
+// off the opcode alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.hpp"
+
+namespace wasai::wasm {
+
+/// Operand types popped by one instruction, in *pop order* (index 0 = the
+/// value that was on top of the stack). Instructions in provably dead code
+/// may have `unreachable = true`, in which case `popped` may be incomplete.
+struct InstrOperands {
+  std::vector<ValType> popped;
+  bool unreachable = false;
+};
+
+struct FunctionTyping {
+  std::vector<InstrOperands> per_instr;  // parallel to Function::body
+};
+
+struct ValidationResult {
+  std::vector<FunctionTyping> functions;  // parallel to Module::functions
+};
+
+/// Validate the whole module. Throws util::ValidationError on any failure.
+ValidationResult validate(const Module& m);
+
+}  // namespace wasai::wasm

@@ -1,0 +1,253 @@
+// ABI layer tests: name codec, symbol/asset, action-data serialization.
+#include <gtest/gtest.h>
+
+#include "abi/serializer.hpp"
+#include "util/rng.hpp"
+
+namespace wasai::abi {
+namespace {
+
+using util::DecodeError;
+
+// ------------------------------------------------------------------ names
+
+struct NameCase {
+  std::string text;
+};
+
+class NameRoundTrip : public ::testing::TestWithParam<NameCase> {};
+
+TEST_P(NameRoundTrip, RoundTrips) {
+  const Name n = Name::from_string(GetParam().text);
+  EXPECT_EQ(n.to_string(), GetParam().text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, NameRoundTrip,
+    ::testing::Values(NameCase{"eosio"}, NameCase{"eosio.token"},
+                      NameCase{"a"}, NameCase{"z"}, NameCase{"12345"},
+                      NameCase{"eosbet"}, NameCase{"fake.token"},
+                      NameCase{"batdappboomx"}, NameCase{"abcdefghijkl"},
+                      NameCase{"a.b.c.d.e"}, NameCase{"111111111111"}));
+
+TEST(Name, KnownEncodings) {
+  // Cross-checked with the EOSIO SDK's N(...) macro.
+  EXPECT_EQ(name("eosio").value(), 0x5530ea0000000000ull);
+  EXPECT_EQ(name("eosio.token").value(), 0x5530ea033482a600ull);
+}
+
+TEST(Name, EmptyNameIsZero) {
+  EXPECT_EQ(name("").value(), 0ull);
+  EXPECT_TRUE(name("").empty());
+  EXPECT_EQ(Name(0).to_string(), "");
+}
+
+TEST(Name, OrderingIsValueOrdering) {
+  EXPECT_LT(name("aaa"), name("aab"));
+  EXPECT_LT(name("abc"), name("b"));
+}
+
+TEST(Name, RejectsInvalid) {
+  EXPECT_THROW(name("UPPER"), DecodeError);
+  EXPECT_THROW(name("has space"), DecodeError);
+  EXPECT_THROW(name("zero0"), DecodeError);
+  EXPECT_THROW(name("abcdefghijklmn"), DecodeError);  // 14 chars
+}
+
+TEST(Name, ThirteenthCharRestricted) {
+  EXPECT_NO_THROW(name("aaaaaaaaaaaaa"));  // 'a' -> 6, within 4 bits
+  EXPECT_THROW(name("aaaaaaaaaaaaz"), DecodeError);  // 'z' -> 31, too big
+}
+
+TEST(Name, Property_RandomRoundTrip) {
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto len = 1 + rng.below(12);
+    std::string s = rng.name_chars(len);
+    // A trailing '.' would be trimmed, and our generator never emits '.'.
+    const Name n = Name::from_string(s);
+    ASSERT_EQ(n.to_string(), s) << s;
+    ASSERT_EQ(Name(n.value()).to_string(), s);
+  }
+}
+
+// ---------------------------------------------------------------- symbols
+
+TEST(Symbol, EosEncodingMatchesPaper) {
+  // §4.3 of the paper injects `i64.const 1397703940` as the symbol check;
+  // 1397703940 = 0x534F4504 = precision 4 + "EOS" — the official EOS symbol.
+  EXPECT_EQ(eos_symbol().value(), 1397703940ull);
+  EXPECT_EQ(Symbol::from_code(3, "EOS").value(), 1397703939ull);
+}
+
+TEST(Symbol, CodeAndPrecisionRoundTrip) {
+  const Symbol s = Symbol::from_code(8, "WAX");
+  EXPECT_EQ(s.precision(), 8);
+  EXPECT_EQ(s.code(), "WAX");
+}
+
+TEST(Symbol, RejectsBadCodes) {
+  EXPECT_THROW(Symbol::from_code(4, ""), DecodeError);
+  EXPECT_THROW(Symbol::from_code(4, "TOOLONGXX"), DecodeError);
+  EXPECT_THROW(Symbol::from_code(4, "eos"), DecodeError);
+}
+
+// ----------------------------------------------------------------- assets
+
+struct AssetCase {
+  std::string text;
+  std::int64_t amount;
+  std::uint8_t precision;
+  std::string code;
+};
+
+class AssetParse : public ::testing::TestWithParam<AssetCase> {};
+
+TEST_P(AssetParse, ParsesAndPrints) {
+  const auto& c = GetParam();
+  const Asset a = Asset::from_string(c.text);
+  EXPECT_EQ(a.amount, c.amount);
+  EXPECT_EQ(a.symbol.precision(), c.precision);
+  EXPECT_EQ(a.symbol.code(), c.code);
+  EXPECT_EQ(a.to_string(), c.text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Assets, AssetParse,
+    ::testing::Values(AssetCase{"100.0000 EOS", 1000000, 4, "EOS"},
+                      AssetCase{"10.0000 EOS", 100000, 4, "EOS"},
+                      AssetCase{"100.000 EOS", 100000, 3, "EOS"},
+                      AssetCase{"0.0001 EOS", 1, 4, "EOS"},
+                      AssetCase{"42 RAM", 42, 0, "RAM"},
+                      AssetCase{"-5.50 USD", -550, 2, "USD"}));
+
+TEST(Asset, RejectsMalformed) {
+  EXPECT_THROW(Asset::from_string("100.0000"), DecodeError);
+  EXPECT_THROW(Asset::from_string("abc EOS"), DecodeError);
+  EXPECT_THROW(Asset::from_string("1.0 eos"), DecodeError);
+}
+
+TEST(Asset, EosHelper) {
+  EXPECT_EQ(eos(100000).to_string(), "10.0000 EOS");
+}
+
+TEST(Asset, ComparisonComparesAmountThenSymbol) {
+  EXPECT_LT(eos(1), eos(2));
+  EXPECT_EQ(eos(5), eos(5));
+}
+
+// -------------------------------------------------------------- serializer
+
+TEST(Serializer, TransferRoundTrip) {
+  const ActionDef def = transfer_action_def();
+  const std::vector<ParamValue> values = {
+      name("alice"), name("eosbet"), eos(100000), std::string("jackpot!")};
+  const auto bytes = pack(def, values);
+  // name(8) + name(8) + asset(16) + varint(1) + string(8)
+  EXPECT_EQ(bytes.size(), 8u + 8 + 16 + 1 + 8);
+  const auto back = unpack(def, bytes);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_EQ(std::get<Name>(back[0]), name("alice"));
+  EXPECT_EQ(std::get<Name>(back[1]), name("eosbet"));
+  EXPECT_EQ(std::get<Asset>(back[2]), eos(100000));
+  EXPECT_EQ(std::get<std::string>(back[3]), "jackpot!");
+}
+
+TEST(Serializer, AllScalarTypesRoundTrip) {
+  ActionDef def;
+  def.name = name("mixed");
+  def.params = {ParamType::U64, ParamType::I64, ParamType::U32,
+                ParamType::F64};
+  const std::vector<ParamValue> values = {
+      std::uint64_t{0xdeadbeefcafebabeull}, std::int64_t{-42},
+      std::uint32_t{7}, 3.25};
+  const auto back = unpack(def, pack(def, values));
+  EXPECT_EQ(std::get<std::uint64_t>(back[0]), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(std::get<std::int64_t>(back[1]), -42);
+  EXPECT_EQ(std::get<std::uint32_t>(back[2]), 7u);
+  EXPECT_EQ(std::get<double>(back[3]), 3.25);
+}
+
+TEST(Serializer, LongStringUsesMultibyteVarint) {
+  ActionDef def;
+  def.name = name("s");
+  def.params = {ParamType::String};
+  const std::string long_str(300, 'x');
+  const auto bytes = pack(def, {ParamValue(long_str)});
+  EXPECT_EQ(bytes.size(), 2u + 300);  // 2-byte varint length
+  EXPECT_EQ(std::get<std::string>(unpack(def, bytes)[0]), long_str);
+}
+
+TEST(Serializer, EmptyStringRoundTrips) {
+  ActionDef def;
+  def.name = name("s");
+  def.params = {ParamType::String};
+  const auto back = unpack(def, pack(def, {ParamValue(std::string())}));
+  EXPECT_EQ(std::get<std::string>(back[0]), "");
+}
+
+TEST(Serializer, ArityMismatchRejected) {
+  EXPECT_THROW(pack(transfer_action_def(), {ParamValue(name("x"))}),
+               util::UsageError);
+}
+
+TEST(Serializer, KindMismatchRejected) {
+  ActionDef def;
+  def.name = name("n");
+  def.params = {ParamType::Name};
+  EXPECT_THROW(pack(def, {ParamValue(std::uint64_t{5})}), util::UsageError);
+}
+
+TEST(Serializer, ShortInputRejected) {
+  const auto bytes = pack(transfer_action_def(),
+                          {name("a"), name("b"), eos(1), std::string("m")});
+  util::Bytes truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_THROW(unpack(transfer_action_def(), truncated), DecodeError);
+}
+
+TEST(Serializer, TrailingBytesRejected) {
+  auto bytes = pack(transfer_action_def(),
+                    {name("a"), name("b"), eos(1), std::string("m")});
+  bytes.push_back(0);
+  EXPECT_THROW(unpack(transfer_action_def(), bytes), DecodeError);
+}
+
+TEST(Serializer, Property_RandomTransfersRoundTrip) {
+  util::Rng rng(99);
+  const ActionDef def = transfer_action_def();
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<ParamValue> values = {
+        Name(rng.next()), Name(rng.next()),
+        Asset{rng.range(-1000000, 1000000),
+              Symbol::from_code(static_cast<std::uint8_t>(rng.below(10)),
+                                "EOS")},
+        rng.name_chars(rng.below(40))};
+    const auto back = unpack(def, pack(def, values));
+    ASSERT_EQ(std::get<Name>(back[0]), std::get<Name>(values[0]));
+    ASSERT_EQ(std::get<Name>(back[1]), std::get<Name>(values[1]));
+    ASSERT_EQ(std::get<Asset>(back[2]), std::get<Asset>(values[2]));
+    ASSERT_EQ(std::get<std::string>(back[3]),
+              std::get<std::string>(values[3]));
+  }
+}
+
+TEST(Abi, FindLocatesAction) {
+  Abi abi;
+  abi.actions.push_back(transfer_action_def());
+  ActionDef reveal;
+  reveal.name = name("reveal");
+  abi.actions.push_back(reveal);
+  EXPECT_NE(abi.find(name("transfer")), nullptr);
+  EXPECT_NE(abi.find(name("reveal")), nullptr);
+  EXPECT_EQ(abi.find(name("missing")), nullptr);
+}
+
+TEST(ParamValue, DebugRendering) {
+  EXPECT_EQ(to_string(ParamValue(name("alice"))), "alice");
+  EXPECT_EQ(to_string(ParamValue(eos(100000))), "10.0000 EOS");
+  EXPECT_EQ(to_string(ParamValue(std::string("hi"))), "\"hi\"");
+  EXPECT_EQ(to_string(ParamValue(std::uint64_t{7})), "7");
+}
+
+}  // namespace
+}  // namespace wasai::abi

@@ -1,0 +1,202 @@
+// Host-API integration tests through real Wasm contracts: database
+// iteration (db_next / db_lowerbound), has_auth, current_receiver and
+// current_time, inline-action depth limits, and custom-oracle plumbing.
+#include <gtest/gtest.h>
+
+#include "abi/serializer.hpp"
+#include "chain/controller.hpp"
+#include "chain/token.hpp"
+#include "corpus/contract_builder.hpp"
+#include "engine/fuzzer.hpp"
+#include "corpus/templates.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai::chain {
+namespace {
+
+using abi::name;
+using abi::Name;
+using abi::ParamType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+
+/// Deploy a one-action contract built with the corpus builder; run the
+/// action with the given params and return the result.
+struct MiniChain {
+  explicit MiniChain(corpus::ContractBuilder builder)
+      : abi_def(builder.abi()) {
+    wasm_bin = std::move(builder).build_binary(
+        corpus::DispatcherStyle::Standard);
+    chain.deploy_contract(name("box"), wasm_bin, abi_def);
+    chain.create_account(name("alice"));
+    chain.create_account(name("bob"));
+  }
+
+  TxResult run(Name action, std::vector<abi::ParamValue> params,
+               Name signer = name("alice")) {
+    Action act;
+    act.account = name("box");
+    act.name = action;
+    act.authorization = {active(signer)};
+    act.data = abi::pack(*abi_def.find(action), std::move(params));
+    return chain.push_action(std::move(act));
+  }
+
+  Controller chain;
+  abi::Abi abi_def;
+  util::Bytes wasm_bin;
+};
+
+TEST(ChainHost, DbIterationThroughWasm) {
+  // "fill" stores rows 5,10,15; "scan" walks them with lowerbound/next and
+  // asserts it saw exactly three.
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+  {
+    // fill: three stores, keys are constants.
+    std::vector<Instr> body;
+    for (const std::int64_t key : {10, 5, 15}) {
+      body.insert(body.end(),
+                  {wasm::i64_const(0),
+                   wasm::i64_const_u(name("rows").value()),
+                   wasm::local_get(0), wasm::i64_const(key),
+                   wasm::i32_const(corpus::kScratchRegion),
+                   wasm::i32_const(8), wasm::call(env.db_store),
+                   Instr(Opcode::Drop)});
+    }
+    body.emplace_back(Opcode::End);
+    b.add_action(abi::ActionDef{name("fill"), {}}, {}, std::move(body));
+  }
+  {
+    // scan: itr = lowerbound(0); count via next until -1; assert count==3.
+    // locals: 1 = itr (i32), 2 = count (i32)
+    std::vector<Instr> body = {
+        wasm::local_get(0), wasm::i64_const(0),
+        wasm::i64_const_u(name("rows").value()), wasm::i64_const(0),
+        wasm::call(env.db_lowerbound), wasm::local_set(1),
+        wasm::block(), wasm::loop(),
+        wasm::local_get(1), wasm::i32_const(0), Instr(Opcode::I32LtS),
+        wasm::br_if(1),
+        wasm::local_get(2), wasm::i32_const(1), Instr(Opcode::I32Add),
+        wasm::local_set(2),
+        wasm::local_get(1), wasm::i32_const(corpus::kScratchRegion),
+        wasm::call(env.db_next), wasm::local_set(1),
+        wasm::br(0), Instr(Opcode::End), Instr(Opcode::End),
+        wasm::local_get(2), wasm::i32_const(3), Instr(Opcode::I32Eq),
+        wasm::i32_const(corpus::kMsgRegion), wasm::call(env.eosio_assert),
+        Instr(Opcode::End)};
+    b.add_action(abi::ActionDef{name("scan"), {}}, {I32, I32},
+                 std::move(body));
+  }
+  MiniChain mini(std::move(b));
+  const auto scan_before = mini.run(name("scan"), {});
+  EXPECT_FALSE(scan_before.success);  // zero rows != 3
+  ASSERT_TRUE(mini.run(name("fill"), {}).success);
+  const auto scan_after = mini.run(name("scan"), {});
+  EXPECT_TRUE(scan_after.success) << scan_after.error;
+}
+
+TEST(ChainHost, HasAuthReflectsSigner) {
+  // check(owner): assert(has_auth(owner)).
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+  std::vector<Instr> body = {
+      wasm::local_get(1),       wasm::call(env.has_auth),
+      wasm::i32_const(corpus::kMsgRegion), wasm::call(env.eosio_assert),
+      Instr(Opcode::End)};
+  b.add_action(abi::ActionDef{name("check"), {ParamType::Name}}, {},
+               std::move(body));
+  MiniChain mini(std::move(b));
+  EXPECT_TRUE(mini.run(name("check"), {name("alice")}, name("alice")).success);
+  EXPECT_FALSE(mini.run(name("check"), {name("bob")}, name("alice")).success);
+}
+
+TEST(ChainHost, CurrentReceiverAndTime) {
+  // probe(): assert(current_receiver() == self); store current_time.
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+  std::vector<Instr> body = {
+      wasm::call(env.current_receiver),
+      wasm::local_get(0),
+      Instr(Opcode::I64Eq),
+      wasm::i32_const(corpus::kMsgRegion),
+      wasm::call(env.eosio_assert),
+      wasm::call(env.current_time),
+      wasm::i64_const(0),
+      Instr(Opcode::I64GtS),
+      wasm::i32_const(corpus::kMsgRegion),
+      wasm::call(env.eosio_assert),
+      Instr(Opcode::End)};
+  b.add_action(abi::ActionDef{name("probe"), {}}, {}, std::move(body));
+  MiniChain mini(std::move(b));
+  const auto r = mini.run(name("probe"), {});
+  EXPECT_TRUE(r.success) << r.error;
+}
+
+TEST(ChainHost, InlineDepthLimitBoundsRecursion) {
+  /// A native contract that inlines itself forever.
+  class Bomb : public NativeContract {
+   public:
+    explicit Bomb(Name self) : self_(self) {}
+    void apply(ApplyContext& ctx) override {
+      Action again;
+      again.account = self_;
+      again.name = ctx.action_name();
+      again.authorization = {active(self_)};
+      ctx.send_inline(std::move(again));
+    }
+    Name self_;
+  };
+  Controller chain;
+  chain.max_action_depth = 8;
+  chain.deploy_native(name("bomb"), std::make_shared<Bomb>(name("bomb")));
+  Action act;
+  act.account = name("bomb");
+  act.name = name("go");
+  const auto r = chain.push_action(act);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("depth"), std::string::npos);
+}
+
+// ------------------------------------------------------- custom oracles
+
+TEST(CustomOracle, ApiUseOracleDetectsCurrentTime) {
+  // A contract whose eosponser reads current_time (not covered by the
+  // built-in BlockinfoDep oracle, which only watches tapos_*).
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+  corpus::ActionOptions opts;
+  opts.require_code_match = false;
+  std::vector<Instr> body = {wasm::call(env.current_time),
+                             Instr(Opcode::Drop), Instr(Opcode::End)};
+  b.add_action(abi::transfer_action_def(), {}, std::move(body), opts);
+  const abi::Abi abi_def = b.abi();
+  const auto wasm_bin =
+      std::move(b).build_binary(corpus::DispatcherStyle::Standard);
+
+  engine::Fuzzer fuzzer(wasm_bin, abi_def,
+                        engine::FuzzOptions{.iterations = 12});
+  fuzzer.add_oracle(std::make_shared<scanner::ApiUseOracle>(
+      "uses-current-time", std::vector<std::string>{"current_time"}));
+  const auto report = fuzzer.run();
+  ASSERT_EQ(report.custom.size(), 1u);
+  EXPECT_EQ(report.custom[0].id, "uses-current-time");
+  EXPECT_FALSE(report.scan.has(scanner::VulnType::BlockinfoDep));
+}
+
+TEST(CustomOracle, SilentWhenApiUnused) {
+  util::Rng rng(9);
+  const auto sample = corpus::make_fake_eos_sample(rng, false);
+  engine::Fuzzer fuzzer(sample.wasm, sample.abi,
+                        engine::FuzzOptions{.iterations = 12});
+  fuzzer.add_oracle(std::make_shared<scanner::ApiUseOracle>(
+      "uses-current-time", std::vector<std::string>{"current_time"}));
+  EXPECT_TRUE(fuzzer.run().custom.empty());
+}
+
+}  // namespace
+}  // namespace wasai::chain

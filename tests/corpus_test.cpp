@@ -1,0 +1,173 @@
+// Corpus tests: template variants, the bytecode obfuscator, and WASAI
+// end-to-end behaviour on the calibration variants (honeypots, hard gates,
+// memo-scan loops, unreachable branches, obfuscated binaries).
+#include <gtest/gtest.h>
+
+#include "corpus/obfuscator.hpp"
+#include "corpus/templates.hpp"
+#include "wasai/wasai.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/printer.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::corpus {
+namespace {
+
+using scanner::VulnType;
+using util::Rng;
+
+AnalysisResult analyze_sample(const Sample& sample, int iterations = 40,
+                              bool feedback = true) {
+  AnalysisOptions options;
+  options.fuzz.iterations = iterations;
+  options.fuzz.rng_seed = 11;
+  options.fuzz.symbolic_feedback = feedback;
+  return analyze(sample.wasm, sample.abi, options);
+}
+
+// ----------------------------------------------------------- generation
+
+TEST(Templates, AllFamiliesProduceValidModules) {
+  Rng rng(1);
+  const std::vector<Sample> samples = {
+      make_fake_eos_sample(rng, true),
+      make_fake_eos_sample(rng, false),
+      make_fake_eos_sample(rng, false, {}, /*honeypot=*/true),
+      make_fake_notif_sample(rng, true),
+      make_fake_notif_sample(rng, false),
+      make_missauth_sample(rng, true),
+      make_missauth_sample(rng, false),
+      make_missauth_sample(rng, true, {}, /*circular=*/true),
+      make_blockinfo_sample(rng, true),
+      make_blockinfo_sample(rng, false),
+      make_rollback_sample(rng, true),
+      make_rollback_sample(rng, false),
+      make_rollback_sample(rng, false, {}, false,
+                           RollbackSafeVariant::UnreachableInline),
+      make_rollback_sample(rng, true, {}, /*admin_gated=*/true),
+  };
+  for (const auto& s : samples) {
+    const auto module = wasm::decode(s.wasm);
+    EXPECT_NO_THROW(wasm::validate(module)) << s.tag;
+    EXPECT_TRUE(module.find_export("apply").has_value()) << s.tag;
+    EXPECT_FALSE(s.abi.actions.empty()) << s.tag;
+  }
+}
+
+TEST(Templates, OptionVariantsProduceValidModules) {
+  Rng rng(2);
+  for (const auto style :
+       {DispatcherStyle::Standard, DispatcherStyle::Obscured,
+        DispatcherStyle::DirectCall}) {
+    for (const bool vulnerable : {true, false}) {
+      TemplateOptions o;
+      o.style = style;
+      o.verification_depth = 2;
+      o.assert_gates = 1;
+      o.memo_scan = true;
+      o.complicated_verification = true;
+      const auto s = make_fake_notif_sample(rng, vulnerable, o);
+      EXPECT_NO_THROW(wasm::validate(wasm::decode(s.wasm))) << s.tag;
+    }
+  }
+}
+
+TEST(Templates, DeterministicForSameRngSeed) {
+  Rng a(77), b(77);
+  const auto s1 = make_rollback_sample(a, true);
+  const auto s2 = make_rollback_sample(b, true);
+  EXPECT_EQ(s1.wasm, s2.wasm);
+}
+
+// ----------------------------------------------------------- obfuscator
+
+TEST(Obfuscator, ObfuscatedModuleValidates) {
+  Rng rng(3);
+  const auto sample = make_fake_eos_sample(rng, true);
+  const auto obf = obfuscate(sample.wasm);
+  EXPECT_NO_THROW(wasm::validate(wasm::decode(obf)));
+  EXPECT_GT(obf.size(), sample.wasm.size());
+}
+
+TEST(Obfuscator, AddsDecoderAndRecursor) {
+  Rng rng(4);
+  const auto sample = make_fake_notif_sample(rng, false);
+  const auto original = wasm::decode(sample.wasm);
+  const auto obf = wasm::decode(obfuscate(sample.wasm));
+  EXPECT_EQ(obf.functions.size(), original.functions.size() + 2);
+}
+
+TEST(Obfuscator, PreservesDetectionBehaviour) {
+  // WASAI is trace-based, so obfuscation must not change its verdicts.
+  Rng rng(5);
+  auto sample = make_fake_eos_sample(rng, true);
+  sample.wasm = obfuscate(sample.wasm);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::FakeEos));
+
+  Rng rng2(6);
+  auto safe = make_fake_eos_sample(rng2, false);
+  safe.wasm = obfuscate(safe.wasm);
+  EXPECT_FALSE(analyze_sample(safe).has(VulnType::FakeEos));
+}
+
+TEST(Obfuscator, ObfuscatedFakeNotifStillResolved) {
+  Rng rng(7);
+  auto vul = make_fake_notif_sample(rng, true);
+  vul.wasm = obfuscate(vul.wasm);
+  EXPECT_TRUE(analyze_sample(vul).has(VulnType::FakeNotif));
+
+  Rng rng2(8);
+  auto safe = make_fake_notif_sample(rng2, false);
+  safe.wasm = obfuscate(safe.wasm);
+  EXPECT_FALSE(analyze_sample(safe).has(VulnType::FakeNotif));
+}
+
+// ----------------------------------------------------- calibration variants
+
+TEST(Variants, HoneypotNotFlaggedByWasai) {
+  Rng rng(9);
+  const auto honeypot = make_fake_eos_sample(rng, false, {}, true);
+  const auto result = analyze_sample(honeypot);
+  EXPECT_FALSE(result.has(VulnType::FakeEos));
+}
+
+TEST(Variants, AssertGateSolvedByFeedback) {
+  Rng rng(10);
+  TemplateOptions o;
+  o.assert_gates = 1;
+  const auto sample = make_fake_eos_sample(rng, true, o);
+  EXPECT_TRUE(analyze_sample(sample, 48).has(VulnType::FakeEos));
+  // Without feedback the random seeds cannot hit the exact amount.
+  EXPECT_FALSE(
+      analyze_sample(sample, 48, /*feedback=*/false).has(VulnType::FakeEos));
+}
+
+TEST(Variants, MemoScanContractsStillAnalyzable) {
+  Rng rng(11);
+  TemplateOptions o;
+  o.memo_scan = true;
+  const auto vul = make_fake_notif_sample(rng, true, o);
+  EXPECT_TRUE(analyze_sample(vul).has(VulnType::FakeNotif));
+  Rng rng2(12);
+  const auto safe = make_fake_notif_sample(rng2, false, o);
+  EXPECT_FALSE(analyze_sample(safe).has(VulnType::FakeNotif));
+}
+
+TEST(Variants, UnreachableInlineRollbackNotFlagged) {
+  Rng rng(13);
+  const auto safe = make_rollback_sample(
+      rng, false, {}, false, RollbackSafeVariant::UnreachableInline);
+  EXPECT_FALSE(analyze_sample(safe, 48).has(VulnType::Rollback));
+}
+
+TEST(Variants, UnreachableTaposNotFlagged) {
+  for (std::uint64_t s = 20; s < 26; ++s) {
+    Rng rng(s);
+    const auto safe = make_blockinfo_sample(rng, false);
+    EXPECT_FALSE(analyze_sample(safe, 48).has(VulnType::BlockinfoDep))
+        << safe.tag << " seed " << s;
+  }
+}
+
+}  // namespace
+}  // namespace wasai::corpus

@@ -1,0 +1,160 @@
+// Dataset assembly tests: Table 4/6 counts, quota-based mixtures,
+// determinism, obfuscation plumbing, and the RQ4 wild population.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "corpus/dataset.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::corpus {
+namespace {
+
+using scanner::VulnType;
+
+TEST(Dataset, FullScaleMatchesPaperCounts) {
+  // Counts only — generation at full scale is fast (analysis is not run).
+  BenchmarkSpec spec;
+  spec.scale = 1.0;
+  const auto samples = make_benchmark(spec);
+  std::map<VulnType, std::size_t> vul, safe;
+  for (const auto& s : samples) {
+    (s.vulnerable ? vul : safe)[s.category]++;
+  }
+  EXPECT_EQ(samples.size(), 3340u);  // the paper's benchmark size
+  EXPECT_EQ(vul[VulnType::FakeEos], 127u);
+  EXPECT_EQ(safe[VulnType::FakeEos], 127u);
+  EXPECT_EQ(vul[VulnType::FakeNotif], 689u);
+  EXPECT_EQ(vul[VulnType::MissAuth], 445u);
+  EXPECT_EQ(vul[VulnType::BlockinfoDep], 200u);
+  EXPECT_EQ(vul[VulnType::Rollback], 209u);
+}
+
+TEST(Dataset, VerificationBenchmarkMatchesTable6Counts) {
+  BenchmarkSpec spec;
+  spec.scale = 1.0;
+  spec.complicated_verification = true;
+  const auto samples = make_benchmark(spec);
+  EXPECT_EQ(samples.size(), 2u * (95 + 589 + 378 + 200 + 200));
+}
+
+TEST(Dataset, ScaleShrinksProportionally) {
+  BenchmarkSpec spec;
+  spec.scale = 0.1;
+  const auto samples = make_benchmark(spec);
+  std::map<VulnType, std::size_t> vul;
+  for (const auto& s : samples) {
+    if (s.vulnerable) vul[s.category]++;
+  }
+  EXPECT_EQ(vul[VulnType::FakeEos], 13u);   // round(127 * 0.1)
+  EXPECT_EQ(vul[VulnType::FakeNotif], 69u);
+  EXPECT_EQ(vul[VulnType::Rollback], 21u);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  BenchmarkSpec spec;
+  spec.scale = 0.02;
+  const auto a = make_benchmark(spec);
+  const auto b = make_benchmark(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].wasm, b[i].wasm) << i;
+    ASSERT_EQ(a[i].tag, b[i].tag);
+  }
+  BenchmarkSpec other = spec;
+  other.seed = 99;
+  const auto c = make_benchmark(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= (a[i].wasm != c[i].wasm);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Dataset, EverySampleValidatesAndCarriesApply) {
+  BenchmarkSpec spec;
+  spec.scale = 0.02;
+  for (const auto& s : make_benchmark(spec)) {
+    const auto module = wasm::decode(s.wasm);
+    EXPECT_NO_THROW(wasm::validate(module)) << s.tag;
+    EXPECT_TRUE(module.find_export("apply").has_value()) << s.tag;
+  }
+}
+
+TEST(Dataset, ObfuscationAddsHelperFunctions) {
+  BenchmarkSpec plain;
+  plain.scale = 0.02;
+  BenchmarkSpec obf = plain;
+  obf.obfuscated = true;
+  const auto a = make_benchmark(plain);
+  const auto b = make_benchmark(obf);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ma = wasm::decode(a[i].wasm);
+    const auto mb = wasm::decode(b[i].wasm);
+    EXPECT_EQ(mb.functions.size(), ma.functions.size() + 2) << a[i].tag;
+  }
+}
+
+TEST(Dataset, MixtureQuotasRoughlyHold) {
+  BenchmarkSpec spec;
+  spec.scale = 1.0;
+  const auto samples = make_benchmark(spec);
+  std::size_t honeypots = 0, fake_eos_safe = 0;
+  std::size_t unreachable_inline = 0, rollback_safe = 0, admin = 0,
+              rollback_vul = 0;
+  for (const auto& s : samples) {
+    if (s.category == VulnType::FakeEos && !s.vulnerable) {
+      ++fake_eos_safe;
+      honeypots += (s.tag == "fake-eos/honeypot");
+    }
+    if (s.category == VulnType::Rollback && !s.vulnerable) {
+      ++rollback_safe;
+      unreachable_inline += (s.tag == "rollback/unreachable-inline");
+    }
+    if (s.category == VulnType::Rollback && s.vulnerable) {
+      ++rollback_vul;
+      admin += (s.tag.find("admin-gated") != std::string::npos);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(honeypots) / fake_eos_safe, 0.09, 0.03);
+  EXPECT_NEAR(static_cast<double>(unreachable_inline) / rollback_safe, 0.85,
+              0.03);
+  EXPECT_NEAR(static_cast<double>(admin) / rollback_vul, 0.043, 0.02);
+}
+
+TEST(Dataset, CoverageSetIsBranchHeavy) {
+  const auto contracts = make_coverage_set(8, 1);
+  EXPECT_EQ(contracts.size(), 8u);
+  for (const auto& s : contracts) {
+    const auto module = wasm::decode(s.wasm);
+    std::size_t branches = 0;
+    for (const auto& fn : module.functions) {
+      for (const auto& ins : fn.body) {
+        branches += (ins.op == wasm::Opcode::If ||
+                     ins.op == wasm::Opcode::BrIf);
+      }
+    }
+    EXPECT_GE(branches, 8u) << s.tag;
+  }
+}
+
+TEST(Dataset, WildPopulationApproximatesPaperRates) {
+  const auto population = make_wild_population(400, 991);
+  std::size_t vulnerable = 0;
+  std::map<VulnType, std::size_t> per_type;
+  for (const auto& wc : population) {
+    if (!wc.injected.empty()) ++vulnerable;
+    for (const auto t : wc.injected) ++per_type[t];
+    EXPECT_EQ(wc.sample.vulnerable, !wc.injected.empty());
+  }
+  // Paper: 71.3% vulnerable; MissAuth is the most common class (470/707).
+  EXPECT_NEAR(static_cast<double>(vulnerable) / population.size(), 0.713,
+              0.08);
+  EXPECT_GT(per_type[VulnType::MissAuth], per_type[VulnType::FakeEos]);
+  EXPECT_GT(per_type[VulnType::FakeEos], per_type[VulnType::BlockinfoDep]);
+}
+
+}  // namespace
+}  // namespace wasai::corpus

@@ -1,0 +1,203 @@
+// End-to-end engine tests: the full WASAI pipeline (instrument → chain →
+// concolic fuzz → oracles) against every vulnerability template family,
+// vulnerable and patched.
+#include <gtest/gtest.h>
+
+#include "corpus/templates.hpp"
+#include "wasai/wasai.hpp"
+
+namespace wasai {
+namespace {
+
+using corpus::DispatcherStyle;
+using corpus::Sample;
+using corpus::TemplateOptions;
+using scanner::VulnType;
+using util::Rng;
+
+AnalysisResult analyze_sample(const Sample& sample, int iterations = 36,
+                              std::uint64_t seed = 7) {
+  AnalysisOptions options;
+  options.fuzz.iterations = iterations;
+  options.fuzz.rng_seed = seed;
+  return analyze(sample.wasm, sample.abi, options);
+}
+
+// ------------------------------------------------------------- Fake EOS
+
+TEST(WasaiE2E, FakeEosVulnerableDetected) {
+  Rng rng(1);
+  const auto sample = corpus::make_fake_eos_sample(rng, true);
+  const auto result = analyze_sample(sample);
+  EXPECT_TRUE(result.has(VulnType::FakeEos)) << "should accept fake tokens";
+}
+
+TEST(WasaiE2E, FakeEosPatchedNotFlagged) {
+  Rng rng(2);
+  const auto sample = corpus::make_fake_eos_sample(rng, false);
+  const auto result = analyze_sample(sample);
+  EXPECT_FALSE(result.has(VulnType::FakeEos));
+}
+
+TEST(WasaiE2E, FakeEosDetectedUnderObscuredDispatcher) {
+  Rng rng(3);
+  TemplateOptions options;
+  options.style = DispatcherStyle::Obscured;
+  const auto sample = corpus::make_fake_eos_sample(rng, true, options);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::FakeEos));
+}
+
+TEST(WasaiE2E, FakeEosDetectedUnderDirectCallDispatcher) {
+  Rng rng(4);
+  TemplateOptions options;
+  options.style = DispatcherStyle::DirectCall;
+  const auto sample = corpus::make_fake_eos_sample(rng, true, options);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::FakeEos));
+}
+
+// ------------------------------------------------------------ Fake Notif
+
+TEST(WasaiE2E, FakeNotifVulnerableDetected) {
+  Rng rng(5);
+  const auto sample = corpus::make_fake_notif_sample(rng, true);
+  const auto result = analyze_sample(sample);
+  EXPECT_TRUE(result.has(VulnType::FakeNotif));
+  // The dispatcher patch protects against Fake EOS proper.
+  EXPECT_FALSE(result.has(VulnType::FakeEos));
+}
+
+TEST(WasaiE2E, FakeNotifPatchedNotFlagged) {
+  Rng rng(6);
+  const auto sample = corpus::make_fake_notif_sample(rng, false);
+  EXPECT_FALSE(analyze_sample(sample).has(VulnType::FakeNotif));
+}
+
+// -------------------------------------------------------------- MissAuth
+
+TEST(WasaiE2E, MissAuthVulnerableDetected) {
+  Rng rng(7);
+  const auto sample = corpus::make_missauth_sample(rng, true);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::MissAuth));
+}
+
+TEST(WasaiE2E, MissAuthGuardedNotFlagged) {
+  Rng rng(8);
+  const auto sample = corpus::make_missauth_sample(rng, false);
+  EXPECT_FALSE(analyze_sample(sample).has(VulnType::MissAuth));
+}
+
+TEST(WasaiE2E, MissAuthCircularDependencyIsFalseNegative) {
+  // The documented table-level DBG limitation: the dependency cycle is
+  // unresolvable, so the vulnerable code is never reached.
+  Rng rng(9);
+  const auto sample = corpus::make_missauth_sample(rng, true, {}, true);
+  EXPECT_FALSE(analyze_sample(sample).has(VulnType::MissAuth));
+}
+
+// ---------------------------------------------------------- BlockinfoDep
+
+TEST(WasaiE2E, BlockinfoDepVulnerableDetected) {
+  Rng rng(10);
+  const auto sample = corpus::make_blockinfo_sample(rng, true);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::BlockinfoDep));
+}
+
+TEST(WasaiE2E, BlockinfoDepSafeNotFlagged) {
+  for (std::uint64_t s = 11; s < 15; ++s) {
+    Rng rng(s);
+    const auto sample = corpus::make_blockinfo_sample(rng, false);
+    EXPECT_FALSE(analyze_sample(sample).has(VulnType::BlockinfoDep))
+        << sample.tag << " seed " << s;
+  }
+}
+
+// -------------------------------------------------------------- Rollback
+
+TEST(WasaiE2E, RollbackVulnerableDetected) {
+  Rng rng(20);
+  const auto sample = corpus::make_rollback_sample(rng, true);
+  EXPECT_TRUE(analyze_sample(sample).has(VulnType::Rollback));
+}
+
+TEST(WasaiE2E, RollbackDeferredNotFlagged) {
+  Rng rng(21);
+  const auto sample = corpus::make_rollback_sample(rng, false);
+  EXPECT_FALSE(analyze_sample(sample).has(VulnType::Rollback));
+}
+
+TEST(WasaiE2E, RollbackAdminGatedIsFalseNegative) {
+  // §4.2: no address pool — seeds cannot authenticate as the admin.
+  Rng rng(22);
+  const auto sample = corpus::make_rollback_sample(rng, true, {}, true);
+  EXPECT_FALSE(analyze_sample(sample).has(VulnType::Rollback));
+}
+
+// ----------------------------------------------- complicated verification
+
+TEST(WasaiE2E, SolvesComplicatedVerification) {
+  // §4.3: only a transfer of exactly 100.0000 EOS reaches the payload.
+  Rng rng(30);
+  TemplateOptions options;
+  options.complicated_verification = true;
+  const auto sample = corpus::make_fake_eos_sample(rng, true, options);
+  const auto result = analyze_sample(sample, 48);
+  EXPECT_TRUE(result.has(VulnType::FakeEos));
+  EXPECT_GT(result.details.adaptive_seeds, 0u);
+}
+
+TEST(WasaiE2E, FeedbackDisabledFailsComplicatedVerification) {
+  // Ablation: without symbolic feedback the random seeds cannot hit the
+  // exact 100.0000 EOS requirement.
+  Rng rng(31);
+  TemplateOptions options;
+  options.complicated_verification = true;
+  const auto sample = corpus::make_fake_eos_sample(rng, true, options);
+  AnalysisOptions ao;
+  ao.fuzz.iterations = 48;
+  ao.fuzz.symbolic_feedback = false;
+  const auto result = analyze(sample.wasm, sample.abi, ao);
+  EXPECT_FALSE(result.has(VulnType::FakeEos));
+}
+
+// ------------------------------------------------------------- coverage
+
+TEST(WasaiE2E, FeedbackImprovesBranchCoverage) {
+  Rng rng(40);
+  TemplateOptions options;
+  options.verification_depth = 3;
+  const auto sample = corpus::make_fake_eos_sample(rng, true, options);
+
+  AnalysisOptions with_fb;
+  with_fb.fuzz.iterations = 40;
+  AnalysisOptions without_fb = with_fb;
+  without_fb.fuzz.symbolic_feedback = false;
+
+  const auto a = analyze(sample.wasm, sample.abi, with_fb);
+  const auto b = analyze(sample.wasm, sample.abi, without_fb);
+  EXPECT_GT(a.details.distinct_branches, b.details.distinct_branches);
+}
+
+TEST(WasaiE2E, CoverageCurveIsMonotone) {
+  Rng rng(41);
+  const auto sample = corpus::make_rollback_sample(rng, true);
+  const auto result = analyze_sample(sample);
+  const auto& curve = result.details.curve;
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].branches, curve[i - 1].branches);
+    EXPECT_GE(curve[i].elapsed_ms, curve[i - 1].elapsed_ms);
+  }
+  EXPECT_EQ(result.details.distinct_branches, curve.back().branches);
+}
+
+TEST(WasaiE2E, ReportCountsAreConsistent) {
+  Rng rng(42);
+  const auto sample = corpus::make_fake_notif_sample(rng, true);
+  const auto result = analyze_sample(sample);
+  EXPECT_EQ(result.details.transactions, 36u);
+  EXPECT_GE(result.details.replays, 1u);
+  EXPECT_EQ(result.report.found.size(), result.report.findings.size());
+}
+
+}  // namespace
+}  // namespace wasai

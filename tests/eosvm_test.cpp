@@ -1,0 +1,619 @@
+// Interpreter tests: numeric semantics, control flow, calls, memory, traps,
+// limits and host dispatch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_support.hpp"
+#include "util/error.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::vm {
+namespace {
+
+using test::instantiate;
+using test::RecordingHost;
+using util::Trap;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+constexpr ValType F64 = ValType::F64;
+
+/// Run a single-function module: params -> results via the given body.
+std::vector<Value> run_body(const FuncType& type, std::vector<ValType> locals,
+                            std::vector<Instr> body,
+                            std::vector<Value> args = {},
+                            bool with_memory = true) {
+  ModuleBuilder b;
+  if (with_memory) b.add_memory(1);
+  const auto fn = b.add_func(type, std::move(locals), std::move(body));
+  wasm::Module m = std::move(b).build();
+  wasm::validate(m);  // every test module must be valid
+  RecordingHost host;
+  Instance inst = instantiate(std::move(m), host);
+  Vm vm;
+  return vm.invoke(inst, fn, args);
+}
+
+Value run1(const FuncType& type, std::vector<Instr> body,
+           std::vector<Value> args = {}) {
+  auto out = run_body(type, {}, std::move(body), std::move(args));
+  EXPECT_EQ(out.size(), 1u);
+  return out.at(0);
+}
+
+// ---------------------------------------------------------------- numeric
+
+struct BinCase {
+  Opcode op;
+  Value lhs, rhs, expected;
+};
+
+class BinaryOps : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BinaryOps, Evaluates) {
+  const auto& c = GetParam();
+  const ValType in = wasm::op_info(c.op).operand;
+  const Value got = run1(FuncType{{in, in}, {c.expected.type}},
+                         {wasm::local_get(0), wasm::local_get(1),
+                          Instr(c.op), Instr(Opcode::End)},
+                         {c.lhs, c.rhs});
+  EXPECT_EQ(got, c.expected) << wasm::op_info(c.op).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    I32Arith, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I32Add, Value::i32(2), Value::i32(3), Value::i32(5)},
+        BinCase{Opcode::I32Add, Value::i32(0xffffffff), Value::i32(1),
+                Value::i32(0)},
+        BinCase{Opcode::I32Sub, Value::i32(3), Value::i32(5),
+                Value::i32s(-2)},
+        BinCase{Opcode::I32Mul, Value::i32(7), Value::i32(6),
+                Value::i32(42)},
+        BinCase{Opcode::I32DivS, Value::i32s(-7), Value::i32(2),
+                Value::i32s(-3)},
+        BinCase{Opcode::I32DivU, Value::i32s(-7), Value::i32(2),
+                Value::i32(2147483644)},
+        BinCase{Opcode::I32RemS, Value::i32s(-7), Value::i32(2),
+                Value::i32s(-1)},
+        BinCase{Opcode::I32RemU, Value::i32(7), Value::i32(4),
+                Value::i32(3)},
+        BinCase{Opcode::I32And, Value::i32(0b1100), Value::i32(0b1010),
+                Value::i32(0b1000)},
+        BinCase{Opcode::I32Or, Value::i32(0b1100), Value::i32(0b1010),
+                Value::i32(0b1110)},
+        BinCase{Opcode::I32Xor, Value::i32(0b1100), Value::i32(0b1010),
+                Value::i32(0b0110)},
+        BinCase{Opcode::I32Shl, Value::i32(1), Value::i32(35),
+                Value::i32(8)},  // shift count mod 32
+        BinCase{Opcode::I32ShrS, Value::i32s(-8), Value::i32(1),
+                Value::i32s(-4)},
+        BinCase{Opcode::I32ShrU, Value::i32s(-8), Value::i32(1),
+                Value::i32(0x7ffffffc)},
+        BinCase{Opcode::I32Rotl, Value::i32(0x80000001), Value::i32(1),
+                Value::i32(3)},
+        BinCase{Opcode::I32Rotr, Value::i32(3), Value::i32(1),
+                Value::i32(0x80000001)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    I64Arith, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I64Add, Value::i64(1ull << 62), Value::i64(1ull << 62),
+                Value::i64(1ull << 63)},
+        BinCase{Opcode::I64Mul, Value::i64(1ull << 32), Value::i64(4),
+                Value::i64(1ull << 34)},
+        BinCase{Opcode::I64DivS, Value::i64s(-100), Value::i64s(7),
+                Value::i64s(-14)},
+        BinCase{Opcode::I64RemU, Value::i64(100), Value::i64(7),
+                Value::i64(2)},
+        BinCase{Opcode::I64Shl, Value::i64(1), Value::i64(70),
+                Value::i64(64)},  // mod 64
+        BinCase{Opcode::I64Rotr, Value::i64(1), Value::i64(1),
+                Value::i64(1ull << 63)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Relational, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::I32LtS, Value::i32s(-1), Value::i32(1),
+                Value::i32(1)},
+        BinCase{Opcode::I32LtU, Value::i32s(-1), Value::i32(1),
+                Value::i32(0)},
+        BinCase{Opcode::I64Eq, Value::i64(9), Value::i64(9), Value::i32(1)},
+        BinCase{Opcode::I64Ne, Value::i64(9), Value::i64(9), Value::i32(0)},
+        BinCase{Opcode::I64GtU, Value::i64s(-1), Value::i64(5),
+                Value::i32(1)},
+        BinCase{Opcode::I64GeS, Value::i64s(-1), Value::i64(5),
+                Value::i32(0)},
+        BinCase{Opcode::F64Lt, Value::f64(1.5), Value::f64(2.5),
+                Value::i32(1)},
+        BinCase{Opcode::F64Ge, Value::f64(2.5), Value::f64(2.5),
+                Value::i32(1)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Float, BinaryOps,
+    ::testing::Values(
+        BinCase{Opcode::F64Add, Value::f64(1.25), Value::f64(2.5),
+                Value::f64(3.75)},
+        BinCase{Opcode::F64Div, Value::f64(1.0), Value::f64(4.0),
+                Value::f64(0.25)},
+        BinCase{Opcode::F64Min, Value::f64(-0.0), Value::f64(0.0),
+                Value::f64(-0.0)},
+        BinCase{Opcode::F64Max, Value::f64(3.0), Value::f64(7.0),
+                Value::f64(7.0)},
+        BinCase{Opcode::F32Mul, Value::f32(2.0f), Value::f32(1.5f),
+                Value::f32(3.0f)},
+        BinCase{Opcode::F64Copysign, Value::f64(3.0), Value::f64(-1.0),
+                Value::f64(-3.0)}));
+
+struct UnCase {
+  Opcode op;
+  Value in, expected;
+};
+
+class UnaryOps : public ::testing::TestWithParam<UnCase> {};
+
+TEST_P(UnaryOps, Evaluates) {
+  const auto& c = GetParam();
+  const ValType in = wasm::op_info(c.op).operand;
+  const Value got =
+      run1(FuncType{{in}, {c.expected.type}},
+           {wasm::local_get(0), Instr(c.op), Instr(Opcode::End)}, {c.in});
+  EXPECT_EQ(got, c.expected) << wasm::op_info(c.op).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bits, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::I32Clz, Value::i32(1), Value::i32(31)},
+        UnCase{Opcode::I32Clz, Value::i32(0), Value::i32(32)},
+        UnCase{Opcode::I32Ctz, Value::i32(0x80000000), Value::i32(31)},
+        UnCase{Opcode::I32Popcnt, Value::i32(0xf0f0f0f0), Value::i32(16)},
+        UnCase{Opcode::I64Popcnt, Value::i64(~0ull), Value::i64(64)},
+        UnCase{Opcode::I64Clz, Value::i64(0), Value::i64(64)},
+        UnCase{Opcode::I32Eqz, Value::i32(0), Value::i32(1)},
+        UnCase{Opcode::I32Eqz, Value::i32(4), Value::i32(0)},
+        UnCase{Opcode::I64Eqz, Value::i64(0), Value::i32(1)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Conversions, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::I32WrapI64, Value::i64(0x1122334455667788ull),
+               Value::i32(0x55667788)},
+        UnCase{Opcode::I64ExtendI32S, Value::i32s(-5), Value::i64s(-5)},
+        UnCase{Opcode::I64ExtendI32U, Value::i32s(-5),
+               Value::i64(0xfffffffbull)},
+        UnCase{Opcode::I32TruncF64S, Value::f64(-3.9), Value::i32s(-3)},
+        UnCase{Opcode::I64TruncF64U, Value::f64(1e15),
+               Value::i64(1000000000000000ull)},
+        UnCase{Opcode::F64ConvertI64S, Value::i64s(-2), Value::f64(-2.0)},
+        UnCase{Opcode::F64PromoteF32, Value::f32(1.5f), Value::f64(1.5)},
+        UnCase{Opcode::F32DemoteF64, Value::f64(2.5), Value::f32(2.5f)},
+        UnCase{Opcode::I64ReinterpretF64, Value::f64(1.0),
+               Value::i64(0x3ff0000000000000ull)},
+        UnCase{Opcode::F64ReinterpretI64, Value::i64(0x3ff0000000000000ull),
+               Value::f64(1.0)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    FloatUnary, UnaryOps,
+    ::testing::Values(
+        UnCase{Opcode::F64Abs, Value::f64(-3.5), Value::f64(3.5)},
+        UnCase{Opcode::F64Neg, Value::f64(3.5), Value::f64(-3.5)},
+        UnCase{Opcode::F64Ceil, Value::f64(1.2), Value::f64(2.0)},
+        UnCase{Opcode::F64Floor, Value::f64(1.8), Value::f64(1.0)},
+        UnCase{Opcode::F64Trunc, Value::f64(-1.8), Value::f64(-1.0)},
+        UnCase{Opcode::F64Nearest, Value::f64(2.5), Value::f64(2.0)},
+        UnCase{Opcode::F64Sqrt, Value::f64(9.0), Value::f64(3.0)}));
+
+// ---------------------------------------------------------------- traps
+
+TEST(VmTrap, DivisionByZero) {
+  EXPECT_THROW(run1(FuncType{{}, {I32}},
+                    {wasm::i32_const(1), wasm::i32_const(0),
+                     Instr(Opcode::I32DivS), Instr(Opcode::End)}),
+               Trap);
+}
+
+TEST(VmTrap, SignedDivisionOverflow) {
+  EXPECT_THROW(run1(FuncType{{}, {I32}},
+                    {wasm::i32_const(INT32_MIN), wasm::i32_const(-1),
+                     Instr(Opcode::I32DivS), Instr(Opcode::End)}),
+               Trap);
+}
+
+TEST(VmTrap, RemainderOverflowIsZero) {
+  EXPECT_EQ(run1(FuncType{{}, {I32}},
+                 {wasm::i32_const(INT32_MIN), wasm::i32_const(-1),
+                  Instr(Opcode::I32RemS), Instr(Opcode::End)}),
+            Value::i32(0));
+}
+
+TEST(VmTrap, TruncNaN) {
+  EXPECT_THROW(run1(FuncType{{F64}, {I32}},
+                    {wasm::local_get(0), Instr(Opcode::I32TruncF64S),
+                     Instr(Opcode::End)},
+                    {Value::f64(std::nan(""))}),
+               Trap);
+}
+
+TEST(VmTrap, TruncOutOfRange) {
+  EXPECT_THROW(run1(FuncType{{F64}, {I32}},
+                    {wasm::local_get(0), Instr(Opcode::I32TruncF64S),
+                     Instr(Opcode::End)},
+                    {Value::f64(3e10)}),
+               Trap);
+}
+
+TEST(VmTrap, Unreachable) {
+  EXPECT_THROW(
+      run_body(FuncType{{}, {}}, {}, {Instr(Opcode::Unreachable),
+                                      Instr(Opcode::End)}),
+      Trap);
+}
+
+TEST(VmTrap, OutOfBoundsLoad) {
+  EXPECT_THROW(run1(FuncType{{}, {I32}},
+                    {wasm::i32_const(65536), wasm::mem_load(Opcode::I32Load),
+                     Instr(Opcode::End)}),
+               Trap);
+}
+
+TEST(VmTrap, OutOfBoundsStoreAtOffsetEdge) {
+  // address 65533 + 4 bytes crosses the 64 KiB page boundary
+  EXPECT_THROW(
+      run_body(FuncType{{}, {}}, {},
+               {wasm::i32_const(65533), wasm::i32_const(1),
+                wasm::mem_store(Opcode::I32Store), Instr(Opcode::End)}),
+      Trap);
+}
+
+TEST(VmTrap, StepLimit) {
+  ModuleBuilder b;
+  // Infinite loop.
+  const auto fn = b.add_func(
+      FuncType{{}, {}}, {},
+      {wasm::loop(), wasm::br(0), Instr(Opcode::End), Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm(ExecLimits{.max_steps = 1000});
+  EXPECT_THROW(vm.invoke(inst, fn, {}), Trap);
+  EXPECT_GE(vm.steps(), 1000u);
+}
+
+TEST(VmTrap, CallDepthLimit) {
+  ModuleBuilder b;
+  const auto fn = b.declare_func(FuncType{{}, {}});
+  b.set_body(fn, {}, {wasm::call(fn), Instr(Opcode::End)});  // infinite recursion
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm(ExecLimits{.max_call_depth = 16});
+  EXPECT_THROW(vm.invoke(inst, fn, {}), Trap);
+}
+
+// ----------------------------------------------------------- control flow
+
+TEST(VmControl, IfElseBothBranches) {
+  const auto body = std::vector<Instr>{
+      wasm::local_get(0), wasm::if_(0x7f),  // (result i32)
+      wasm::i32_const(10), Instr(Opcode::Else), wasm::i32_const(20),
+      Instr(Opcode::End), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(1)}),
+            Value::i32(10));
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(0)}),
+            Value::i32(20));
+}
+
+TEST(VmControl, IfWithoutElseSkipsWhenFalse) {
+  // local1 starts at 0; the then-branch overwrites it with 99.
+  const auto body = std::vector<Instr>{
+      wasm::local_get(0), wasm::if_(), wasm::i32_const(99),
+      wasm::local_set(1), Instr(Opcode::End), wasm::local_get(1),
+      Instr(Opcode::End)};
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(0)})[0],
+            Value::i32(0));
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(5)})[0],
+            Value::i32(99));
+}
+
+TEST(VmControl, LoopCountsToTen) {
+  // local1 = 0; loop { local1++ ; br_if local1 < 10 }
+  const auto body = std::vector<Instr>{
+      wasm::loop(),
+      wasm::local_get(1),
+      wasm::i32_const(1),
+      Instr(Opcode::I32Add),
+      wasm::local_tee(1),
+      wasm::i32_const(10),
+      Instr(Opcode::I32LtU),
+      wasm::br_if(0),
+      Instr(Opcode::End),
+      wasm::local_get(1),
+      Instr(Opcode::End)};
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(0)})[0],
+            Value::i32(10));
+}
+
+TEST(VmControl, BrExitsBlockKeepingResult) {
+  const auto body = std::vector<Instr>{
+      wasm::block(0x7f), wasm::i32_const(42), wasm::br(0),
+      wasm::i32_const(7), Instr(Opcode::End), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{}, {I32}}, body), Value::i32(42));
+}
+
+TEST(VmControl, BrToFunctionLabelReturns) {
+  const auto body = std::vector<Instr>{wasm::i32_const(5), wasm::br(0),
+                                       Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{}, {I32}}, body), Value::i32(5));
+}
+
+TEST(VmControl, BrTableSelectsTarget) {
+  // Three nested void blocks; each arm assigns a distinct value to local1.
+  wasm::Instr bt(Opcode::BrTable);
+  bt.table = {0, 1};
+  bt.a = 2;
+  const auto body = std::vector<Instr>{
+      wasm::i32_const(999), wasm::local_set(1),  // default marker
+      wasm::block(),                             // outer (depth 2 at br_table)
+      wasm::block(),                             // middle (depth 1)
+      wasm::block(),                             // inner (depth 0)
+      wasm::local_get(0), bt,
+      Instr(Opcode::End),  // arm 0 lands here
+      wasm::i32_const(100), wasm::local_set(1), wasm::br(1),
+      Instr(Opcode::End),  // arm 1 lands here
+      wasm::i32_const(200), wasm::local_set(1), wasm::br(0),
+      Instr(Opcode::End),  // outer end (default arm lands here)
+      wasm::local_get(1), Instr(Opcode::End)};
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(0)})[0],
+            Value::i32(100));
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(1)})[0],
+            Value::i32(200));
+  EXPECT_EQ(run_body(FuncType{{I32}, {I32}}, {I32}, body,
+                     {Value::i32(7)})[0],
+            Value::i32(999));
+}
+
+TEST(VmControl, BrTableDefaultReturnsFromFunction) {
+  // Both the block label and the function label carry one i32: target 0
+  // exits the block (then +1 is added), the default returns directly.
+  wasm::Instr bt(Opcode::BrTable);
+  bt.table = {0};
+  bt.a = 1;  // default: function label
+  const auto body = std::vector<Instr>{
+      wasm::block(0x7f), wasm::i32_const(77), wasm::local_get(0), bt,
+      Instr(Opcode::End), wasm::i32_const(1), Instr(Opcode::I32Add),
+      Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(0)}),
+            Value::i32(78));
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(9)}),
+            Value::i32(77));
+}
+
+TEST(VmControl, Select) {
+  const auto body = std::vector<Instr>{
+      wasm::i64_const(111), wasm::i64_const(222), wasm::local_get(0),
+      Instr(Opcode::Select), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{I32}, {I64}}, body, {Value::i32(1)}),
+            Value::i64(111));
+  EXPECT_EQ(run1(FuncType{{I32}, {I64}}, body, {Value::i32(0)}),
+            Value::i64(222));
+}
+
+TEST(VmControl, EarlyReturn) {
+  const auto body = std::vector<Instr>{
+      wasm::local_get(0), wasm::if_(), wasm::i32_const(1),
+      Instr(Opcode::Return), Instr(Opcode::End), wasm::i32_const(2),
+      Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(1)}),
+            Value::i32(1));
+  EXPECT_EQ(run1(FuncType{{I32}, {I32}}, body, {Value::i32(0)}),
+            Value::i32(2));
+}
+
+// ----------------------------------------------------------------- calls
+
+TEST(VmCalls, DirectCallPassesArgsAndReturns) {
+  ModuleBuilder b;
+  const auto sq = b.add_func(FuncType{{I64}, {I64}}, {},
+                             {wasm::local_get(0), wasm::local_get(0),
+                              Instr(Opcode::I64Mul), Instr(Opcode::End)});
+  const auto main = b.add_func(FuncType{{I64}, {I64}}, {},
+                               {wasm::local_get(0), wasm::call(sq),
+                                wasm::i64_const(1), Instr(Opcode::I64Add),
+                                Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, main, {{Value::i64(9)}}).at(0), Value::i64(82));
+}
+
+TEST(VmCalls, RecursiveFactorial) {
+  ModuleBuilder b;
+  const auto fact = b.declare_func(FuncType{{I64}, {I64}});
+  b.set_body(fact, {},
+             {wasm::local_get(0), wasm::i64_const(1),
+              Instr(Opcode::I64LeU), wasm::if_(0x7e), wasm::i64_const(1),
+              Instr(Opcode::Else), wasm::local_get(0), wasm::local_get(0),
+              wasm::i64_const(1), Instr(Opcode::I64Sub), wasm::call(fact),
+              Instr(Opcode::I64Mul), Instr(Opcode::End),
+              Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, fact, {{Value::i64(10)}}).at(0),
+            Value::i64(3628800));
+}
+
+TEST(VmCalls, IndirectCallThroughTable) {
+  ModuleBuilder b;
+  const auto f1 = b.add_func(FuncType{{}, {I32}}, {},
+                             {wasm::i32_const(11), Instr(Opcode::End)});
+  const auto f2 = b.add_func(FuncType{{}, {I32}}, {},
+                             {wasm::i32_const(22), Instr(Opcode::End)});
+  wasm::Instr ci(Opcode::CallIndirect);
+  ci.a = b.module().functions[0].type_index;
+  const auto main = b.add_func(
+      FuncType{{I32}, {I32}}, {},
+      {wasm::local_get(0), ci, Instr(Opcode::End)});
+  b.add_table(2);
+  b.add_elem(0, {f1, f2});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, main, {{Value::i32(0)}}).at(0), Value::i32(11));
+  EXPECT_EQ(vm.invoke(inst, main, {{Value::i32(1)}}).at(0), Value::i32(22));
+  EXPECT_THROW(vm.invoke(inst, main, {{Value::i32(5)}}), Trap);  // OOB
+}
+
+TEST(VmCalls, IndirectCallSignatureMismatch) {
+  ModuleBuilder b;
+  const auto f1 = b.add_func(FuncType{{I64}, {I64}}, {},
+                             {wasm::local_get(0), Instr(Opcode::End)});
+  wasm::Instr ci(Opcode::CallIndirect);
+  ci.a = b.type_index(FuncType{{}, {I32}});
+  const auto main =
+      b.add_func(FuncType{{}, {I32}}, {},
+                 {wasm::i32_const(0), ci, Instr(Opcode::End)});
+  b.add_table(1);
+  b.add_elem(0, {f1});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_THROW(vm.invoke(inst, main, {}), Trap);
+}
+
+TEST(VmCalls, HostFunctionReceivesArgsAndReturns) {
+  ModuleBuilder b;
+  const auto ext =
+      b.import_func("env", "ext_add", FuncType{{I64, I64}, {I64}});
+  const auto log = b.import_func("env", "log3", FuncType{{I32}, {}});
+  const auto main = b.add_func(
+      FuncType{{}, {I64}}, {},
+      {wasm::i32_const(5), wasm::call(log), wasm::i64_const(30),
+       wasm::i64_const(12), wasm::call(ext), Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, main, {}).at(0), Value::i64(42));
+  ASSERT_EQ(host.calls.size(), 2u);
+  EXPECT_EQ(host.calls[0].name, "env.log3");
+  EXPECT_EQ(host.calls[0].args.at(0), Value::i32(5));
+  EXPECT_EQ(host.calls[1].name, "env.ext_add");
+}
+
+TEST(VmCalls, HostTrapPropagates) {
+  ModuleBuilder b;
+  const auto abort_fn = b.import_func("env", "abort_now", FuncType{{}, {}});
+  const auto main = b.add_func(FuncType{{}, {}}, {},
+                               {wasm::call(abort_fn), Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_THROW(vm.invoke(inst, main, {}), Trap);
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(VmMemory, StoreLoadRoundTrip) {
+  const auto body = std::vector<Instr>{
+      wasm::i32_const(100), wasm::i64_const(0x1122334455667788),
+      wasm::mem_store(Opcode::I64Store), wasm::i32_const(100),
+      wasm::mem_load(Opcode::I64Load), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{}, {I64}}, body),
+            Value::i64(0x1122334455667788ull));
+}
+
+TEST(VmMemory, NarrowLoadsSignAndZeroExtend) {
+  // store 0xff at addr 0; i32.load8_s -> -1; i32.load8_u -> 255.
+  const auto store = std::vector<Instr>{
+      wasm::i32_const(0), wasm::i32_const(0xff),
+      wasm::mem_store(Opcode::I32Store8)};
+  auto signed_body = store;
+  signed_body.insert(signed_body.end(),
+                     {wasm::i32_const(0), wasm::mem_load(Opcode::I32Load8S),
+                      Instr(Opcode::End)});
+  auto unsigned_body = store;
+  unsigned_body.insert(unsigned_body.end(),
+                       {wasm::i32_const(0), wasm::mem_load(Opcode::I32Load8U),
+                        Instr(Opcode::End)});
+  EXPECT_EQ(run1(FuncType{{}, {I32}}, signed_body), Value::i32s(-1));
+  EXPECT_EQ(run1(FuncType{{}, {I32}}, unsigned_body), Value::i32(255));
+}
+
+TEST(VmMemory, OffsetImmediateIsAdded) {
+  const auto body = std::vector<Instr>{
+      wasm::i32_const(200), wasm::i64_const(7),
+      wasm::mem_store(Opcode::I64Store, /*offset=*/8), wasm::i32_const(208),
+      wasm::mem_load(Opcode::I64Load), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{}, {I64}}, body), Value::i64(7));
+}
+
+TEST(VmMemory, GrowAndSize) {
+  const auto body = std::vector<Instr>{
+      Instr(Opcode::MemorySize), Instr(Opcode::Drop), wasm::i32_const(2),
+      Instr(Opcode::MemoryGrow), Instr(Opcode::Drop),
+      Instr(Opcode::MemorySize), Instr(Opcode::End)};
+  EXPECT_EQ(run1(FuncType{{}, {I32}}, body), Value::i32(3));
+}
+
+TEST(VmMemory, GrowBeyondMaxFails) {
+  ModuleBuilder b;
+  b.add_memory(1, 2);  // max 2 pages
+  const auto fn = b.add_func(
+      FuncType{{}, {I32}}, {},
+      {wasm::i32_const(5), Instr(Opcode::MemoryGrow), Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, fn, {}).at(0), Value::i32s(-1));
+}
+
+TEST(VmMemory, DataSegmentsInitialiseMemory) {
+  ModuleBuilder b;
+  b.add_memory(1);
+  b.add_data(16, {0x78, 0x56, 0x34, 0x12});
+  const auto fn = b.add_func(FuncType{{}, {I32}}, {},
+                             {wasm::i32_const(16),
+                              wasm::mem_load(Opcode::I32Load),
+                              Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, fn, {}).at(0), Value::i32(0x12345678));
+}
+
+// ---------------------------------------------------------------- globals
+
+TEST(VmGlobals, GetSetRoundTrip) {
+  ModuleBuilder b;
+  b.add_global(ValType::I64, true, 5);
+  const auto fn = b.add_func(
+      FuncType{{}, {I64}}, {},
+      {wasm::global_get(0), wasm::i64_const(10), Instr(Opcode::I64Add),
+       wasm::global_set(0), wasm::global_get(0), Instr(Opcode::End)});
+  RecordingHost host;
+  Instance inst = instantiate(std::move(b).build(), host);
+  Vm vm;
+  EXPECT_EQ(vm.invoke(inst, fn, {}).at(0), Value::i64(15));
+  // Global state persists across invocations within one instance.
+  EXPECT_EQ(vm.invoke(inst, fn, {}).at(0), Value::i64(25));
+}
+
+TEST(VmLocals, TeeKeepsValueOnStack) {
+  const auto body = std::vector<Instr>{
+      wasm::i32_const(9), wasm::local_tee(0), wasm::local_get(0),
+      Instr(Opcode::I32Add), Instr(Opcode::End)};
+  EXPECT_EQ(run_body(FuncType{{}, {I32}}, {I32}, body)[0], Value::i32(18));
+}
+
+}  // namespace
+}  // namespace wasai::vm

@@ -1,0 +1,320 @@
+// Instrumentation tests: behaviour preservation, operand capture, event
+// segmentation per action, and site-table correctness.
+#include <gtest/gtest.h>
+
+#include "chain/controller.hpp"
+#include "chain/token.hpp"
+#include "instrument/instrumenter.hpp"
+#include "instrument/trace_sink.hpp"
+#include "tests/test_support.hpp"
+#include "util/rng.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/encoder.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::instrument {
+namespace {
+
+using abi::name;
+using test::instantiate;
+using vm::Value;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+
+/// Pure-arithmetic module: f(x) = sum of x*i for i in 1..5, with branches.
+wasm::Module arithmetic_module() {
+  ModuleBuilder b;
+  b.add_memory(1);
+  const auto helper =
+      b.add_func(FuncType{{I64, I64}, {I64}}, {},
+                 {wasm::local_get(0), wasm::local_get(1),
+                  Instr(Opcode::I64Mul), Instr(Opcode::End)},
+                 "mul");
+  // f(x): if (x > 100) return x*2 else { store x to mem; return x+1 }
+  const auto f = b.add_func(
+      FuncType{{I64}, {I64}}, {},
+      {wasm::local_get(0), wasm::i64_const(100), Instr(Opcode::I64GtS),
+       wasm::if_(0x7e), wasm::local_get(0), wasm::i64_const(2),
+       wasm::call(helper), Instr(Opcode::Else), wasm::i32_const(32),
+       wasm::local_get(0), wasm::mem_store(Opcode::I64Store),
+       wasm::local_get(0), wasm::i64_const(1), Instr(Opcode::I64Add),
+       Instr(Opcode::End), Instr(Opcode::End)},
+      "f");
+  b.export_func("f", f);
+  return std::move(b).build();
+}
+
+TEST(Instrumenter, PreservesBehaviour) {
+  const wasm::Module original = arithmetic_module();
+  const Instrumented result = instrument(original);
+
+  test::RecordingHost plain_host;
+  vm::Instance orig_inst =
+      instantiate(wasm::Module(original), plain_host);
+  TraceSink sink;
+  sink.on_action_begin(name("t"), name("t"), name("run"));
+  vm::Instance instr_inst =
+      instantiate(wasm::Module(result.module), sink);
+
+  vm::Vm vm;
+  const auto f_orig = original.find_export("f");
+  const auto f_instr = result.module.find_export("f");
+  ASSERT_TRUE(f_orig && f_instr);
+  for (const std::int64_t x : {0ll, 5ll, 100ll, 101ll, -7ll, 1'000'000ll}) {
+    const auto a = vm.invoke(orig_inst, *f_orig, {{Value::i64s(x)}});
+    const auto b = vm.invoke(instr_inst, *f_instr, {{Value::i64s(x)}});
+    ASSERT_EQ(a, b) << "x=" << x;
+  }
+}
+
+TEST(Instrumenter, InstrumentedModuleValidatesAndRoundTrips) {
+  const Instrumented result = instrument(arithmetic_module());
+  EXPECT_NO_THROW(wasm::validate(result.module));
+  const auto bin = wasm::encode(result.module);
+  const auto back = wasm::decode(bin);
+  EXPECT_EQ(back.functions.size(), result.module.functions.size());
+}
+
+TEST(Instrumenter, RejectsDoubleInstrumentation) {
+  const Instrumented once = instrument(arithmetic_module());
+  EXPECT_THROW(instrument(once.module), util::ValidationError);
+}
+
+TEST(Instrumenter, SiteTableCoversEveryInstruction) {
+  const wasm::Module original = arithmetic_module();
+  const Instrumented result = instrument(original);
+  std::size_t total_instrs = 0;
+  for (const auto& fn : original.functions) total_instrs += fn.body.size();
+  EXPECT_EQ(result.sites.size(), total_instrs);
+  // Every site points at a real instruction of the original module.
+  const auto imports = original.num_imported_functions();
+  for (const auto& site : result.sites.sites) {
+    const auto& fn = original.functions.at(site.func_index - imports);
+    ASSERT_LT(site.instr_index, fn.body.size());
+  }
+}
+
+TEST(Instrumenter, CapturesBranchConditionAndStore) {
+  const wasm::Module original = arithmetic_module();
+  const Instrumented result = instrument(original);
+  TraceSink sink;
+  sink.on_action_begin(name("t"), name("t"), name("run"));
+  vm::Instance inst = instantiate(wasm::Module(result.module), sink);
+  vm::Vm vm;
+  vm.invoke(inst, *result.module.find_export("f"), {{Value::i64s(5)}});
+  sink.on_action_end(true);
+
+  ASSERT_EQ(sink.actions().size(), 1u);
+  const auto& events = sink.actions()[0].events;
+  ASSERT_FALSE(events.empty());
+  // First event: function_begin of f (the invoked function).
+  EXPECT_EQ(events.front().kind, EventKind::FunctionBegin);
+
+  bool saw_if_cond = false, saw_store = false;
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::Instr) continue;
+    const auto& info = result.sites.at(ev.site);
+    const auto& ins = original.defined(info.func_index).body[info.instr_index];
+    if (ins.op == Opcode::If) {
+      ASSERT_EQ(ev.nvals, 1);
+      EXPECT_EQ(ev.val(0), Value::i32(0));  // 5 > 100 is false
+      saw_if_cond = true;
+    }
+    if (ins.op == Opcode::I64Store) {
+      ASSERT_EQ(ev.nvals, 2);
+      EXPECT_EQ(ev.val(0), Value::i32(32));   // address
+      EXPECT_EQ(ev.val(1), Value::i64(5));    // stored value
+      saw_store = true;
+    }
+  }
+  EXPECT_TRUE(saw_if_cond);
+  EXPECT_TRUE(saw_store);
+}
+
+TEST(Instrumenter, CallEventsWrapTheCall) {
+  const wasm::Module original = arithmetic_module();
+  const Instrumented result = instrument(original);
+  TraceSink sink;
+  sink.on_action_begin(name("t"), name("t"), name("run"));
+  vm::Instance inst = instantiate(wasm::Module(result.module), sink);
+  vm::Vm vm;
+  vm.invoke(inst, *result.module.find_export("f"), {{Value::i64s(200)}});
+  sink.on_action_end(true);
+
+  const auto& events = sink.actions()[0].events;
+  // Expect: ... CallDirect(site) ... FunctionBegin(mul) ... CallPost(site,400)
+  std::optional<std::uint32_t> call_site;
+  bool saw_callee_begin = false, saw_post = false;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::CallDirect) {
+      call_site = ev.site;
+    } else if (ev.kind == EventKind::FunctionBegin && call_site &&
+               !saw_post) {
+      saw_callee_begin = true;
+    } else if (ev.kind == EventKind::CallPost) {
+      ASSERT_TRUE(call_site.has_value());
+      EXPECT_EQ(ev.site, *call_site);
+      ASSERT_EQ(ev.nvals, 1);
+      EXPECT_EQ(ev.val(0), Value::i64(400));
+      saw_post = true;
+    }
+  }
+  EXPECT_TRUE(saw_callee_begin);
+  EXPECT_TRUE(saw_post);
+}
+
+TEST(Instrumenter, Property_RandomExpressionModulesPreserved) {
+  util::Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    // Random straight-line i64 arithmetic over two params with a final
+    // comparison-driven select.
+    ModuleBuilder b;
+    b.add_memory(1);
+    std::vector<Instr> body = {wasm::local_get(0)};
+    const int ops = 1 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < ops; ++i) {
+      body.push_back(rng.chance(0.5) ? wasm::local_get(1)
+                                     : wasm::i64_const(rng.range(1, 99)));
+      static const Opcode kOps[] = {Opcode::I64Add, Opcode::I64Sub,
+                                    Opcode::I64Mul, Opcode::I64Xor,
+                                    Opcode::I64Or, Opcode::I64And};
+      body.push_back(Instr(kOps[rng.below(6)]));
+    }
+    body.push_back(wasm::local_get(1));
+    body.push_back(Instr(Opcode::I64LtS));
+    body.push_back(wasm::if_(0x7e));
+    body.push_back(wasm::i64_const(1));
+    body.push_back(Instr(Opcode::Else));
+    body.push_back(wasm::i64_const(2));
+    body.push_back(Instr(Opcode::End));
+    body.push_back(Instr(Opcode::End));
+    const auto f = b.add_func(FuncType{{I64, I64}, {I64}}, {}, body, "f");
+    b.export_func("f", f);
+    const wasm::Module original = std::move(b).build();
+    const Instrumented result = instrument(original);
+
+    test::RecordingHost plain;
+    TraceSink sink;
+    sink.on_action_begin(name("t"), name("t"), name("r"));
+    vm::Instance oi = instantiate(wasm::Module(original), plain);
+    vm::Instance ii = instantiate(wasm::Module(result.module), sink);
+    vm::Vm vm;
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto x = Value::i64(rng.next());
+      const auto y = Value::i64(rng.next());
+      const auto a = vm.invoke(oi, *original.find_export("f"), {{x, y}});
+      const auto bb = vm.invoke(ii, *result.module.find_export("f"), {{x, y}});
+      ASSERT_EQ(a, bb);
+    }
+  }
+}
+
+// ------------------------------------------------- on-chain trace capture
+
+TEST(TraceCapture, SegmentsEventsPerAction) {
+  // Deploy an instrumented contract; only its events are captured, and the
+  // token/native executions contribute no events (§3.3.1's filtering).
+  using namespace wasai::chain;
+  ModuleBuilder b;
+  const auto assert_fn =
+      b.import_func("env", "eosio_assert", FuncType{{I32, I32}, {}});
+  b.add_memory(1);
+  const auto apply = b.add_func(
+      FuncType{{I64, I64, I64}, {}}, {},
+      {wasm::local_get(2), wasm::i64_const_u(name("ping").value()),
+       Instr(Opcode::I64Eq), wasm::i32_const(0), Instr(Opcode::I32GeU),
+       wasm::i32_const(0), wasm::call(assert_fn), Instr(Opcode::End)},
+      "apply");
+  b.export_func("apply", apply);
+  const Instrumented result = instrument(std::move(b).build());
+
+  Controller chain;
+  TraceSink sink;
+  chain.set_observer(&sink);
+  const Name target = name("target");
+  chain.deploy_contract(target, wasm::encode(result.module), abi::Abi{});
+
+  Action ping;
+  ping.account = target;
+  ping.name = name("ping");
+  ASSERT_TRUE(chain.push_action(ping).success);
+
+  const auto traces = sink.actions_of(target);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces[0]->completed);
+  EXPECT_EQ(traces[0]->action, name("ping"));
+  EXPECT_GT(traces[0]->events.size(), 4u);
+  EXPECT_EQ(traces[0]->events.front().kind, EventKind::FunctionBegin);
+}
+
+TEST(TraceCapture, TrapMarksTraceIncomplete) {
+  using namespace wasai::chain;
+  ModuleBuilder b;
+  b.add_memory(1);
+  const auto apply =
+      b.add_func(FuncType{{I64, I64, I64}, {}}, {},
+                 {Instr(Opcode::Unreachable), Instr(Opcode::End)}, "apply");
+  b.export_func("apply", apply);
+  const Instrumented result = instrument(std::move(b).build());
+
+  Controller chain;
+  TraceSink sink;
+  chain.set_observer(&sink);
+  const Name target = name("boom");
+  chain.deploy_contract(target, wasm::encode(result.module), abi::Abi{});
+  Action act;
+  act.account = target;
+  act.name = name("go");
+  EXPECT_FALSE(chain.push_action(act).success);
+
+  const auto traces = sink.actions_of(target);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_FALSE(traces[0]->completed);
+  // The unreachable's own site event was still captured.
+  EXPECT_FALSE(traces[0]->events.empty());
+}
+
+TEST(TraceCapture, AuxiliaryContractsProduceNoEvents) {
+  using namespace wasai::chain;
+  Controller chain;
+  TraceSink sink;
+  chain.set_observer(&sink);
+  const Name token = name("eosio.token");
+  chain.deploy_native(token, std::make_shared<TokenContract>());
+  chain.create_account(name("alice"));
+  chain.create_account(name("bob"));
+  ASSERT_TRUE(chain.push_action(
+                       token_create(token, token, abi::eos(1'000'0000)))
+                  .success);
+  ASSERT_TRUE(
+      chain
+          .push_action(token_issue(token, token, name("alice"),
+                                   abi::eos(10'0000), ""))
+          .success);
+  ASSERT_TRUE(chain
+                  .push_action(token_transfer(token, name("alice"),
+                                              name("bob"), abi::eos(1'0000),
+                                              ""))
+                  .success);
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_GT(sink.actions().size(), 0u);  // segments exist, but no events
+}
+
+TEST(TraceSink, ClearResets) {
+  TraceSink sink;
+  sink.on_action_begin(name("a"), name("a"), name("x"));
+  sink.on_action_end(true);
+  EXPECT_EQ(sink.actions().size(), 1u);
+  sink.clear();
+  EXPECT_TRUE(sink.actions().empty());
+  EXPECT_EQ(sink.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wasai::instrument

@@ -1,0 +1,135 @@
+// JSON parser and EOSIO ABI JSON ingestion tests.
+#include <gtest/gtest.h>
+
+#include "abi/abi_json.hpp"
+#include "util/json.hpp"
+
+namespace wasai {
+namespace {
+
+using util::DecodeError;
+using util::Json;
+using util::parse_json;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = parse_json(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(doc.at("d").at("e").is_null());
+  EXPECT_TRUE(doc.at("f").as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), DecodeError);
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\t")").as_string(), "a\"b\\c\nd\t");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, HandlesWhitespaceAndEmpties) {
+  EXPECT_TRUE(parse_json("  { }  ").as_object().empty());
+  EXPECT_TRUE(parse_json("[\n]").as_array().empty());
+}
+
+struct BadJson {
+  const char* text;
+};
+
+class JsonRejects : public ::testing::TestWithParam<BadJson> {};
+
+TEST_P(JsonRejects, Throws) {
+  EXPECT_THROW(parse_json(GetParam().text), DecodeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonRejects,
+    ::testing::Values(BadJson{""}, BadJson{"{"}, BadJson{"[1,]"},
+                      BadJson{"{\"a\":}"}, BadJson{"\"unterminated"},
+                      BadJson{"tru"}, BadJson{"1 2"}, BadJson{"{1: 2}"},
+                      BadJson{"nul"}, BadJson{"[1 2]"}));
+
+TEST(Json, KindMismatchThrows) {
+  const Json doc = parse_json("[1]");
+  EXPECT_THROW(doc.as_object(), DecodeError);
+  EXPECT_THROW(doc.as_string(), DecodeError);
+  EXPECT_THROW(doc.as_bool(), DecodeError);
+  EXPECT_THROW(parse_json("3").as_array(), DecodeError);
+}
+
+// ----------------------------------------------------------------- ABI
+
+constexpr const char* kTransferAbi = R"({
+  "version": "eosio::abi/1.1",
+  "structs": [
+    {"name": "transfer", "base": "", "fields": [
+      {"name": "from", "type": "name"},
+      {"name": "to", "type": "name"},
+      {"name": "quantity", "type": "asset"},
+      {"name": "memo", "type": "string"}]},
+    {"name": "claim", "base": "", "fields": [
+      {"name": "owner", "type": "name"},
+      {"name": "round", "type": "uint64"}]}
+  ],
+  "actions": [
+    {"name": "transfer", "type": "transfer", "ricardian_contract": ""},
+    {"name": "claim", "type": "claim", "ricardian_contract": ""}
+  ]
+})";
+
+TEST(AbiJson, ParsesEosioAbi) {
+  const abi::Abi parsed = abi::abi_from_json(kTransferAbi);
+  ASSERT_EQ(parsed.actions.size(), 2u);
+  const auto* transfer = parsed.find(abi::name("transfer"));
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_EQ(transfer->params,
+            (std::vector<abi::ParamType>{
+                abi::ParamType::Name, abi::ParamType::Name,
+                abi::ParamType::Asset, abi::ParamType::String}));
+  const auto* claim = parsed.find(abi::name("claim"));
+  ASSERT_NE(claim, nullptr);
+  EXPECT_EQ(claim->params[1], abi::ParamType::U64);
+}
+
+TEST(AbiJson, RoundTripsThroughEmission) {
+  const abi::Abi original = abi::abi_from_json(kTransferAbi);
+  const abi::Abi back = abi::abi_from_json(abi::abi_to_json(original));
+  ASSERT_EQ(back.actions.size(), original.actions.size());
+  for (std::size_t i = 0; i < back.actions.size(); ++i) {
+    EXPECT_EQ(back.actions[i].name, original.actions[i].name);
+    EXPECT_EQ(back.actions[i].params, original.actions[i].params);
+  }
+}
+
+TEST(AbiJson, RejectsUnknownTypeAndMissingStruct) {
+  EXPECT_THROW(abi::abi_from_json(R"({
+    "structs": [{"name": "x", "fields": [{"name": "f", "type": "sha256"}]}],
+    "actions": [{"name": "x", "type": "x"}]})"),
+               DecodeError);
+  EXPECT_THROW(abi::abi_from_json(R"({
+    "structs": [],
+    "actions": [{"name": "x", "type": "missing"}]})"),
+               DecodeError);
+}
+
+TEST(AbiJson, TypeNameMappingIsTotal) {
+  for (const auto type :
+       {abi::ParamType::Name, abi::ParamType::Asset, abi::ParamType::String,
+        abi::ParamType::U64, abi::ParamType::I64, abi::ParamType::U32,
+        abi::ParamType::F64}) {
+    EXPECT_EQ(abi::param_type_from_name(abi::param_type_name(type)), type);
+  }
+  EXPECT_THROW(abi::param_type_from_name("checksum256"), DecodeError);
+}
+
+}  // namespace
+}  // namespace wasai

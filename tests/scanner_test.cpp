@@ -1,0 +1,186 @@
+// Scanner unit tests: the five §3.5 oracles driven directly with synthetic
+// trace facts, plus fact extraction from hand-built traces.
+#include <gtest/gtest.h>
+
+#include "abi/serializer.hpp"
+#include "chain/controller.hpp"
+#include "corpus/contract_builder.hpp"
+#include "instrument/instrumenter.hpp"
+#include "instrument/trace_sink.hpp"
+#include "scanner/scanner.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai::scanner {
+namespace {
+
+using abi::name;
+using abi::Name;
+
+Scanner::Config config() {
+  return Scanner::Config{name("victim"), name("eosio.token"),
+                         name("fake.token"), name("fake.notif")};
+}
+
+TraceFacts facts_with(std::vector<std::uint32_t> fn_ids,
+                      std::vector<std::string> apis = {},
+                      std::vector<CmpEvent> cmps = {}) {
+  TraceFacts facts;
+  facts.function_ids = std::move(fn_ids);
+  facts.transfer_shaped = facts.function_ids.size() > 1
+                              ? std::vector<std::uint32_t>{
+                                    facts.function_ids[1]}
+                              : std::vector<std::uint32_t>{};
+  for (auto& a : apis) facts.api_calls.push_back(ApiEvent{std::move(a), 0});
+  facts.i64_comparisons = std::move(cmps);
+  return facts;
+}
+
+TEST(ScannerOracle, FakeEosRequiresEosponserAndSuccess) {
+  Scanner scanner(config());
+  // Locate id_e = 21 via a valid transfer.
+  scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                  facts_with({20, 21}), true);
+  ASSERT_EQ(scanner.eosponser_id(), std::optional<std::uint32_t>(21));
+
+  // Fake payload that reverted: not an exploit.
+  scanner.observe(PayloadMode::DirectFakeEos, name("transfer"),
+                  facts_with({20, 21}), false);
+  EXPECT_FALSE(scanner.report().has(VulnType::FakeEos));
+
+  // Fake payload that ran a DIFFERENT function: honeypot, not flagged.
+  scanner.observe(PayloadMode::FakeTokenTransfer, name("transfer"),
+                  facts_with({20, 30}), true);
+  EXPECT_FALSE(scanner.report().has(VulnType::FakeEos));
+
+  // Fake payload that ran the eosponser successfully: flagged.
+  scanner.observe(PayloadMode::DirectFakeEos, name("transfer"),
+                  facts_with({20, 21}), true);
+  EXPECT_TRUE(scanner.report().has(VulnType::FakeEos));
+}
+
+TEST(ScannerOracle, FakeNotifGuardSuppressesVerdict) {
+  Scanner with_guard(config());
+  with_guard.observe(PayloadMode::ValidTransfer, name("transfer"),
+                     facts_with({20, 21}), true);
+  // Forwarded notification ran the eosponser...
+  with_guard.observe(PayloadMode::FakeNotifForward, name("transfer"),
+                     facts_with({20, 21}), true);
+  EXPECT_TRUE(with_guard.report().has(VulnType::FakeNotif));
+
+  // ...but a later trace shows the to == _self comparison executing.
+  with_guard.observe(
+      PayloadMode::FakeNotifForward, name("transfer"),
+      facts_with({20, 21}, {},
+                 {CmpEvent{name("fake.notif").value(),
+                           name("victim").value()}}),
+      true);
+  EXPECT_FALSE(with_guard.report().has(VulnType::FakeNotif));
+}
+
+TEST(ScannerOracle, FakeNotifGuardOperandOrderIrrelevant) {
+  CmpEvent cmp{name("victim").value(), name("fake.notif").value()};
+  EXPECT_TRUE(cmp.matches(name("fake.notif").value(),
+                          name("victim").value()));
+  Scanner scanner(config());
+  scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                  facts_with({20, 21}), true);
+  scanner.observe(PayloadMode::FakeNotifForward, name("transfer"),
+                  facts_with({20, 21}, {}, {cmp}), true);
+  EXPECT_FALSE(scanner.report().has(VulnType::FakeNotif));
+}
+
+TEST(ScannerOracle, MissAuthOrderSensitive) {
+  Scanner scanner(config());
+  // Effect AFTER auth: safe.
+  scanner.observe(PayloadMode::Normal, name("withdraw"),
+                  facts_with({20, 22}, {"require_auth", "db_store_i64"}),
+                  true);
+  EXPECT_FALSE(scanner.report().has(VulnType::MissAuth));
+  // Effect BEFORE auth: flagged.
+  scanner.observe(PayloadMode::Normal, name("withdraw"),
+                  facts_with({20, 22}, {"db_store_i64", "require_auth"}),
+                  true);
+  EXPECT_TRUE(scanner.report().has(VulnType::MissAuth));
+}
+
+TEST(ScannerOracle, MissAuthSkipsEosponserTraces) {
+  Scanner scanner(config());
+  // Side effects inside the eosponser's payout are not MissAuth: the
+  // authorization came through the verified token transfer.
+  scanner.observe(PayloadMode::Normal, name("transfer"),
+                  facts_with({20, 21}, {"db_store_i64"}), true);
+  scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                  facts_with({20, 21}, {"send_inline"}), true);
+  EXPECT_FALSE(scanner.report().has(VulnType::MissAuth));
+}
+
+TEST(ScannerOracle, BlockinfoAndRollbackApiDriven) {
+  Scanner scanner(config());
+  scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                  facts_with({20, 21}, {"tapos_block_prefix"}), true);
+  EXPECT_TRUE(scanner.report().has(VulnType::BlockinfoDep));
+  EXPECT_FALSE(scanner.report().has(VulnType::Rollback));
+  scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                  facts_with({20, 21}, {"send_inline"}), false);
+  EXPECT_TRUE(scanner.report().has(VulnType::Rollback));
+}
+
+TEST(ScannerOracle, ReportDeduplicatesFindings) {
+  Scanner scanner(config());
+  for (int i = 0; i < 3; ++i) {
+    scanner.observe(PayloadMode::ValidTransfer, name("transfer"),
+                    facts_with({20, 21}, {"send_inline"}), true);
+  }
+  const auto report = scanner.report();
+  EXPECT_EQ(report.found.size(), 1u);
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+// ------------------------------------------------------- fact extraction
+
+TEST(FactExtraction, ApiCallsAndIdsFromRealTrace) {
+  // Build a tiny contract, instrument, execute, and extract facts.
+  corpus::ContractBuilder b;
+  const auto env = b.env();
+  corpus::ActionOptions opts;
+  opts.require_code_match = false;
+  std::vector<wasm::Instr> body = {
+      wasm::local_get(1),
+      wasm::call(env.require_auth),
+      wasm::call(env.tapos_block_num),
+      wasm::Instr(wasm::Opcode::Drop),
+      wasm::Instr(wasm::Opcode::End),
+  };
+  b.add_action(abi::ActionDef{name("go"), {abi::ParamType::Name}}, {},
+               std::move(body), opts);
+  const abi::Abi abi_def = b.abi();
+  const wasm::Module original =
+      std::move(b).build_module(corpus::DispatcherStyle::Standard);
+  const auto inst = instrument::instrument(original);
+
+  chain::Controller chain;
+  instrument::TraceSink sink;
+  chain.set_observer(&sink);
+  chain.deploy_contract(name("victim"), wasm::encode(inst.module), abi_def);
+  chain::Action act;
+  act.account = name("victim");
+  act.name = name("go");
+  act.authorization = {chain::active(name("alice"))};
+  act.data = abi::pack(*abi_def.find(name("go")), {name("alice")});
+  ASSERT_TRUE(chain.push_action(act).success);
+
+  const auto traces = sink.actions_of(name("victim"));
+  ASSERT_EQ(traces.size(), 1u);
+  const auto facts = extract_facts(*traces[0], inst.sites, original);
+  ASSERT_GE(facts.function_ids.size(), 2u);  // apply + the action function
+  ASSERT_EQ(facts.api_calls.size(), 3u);     // read_action_data + 2 calls
+  EXPECT_EQ(facts.api_calls[0].name, "read_action_data");
+  EXPECT_EQ(facts.api_calls[1].name, "require_auth");
+  EXPECT_EQ(facts.api_calls[2].name, "tapos_block_num");
+  EXPECT_TRUE(facts.called_api("require_auth"));
+  EXPECT_FALSE(facts.called_api("send_inline"));
+}
+
+}  // namespace
+}  // namespace wasai::scanner

@@ -1,0 +1,457 @@
+// Symback tests: memory model, symbolic ops, trace replay, input inference,
+// constraint flipping and adaptive-seed generation — exercised end-to-end
+// through instrumented SDK-shaped contracts running on the local chain.
+#include <gtest/gtest.h>
+
+#include "abi/serializer.hpp"
+#include "chain/controller.hpp"
+#include "corpus/contract_builder.hpp"
+#include "instrument/instrumenter.hpp"
+#include "instrument/trace_sink.hpp"
+#include "symbolic/ops.hpp"
+#include "symbolic/solver.hpp"
+#include "util/rng.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai::symbolic {
+namespace {
+
+using abi::eos;
+using abi::name;
+using abi::Name;
+using abi::ParamValue;
+using corpus::ContractBuilder;
+using corpus::DispatcherStyle;
+using instrument::Instrumented;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+// ------------------------------------------------------------ memory model
+
+TEST(MemoryModel, StoreLoadRoundTripsSymbolicValue) {
+  Z3Env env;
+  MemoryModel mem(env);
+  z3::expr v = env.var("x", 64);
+  mem.store(100, SymValue{ValType::I64, v}, 8);
+  const SymValue loaded = mem.load(100, 8, false, ValType::I64);
+  // (loaded == x) must be valid.
+  z3::solver s(env.ctx());
+  s.add(loaded.e != v);
+  EXPECT_EQ(s.check(), z3::unsat);
+}
+
+TEST(MemoryModel, OverlappingStoreWins) {
+  Z3Env env;
+  MemoryModel mem(env);
+  mem.store(0, SymValue{ValType::I64, env.bv(0x1111111111111111ull, 64)}, 8);
+  mem.store(2, SymValue{ValType::I32, env.bv(0xffffffffu, 32)}, 4);
+  const SymValue loaded = mem.load(0, 8, false, ValType::I64);
+  ASSERT_TRUE(loaded.is_concrete());
+  EXPECT_EQ(loaded.concrete().value(), 0x1111ffffffff1111ull);
+}
+
+TEST(MemoryModel, UnknownLoadCreatesStableSymbolicLoadObject) {
+  Z3Env env;
+  MemoryModel mem(env);
+  const SymValue a = mem.load(500, 4, false, ValType::I32);
+  const SymValue b = mem.load(500, 4, false, ValType::I32);
+  EXPECT_EQ(mem.unknown_loads(), 4u);  // four fresh bytes, reused by b
+  z3::solver s(env.ctx());
+  s.add(a.e != b.e);
+  EXPECT_EQ(s.check(), z3::unsat);  // repeated loads agree
+}
+
+TEST(MemoryModel, NarrowLoadSignExtends) {
+  Z3Env env;
+  MemoryModel mem(env);
+  mem.store(10, SymValue{ValType::I32, env.bv(0x80, 32)}, 1);
+  const SymValue s_ext = mem.load(10, 1, true, ValType::I32);
+  const SymValue z_ext = mem.load(10, 1, false, ValType::I32);
+  EXPECT_EQ(s_ext.concrete().value(), 0xffffff80u);
+  EXPECT_EQ(z_ext.concrete().value(), 0x80u);
+}
+
+TEST(MemoryModel, BindSeedsParameterBytes) {
+  Z3Env env;
+  MemoryModel mem(env);
+  z3::expr amount = env.var("amount", 64);
+  mem.bind(1040, amount, 8);
+  const SymValue lo = mem.load(1040, 4, false, ValType::I32);
+  z3::solver s(env.ctx());
+  s.add(lo.e != amount.extract(31, 0));
+  EXPECT_EQ(s.check(), z3::unsat);
+}
+
+// ------------------------------------------------------------ symbolic ops
+
+TEST(SymOps, ConcreteFolding) {
+  Z3Env env;
+  const SymValue a{ValType::I64, env.bv(30, 64)};
+  const SymValue b{ValType::I64, env.bv(12, 64)};
+  EXPECT_EQ(sym_binary(env, Opcode::I64Add, a, b).concrete().value(), 42u);
+  EXPECT_EQ(sym_binary(env, Opcode::I64GtS, a, b).concrete().value(), 1u);
+  EXPECT_EQ(sym_unary(env, Opcode::I64Eqz, a).concrete().value(), 0u);
+  EXPECT_EQ(sym_unary(env, Opcode::I32WrapI64,
+                      SymValue{ValType::I64, env.bv(0xaabbccdd11223344ull, 64)})
+                .concrete()
+                .value(),
+            0x11223344u);
+}
+
+TEST(SymOps, SymbolicComparisonSolvable) {
+  Z3Env env;
+  z3::expr x = env.var("x", 64);
+  const SymValue cmp = sym_binary(env, Opcode::I64Eq,
+                                  SymValue{ValType::I64, x},
+                                  SymValue{ValType::I64, env.bv(77, 64)});
+  z3::solver s(env.ctx());
+  s.add(env.truthy(cmp.e));
+  ASSERT_EQ(s.check(), z3::sat);
+  EXPECT_EQ(s.get_model().eval(x, true).get_numeral_uint64(), 77u);
+}
+
+TEST(SymOps, ShiftsAndRotatesMatchInterpreter) {
+  Z3Env env;
+  util::Rng rng(5);
+  const Opcode ops[] = {Opcode::I64Shl,  Opcode::I64ShrS, Opcode::I64ShrU,
+                        Opcode::I64Rotl, Opcode::I64Rotr, Opcode::I64Mul,
+                        Opcode::I64Sub,  Opcode::I64DivU, Opcode::I64RemS};
+  for (int i = 0; i < 200; ++i) {
+    const Opcode op = ops[rng.below(std::size(ops))];
+    const std::uint64_t x = rng.next();
+    std::uint64_t y = rng.next();
+    if ((op == Opcode::I64DivU || op == Opcode::I64RemS) && y == 0) y = 3;
+    const auto expected =
+        vm::eval_binary_op(op, vm::Value::i64(x), vm::Value::i64(y));
+    const auto got = sym_binary(env, op, SymValue{ValType::I64, env.bv(x, 64)},
+                                SymValue{ValType::I64, env.bv(y, 64)});
+    ASSERT_TRUE(got.is_concrete()) << wasm::op_info(op).name;
+    ASSERT_EQ(got.concrete().value(), expected.bits)
+        << wasm::op_info(op).name << " x=" << x << " y=" << y;
+  }
+}
+
+TEST(SymOps, FloatFallbackProducesFreshVarForSymbolicOperands) {
+  Z3Env env;
+  z3::expr x = env.var("x", 64);
+  const auto r = sym_binary(env, Opcode::F64Add, SymValue{ValType::F64, x},
+                            SymValue{ValType::F64, env.bv(0, 64)});
+  EXPECT_EQ(r.type, ValType::F64);
+  EXPECT_FALSE(r.is_concrete());
+}
+
+// ----------------------------------------------------- end-to-end replay
+
+/// Harness: a deployed, instrumented one-action contract + trace capture.
+class ReplayFixture {
+ public:
+  explicit ReplayFixture(std::vector<Instr> transfer_body,
+                         std::vector<ValType> extra_locals = {}) {
+    ContractBuilder builder;
+    env_imports_ = builder.env();
+    corpus::ActionOptions opts;
+    opts.require_code_match = false;  // eosponser accepts notifications
+    builder.add_action(abi::transfer_action_def(), std::move(extra_locals),
+                       std::move(transfer_body), opts);
+    abi_ = builder.abi();
+    original_ = std::move(builder).build_module(DispatcherStyle::Standard);
+    const Instrumented inst = instrument::instrument(original_);
+    sites_ = inst.sites;
+    chain_.set_observer(&sink_);
+    chain_.deploy_contract(victim_, wasm::encode(inst.module), abi_);
+    chain_.create_account(attacker_);
+  }
+
+  /// Execute transfer@victim directly with the given params; returns the
+  /// victim's trace.
+  const instrument::ActionTrace& run(std::vector<ParamValue> params) {
+    sink_.clear();
+    chain::Action act;
+    act.account = victim_;
+    act.name = name("transfer");
+    act.authorization = {chain::active(attacker_)};
+    act.data = abi::pack(abi::transfer_action_def(), params);
+    last_params_ = std::move(params);
+    last_result_ = chain_.push_transaction(chain::Transaction{{act}});
+    const auto traces = sink_.actions_of(victim_);
+    if (traces.empty()) throw util::UsageError("no trace captured");
+    return *traces.front();
+  }
+
+  ReplayResult replay_last(const instrument::ActionTrace& trace) {
+    const auto site = locate_action_call(trace, sites_, original_);
+    EXPECT_TRUE(site.has_value());
+    return replay(env_, original_, sites_, trace, *site,
+                  *abi_.find(name("transfer")), last_params_);
+  }
+
+  Z3Env env_;
+  chain::Controller chain_;
+  instrument::TraceSink sink_;
+  wasm::Module original_;
+  instrument::SiteTable sites_;
+  abi::Abi abi_;
+  corpus::EnvImports env_imports_;
+  Name victim_ = name("victim");
+  Name attacker_ = name("attacker");
+  std::vector<ParamValue> last_params_;
+  chain::TxResult last_result_;
+};
+
+std::vector<ParamValue> default_seed(std::int64_t amount,
+                                     const std::string& memo = "m") {
+  return {name("attacker"), name("victim"), eos(amount), memo};
+}
+
+/// transfer body: if (quantity.amount == 1337) tapos_block_num().
+std::vector<Instr> amount_eq_branch_body(const corpus::EnvImports& env) {
+  return {
+      wasm::local_get(3),
+      wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(1337),
+      Instr(Opcode::I64Eq),
+      wasm::if_(),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+  };
+}
+
+TEST(Replay, LocatesActionFunctionAndCapturedArgs) {
+  ContractBuilder probe;  // only to learn the import layout
+  ReplayFixture fx(amount_eq_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5));
+  const auto site = locate_action_call(trace, fx.sites_, fx.original_);
+  ASSERT_TRUE(site.has_value());
+  // transfer(self, from, to, qty*, memo*) = 5 captured args.
+  EXPECT_EQ(site->concrete_args.size(), 5u);
+  EXPECT_EQ(site->concrete_args[0].u64(), name("victim").value());
+  EXPECT_EQ(site->concrete_args[1].u64(), name("attacker").value());
+  EXPECT_EQ(site->concrete_args[3].u32(), corpus::kActionBuf + 16);
+}
+
+TEST(Replay, RecordsSymbolicBranchWithConcreteDirection) {
+  ContractBuilder probe;
+  ReplayFixture fx(amount_eq_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5));
+  const ReplayResult r = fx.replay_last(trace);
+  EXPECT_TRUE(r.completed_scope);
+  EXPECT_FALSE(r.trapped);
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_FALSE(r.path[0].taken);  // 5 != 1337
+  EXPECT_TRUE(r.path[0].can_flip);
+  EXPECT_TRUE(r.function_chain.size() >= 1);
+}
+
+TEST(Replay, FlipSolvesAmountEquality) {
+  ContractBuilder probe;
+  ReplayFixture fx(amount_eq_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5));
+  const ReplayResult r = fx.replay_last(trace);
+  Z3Env& env = fx.env_;
+  const auto adaptive = solve_flips(env, r, fx.last_params_);
+  ASSERT_EQ(adaptive.sat, 1u);
+  ASSERT_EQ(adaptive.seeds.size(), 1u);
+  const auto& mutated = adaptive.seeds[0];
+  EXPECT_EQ(std::get<abi::Asset>(mutated[2]).amount, 1337);
+
+  // Execute the adaptive seed: the deep branch must now run.
+  const auto& trace2 = fx.run(mutated);
+  const ReplayResult r2 = fx.replay_last(trace2);
+  bool tapos_called = false;
+  for (const auto& api : r2.api_calls) {
+    tapos_called |= (api.name == "tapos_block_num");
+  }
+  EXPECT_TRUE(tapos_called);
+  EXPECT_TRUE(r2.path[0].taken);
+}
+
+TEST(Replay, FailedAssertBecomesFlipCandidate) {
+  // eosio_assert(amount >= 1000) then tapos.
+  ContractBuilder probe;
+  const auto env = probe.env();
+  std::vector<Instr> body = {
+      wasm::local_get(3),
+      wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(1000),
+      Instr(Opcode::I64GeS),
+      wasm::i32_const(corpus::kMsgRegion),
+      wasm::call(env.eosio_assert),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+  };
+  ReplayFixture fx(body);
+  const auto& trace = fx.run(default_seed(5));
+  EXPECT_FALSE(fx.last_result_.success);  // the assert reverted the tx
+  const ReplayResult r = fx.replay_last(trace);
+  EXPECT_TRUE(r.trapped);
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_TRUE(r.path[0].is_assert);
+  EXPECT_TRUE(r.path[0].can_flip);
+
+  const auto adaptive = solve_flips(fx.env_, r, fx.last_params_);
+  ASSERT_EQ(adaptive.seeds.size(), 1u);
+  EXPECT_GE(std::get<abi::Asset>(adaptive.seeds[0][2]).amount, 1000);
+
+  const auto& trace2 = fx.run(adaptive.seeds[0]);
+  EXPECT_TRUE(fx.last_result_.success) << fx.last_result_.error;
+  const ReplayResult r2 = fx.replay_last(trace2);
+  bool tapos_called = false;
+  for (const auto& api : r2.api_calls) {
+    tapos_called |= (api.name == "tapos_block_num");
+  }
+  EXPECT_TRUE(tapos_called);
+}
+
+TEST(Replay, PassedAssertBecomesPathConstraint) {
+  ContractBuilder probe;
+  const auto env = probe.env();
+  // assert(amount >= 1); if (amount == 42) tapos;
+  std::vector<Instr> body = {
+      wasm::local_get(3), wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(1), Instr(Opcode::I64GeS),
+      wasm::i32_const(corpus::kMsgRegion), wasm::call(env.eosio_assert),
+      wasm::local_get(3), wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(42), Instr(Opcode::I64Eq), wasm::if_(),
+      wasm::call(env.tapos_block_num), Instr(Opcode::Drop),
+      Instr(Opcode::End), Instr(Opcode::End)};
+  ReplayFixture fx(body);
+  const auto& trace = fx.run(default_seed(7));
+  const ReplayResult r = fx.replay_last(trace);
+  ASSERT_EQ(r.path.size(), 2u);
+  EXPECT_TRUE(r.path[0].is_assert);
+  EXPECT_FALSE(r.path[0].can_flip);  // passed assert: constraint, not flip
+  EXPECT_TRUE(r.path[1].can_flip);
+
+  const auto adaptive = solve_flips(fx.env_, r, fx.last_params_);
+  ASSERT_EQ(adaptive.seeds.size(), 1u);
+  // The flip target respects the earlier assert: amount == 42 (>= 1).
+  EXPECT_EQ(std::get<abi::Asset>(adaptive.seeds[0][2]).amount, 42);
+}
+
+TEST(Replay, StringByteConstraintSolved) {
+  ContractBuilder probe;
+  const auto env = probe.env();
+  // if (memo[0] == 'x') tapos;   (memo content byte at ptr+1)
+  std::vector<Instr> body = {
+      wasm::local_get(4),
+      wasm::mem_load(Opcode::I32Load8U, /*offset=*/1),
+      wasm::i32_const('x'),
+      Instr(Opcode::I32Eq),
+      wasm::if_(),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+  };
+  ReplayFixture fx(body);
+  const auto& trace = fx.run(default_seed(5, "m"));
+  const ReplayResult r = fx.replay_last(trace);
+  ASSERT_EQ(r.path.size(), 1u);
+  const auto adaptive = solve_flips(fx.env_, r, fx.last_params_);
+  ASSERT_EQ(adaptive.seeds.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(adaptive.seeds[0][3])[0], 'x');
+}
+
+TEST(Replay, NameParameterConstraint) {
+  ContractBuilder probe;
+  const auto env = probe.env();
+  // Fake Notif guard shape: if (to == self) tapos; — operands recorded.
+  std::vector<Instr> body = {
+      wasm::local_get(2),  // to
+      wasm::local_get(0),  // self
+      Instr(Opcode::I64Eq),
+      wasm::if_(),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+  };
+  ReplayFixture fx(body);
+  const auto& trace = fx.run(default_seed(5));
+  const ReplayResult r = fx.replay_last(trace);
+  // The i64.eq operands were captured concretely for the guard oracle.
+  ASSERT_EQ(r.i64_comparisons.size(), 1u);
+  EXPECT_EQ(r.i64_comparisons[0].lhs, name("victim").value());
+  EXPECT_EQ(r.i64_comparisons[0].rhs, name("victim").value());
+
+  const auto adaptive = solve_flips(fx.env_, r, fx.last_params_);
+  ASSERT_EQ(adaptive.seeds.size(), 1u);
+  // Flip: to != victim.
+  EXPECT_NE(std::get<Name>(adaptive.seeds[0][1]), name("victim"));
+}
+
+TEST(Replay, NestedVerificationChainSolvedIteratively) {
+  // Two nested equality checks on from/amount: each replay exposes the
+  // next branch, as in the fuzzing loop of Algorithm 1.
+  ContractBuilder probe;
+  const auto env = probe.env();
+  std::vector<Instr> body = {
+      wasm::local_get(1),                           // from
+      wasm::i64_const_u(name("lucky").value()),
+      Instr(Opcode::I64Eq),
+      wasm::if_(),
+      wasm::local_get(3),
+      wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(999),
+      Instr(Opcode::I64Eq),
+      wasm::if_(),
+      wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+      Instr(Opcode::End),
+  };
+  ReplayFixture fx(body);
+  // Round 1: random seed, outer branch false.
+  auto params = default_seed(5);
+  const auto r1 = fx.replay_last(fx.run(params));
+  ASSERT_EQ(r1.path.size(), 1u);
+  auto seeds1 = solve_flips(fx.env_, r1, params);
+  ASSERT_EQ(seeds1.seeds.size(), 1u);
+  EXPECT_EQ(std::get<Name>(seeds1.seeds[0][0]), name("lucky"));
+
+  // Round 2: adaptive seed reaches the inner branch.
+  const auto r2 = fx.replay_last(fx.run(seeds1.seeds[0]));
+  ASSERT_EQ(r2.path.size(), 2u);
+  auto seeds2 = solve_flips(fx.env_, r2, seeds1.seeds[0]);
+  // Flips: outer (back to false) and inner (amount == 999).
+  ASSERT_EQ(seeds2.seeds.size(), 2u);
+  const auto& final_seed = seeds2.seeds[1];
+  EXPECT_EQ(std::get<Name>(final_seed[0]), name("lucky"));
+  EXPECT_EQ(std::get<abi::Asset>(final_seed[2]).amount, 999);
+
+  // Round 3: the jackpot path executes.
+  const auto r3 = fx.replay_last(fx.run(final_seed));
+  bool tapos_called = false;
+  for (const auto& api : r3.api_calls) {
+    tapos_called |= (api.name == "tapos_block_num");
+  }
+  EXPECT_TRUE(tapos_called);
+}
+
+TEST(Replay, DbApiCallsRecordedWithConcreteArgs) {
+  ContractBuilder probe;
+  const auto env = probe.env();
+  // db_find(self, self, "tab", 1); store result; no branching.
+  std::vector<Instr> body = {
+      wasm::local_get(0), wasm::local_get(0),
+      wasm::i64_const_u(name("tab").value()), wasm::i64_const(1),
+      wasm::call(env.db_find), Instr(Opcode::Drop), Instr(Opcode::End)};
+  ReplayFixture fx(body);
+  const auto r = fx.replay_last(fx.run(default_seed(5)));
+  ASSERT_EQ(r.api_calls.size(), 1u);
+  EXPECT_EQ(r.api_calls[0].name, "db_find_i64");
+  EXPECT_TRUE(r.api_calls[0].completed);
+  ASSERT_EQ(r.api_calls[0].args.size(), 4u);
+  EXPECT_EQ(r.api_calls[0].args[2].concrete().value(),
+            name("tab").value());
+  ASSERT_TRUE(r.api_calls[0].ret.has_value());
+  EXPECT_EQ(r.api_calls[0].ret->s32(), -1);  // row absent
+}
+
+}  // namespace
+}  // namespace wasai::symbolic

@@ -1,0 +1,58 @@
+// Shared helpers for tests: a recording host and small module factories.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eosvm/instance.hpp"
+#include "eosvm/vm.hpp"
+#include "wasm/builder.hpp"
+
+namespace wasai::test {
+
+/// A host that knows a handful of functions and records every call.
+class RecordingHost : public vm::HostInterface {
+ public:
+  struct Call {
+    std::string name;
+    std::vector<vm::Value> args;
+  };
+
+  std::uint32_t bind(std::string_view module, std::string_view field,
+                     const wasm::FuncType&) override {
+    const std::string key = std::string(module) + "." + std::string(field);
+    names_.push_back(key);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+  }
+
+  std::optional<vm::Value> call_host(std::uint32_t binding,
+                                     std::span<const vm::Value> args,
+                                     vm::Instance&) override {
+    const std::string& name = names_.at(binding);
+    calls.push_back(Call{name, {args.begin(), args.end()}});
+    if (name == "env.ext_add") {
+      return vm::Value::i64(args[0].u64() + args[1].u64());
+    }
+    if (name == "env.ext_seven") {
+      return vm::Value::i32(7);
+    }
+    if (name == "env.abort_now") {
+      throw util::Trap("host abort");
+    }
+    return std::nullopt;  // void host functions (logging etc.)
+  }
+
+  std::vector<Call> calls;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Instantiate a module against a host.
+inline vm::Instance instantiate(wasm::Module m, vm::HostInterface& host) {
+  return vm::Instance(std::make_shared<wasm::Module>(std::move(m)), host);
+}
+
+}  // namespace wasai::test

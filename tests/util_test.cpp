@@ -1,0 +1,184 @@
+// Unit tests for the utility layer: LEB128, byte IO, hex, RNG.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+#include "util/leb128.hpp"
+#include "util/rng.hpp"
+
+namespace wasai::util {
+namespace {
+
+TEST(ByteReader, ReadsScalarsAndRespectsBounds) {
+  const Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
+                      0x09, 0x0a, 0x0b, 0x0c, 0x0d};
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u32_le(), 0x05040302u);
+  EXPECT_EQ(r.u64_le(), 0x0d0c0b0a09080706ull);
+  EXPECT_TRUE(r.eof());
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(ByteReader, BytesViewAndSkip) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(2);
+  const auto view = r.bytes(2);
+  EXPECT_EQ(view[0], 3);
+  EXPECT_EQ(view[1], 4);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.bytes(2), DecodeError);
+}
+
+TEST(ByteWriter, AccumulatesLittleEndian) {
+  ByteWriter w;
+  w.u8(0xaa);
+  w.u32_le(0x11223344);
+  w.u64_le(1);
+  const Bytes expected = {0xaa, 0x44, 0x33, 0x22, 0x11, 1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(w.data(), expected);
+}
+
+struct UlebCase {
+  std::uint64_t value;
+  std::size_t encoded_size;
+};
+
+class UlebRoundTrip : public ::testing::TestWithParam<UlebCase> {};
+
+TEST_P(UlebRoundTrip, RoundTrips) {
+  ByteWriter w;
+  write_uleb(w, GetParam().value);
+  EXPECT_EQ(w.size(), GetParam().encoded_size);
+  ByteReader r(w.data());
+  EXPECT_EQ(read_uleb(r), GetParam().value);
+  EXPECT_TRUE(r.eof());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, UlebRoundTrip,
+    ::testing::Values(UlebCase{0, 1}, UlebCase{1, 1}, UlebCase{127, 1},
+                      UlebCase{128, 2}, UlebCase{16383, 2},
+                      UlebCase{16384, 3}, UlebCase{0xffffffffull, 5},
+                      UlebCase{std::numeric_limits<std::uint64_t>::max(), 10}));
+
+class SlebRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SlebRoundTrip, RoundTrips) {
+  ByteWriter w;
+  write_sleb(w, GetParam());
+  ByteReader r(w.data());
+  EXPECT_EQ(read_sleb(r), GetParam());
+  EXPECT_TRUE(r.eof());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SlebRoundTrip,
+    ::testing::Values(0, 1, -1, 63, 64, -64, -65, 127, 128, -128, 123456789,
+                      -987654321, std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(Sleb, Property_RandomRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next());
+    ByteWriter w;
+    write_sleb(w, v);
+    ByteReader r(w.data());
+    ASSERT_EQ(read_sleb(r), v);
+  }
+}
+
+TEST(Uleb, RejectsOverflow32) {
+  // 2^32 encoded needs 5 bytes with the top bits set beyond 32 bits.
+  ByteWriter w;
+  write_uleb(w, 0x100000000ull);
+  ByteReader r(w.data());
+  EXPECT_THROW(read_uleb(r, 32), DecodeError);
+}
+
+TEST(Uleb, Accepts32BitMax) {
+  ByteWriter w;
+  write_uleb(w, 0xffffffffull);
+  ByteReader r(w.data());
+  EXPECT_EQ(read_uleb(r, 32), 0xffffffffull);
+}
+
+TEST(Hex, RoundTrips) {
+  const Bytes data = {0x00, 0xff, 0x13, 0x37, 0xab};
+  EXPECT_EQ(to_hex(data), "00ff1337ab");
+  EXPECT_EQ(from_hex("00ff1337ab"), data);
+  EXPECT_EQ(from_hex("00FF1337AB"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);
+  EXPECT_THROW(from_hex("zz"), DecodeError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
+  EXPECT_THROW(rng.below(0), UsageError);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, NameCharsAreNameSafe) {
+  Rng rng(5);
+  const auto s = rng.name_chars(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (const char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '1' && c <= '5')) << c;
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace wasai::util

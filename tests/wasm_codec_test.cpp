@@ -1,0 +1,253 @@
+// Decoder/encoder round-trip and structural tests for the Wasm substrate.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/encoder.hpp"
+#include "wasm/printer.hpp"
+
+namespace wasai::wasm {
+namespace {
+
+using util::Bytes;
+
+FuncType ft(std::vector<ValType> params, std::vector<ValType> results) {
+  return FuncType{std::move(params), std::move(results)};
+}
+
+Module sample_module() {
+  ModuleBuilder b;
+  const auto print_i64 =
+      b.import_func("env", "printi", ft({ValType::I64}, {}));
+  b.add_memory(1);
+  b.add_table(4);
+
+  // add(x, y) = x + y
+  const auto add = b.add_func(
+      ft({ValType::I32, ValType::I32}, {ValType::I32}), {},
+      {local_get(0), local_get(1), Instr(Opcode::I32Add), Instr(Opcode::End)},
+      "add");
+
+  // run(): prints 7 via import, uses a loop and memory.
+  std::vector<Instr> body = {
+      i64_const(7),
+      call(print_i64),
+      i32_const(16),
+      i64_const(0x1122334455667788),
+      mem_store(Opcode::I64Store),
+      block(0x7f),  // (result i32)
+      i32_const(3),
+      i32_const(4),
+      call(add),
+      Instr(Opcode::End),
+      Instr(Opcode::Drop),
+      Instr(Opcode::End),
+  };
+  const auto run = b.add_func(ft({}, {}), {ValType::I32}, body, "run");
+  b.export_func("run", run);
+  b.add_elem(0, {add, run});
+  b.add_data(64, {1, 2, 3, 4});
+  b.add_global(ValType::I64, true, 42);
+  return std::move(b).build();
+}
+
+void expect_equal_modules(const Module& a, const Module& b) {
+  EXPECT_EQ(a.types, b.types);
+  ASSERT_EQ(a.imports.size(), b.imports.size());
+  for (std::size_t i = 0; i < a.imports.size(); ++i) {
+    EXPECT_EQ(a.imports[i].module, b.imports[i].module);
+    EXPECT_EQ(a.imports[i].field, b.imports[i].field);
+    EXPECT_EQ(a.imports[i].kind, b.imports[i].kind);
+    EXPECT_EQ(a.imports[i].type_index, b.imports[i].type_index);
+  }
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].type_index, b.functions[i].type_index);
+    EXPECT_EQ(a.functions[i].locals, b.functions[i].locals);
+    EXPECT_EQ(a.functions[i].body, b.functions[i].body) << "function " << i;
+  }
+  ASSERT_EQ(a.globals.size(), b.globals.size());
+  for (std::size_t i = 0; i < a.globals.size(); ++i) {
+    EXPECT_EQ(a.globals[i].type, b.globals[i].type);
+    EXPECT_EQ(a.globals[i].init_bits, b.globals[i].init_bits);
+  }
+  ASSERT_EQ(a.exports.size(), b.exports.size());
+  for (std::size_t i = 0; i < a.exports.size(); ++i) {
+    EXPECT_EQ(a.exports[i].name, b.exports[i].name);
+    EXPECT_EQ(a.exports[i].index, b.exports[i].index);
+  }
+  ASSERT_EQ(a.elements.size(), b.elements.size());
+  for (std::size_t i = 0; i < a.elements.size(); ++i) {
+    EXPECT_EQ(a.elements[i].offset, b.elements[i].offset);
+    EXPECT_EQ(a.elements[i].func_indices, b.elements[i].func_indices);
+  }
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data[i].offset, b.data[i].offset);
+    EXPECT_EQ(a.data[i].bytes, b.data[i].bytes);
+  }
+}
+
+TEST(Codec, RoundTripsSampleModule) {
+  const Module m = sample_module();
+  const Bytes bin = encode(m);
+  const Module back = decode(bin);
+  expect_equal_modules(m, back);
+  // Re-encoding the decoded module must be byte-identical (canonical form).
+  EXPECT_EQ(encode(back), bin);
+}
+
+TEST(Codec, MagicAndVersionChecked) {
+  Bytes bin = encode(sample_module());
+  bin[0] ^= 0xff;
+  EXPECT_THROW(decode(bin), util::DecodeError);
+  bin[0] ^= 0xff;
+  bin[4] = 9;
+  EXPECT_THROW(decode(bin), util::DecodeError);
+}
+
+TEST(Codec, TruncatedBinaryRejected) {
+  const Bytes bin = encode(sample_module());
+  for (const std::size_t cut : {9ul, bin.size() / 2, bin.size() - 1}) {
+    Bytes truncated(bin.begin(), bin.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode(truncated), util::DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, EmptyModuleRoundTrips) {
+  const Module empty;
+  const Module back = decode(encode(empty));
+  EXPECT_TRUE(back.types.empty());
+  EXPECT_TRUE(back.functions.empty());
+}
+
+// Every opcode with each immediate kind must round-trip through
+// encode_instr/decode_instr.
+class InstrRoundTrip : public ::testing::TestWithParam<Instr> {};
+
+TEST_P(InstrRoundTrip, RoundTrips) {
+  util::ByteWriter w;
+  encode_instr(w, GetParam());
+  util::ByteReader r(w.data());
+  const Instr back = decode_instr(r);
+  EXPECT_EQ(back, GetParam());
+  EXPECT_TRUE(r.eof());
+}
+
+std::vector<Instr> all_instr_samples() {
+  std::vector<Instr> out;
+  for (int byte = 0; byte < 0xc0; ++byte) {
+    if (!is_known_opcode(static_cast<std::uint8_t>(byte))) continue;
+    const auto op = static_cast<Opcode>(byte);
+    Instr ins(op);
+    switch (op_info(op).imm) {
+      case ImmKind::BlockType:
+        ins.a = kBlockVoid;
+        break;
+      case ImmKind::LabelIdx:
+      case ImmKind::FuncIdx:
+      case ImmKind::LocalIdx:
+      case ImmKind::GlobalIdx:
+      case ImmKind::TypeIdx:
+        ins.a = 3;
+        break;
+      case ImmKind::BrTable:
+        ins.table = {0, 1, 2};
+        ins.a = 1;
+        break;
+      case ImmKind::MemArg:
+        ins.a = 2;
+        ins.b = 1024;
+        break;
+      case ImmKind::I32:
+        ins.imm = static_cast<std::uint64_t>(std::int64_t{-123456});
+        break;
+      case ImmKind::I64:
+        ins.imm = static_cast<std::uint64_t>(std::int64_t{-99999999999ll});
+        break;
+      case ImmKind::F32:
+        ins = f32_const(3.5f);
+        break;
+      case ImmKind::F64:
+        ins = f64_const(-2.25);
+        break;
+      default:
+        break;
+    }
+    out.push_back(std::move(ins));
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, InstrRoundTrip,
+                         ::testing::ValuesIn(all_instr_samples()));
+
+TEST(Codec, Property_RandomConstantsRoundTrip) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    ModuleBuilder b;
+    std::vector<Instr> body;
+    const int n = static_cast<int>(rng.below(20)) + 1;
+    for (int j = 0; j < n; ++j) {
+      body.push_back(i64_const_u(rng.next()));
+      body.emplace_back(Opcode::Drop);
+    }
+    body.emplace_back(Opcode::End);
+    b.add_func(FuncType{{}, {}}, {}, body);
+    const Module m = std::move(b).build();
+    const Module back = decode(encode(m));
+    ASSERT_EQ(back.functions.at(0).body, m.functions.at(0).body);
+  }
+}
+
+TEST(Module, FunctionIndexSpace) {
+  const Module m = sample_module();
+  EXPECT_EQ(m.num_imported_functions(), 1u);
+  EXPECT_EQ(m.num_functions(), 3u);
+  EXPECT_TRUE(m.is_imported_function(0));
+  EXPECT_FALSE(m.is_imported_function(1));
+  EXPECT_EQ(m.function_import(0).field, "printi");
+  EXPECT_EQ(m.function_type(0).params.size(), 1u);
+  EXPECT_EQ(m.function_type(1).params.size(), 2u);
+  EXPECT_EQ(m.find_export("run"), std::optional<std::uint32_t>(2));
+  EXPECT_EQ(m.find_export("nope"), std::nullopt);
+  EXPECT_THROW((void)m.defined(0), util::UsageError);
+  EXPECT_THROW((void)m.function_type(99), util::UsageError);
+}
+
+TEST(Builder, ImportAfterFunctionRejected) {
+  ModuleBuilder b;
+  b.add_func(FuncType{{}, {}}, {}, {Instr(Opcode::End)});
+  EXPECT_THROW(b.import_func("env", "x", FuncType{{}, {}}), util::UsageError);
+}
+
+TEST(Builder, MissingBodyRejected) {
+  ModuleBuilder b;
+  b.declare_func(FuncType{{}, {}});
+  EXPECT_THROW(std::move(b).build(), util::UsageError);
+}
+
+TEST(Builder, TypeDeduplication) {
+  ModuleBuilder b;
+  b.add_func(FuncType{{ValType::I64}, {}}, {}, {Instr(Opcode::End)});
+  b.add_func(FuncType{{ValType::I64}, {}}, {}, {Instr(Opcode::End)});
+  EXPECT_EQ(b.module().types.size(), 1u);
+}
+
+TEST(Printer, RendersInstructions) {
+  EXPECT_EQ(to_string(i32_const(1024)), "i32.const 1024");
+  EXPECT_EQ(to_string(Instr(Opcode::I64Ne)), "i64.ne");
+  EXPECT_EQ(to_string(mem_load(Opcode::I64Load, 8)), "i64.load offset=8");
+  EXPECT_EQ(to_string(call(5)), "call 5");
+}
+
+TEST(Printer, RendersModuleWithoutCrashing) {
+  const auto text = to_string(sample_module());
+  EXPECT_NE(text.find("(module"), std::string::npos);
+  EXPECT_NE(text.find("i32.add"), std::string::npos);
+  EXPECT_NE(text.find("export \"run\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wasai::wasm

@@ -1,0 +1,249 @@
+// Validator tests: typing rules, operand annotation, structural failures.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.hpp"
+#include "wasm/control.hpp"
+#include "wasm/validator.hpp"
+
+namespace wasai::wasm {
+namespace {
+
+using util::ValidationError;
+
+Module module_with_body(FuncType type, std::vector<ValType> locals,
+                        std::vector<Instr> body, bool with_memory = true) {
+  ModuleBuilder b;
+  if (with_memory) b.add_memory(1);
+  b.add_func(type, std::move(locals), std::move(body));
+  return std::move(b).build();
+}
+
+TEST(Validator, AcceptsSimpleArithmetic) {
+  const Module m = module_with_body(
+      FuncType{{ValType::I32, ValType::I32}, {ValType::I32}}, {},
+      {local_get(0), local_get(1), Instr(Opcode::I32Add),
+       Instr(Opcode::End)});
+  const auto result = validate(m);
+  ASSERT_EQ(result.functions.size(), 1u);
+  const auto& ops = result.functions[0].per_instr;
+  EXPECT_TRUE(ops[0].popped.empty());  // local.get pushes only
+  EXPECT_EQ(ops[2].popped,
+            (std::vector<ValType>{ValType::I32, ValType::I32}));
+}
+
+TEST(Validator, RejectsTypeMismatch) {
+  EXPECT_THROW(validate(module_with_body(
+                   FuncType{{}, {}}, {},
+                   {i32_const(1), i64_const(2), Instr(Opcode::I32Add),
+                    Instr(Opcode::Drop), Instr(Opcode::End)})),
+               ValidationError);
+}
+
+TEST(Validator, RejectsStackUnderflow) {
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {},
+                                {Instr(Opcode::Drop), Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, RejectsMissingResult) {
+  EXPECT_THROW(validate(module_with_body(FuncType{{}, {ValType::I32}}, {},
+                                         {Instr(Opcode::End)})),
+               ValidationError);
+}
+
+TEST(Validator, RejectsLeftoverValues) {
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {},
+                                {i32_const(1), Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, AcceptsBlockWithResult) {
+  const Module m = module_with_body(
+      FuncType{{}, {ValType::I64}}, {},
+      {block(0x7e), i64_const(5), Instr(Opcode::End), Instr(Opcode::End)});
+  EXPECT_NO_THROW(validate(m));
+}
+
+TEST(Validator, AcceptsIfElseWithResult) {
+  const Module m = module_with_body(
+      FuncType{{ValType::I32}, {ValType::I32}}, {},
+      {local_get(0), if_(0x7f), i32_const(1), Instr(Opcode::Else),
+       i32_const(2), Instr(Opcode::End), Instr(Opcode::End)});
+  EXPECT_NO_THROW(validate(m));
+}
+
+TEST(Validator, RejectsIfWithResultWithoutElse) {
+  EXPECT_THROW(validate(module_with_body(
+                   FuncType{{ValType::I32}, {ValType::I32}}, {},
+                   {local_get(0), if_(0x7f), i32_const(1),
+                    Instr(Opcode::End), Instr(Opcode::End)})),
+               ValidationError);
+}
+
+TEST(Validator, BranchUnwindsCorrectly) {
+  // block (result i32) i32.const 1  br 0  i32.const 2 end drop
+  const Module m = module_with_body(
+      FuncType{{}, {}}, {},
+      {block(0x7f), i32_const(1), br(0), i32_const(2), Instr(Opcode::End),
+       Instr(Opcode::Drop), Instr(Opcode::End)});
+  EXPECT_NO_THROW(validate(m));
+}
+
+TEST(Validator, UnreachableCodeIsPolymorphic) {
+  // After `unreachable`, arbitrary typing is accepted.
+  const Module m = module_with_body(
+      FuncType{{}, {ValType::I64}}, {},
+      {Instr(Opcode::Unreachable), Instr(Opcode::I32Add),
+       Instr(Opcode::Drop), i64_const(1), Instr(Opcode::End)});
+  const auto result = validate(m);
+  EXPECT_TRUE(result.functions[0].per_instr[1].unreachable);
+}
+
+TEST(Validator, BrTableChecksLabelTypes) {
+  // Outer block yields i32, inner yields nothing: br_table mixing them is
+  // invalid.
+  Instr bt(Opcode::BrTable);
+  bt.table = {0};
+  bt.a = 1;
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {},
+                                {block(0x7f), block(), i32_const(0), bt,
+                                 Instr(Opcode::End), i32_const(1),
+                                 Instr(Opcode::End), Instr(Opcode::Drop),
+                                 Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, BrTableAcceptsUniformLabels) {
+  Instr bt(Opcode::BrTable);
+  bt.table = {0, 1};
+  bt.a = 0;
+  const Module m = module_with_body(
+      FuncType{{ValType::I32}, {}}, {},
+      {block(), block(), local_get(0), bt, Instr(Opcode::End),
+       Instr(Opcode::End), Instr(Opcode::End)});
+  EXPECT_NO_THROW(validate(m));
+}
+
+TEST(Validator, CallChecksSignature) {
+  ModuleBuilder b;
+  const auto callee =
+      b.add_func(FuncType{{ValType::I64}, {ValType::I32}}, {},
+                 {local_get(0), Instr(Opcode::I64Eqz), Instr(Opcode::End)});
+  b.add_func(FuncType{{}, {}}, {},
+             {i64_const(4), call(callee), Instr(Opcode::Drop),
+              Instr(Opcode::End)});
+  EXPECT_NO_THROW(validate(std::move(b).build()));
+}
+
+TEST(Validator, CallArgumentTypeMismatchRejected) {
+  ModuleBuilder b;
+  const auto callee =
+      b.add_func(FuncType{{ValType::I64}, {}}, {},
+                 {Instr(Opcode::End)});
+  b.add_func(FuncType{{}, {}}, {},
+             {i32_const(4), call(callee), Instr(Opcode::End)});
+  EXPECT_THROW(validate(std::move(b).build()), ValidationError);
+}
+
+TEST(Validator, CallUndefinedFunctionRejected) {
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {},
+                                {call(99), Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, CallIndirectRequiresTable) {
+  Instr ci(Opcode::CallIndirect);
+  ci.a = 0;
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {},
+                                {i32_const(0), ci, Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, MemoryOpsRequireMemory) {
+  EXPECT_THROW(validate(module_with_body(
+                   FuncType{{}, {}}, {},
+                   {i32_const(0), mem_load(Opcode::I32Load),
+                    Instr(Opcode::Drop), Instr(Opcode::End)},
+                   /*with_memory=*/false)),
+               ValidationError);
+}
+
+TEST(Validator, GlobalSetOfImmutableRejected) {
+  ModuleBuilder b;
+  b.add_global(ValType::I64, false, 9);
+  b.add_func(FuncType{{}, {}}, {},
+             {i64_const(1), global_set(0), Instr(Opcode::End)});
+  EXPECT_THROW(validate(std::move(b).build()), ValidationError);
+}
+
+TEST(Validator, LocalIndexOutOfRangeRejected) {
+  EXPECT_THROW(
+      validate(module_with_body(FuncType{{}, {}}, {ValType::I32},
+                                {local_get(5), Instr(Opcode::Drop),
+                                 Instr(Opcode::End)})),
+      ValidationError);
+}
+
+TEST(Validator, SelectOperandsRecorded) {
+  const Module m = module_with_body(
+      FuncType{{ValType::I64, ValType::I64, ValType::I32}, {ValType::I64}},
+      {},
+      {local_get(0), local_get(1), local_get(2), Instr(Opcode::Select),
+       Instr(Opcode::End)});
+  const auto result = validate(m);
+  // Pop order: condition (i32), then the two i64 alternatives.
+  EXPECT_EQ(result.functions[0].per_instr[3].popped,
+            (std::vector<ValType>{ValType::I32, ValType::I64, ValType::I64}));
+}
+
+TEST(Validator, StorePopsValueThenAddress) {
+  const Module m = module_with_body(
+      FuncType{{}, {}}, {},
+      {i32_const(16), i64_const(7), mem_store(Opcode::I64Store),
+       Instr(Opcode::End)});
+  const auto result = validate(m);
+  EXPECT_EQ(result.functions[0].per_instr[2].popped,
+            (std::vector<ValType>{ValType::I64, ValType::I32}));
+}
+
+TEST(ControlMap, MatchesBlocksAndIfs) {
+  const std::vector<Instr> body = {
+      block(),              // 0 -> end at 6
+      local_get(0),         // 1
+      if_(),                // 2 -> else at 4, end at 5
+      Instr(Opcode::Nop),   // 3
+      Instr(Opcode::Else),  // 4
+      Instr(Opcode::End),   // 5
+      Instr(Opcode::End),   // 6
+      Instr(Opcode::End),   // 7 (function end)
+  };
+  const auto map = analyze_control(body);
+  EXPECT_EQ(map.end_idx[0], 6u);
+  EXPECT_EQ(map.else_idx[2], 4u);
+  EXPECT_EQ(map.end_idx[2], 5u);
+  EXPECT_EQ(map.end_idx[4], 5u);
+}
+
+TEST(ControlMap, RejectsUnbalanced) {
+  EXPECT_THROW(analyze_control({block(), Instr(Opcode::End)}),
+               ValidationError);
+  EXPECT_THROW(analyze_control({Instr(Opcode::Else), Instr(Opcode::End)}),
+               ValidationError);
+  EXPECT_THROW(analyze_control({Instr(Opcode::End), Instr(Opcode::Nop)}),
+               ValidationError);
+}
+
+TEST(Validator, StructuralExportCheck) {
+  ModuleBuilder b;
+  b.add_func(FuncType{{}, {}}, {}, {Instr(Opcode::End)});
+  b.export_func("f", 7);
+  EXPECT_THROW(validate(std::move(b).build()), ValidationError);
+}
+
+}  // namespace
+}  // namespace wasai::wasm
