@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_calling_convention"
+  "../bench/bench_ablation_calling_convention.pdb"
+  "CMakeFiles/bench_ablation_calling_convention.dir/bench_ablation_calling_convention.cpp.o"
+  "CMakeFiles/bench_ablation_calling_convention.dir/bench_ablation_calling_convention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_calling_convention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

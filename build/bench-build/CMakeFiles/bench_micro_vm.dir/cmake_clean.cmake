@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_vm"
+  "../bench/bench_micro_vm.pdb"
+  "CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o"
+  "CMakeFiles/bench_micro_vm.dir/bench_micro_vm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

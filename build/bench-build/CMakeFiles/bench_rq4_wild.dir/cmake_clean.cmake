@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rq4_wild"
+  "../bench/bench_rq4_wild.pdb"
+  "CMakeFiles/bench_rq4_wild.dir/bench_rq4_wild.cpp.o"
+  "CMakeFiles/bench_rq4_wild.dir/bench_rq4_wild.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq4_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

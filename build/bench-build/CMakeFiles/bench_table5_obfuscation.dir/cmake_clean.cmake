@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_obfuscation"
+  "../bench/bench_table5_obfuscation.pdb"
+  "CMakeFiles/bench_table5_obfuscation.dir/bench_table5_obfuscation.cpp.o"
+  "CMakeFiles/bench_table5_obfuscation.dir/bench_table5_obfuscation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

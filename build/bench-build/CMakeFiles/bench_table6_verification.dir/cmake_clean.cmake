@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_verification"
+  "../bench/bench_table6_verification.pdb"
+  "CMakeFiles/bench_table6_verification.dir/bench_table6_verification.cpp.o"
+  "CMakeFiles/bench_table6_verification.dir/bench_table6_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_lottery.dir/audit_lottery.cpp.o"
+  "CMakeFiles/audit_lottery.dir/audit_lottery.cpp.o.d"
+  "audit_lottery"
+  "audit_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_race.dir/coverage_race.cpp.o"
+  "CMakeFiles/coverage_race.dir/coverage_race.cpp.o.d"
+  "coverage_race"
+  "coverage_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

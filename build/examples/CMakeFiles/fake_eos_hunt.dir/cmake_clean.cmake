@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_eos_hunt.dir/fake_eos_hunt.cpp.o"
+  "CMakeFiles/fake_eos_hunt.dir/fake_eos_hunt.cpp.o.d"
+  "fake_eos_hunt"
+  "fake_eos_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_eos_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

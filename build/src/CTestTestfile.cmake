@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wasm")
+subdirs("eosvm")
+subdirs("abi")
+subdirs("chain")
+subdirs("instrument")
+subdirs("symbolic")
+subdirs("engine")
+subdirs("scanner")
+subdirs("corpus")
+subdirs("baselines")
+subdirs("wasai")

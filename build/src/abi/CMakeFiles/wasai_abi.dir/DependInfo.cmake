@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abi/abi_json.cpp" "src/abi/CMakeFiles/wasai_abi.dir/abi_json.cpp.o" "gcc" "src/abi/CMakeFiles/wasai_abi.dir/abi_json.cpp.o.d"
+  "/root/repo/src/abi/asset.cpp" "src/abi/CMakeFiles/wasai_abi.dir/asset.cpp.o" "gcc" "src/abi/CMakeFiles/wasai_abi.dir/asset.cpp.o.d"
+  "/root/repo/src/abi/name.cpp" "src/abi/CMakeFiles/wasai_abi.dir/name.cpp.o" "gcc" "src/abi/CMakeFiles/wasai_abi.dir/name.cpp.o.d"
+  "/root/repo/src/abi/serializer.cpp" "src/abi/CMakeFiles/wasai_abi.dir/serializer.cpp.o" "gcc" "src/abi/CMakeFiles/wasai_abi.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wasai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

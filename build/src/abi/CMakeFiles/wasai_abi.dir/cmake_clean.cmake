@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_abi.dir/abi_json.cpp.o"
+  "CMakeFiles/wasai_abi.dir/abi_json.cpp.o.d"
+  "CMakeFiles/wasai_abi.dir/asset.cpp.o"
+  "CMakeFiles/wasai_abi.dir/asset.cpp.o.d"
+  "CMakeFiles/wasai_abi.dir/name.cpp.o"
+  "CMakeFiles/wasai_abi.dir/name.cpp.o.d"
+  "CMakeFiles/wasai_abi.dir/serializer.cpp.o"
+  "CMakeFiles/wasai_abi.dir/serializer.cpp.o.d"
+  "libwasai_abi.a"
+  "libwasai_abi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wasai_abi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_baselines.dir/eosafe.cpp.o"
+  "CMakeFiles/wasai_baselines.dir/eosafe.cpp.o.d"
+  "CMakeFiles/wasai_baselines.dir/eosafe_memory.cpp.o"
+  "CMakeFiles/wasai_baselines.dir/eosafe_memory.cpp.o.d"
+  "CMakeFiles/wasai_baselines.dir/eosfuzzer.cpp.o"
+  "CMakeFiles/wasai_baselines.dir/eosfuzzer.cpp.o.d"
+  "libwasai_baselines.a"
+  "libwasai_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/action.cpp" "src/chain/CMakeFiles/wasai_chain.dir/action.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/action.cpp.o.d"
+  "/root/repo/src/chain/apply_context.cpp" "src/chain/CMakeFiles/wasai_chain.dir/apply_context.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/apply_context.cpp.o.d"
+  "/root/repo/src/chain/chain_host.cpp" "src/chain/CMakeFiles/wasai_chain.dir/chain_host.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/chain_host.cpp.o.d"
+  "/root/repo/src/chain/controller.cpp" "src/chain/CMakeFiles/wasai_chain.dir/controller.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/controller.cpp.o.d"
+  "/root/repo/src/chain/database.cpp" "src/chain/CMakeFiles/wasai_chain.dir/database.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/database.cpp.o.d"
+  "/root/repo/src/chain/token.cpp" "src/chain/CMakeFiles/wasai_chain.dir/token.cpp.o" "gcc" "src/chain/CMakeFiles/wasai_chain.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abi/CMakeFiles/wasai_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/eosvm/CMakeFiles/wasai_eosvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasai_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wasai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

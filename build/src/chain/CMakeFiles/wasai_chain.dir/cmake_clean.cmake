@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_chain.dir/action.cpp.o"
+  "CMakeFiles/wasai_chain.dir/action.cpp.o.d"
+  "CMakeFiles/wasai_chain.dir/apply_context.cpp.o"
+  "CMakeFiles/wasai_chain.dir/apply_context.cpp.o.d"
+  "CMakeFiles/wasai_chain.dir/chain_host.cpp.o"
+  "CMakeFiles/wasai_chain.dir/chain_host.cpp.o.d"
+  "CMakeFiles/wasai_chain.dir/controller.cpp.o"
+  "CMakeFiles/wasai_chain.dir/controller.cpp.o.d"
+  "CMakeFiles/wasai_chain.dir/database.cpp.o"
+  "CMakeFiles/wasai_chain.dir/database.cpp.o.d"
+  "CMakeFiles/wasai_chain.dir/token.cpp.o"
+  "CMakeFiles/wasai_chain.dir/token.cpp.o.d"
+  "libwasai_chain.a"
+  "libwasai_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_corpus.dir/contract_builder.cpp.o"
+  "CMakeFiles/wasai_corpus.dir/contract_builder.cpp.o.d"
+  "CMakeFiles/wasai_corpus.dir/dataset.cpp.o"
+  "CMakeFiles/wasai_corpus.dir/dataset.cpp.o.d"
+  "CMakeFiles/wasai_corpus.dir/obfuscator.cpp.o"
+  "CMakeFiles/wasai_corpus.dir/obfuscator.cpp.o.d"
+  "CMakeFiles/wasai_corpus.dir/templates.cpp.o"
+  "CMakeFiles/wasai_corpus.dir/templates.cpp.o.d"
+  "libwasai_corpus.a"
+  "libwasai_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

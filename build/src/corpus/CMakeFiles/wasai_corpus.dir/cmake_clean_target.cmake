@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwasai_corpus.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_engine.dir/dbg.cpp.o"
+  "CMakeFiles/wasai_engine.dir/dbg.cpp.o.d"
+  "CMakeFiles/wasai_engine.dir/fuzzer.cpp.o"
+  "CMakeFiles/wasai_engine.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/wasai_engine.dir/harness.cpp.o"
+  "CMakeFiles/wasai_engine.dir/harness.cpp.o.d"
+  "CMakeFiles/wasai_engine.dir/mutator.cpp.o"
+  "CMakeFiles/wasai_engine.dir/mutator.cpp.o.d"
+  "libwasai_engine.a"
+  "libwasai_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

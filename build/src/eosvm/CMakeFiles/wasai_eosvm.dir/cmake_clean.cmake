@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_eosvm.dir/instance.cpp.o"
+  "CMakeFiles/wasai_eosvm.dir/instance.cpp.o.d"
+  "CMakeFiles/wasai_eosvm.dir/vm.cpp.o"
+  "CMakeFiles/wasai_eosvm.dir/vm.cpp.o.d"
+  "libwasai_eosvm.a"
+  "libwasai_eosvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_eosvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

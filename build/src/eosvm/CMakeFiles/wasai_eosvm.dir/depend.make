@@ -1,0 +1,2 @@
+# Empty dependencies file for wasai_eosvm.
+# This may be replaced when dependencies are built.

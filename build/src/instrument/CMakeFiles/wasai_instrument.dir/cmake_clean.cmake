@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_instrument.dir/hooks.cpp.o"
+  "CMakeFiles/wasai_instrument.dir/hooks.cpp.o.d"
+  "CMakeFiles/wasai_instrument.dir/instrumenter.cpp.o"
+  "CMakeFiles/wasai_instrument.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/wasai_instrument.dir/trace_io.cpp.o"
+  "CMakeFiles/wasai_instrument.dir/trace_io.cpp.o.d"
+  "CMakeFiles/wasai_instrument.dir/trace_sink.cpp.o"
+  "CMakeFiles/wasai_instrument.dir/trace_sink.cpp.o.d"
+  "libwasai_instrument.a"
+  "libwasai_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_scanner.dir/facts.cpp.o"
+  "CMakeFiles/wasai_scanner.dir/facts.cpp.o.d"
+  "CMakeFiles/wasai_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/wasai_scanner.dir/scanner.cpp.o.d"
+  "libwasai_scanner.a"
+  "libwasai_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

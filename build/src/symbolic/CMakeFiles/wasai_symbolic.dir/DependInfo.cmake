@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/inputs.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/inputs.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/inputs.cpp.o.d"
+  "/root/repo/src/symbolic/memory_model.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/memory_model.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/memory_model.cpp.o.d"
+  "/root/repo/src/symbolic/ops.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/ops.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/ops.cpp.o.d"
+  "/root/repo/src/symbolic/parallel_solver.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/parallel_solver.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/parallel_solver.cpp.o.d"
+  "/root/repo/src/symbolic/replayer.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/replayer.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/replayer.cpp.o.d"
+  "/root/repo/src/symbolic/solver.cpp" "src/symbolic/CMakeFiles/wasai_symbolic.dir/solver.cpp.o" "gcc" "src/symbolic/CMakeFiles/wasai_symbolic.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/wasai_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/wasai_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/eosvm/CMakeFiles/wasai_eosvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasai_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wasai_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/wasai_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_symbolic.dir/inputs.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/inputs.cpp.o.d"
+  "CMakeFiles/wasai_symbolic.dir/memory_model.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/memory_model.cpp.o.d"
+  "CMakeFiles/wasai_symbolic.dir/ops.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/ops.cpp.o.d"
+  "CMakeFiles/wasai_symbolic.dir/parallel_solver.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/parallel_solver.cpp.o.d"
+  "CMakeFiles/wasai_symbolic.dir/replayer.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/replayer.cpp.o.d"
+  "CMakeFiles/wasai_symbolic.dir/solver.cpp.o"
+  "CMakeFiles/wasai_symbolic.dir/solver.cpp.o.d"
+  "libwasai_symbolic.a"
+  "libwasai_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wasai_symbolic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_util.dir/hex.cpp.o"
+  "CMakeFiles/wasai_util.dir/hex.cpp.o.d"
+  "CMakeFiles/wasai_util.dir/json.cpp.o"
+  "CMakeFiles/wasai_util.dir/json.cpp.o.d"
+  "CMakeFiles/wasai_util.dir/leb128.cpp.o"
+  "CMakeFiles/wasai_util.dir/leb128.cpp.o.d"
+  "CMakeFiles/wasai_util.dir/rng.cpp.o"
+  "CMakeFiles/wasai_util.dir/rng.cpp.o.d"
+  "libwasai_util.a"
+  "libwasai_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_core.dir/wasai.cpp.o"
+  "CMakeFiles/wasai_core.dir/wasai.cpp.o.d"
+  "libwasai_core.a"
+  "libwasai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/builder.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/builder.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/builder.cpp.o.d"
+  "/root/repo/src/wasm/control.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/control.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/control.cpp.o.d"
+  "/root/repo/src/wasm/decoder.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/decoder.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/decoder.cpp.o.d"
+  "/root/repo/src/wasm/encoder.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/encoder.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/encoder.cpp.o.d"
+  "/root/repo/src/wasm/module.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/module.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/module.cpp.o.d"
+  "/root/repo/src/wasm/opcode.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/opcode.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/opcode.cpp.o.d"
+  "/root/repo/src/wasm/printer.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/printer.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/printer.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/wasm/CMakeFiles/wasai_wasm.dir/validator.cpp.o" "gcc" "src/wasm/CMakeFiles/wasai_wasm.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wasai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai_wasm.dir/builder.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/builder.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/control.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/control.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/decoder.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/decoder.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/encoder.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/encoder.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/module.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/module.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/opcode.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/opcode.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/printer.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/printer.cpp.o.d"
+  "CMakeFiles/wasai_wasm.dir/validator.cpp.o"
+  "CMakeFiles/wasai_wasm.dir/validator.cpp.o.d"
+  "libwasai_wasm.a"
+  "libwasai_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_host_test.dir/chain_host_test.cpp.o"
+  "CMakeFiles/chain_host_test.dir/chain_host_test.cpp.o.d"
+  "chain_host_test"
+  "chain_host_test.pdb"
+  "chain_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_units_test.dir/engine_units_test.cpp.o"
+  "CMakeFiles/engine_units_test.dir/engine_units_test.cpp.o.d"
+  "engine_units_test"
+  "engine_units_test.pdb"
+  "engine_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

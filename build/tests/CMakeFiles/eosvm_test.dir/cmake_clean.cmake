@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eosvm_test.dir/eosvm_test.cpp.o"
+  "CMakeFiles/eosvm_test.dir/eosvm_test.cpp.o.d"
+  "eosvm_test"
+  "eosvm_test.pdb"
+  "eosvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eosvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

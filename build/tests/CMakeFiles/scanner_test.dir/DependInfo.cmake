@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scanner_test.cpp" "tests/CMakeFiles/scanner_test.dir/scanner_test.cpp.o" "gcc" "tests/CMakeFiles/scanner_test.dir/scanner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/wasai_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/wasai_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/wasai_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/wasai_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/eosvm/CMakeFiles/wasai_eosvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/abi/CMakeFiles/wasai_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wasai_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wasai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_edge_test.dir/symbolic_edge_test.cpp.o"
+  "CMakeFiles/symbolic_edge_test.dir/symbolic_edge_test.cpp.o.d"
+  "symbolic_edge_test"
+  "symbolic_edge_test.pdb"
+  "symbolic_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_codec_test.dir/wasm_codec_test.cpp.o"
+  "CMakeFiles/wasm_codec_test.dir/wasm_codec_test.cpp.o.d"
+  "wasm_codec_test"
+  "wasm_codec_test.pdb"
+  "wasm_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

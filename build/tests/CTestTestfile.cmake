@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_validator_test[1]_include.cmake")
+include("/root/repo/build/tests/eosvm_test[1]_include.cmake")
+include("/root/repo/build/tests/abi_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_units_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_host_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasai.dir/wasai_cli.cpp.o"
+  "CMakeFiles/wasai.dir/wasai_cli.cpp.o.d"
+  "wasai"
+  "wasai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
