@@ -1,0 +1,244 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "abi/abi_json.hpp"
+
+namespace wasai::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+util::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::UsageError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return util::Bytes(s.begin(), s.end());
+}
+
+/// Malformed input is deterministic — retrying cannot help. Everything
+/// else (a z3 hiccup, a transient resource failure) gets another attempt.
+bool is_permanent_input_fault(const util::Error& e) {
+  return dynamic_cast<const util::DecodeError*>(&e) != nullptr ||
+         dynamic_cast<const util::ValidationError*>(&e) != nullptr;
+}
+
+void fill_analysis(ContractRecord& record, const AnalysisResult& result) {
+  record.scan = result.report;
+  record.custom = result.details.custom;
+  record.curve = result.details.curve;
+  record.transactions = result.details.transactions;
+  record.distinct_branches = result.details.distinct_branches;
+  record.adaptive_seeds = result.details.adaptive_seeds;
+  record.replays = result.details.replays;
+  record.replay_failures = result.details.replay_failures;
+  record.solver_queries = result.details.solver_queries;
+  record.solver_sat = result.details.solver_sat;
+  record.solver_unsat = result.details.solver_unsat;
+  record.solver_unknown = result.details.solver_unknown;
+  record.iterations_run = result.details.iterations_run;
+  record.timings.init_ms = result.init_ms;
+  record.timings.fuzz_ms = result.details.fuzz_ms;
+  record.timings.solver_ms = result.details.solver_wall_ms;
+  record.status = result.details.deadline_hit ? ContractStatus::Deadline
+                                              : ContractStatus::Ok;
+}
+
+}  // namespace
+
+const char* to_string(ContractStatus s) {
+  switch (s) {
+    case ContractStatus::Ok:
+      return "ok";
+    case ContractStatus::Deadline:
+      return "deadline";
+    case ContractStatus::IoError:
+      return "io-error";
+    case ContractStatus::BadInput:
+      return "bad-input";
+    case ContractStatus::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+  if (options_.jobs == 0) {
+    options_.jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+ContractRecord CampaignRunner::run_one(const ContractInput& input) const {
+  ContractRecord record;
+  record.id = input.id;
+  const auto start = Clock::now();
+
+  // ---- load phase: file reads and ABI parse, contained per contract ----
+  util::Bytes wasm_bytes;
+  abi::Abi contract_abi;
+  try {
+    wasm_bytes = input.wasm_path.empty() ? input.wasm
+                                         : read_file(input.wasm_path);
+    std::string abi_json = input.abi_json;
+    if (!input.abi_path.empty()) {
+      const auto bytes = read_file(input.abi_path);
+      abi_json.assign(bytes.begin(), bytes.end());
+    }
+    contract_abi = abi::abi_from_json(abi_json);
+  } catch (const util::UsageError& e) {
+    record.status = ContractStatus::IoError;
+    record.error = e.what();
+    record.timings.total_ms = ms_since(start);
+    return record;
+  } catch (const util::Error& e) {
+    record.status = ContractStatus::BadInput;
+    record.error = e.what();
+    record.timings.total_ms = ms_since(start);
+    return record;
+  }
+  record.timings.load_ms = ms_since(start);
+
+  // ---- analysis phase: bounded retry around the whole pipeline --------
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    record.attempts = attempt;
+    AnalysisOptions analysis;
+    analysis.fuzz = options_.fuzz;
+    if (options_.deadline_ms > 0) {
+      analysis.fuzz.cancel =
+          util::CancelToken::with_deadline(options_.deadline_ms);
+    }
+    try {
+      const AnalysisResult result =
+          analyze(wasm_bytes, contract_abi, analysis);
+      fill_analysis(record, result);
+      record.error.clear();
+      break;
+    } catch (const util::Error& e) {
+      record.error = e.what();
+      if (is_permanent_input_fault(e)) {
+        record.status = ContractStatus::BadInput;
+        break;
+      }
+      record.status = ContractStatus::Failed;
+    } catch (const std::exception& e) {
+      // z3::exception and friends do not derive util::Error; treat them as
+      // transient solver failures and retry.
+      record.error = e.what();
+      record.status = ContractStatus::Failed;
+    } catch (...) {
+      record.error = "unknown exception";
+      record.status = ContractStatus::Failed;
+    }
+  }
+  record.timings.total_ms = ms_since(start);
+  return record;
+}
+
+CampaignReport CampaignRunner::run(const std::vector<ContractInput>& inputs) {
+  const auto start = Clock::now();
+  CampaignReport report;
+  report.records.resize(inputs.size());
+
+  // Worker pool over an atomic work index; records land in their input
+  // slot, so the output order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= inputs.size()) return;
+      report.records[index] = run_one(inputs[index]);
+    }
+  };
+  const unsigned n = std::min<unsigned>(
+      options_.jobs,
+      static_cast<unsigned>(std::max<std::size_t>(inputs.size(), 1)));
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // ---- aggregate summary ----------------------------------------------
+  CampaignSummary& s = report.summary;
+  s.contracts = report.records.size();
+  std::map<std::string, std::size_t> by_type;
+  for (const auto& record : report.records) {
+    switch (record.status) {
+      case ContractStatus::Ok:
+        ++s.ok;
+        break;
+      case ContractStatus::Deadline:
+        ++s.deadline;
+        break;
+      case ContractStatus::IoError:
+        ++s.io_error;
+        break;
+      case ContractStatus::BadInput:
+        ++s.bad_input;
+        break;
+      case ContractStatus::Failed:
+        ++s.failed;
+        break;
+    }
+    if (!record.completed()) continue;
+    if (!record.scan.findings.empty() || !record.custom.empty()) {
+      ++s.vulnerable;
+    }
+    for (const auto& finding : record.scan.findings) {
+      ++by_type[scanner::to_string(finding.type)];
+    }
+    for (const auto& finding : record.custom) {
+      ++by_type[finding.id];
+    }
+    s.total_transactions += record.transactions;
+    s.total_solver_queries += record.solver_queries;
+    s.total_solver_ms += record.timings.solver_ms;
+  }
+  s.findings_by_type.assign(by_type.begin(), by_type.end());
+  s.wall_ms = ms_since(start);
+  return report;
+}
+
+std::vector<ContractInput> scan_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw util::UsageError(dir + " is not a directory");
+  }
+  std::vector<ContractInput> inputs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".wasm") continue;
+    fs::path abi_path = path;
+    abi_path.replace_extension(".abi");
+    if (!fs::exists(abi_path)) continue;  // unpaired binary: not a contract
+    ContractInput input;
+    input.id = path.stem().string();
+    input.wasm_path = path.string();
+    input.abi_path = abi_path.string();
+    inputs.push_back(std::move(input));
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const ContractInput& a, const ContractInput& b) {
+              return a.wasm_path < b.wasm_path;
+            });
+  return inputs;
+}
+
+}  // namespace wasai::campaign

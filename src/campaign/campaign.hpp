@@ -1,0 +1,136 @@
+// Multi-contract campaign runner: fans wasai::analyze() out over a worker
+// pool with per-contract fault isolation. One malformed binary, missing
+// apply export or runaway solver query produces an error record for that
+// contract — never a crashed or hung campaign. This is the batch layer the
+// paper's evaluation implies (§4 runs the pipeline over thousands of EOSIO
+// contracts) and the substrate for the ROADMAP's "as fast as the hardware
+// allows" scaling work.
+//
+// Determinism: every contract is analyzed with the same FuzzOptions (same
+// RNG seed), records are collected indexed by input order, and workers
+// never share mutable analysis state — so the findings of a campaign are
+// byte-identical for any `jobs` value.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wasai/wasai.hpp"
+
+namespace wasai::campaign {
+
+/// One unit of campaign work. Either on-disk paths (loaded lazily inside
+/// the worker, so I/O failures are contained per contract) or in-memory
+/// bytes (tests, embedding).
+struct ContractInput {
+  std::string id;         // report key; usually the .wasm stem
+  std::string wasm_path;  // if non-empty, read in the worker
+  std::string abi_path;   // if non-empty, read in the worker
+  util::Bytes wasm;       // used when wasm_path is empty
+  std::string abi_json;   // used when abi_path is empty
+};
+
+enum class ContractStatus : std::uint8_t {
+  Ok,        // analysis completed (findings may be empty)
+  Deadline,  // per-contract deadline preempted the fuzz loop; partial report
+  IoError,   // input file missing/unreadable
+  BadInput,  // malformed Wasm/ABI or missing apply export — not retried
+  Failed,    // analysis kept throwing after every retry attempt
+};
+
+const char* to_string(ContractStatus s);
+
+struct PhaseTimings {
+  double load_ms = 0;    // file read + ABI parse
+  double init_ms = 0;    // instrumentation + chain initiation
+  double fuzz_ms = 0;    // the fuzz loop
+  double solver_ms = 0;  // Z3 wall time inside the fuzz loop
+  double total_ms = 0;   // whole attempt, queue wait excluded
+};
+
+/// Per-contract observability record — one JSONL line per contract.
+struct ContractRecord {
+  std::string id;
+  ContractStatus status = ContractStatus::Ok;
+  std::string error;  // what() of the last failure, empty on Ok
+  int attempts = 0;   // 1 on first-try success
+  PhaseTimings timings;
+  // Analysis payload (meaningful for Ok and Deadline):
+  scanner::Report scan;
+  std::vector<scanner::CustomFinding> custom;
+  std::vector<engine::CoveragePoint> curve;
+  std::size_t transactions = 0;
+  std::size_t distinct_branches = 0;
+  std::size_t adaptive_seeds = 0;
+  std::size_t replays = 0;
+  std::size_t replay_failures = 0;
+  std::size_t solver_queries = 0;
+  std::size_t solver_sat = 0;
+  std::size_t solver_unsat = 0;
+  std::size_t solver_unknown = 0;
+  int iterations_run = 0;
+
+  [[nodiscard]] bool completed() const {
+    return status == ContractStatus::Ok ||
+           status == ContractStatus::Deadline;
+  }
+};
+
+struct CampaignSummary {
+  std::size_t contracts = 0;
+  std::size_t ok = 0;
+  std::size_t deadline = 0;
+  std::size_t io_error = 0;
+  std::size_t bad_input = 0;
+  std::size_t failed = 0;
+  std::size_t vulnerable = 0;  // completed contracts with ≥1 finding
+  std::size_t total_transactions = 0;
+  std::size_t total_solver_queries = 0;
+  double total_solver_ms = 0;
+  double wall_ms = 0;  // whole-campaign wall time
+  /// Finding counts keyed by vulnerability name ("FakeEos", ...).
+  std::vector<std::pair<std::string, std::size_t>> findings_by_type;
+};
+
+struct CampaignReport {
+  std::vector<ContractRecord> records;  // input order, one per input
+  CampaignSummary summary;
+};
+
+struct CampaignOptions {
+  /// Worker threads analyzing contracts concurrently. 0 = hardware
+  /// concurrency. Findings are identical for any value (see header note).
+  unsigned jobs = 1;
+  /// Wall-clock budget per contract in ms; 0 = none. Enforced through the
+  /// cooperative cancel token threaded into the fuzz loop and solver.
+  double deadline_ms = 0;
+  /// Total analysis attempts per contract (≥1). Transient failures —
+  /// anything other than malformed input — are retried up to this count.
+  int max_attempts = 2;
+  /// Fuzzing configuration shared by every contract (same RNG seed each,
+  /// keeping records independent of campaign composition and job count).
+  engine::FuzzOptions fuzz{};
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Analyze every input; never throws for per-contract faults. Records
+  /// come back in input order regardless of worker interleaving.
+  CampaignReport run(const std::vector<ContractInput>& inputs);
+
+ private:
+  ContractRecord run_one(const ContractInput& input) const;
+
+  CampaignOptions options_;
+};
+
+/// Collect `<stem>.wasm` + `<stem>.abi` pairs under `dir` (non-recursive),
+/// sorted by path for deterministic campaign order. A .wasm without a
+/// sibling .abi is skipped. Throws util::UsageError when `dir` is not a
+/// directory.
+std::vector<ContractInput> scan_directory(const std::string& dir);
+
+}  // namespace wasai::campaign

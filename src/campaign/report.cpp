@@ -1,0 +1,125 @@
+#include "campaign/report.hpp"
+
+#include "util/jsonl.hpp"
+
+namespace wasai::campaign {
+
+namespace {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+Json num(double v) { return Json(v); }
+Json num(std::size_t v) { return Json(static_cast<double>(v)); }
+Json num(int v) { return Json(static_cast<double>(v)); }
+
+Json findings_array(const scanner::Report& scan) {
+  JsonArray findings;
+  findings.reserve(scan.findings.size());
+  for (const auto& finding : scan.findings) {
+    JsonObject entry;
+    entry.emplace("type", Json(std::string(scanner::to_string(finding.type))));
+    entry.emplace("detail", Json(finding.detail));
+    findings.emplace_back(std::move(entry));
+  }
+  return Json(std::move(findings));
+}
+
+Json custom_array(const std::vector<scanner::CustomFinding>& custom) {
+  JsonArray out;
+  out.reserve(custom.size());
+  for (const auto& finding : custom) {
+    JsonObject entry;
+    entry.emplace("id", Json(finding.id));
+    entry.emplace("detail", Json(finding.detail));
+    out.emplace_back(std::move(entry));
+  }
+  return Json(std::move(out));
+}
+
+}  // namespace
+
+Json record_to_json(const ContractRecord& record) {
+  JsonObject timings;
+  timings.emplace("load_ms", num(record.timings.load_ms));
+  timings.emplace("init_ms", num(record.timings.init_ms));
+  timings.emplace("fuzz_ms", num(record.timings.fuzz_ms));
+  timings.emplace("solver_ms", num(record.timings.solver_ms));
+  timings.emplace("total_ms", num(record.timings.total_ms));
+
+  JsonArray curve;
+  curve.reserve(record.curve.size());
+  for (const auto& point : record.curve) {
+    JsonArray triple;
+    triple.emplace_back(num(point.iteration));
+    triple.emplace_back(num(point.elapsed_ms));
+    triple.emplace_back(num(point.branches));
+    curve.emplace_back(std::move(triple));
+  }
+
+  JsonObject solver;
+  solver.emplace("queries", num(record.solver_queries));
+  solver.emplace("sat", num(record.solver_sat));
+  solver.emplace("unsat", num(record.solver_unsat));
+  solver.emplace("unknown", num(record.solver_unknown));
+
+  JsonObject out;
+  out.emplace("id", Json(record.id));
+  out.emplace("status", Json(std::string(to_string(record.status))));
+  out.emplace("attempts", num(record.attempts));
+  out.emplace("timings", Json(std::move(timings)));
+  out.emplace("iterations", num(record.iterations_run));
+  out.emplace("transactions", num(record.transactions));
+  out.emplace("branches", num(record.distinct_branches));
+  out.emplace("adaptive_seeds", num(record.adaptive_seeds));
+  out.emplace("replays", num(record.replays));
+  out.emplace("replay_failures", num(record.replay_failures));
+  out.emplace("solver", Json(std::move(solver)));
+  out.emplace("coverage_curve", Json(std::move(curve)));
+  out.emplace("findings", findings_array(record.scan));
+  out.emplace("custom_findings", custom_array(record.custom));
+  if (!record.error.empty()) out.emplace("error", Json(record.error));
+  return Json(std::move(out));
+}
+
+Json findings_to_json(const ContractRecord& record) {
+  JsonObject out;
+  out.emplace("id", Json(record.id));
+  out.emplace("status", Json(std::string(to_string(record.status))));
+  out.emplace("findings", findings_array(record.scan));
+  out.emplace("custom_findings", custom_array(record.custom));
+  return Json(std::move(out));
+}
+
+Json summary_to_json(const CampaignSummary& summary) {
+  JsonObject by_type;
+  for (const auto& [type, count] : summary.findings_by_type) {
+    by_type.emplace(type, num(count));
+  }
+  JsonObject out;
+  out.emplace("contracts", num(summary.contracts));
+  out.emplace("ok", num(summary.ok));
+  out.emplace("deadline", num(summary.deadline));
+  out.emplace("io_error", num(summary.io_error));
+  out.emplace("bad_input", num(summary.bad_input));
+  out.emplace("failed", num(summary.failed));
+  out.emplace("vulnerable", num(summary.vulnerable));
+  out.emplace("transactions", num(summary.total_transactions));
+  out.emplace("solver_queries", num(summary.total_solver_queries));
+  out.emplace("solver_ms", num(summary.total_solver_ms));
+  out.emplace("wall_ms", num(summary.wall_ms));
+  out.emplace("findings_by_type", Json(std::move(by_type)));
+  return Json(std::move(out));
+}
+
+std::size_t write_records_jsonl(std::ostream& out,
+                                const CampaignReport& report) {
+  util::JsonlWriter writer(out);
+  for (const auto& record : report.records) {
+    writer.write(record_to_json(record));
+  }
+  return writer.lines();
+}
+
+}  // namespace wasai::campaign

@@ -1,0 +1,26 @@
+// JSON projection of campaign results: one JSONL line per contract plus an
+// aggregate summary document. The schema is documented in README.md; tests
+// and downstream tooling parse these with util::parse_json.
+#pragma once
+
+#include <ostream>
+
+#include "campaign/campaign.hpp"
+#include "util/json.hpp"
+
+namespace wasai::campaign {
+
+/// Full per-contract record (status, timings, counters, curve, findings).
+util::Json record_to_json(const ContractRecord& record);
+
+/// Only the findings of a record ({"id", "findings", "custom"}) — the
+/// stable projection used for determinism comparisons across job counts.
+util::Json findings_to_json(const ContractRecord& record);
+
+util::Json summary_to_json(const CampaignSummary& summary);
+
+/// Write one JSONL line per record (input order). Returns lines written.
+std::size_t write_records_jsonl(std::ostream& out,
+                                const CampaignReport& report);
+
+}  // namespace wasai::campaign

@@ -109,6 +109,10 @@ FuzzReport Fuzzer::run() {
   std::set<std::uint64_t> branches;
 
   for (int i = 0; i < options_.iterations; ++i) {
+    if (options_.cancel && options_.cancel->expired()) {
+      report_.deadline_hit = true;
+      break;
+    }
     PayloadMode mode = schedule(i);
     const Seed seed = select_seed(mode, i);
     if (mode == PayloadMode::Normal &&
@@ -162,6 +166,7 @@ FuzzReport Fuzzer::run() {
       }
     }
     pool_.trim(options_.max_pool_per_action);
+    ++report_.iterations_run;
   }
 
   report_.scan = scanner_.report();
@@ -172,6 +177,9 @@ FuzzReport Fuzzer::run() {
     }
   }
   report_.distinct_branches = branches.size();
+  report_.fuzz_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
   return report_;
 }
 
@@ -197,15 +205,23 @@ void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
         symbolic::replay(env_, harness_.original(), harness_.sites(), trace,
                          *site, *def, harness_.last_params());
     dbg_.record(trace.action, replayed.api_calls);
+    symbolic::SolverOptions solver_opts = options_.solver;
+    if (solver_opts.cancel == nullptr) {
+      solver_opts.cancel = options_.cancel.get();
+    }
     auto adaptive =
         options_.parallel_solving
             ? symbolic::solve_flips_parallel(env_, replayed,
                                              harness_.last_params(),
-                                             options_.solver,
+                                             solver_opts,
                                              options_.solver_threads)
             : symbolic::solve_flips(env_, replayed, harness_.last_params(),
-                                    options_.solver);
+                                    solver_opts);
     report_.solver_queries += adaptive.queries;
+    report_.solver_sat += adaptive.sat;
+    report_.solver_unsat += adaptive.unsat;
+    report_.solver_unknown += adaptive.unknown;
+    report_.solver_wall_ms += adaptive.wall_ms;
     for (auto& params : adaptive.seeds) {
       pool_.add_priority(Seed{trace.action, std::move(params)});
       ++report_.adaptive_seeds;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 
 #include "engine/dbg.hpp"
 #include "engine/harness.hpp"
@@ -36,6 +37,11 @@ struct FuzzOptions {
   bool dynamic_address_pool = false;
   symbolic::SolverOptions solver{};
   std::size_t max_pool_per_action = 32;
+  /// Cooperative cancellation: checked at every iteration boundary and
+  /// between solver queries. When it expires the loop unwinds cleanly and
+  /// the report carries whatever was found so far (deadline_hit = true).
+  /// The campaign runner uses this to enforce per-contract deadlines.
+  std::shared_ptr<const util::CancelToken> cancel = nullptr;
 };
 
 struct CoveragePoint {
@@ -54,6 +60,17 @@ struct FuzzReport {
   std::size_t solver_queries = 0;
   std::size_t replays = 0;
   std::size_t replay_failures = 0;
+  // Solver verdict breakdown and wall time (campaign observability).
+  std::size_t solver_sat = 0;
+  std::size_t solver_unsat = 0;
+  std::size_t solver_unknown = 0;
+  double solver_wall_ms = 0;
+  /// Wall time of the fuzz loop itself (excludes harness construction).
+  double fuzz_ms = 0;
+  /// Iterations actually executed (< options.iterations when cancelled).
+  int iterations_run = 0;
+  /// True when a cancel token expired and the loop stopped early.
+  bool deadline_hit = false;
 };
 
 class Fuzzer {

@@ -1,8 +1,8 @@
 #include "symbolic/parallel_solver.hpp"
 
-#include <bit>
-#include <future>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <thread>
 
 namespace wasai::symbolic {
@@ -10,22 +10,36 @@ namespace wasai::symbolic {
 namespace {
 
 using abi::ParamValue;
+using Clock = std::chrono::steady_clock;
 
 struct QueryResult {
   enum class Verdict { Sat, Unsat, Unknown } verdict = Verdict::Unknown;
   std::map<std::string, std::uint64_t> model;  // var name -> value
+  bool attempted = false;  // false when skipped by budget/cancellation
 };
 
-/// Solve one SMT-LIB2 query in a worker-owned context.
-QueryResult solve_one(const std::string& smt2, unsigned timeout_ms) {
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Solve one SMT-LIB2 query in a worker-owned context. A result whose wall
+/// time exceeds `hard_ms` is downgraded to Unknown — same accounting as the
+/// serial solver, so the two stay in lockstep.
+QueryResult solve_one(const std::string& smt2, unsigned timeout_ms,
+                      double hard_ms) {
   QueryResult out;
+  out.attempted = true;
   z3::context ctx;
   z3::solver solver(ctx);
   z3::params p(ctx);
   p.set("timeout", timeout_ms);
   solver.set(p);
   solver.from_string(smt2.c_str());
+  const auto start = Clock::now();
   const auto verdict = solver.check();
+  if (ms_since(start) > hard_ms) {
+    return out;  // overshoot: Unknown, model discarded
+  }
   if (verdict == z3::unsat) {
     out.verdict = QueryResult::Verdict::Unsat;
   } else if (verdict == z3::sat) {
@@ -43,45 +57,6 @@ QueryResult solve_one(const std::string& smt2, unsigned timeout_ms) {
   return out;
 }
 
-/// Name-keyed version of the serial solver's binding application.
-void apply_named_binding(std::vector<ParamValue>& params,
-                         const InputBinding& binding, std::uint64_t value) {
-  ParamValue& p = params.at(binding.param_index);
-  switch (binding.kind) {
-    case InputBinding::Kind::Whole:
-      if (std::holds_alternative<abi::Name>(p)) {
-        p = abi::Name(value);
-      } else if (std::holds_alternative<std::uint64_t>(p)) {
-        p = value;
-      } else if (std::holds_alternative<std::int64_t>(p)) {
-        p = static_cast<std::int64_t>(value);
-      } else if (std::holds_alternative<std::uint32_t>(p)) {
-        p = static_cast<std::uint32_t>(value);
-      } else if (std::holds_alternative<double>(p)) {
-        p = std::bit_cast<double>(value);
-      }
-      break;
-    case InputBinding::Kind::AssetAmount:
-      std::get<abi::Asset>(p).amount = static_cast<std::int64_t>(value);
-      break;
-    case InputBinding::Kind::AssetSymbol:
-      std::get<abi::Asset>(p).symbol = abi::Symbol(value);
-      break;
-    case InputBinding::Kind::StringLen: {
-      auto& s = std::get<std::string>(p);
-      s.resize(std::min<std::uint64_t>(value & 0xff, 64), 'a');
-      break;
-    }
-    case InputBinding::Kind::StringByte: {
-      auto& s = std::get<std::string>(p);
-      if (binding.byte_index < s.size()) {
-        s[binding.byte_index] = static_cast<char>(value & 0xff);
-      }
-      break;
-    }
-  }
-}
-
 }  // namespace
 
 AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
@@ -91,8 +66,12 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  const auto start = Clock::now();
+  const double hard_ms = options.effective_hard_timeout_ms();
 
-  // Export every flip query as SMT-LIB2 in the shared context.
+  // Export every flip query as SMT-LIB2 in the shared context, in serial
+  // path order — queries[i] is flip i, and results[i] holds its verdict,
+  // whichever worker solves it.
   std::vector<std::string> queries;
   std::size_t flips = 0;
   for (std::size_t k = 0;
@@ -110,9 +89,9 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
 
   // Fan the queries out over the worker pool.
   AdaptiveSeeds out;
-  out.queries = queries.size();
   std::vector<QueryResult> results(queries.size());
   std::size_t next = 0;
+  bool stop = false;
   std::mutex mu;
   std::vector<std::thread> pool;
   const auto worker = [&] {
@@ -120,10 +99,16 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
       std::size_t index;
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (next >= queries.size()) return;
+        if (stop || next >= queries.size()) return;
+        if ((options.cancel != nullptr && options.cancel->expired()) ||
+            (options.wall_budget_ms != 0 &&
+             ms_since(start) >= options.wall_budget_ms)) {
+          stop = true;
+          return;
+        }
         index = next++;
       }
-      results[index] = solve_one(queries[index], options.timeout_ms);
+      results[index] = solve_one(queries[index], options.timeout_ms, hard_ms);
     }
   };
   const unsigned n = std::min<unsigned>(
@@ -131,9 +116,14 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   pool.reserve(n);
   for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  out.aborted = stop;
 
-  // Map each model back onto the seed parameters by variable name.
+  // Map each model back onto the seed parameters by variable name, walking
+  // results in flip order so the emitted seed sequence matches the serial
+  // solver regardless of which worker finished first.
   for (const auto& result : results) {
+    if (!result.attempted) continue;  // skipped by budget/cancellation
+    ++out.queries;
     switch (result.verdict) {
       case QueryResult::Verdict::Unsat:
         ++out.unsat;
@@ -147,13 +137,14 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
         for (const auto& binding : replay.bindings) {
           const auto it = result.model.find(binding.var.decl().name().str());
           if (it == result.model.end()) continue;
-          apply_named_binding(mutated, binding, it->second);
+          apply_model_binding(mutated, binding, it->second);
         }
         out.seeds.push_back(std::move(mutated));
         break;
       }
     }
   }
+  out.wall_ms = ms_since(start);
   return out;
 }
 

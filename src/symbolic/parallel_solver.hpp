@@ -10,8 +10,10 @@
 namespace wasai::symbolic {
 
 /// Drop-in parallel variant of solve_flips. `threads` = 0 picks the
-/// hardware concurrency. Produces the same seed set as the serial version
-/// (up to solver-timeout nondeterminism and seed order).
+/// hardware concurrency. Deterministic: results are collected indexed by
+/// flip id and seeds are emitted in serial path order, so
+/// `AdaptiveSeeds.seeds` is identical for any `threads` value (and matches
+/// the serial solver) as long as no query hits its timeout/wall cap.
 AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
                                    const std::vector<abi::ParamValue>& seed,
                                    const SolverOptions& options = {},

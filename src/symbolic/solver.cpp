@@ -1,21 +1,28 @@
 #include "symbolic/solver.hpp"
 
 #include <bit>
+#include <chrono>
 
 namespace wasai::symbolic {
 
 namespace {
 
 using abi::ParamValue;
+using Clock = std::chrono::steady_clock;
 
 std::uint64_t eval_var(z3::model& model, const z3::expr& var) {
   const z3::expr v = model.eval(var, /*model_completion=*/true);
   return v.get_numeral_uint64();
 }
 
-/// Apply one solved binding onto the parameter vector.
-void apply_binding(std::vector<ParamValue>& params, const InputBinding& b,
-                   std::uint64_t value) {
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+void apply_model_binding(std::vector<ParamValue>& params,
+                         const InputBinding& b, std::uint64_t value) {
   ParamValue& p = params.at(b.param_index);
   switch (b.kind) {
     case InputBinding::Kind::Whole:
@@ -56,18 +63,30 @@ void apply_binding(std::vector<ParamValue>& params, const InputBinding& b,
   }
 }
 
-}  // namespace
-
 AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
                           const std::vector<ParamValue>& seed_params,
                           const SolverOptions& opts) {
   AdaptiveSeeds out;
   std::size_t flips_attempted = 0;
+  const auto start = Clock::now();
+  const double hard_ms = opts.effective_hard_timeout_ms();
 
   for (std::size_t k = 0;
        k < replay.path.size() && flips_attempted < opts.max_flips; ++k) {
     const PathStep& step = replay.path[k];
     if (!step.can_flip || !step.flip) continue;
+
+    // The per-query "timeout" parameter below is only a soft limit; these
+    // wall-clock gates are what actually bound one solve_flips call.
+    if (opts.cancel != nullptr && opts.cancel->expired()) {
+      out.aborted = true;
+      break;
+    }
+    if (opts.wall_budget_ms != 0 && ms_since(start) >= opts.wall_budget_ms) {
+      out.aborted = true;
+      break;
+    }
+
     ++flips_attempted;
     ++out.queries;
 
@@ -81,8 +100,16 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
     }
     solver.add(*step.flip);
 
+    const auto query_start = Clock::now();
     const auto verdict = solver.check();
-    if (verdict == z3::sat) {
+    const double query_ms = ms_since(query_start);
+
+    if (query_ms > hard_ms) {
+      // Z3 overshot its soft timeout badly enough that the result is no
+      // longer worth the budget it consumed; account it as unknown so the
+      // fuzz iteration moves on instead of compounding the overrun.
+      ++out.unknown;
+    } else if (verdict == z3::sat) {
       ++out.sat;
       z3::model model = solver.get_model();
       std::vector<ParamValue> mutated = seed_params;
@@ -90,7 +117,7 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
         // Mutate only the parameters the constraints actually mention;
         // unconstrained variables keep their executed-seed values.
         if (!model.has_interp(binding.var.decl())) continue;
-        apply_binding(mutated, binding, eval_var(model, binding.var));
+        apply_model_binding(mutated, binding, eval_var(model, binding.var));
       }
       out.seeds.push_back(std::move(mutated));
     } else if (verdict == z3::unsat) {
@@ -99,6 +126,7 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
       ++out.unknown;
     }
   }
+  out.wall_ms = ms_since(start);
   return out;
 }
 

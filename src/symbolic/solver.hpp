@@ -4,22 +4,48 @@
 #pragma once
 
 #include "symbolic/replayer.hpp"
+#include "util/cancel.hpp"
 
 namespace wasai::symbolic {
 
 struct SolverOptions {
   unsigned timeout_ms = 200;    // per-query budget (paper used 3,000 ms)
   std::size_t max_flips = 24;   // cap on flip targets per executed seed
+  /// Hard wall-clock cap per query. Z3's "timeout" parameter is a soft
+  /// limit that the solver can overshoot; a query whose wall time exceeds
+  /// this cap is accounted as `unknown` and its model discarded. 0 derives
+  /// a generous default (10×timeout_ms + 1000) so the cap only fires on
+  /// genuinely stuck queries, not on scheduler jitter — keeping the seed
+  /// stream deterministic in practice.
+  unsigned hard_timeout_ms = 0;
+  /// Total wall budget for one solve_flips call; once exhausted, remaining
+  /// flips are skipped (`aborted` is set). 0 = unlimited.
+  unsigned wall_budget_ms = 0;
+  /// Cooperative cancellation checked between queries (campaign deadlines).
+  /// Not owned; may be null.
+  const util::CancelToken* cancel = nullptr;
+
+  [[nodiscard]] unsigned effective_hard_timeout_ms() const {
+    return hard_timeout_ms != 0 ? hard_timeout_ms : 10 * timeout_ms + 1000;
+  }
 };
 
 struct AdaptiveSeeds {
-  /// One mutated parameter vector per satisfiable flip.
+  /// One mutated parameter vector per satisfiable flip, in flip (i.e.
+  /// serial path) order.
   std::vector<std::vector<abi::ParamValue>> seeds;
   std::size_t queries = 0;
   std::size_t sat = 0;
   std::size_t unsat = 0;
-  std::size_t unknown = 0;  // timeouts
+  std::size_t unknown = 0;  // timeouts and per-query wall overshoots
+  double wall_ms = 0;       // total wall time spent solving
+  bool aborted = false;     // stopped early (wall budget or cancellation)
 };
+
+/// Apply one solved binding onto a parameter vector. Shared by the serial
+/// and parallel solvers so both map models onto seeds identically.
+void apply_model_binding(std::vector<abi::ParamValue>& params,
+                         const InputBinding& binding, std::uint64_t value);
 
 /// Solve every flippable conditional of `replay` against the path prefix,
 /// mapping each model back onto the executed seed's parameters through the

@@ -1,0 +1,64 @@
+// Cooperative cancellation for long-running analyses. A CancelToken is
+// shared between a controller (campaign runner, signal handler, watchdog)
+// and a worker (the fuzz loop, the constraint solver); the worker polls
+// `expired()` at loop boundaries and unwinds cleanly instead of being
+// killed mid-transaction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace wasai::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Token that auto-expires `budget_ms` from now (0 = no deadline).
+  static std::shared_ptr<CancelToken> with_deadline(double budget_ms) {
+    auto token = std::make_shared<CancelToken>();
+    if (budget_ms > 0) {
+      token->deadline_ = Clock::now() + std::chrono::duration_cast<
+                                            Clock::duration>(
+                                            std::chrono::duration<double,
+                                                                  std::milli>(
+                                                budget_ms));
+      token->has_deadline_ = true;
+    }
+    return token;
+  }
+
+  /// Request cancellation explicitly (thread-safe).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. Workers poll this at loop
+  /// boundaries; it never blocks.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Milliseconds until the deadline (0 when expired; +inf when none).
+  [[nodiscard]] double remaining_ms() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    const auto left = std::chrono::duration<double, std::milli>(
+        deadline_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace wasai::util

@@ -244,4 +244,97 @@ Json parse_json(std::string_view text) {
   return Parser(text).parse_document();
 }
 
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);  // UTF-8 passthrough
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, double v) {
+  // Counts dominate the campaign records; render integral values exactly.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    out += std::to_string(static_cast<std::int64_t>(v));
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, ec == std::errc() ? ptr : buf);
+}
+
+void dump_value(std::string& out, const Json& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(out, value.as_number());
+  } else if (value.is_string()) {
+    dump_string(out, value.as_string());
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& item : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(out, item);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, item] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(out, key);
+      out.push_back(':');
+      dump_value(out, item);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+std::string dump_json(const Json& value) {
+  std::string out;
+  dump_value(out, value);
+  return out;
+}
+
 }  // namespace wasai::util

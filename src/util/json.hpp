@@ -69,4 +69,10 @@ class Json {
 /// Parse a complete JSON document; throws DecodeError with position info.
 Json parse_json(std::string_view text);
 
+/// Serialize a document to compact JSON (no whitespace). Object keys come
+/// out in std::map order, so equal documents serialize byte-identically —
+/// the campaign layer relies on this for reproducibility diffs. Integral
+/// doubles print without a fraction part ("3", not "3.0").
+std::string dump_json(const Json& value);
+
 }  // namespace wasai::util

@@ -1,0 +1,31 @@
+// JSON Lines output (one compact JSON document per line) — the campaign
+// runner's on-disk record format. Records are flushed per line so a crash
+// mid-campaign loses at most the record being written.
+#pragma once
+
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace wasai::util {
+
+class JsonlWriter {
+ public:
+  /// Writes to a stream owned by the caller (must outlive the writer).
+  explicit JsonlWriter(std::ostream& out) : out_(&out) {}
+
+  /// Append one record as a single line and flush.
+  void write(const Json& record) {
+    *out_ << dump_json(record) << '\n';
+    out_->flush();
+    ++lines_;
+  }
+
+  [[nodiscard]] std::size_t lines() const { return lines_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace wasai::util

@@ -1,13 +1,24 @@
 #include "wasai/wasai.hpp"
 
+#include <chrono>
+
 namespace wasai {
 
 AnalysisResult analyze(const util::Bytes& contract_wasm, const abi::Abi& abi,
                        const AnalysisOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  const auto start = Clock::now();
   engine::Fuzzer fuzzer(contract_wasm, abi, options.fuzz);
   AnalysisResult result;
+  result.init_ms = ms_since(start);
   result.details = fuzzer.run();
   result.report = result.details.scan;
+  result.total_ms = ms_since(start);
   return result;
 }
 

@@ -14,6 +14,10 @@ struct AnalysisOptions {
 struct AnalysisResult {
   scanner::Report report;
   engine::FuzzReport details;
+  /// Wall time of instrumentation + chain initiation (Fuzzer construction).
+  double init_ms = 0;
+  /// Wall time of the whole analyze() call (init + fuzz loop + scan).
+  double total_ms = 0;
 
   [[nodiscard]] bool has(scanner::VulnType type) const {
     return report.has(type);

@@ -1,0 +1,267 @@
+// Campaign-runner tests: fault isolation over a mixed corpus (valid,
+// truncated, garbage, missing-apply contracts), per-contract deadlines,
+// determinism across worker counts, directory scanning and the JSONL
+// record schema.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "abi/abi_json.hpp"
+#include "campaign/report.hpp"
+#include "corpus/templates.hpp"
+#include "util/jsonl.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai::campaign {
+namespace {
+
+using corpus::Sample;
+using util::Rng;
+
+ContractInput from_sample(std::string id, const Sample& sample) {
+  ContractInput input;
+  input.id = std::move(id);
+  input.wasm = sample.wasm;
+  input.abi_json = abi::abi_to_json(sample.abi);
+  return input;
+}
+
+/// A structurally valid module that exports no `apply` — deployment must
+/// reject it with a ValidationError.
+ContractInput missing_apply_input(const Sample& donor_abi) {
+  wasm::ModuleBuilder builder;
+  builder.add_memory(1);
+  const auto noop =
+      builder.add_func(wasm::FuncType{{}, {}}, {},
+                       {wasm::Instr(wasm::Opcode::End)}, "noop");
+  builder.export_func("noop", noop);
+  ContractInput input;
+  input.id = "no-apply";
+  input.wasm = wasm::encode(std::move(builder).build());
+  input.abi_json = abi::abi_to_json(donor_abi.abi);
+  return input;
+}
+
+CampaignOptions quick_options(int iterations = 12) {
+  CampaignOptions options;
+  options.fuzz.iterations = iterations;
+  options.fuzz.rng_seed = 7;
+  return options;
+}
+
+std::vector<ContractInput> mixed_corpus() {
+  Rng rng(11);
+  const auto vulnerable = corpus::make_fake_eos_sample(rng, true);
+  const auto safe = corpus::make_missauth_sample(rng, false);
+
+  std::vector<ContractInput> inputs;
+  inputs.push_back(from_sample("fake-eos", vulnerable));
+
+  ContractInput truncated;
+  truncated.id = "truncated";
+  truncated.wasm.assign(vulnerable.wasm.begin(),
+                        vulnerable.wasm.begin() +
+                            static_cast<long>(vulnerable.wasm.size() / 2));
+  truncated.abi_json = abi::abi_to_json(vulnerable.abi);
+  inputs.push_back(std::move(truncated));
+
+  ContractInput garbage;
+  garbage.id = "garbage";
+  const std::string junk = "this is not wasm";
+  garbage.wasm.assign(junk.begin(), junk.end());
+  garbage.abi_json = R"({"structs":[],"actions":[],"tables":[]})";
+  inputs.push_back(std::move(garbage));
+
+  inputs.push_back(missing_apply_input(safe));
+  inputs.push_back(from_sample("miss-auth-safe", safe));
+
+  ContractInput bad_abi = from_sample("bad-abi", vulnerable);
+  bad_abi.id = "bad-abi";
+  bad_abi.abi_json = "{not json";
+  inputs.push_back(std::move(bad_abi));
+
+  ContractInput missing_file;
+  missing_file.id = "missing-file";
+  missing_file.wasm_path = "/nonexistent/contract.wasm";
+  missing_file.abi_path = "/nonexistent/contract.abi";
+  inputs.push_back(std::move(missing_file));
+  return inputs;
+}
+
+// ------------------------------------------------------- fault isolation
+
+TEST(Campaign, MixedCorpusFinishesWithPerContractRecords) {
+  const auto inputs = mixed_corpus();
+  CampaignRunner runner(quick_options());
+  const auto report = runner.run(inputs);
+
+  ASSERT_EQ(report.records.size(), inputs.size());
+  // Records stay in input order regardless of scheduling.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(report.records[i].id, inputs[i].id);
+  }
+
+  const auto& by_id = [&](const std::string& id) -> const ContractRecord& {
+    for (const auto& record : report.records) {
+      if (record.id == id) return record;
+    }
+    throw util::UsageError("no record " + id);
+  };
+
+  EXPECT_EQ(by_id("fake-eos").status, ContractStatus::Ok);
+  EXPECT_TRUE(by_id("fake-eos").scan.has(scanner::VulnType::FakeEos));
+  EXPECT_GT(by_id("fake-eos").transactions, 0u);
+  EXPECT_GT(by_id("fake-eos").timings.total_ms, 0.0);
+
+  EXPECT_EQ(by_id("truncated").status, ContractStatus::BadInput);
+  EXPECT_FALSE(by_id("truncated").error.empty());
+  EXPECT_EQ(by_id("garbage").status, ContractStatus::BadInput);
+  EXPECT_EQ(by_id("no-apply").status, ContractStatus::BadInput);
+  EXPECT_NE(by_id("no-apply").error.find("apply"), std::string::npos);
+  EXPECT_EQ(by_id("bad-abi").status, ContractStatus::BadInput);
+  EXPECT_EQ(by_id("missing-file").status, ContractStatus::IoError);
+  EXPECT_EQ(by_id("miss-auth-safe").status, ContractStatus::Ok);
+  EXPECT_TRUE(by_id("miss-auth-safe").scan.findings.empty());
+
+  // Malformed inputs are deterministic faults: exactly one attempt each.
+  EXPECT_EQ(by_id("truncated").attempts, 1);
+
+  const auto& summary = report.summary;
+  EXPECT_EQ(summary.contracts, inputs.size());
+  EXPECT_EQ(summary.ok, 2u);
+  EXPECT_EQ(summary.bad_input, 4u);
+  EXPECT_EQ(summary.io_error, 1u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_EQ(summary.vulnerable, 1u);
+}
+
+// ------------------------------------------------------------- deadlines
+
+TEST(Campaign, DeadlinePreemptsSlowContract) {
+  Rng rng(3);
+  const auto sample = corpus::make_fake_eos_sample(rng, true);
+  // An absurd iteration budget that could only finish via preemption.
+  CampaignOptions options = quick_options(1000000);
+  options.deadline_ms = 120;
+
+  CampaignRunner runner(options);
+  const auto report = runner.run({from_sample("slow", sample)});
+  ASSERT_EQ(report.records.size(), 1u);
+  const auto& record = report.records[0];
+  EXPECT_EQ(record.status, ContractStatus::Deadline);
+  EXPECT_TRUE(record.completed());  // partial results survive
+  EXPECT_GT(record.iterations_run, 0);
+  EXPECT_LT(record.iterations_run, 1000000);
+  // The loop unwound near the deadline, not after the full budget.
+  EXPECT_LT(record.timings.total_ms, 5000.0);
+  EXPECT_EQ(report.summary.deadline, 1u);
+}
+
+TEST(Campaign, CancelTokenExpiresOnDeadlineAndOnRequest) {
+  const auto token = util::CancelToken::with_deadline(0);
+  EXPECT_FALSE(token->expired());
+  token->cancel();
+  EXPECT_TRUE(token->expired());
+  EXPECT_EQ(token->remaining_ms(), 0.0);
+
+  const auto expired = util::CancelToken::with_deadline(0.0001);
+  // A sub-microsecond budget lapses essentially immediately.
+  while (!expired->expired()) {
+  }
+  EXPECT_TRUE(expired->expired());
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(Campaign, FindingsAreIdenticalForAnyJobCount) {
+  const auto inputs = mixed_corpus();
+
+  const auto findings_dump = [&](unsigned jobs) {
+    CampaignOptions options = quick_options();
+    options.jobs = jobs;
+    CampaignRunner runner(options);
+    const auto report = runner.run(inputs);
+    std::string out;
+    for (const auto& record : report.records) {
+      out += util::dump_json(findings_to_json(record));
+      out += '\n';
+    }
+    return out;
+  };
+
+  const std::string serial = findings_dump(1);
+  EXPECT_EQ(findings_dump(4), serial);
+  EXPECT_EQ(findings_dump(3), serial);
+}
+
+// ------------------------------------------------------ directory intake
+
+TEST(Campaign, ScanDirectoryPairsAndSorts) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "wasai_campaign_scan_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "x";
+  };
+  touch("b.wasm");
+  touch("b.abi");
+  touch("a.wasm");
+  touch("a.abi");
+  touch("unpaired.wasm");  // no .abi: skipped
+  touch("stray.abi");      // no .wasm: skipped
+
+  const auto inputs = scan_directory((dir).string());
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0].id, "a");
+  EXPECT_EQ(inputs[1].id, "b");
+  EXPECT_FALSE(inputs[0].wasm_path.empty());
+  EXPECT_FALSE(inputs[0].abi_path.empty());
+  fs::remove_all(dir);
+
+  EXPECT_THROW(scan_directory((dir / "nope").string()), util::UsageError);
+}
+
+// ------------------------------------------------------------ JSONL shape
+
+TEST(Campaign, JsonlRecordsParseWithExpectedSchema) {
+  const auto inputs = mixed_corpus();
+  CampaignRunner runner(quick_options());
+  const auto report = runner.run(inputs);
+
+  std::ostringstream out;
+  const std::size_t lines = write_records_jsonl(out, report);
+  EXPECT_EQ(lines, inputs.size());
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    const auto record = util::parse_json(line);
+    for (const char* key :
+         {"id", "status", "attempts", "timings", "iterations",
+          "transactions", "branches", "solver", "coverage_curve",
+          "findings", "custom_findings"}) {
+      EXPECT_NE(record.find(key), nullptr) << "missing " << key;
+    }
+    EXPECT_NE(record.at("timings").find("fuzz_ms"), nullptr);
+    EXPECT_NE(record.at("solver").find("unknown"), nullptr);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, inputs.size());
+
+  const auto summary = summary_to_json(report.summary);
+  EXPECT_EQ(summary.at("contracts").as_number(),
+            static_cast<double>(inputs.size()));
+  EXPECT_NE(summary.find("findings_by_type"), nullptr);
+  // The summary line round-trips through the parser too.
+  EXPECT_NO_THROW(util::parse_json(util::dump_json(summary)));
+}
+
+}  // namespace
+}  // namespace wasai::campaign

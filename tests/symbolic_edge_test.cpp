@@ -64,9 +64,9 @@ class EdgeFixture {
   Z3Env env_;
   chain::Controller chain_;
   instrument::TraceSink sink_;
+  abi::Abi abi_;
   wasm::Module original_;
   instrument::SiteTable sites_;
-  abi::Abi abi_;
   Name victim_ = name("victim");
   Name attacker_ = name("attacker");
   std::vector<ParamValue> last_params_;

@@ -1,10 +1,13 @@
-// Unit tests for the utility layer: LEB128, byte IO, hex, RNG.
+// Unit tests for the utility layer: LEB128, byte IO, hex, RNG, JSON
+// serialization and the JSONL writer.
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <sstream>
 
 #include "util/bytes.hpp"
 #include "util/hex.hpp"
+#include "util/jsonl.hpp"
 #include "util/leb128.hpp"
 #include "util/rng.hpp"
 
@@ -169,6 +172,51 @@ TEST(Rng, NameCharsAreNameSafe) {
   for (const char c : s) {
     EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '1' && c <= '5')) << c;
   }
+}
+
+TEST(DumpJson, RendersScalarsCompactly) {
+  EXPECT_EQ(dump_json(Json(nullptr)), "null");
+  EXPECT_EQ(dump_json(Json(true)), "true");
+  EXPECT_EQ(dump_json(Json(false)), "false");
+  EXPECT_EQ(dump_json(Json(3.0)), "3");        // integral doubles: no ".0"
+  EXPECT_EQ(dump_json(Json(-42.0)), "-42");
+  EXPECT_EQ(dump_json(Json(1.5)), "1.5");
+  EXPECT_EQ(dump_json(Json(std::string("hi"))), "\"hi\"");
+}
+
+TEST(DumpJson, EscapesStrings) {
+  EXPECT_EQ(dump_json(Json(std::string("a\"b\\c"))), R"("a\"b\\c")");
+  EXPECT_EQ(dump_json(Json(std::string("line\nfeed\ttab"))),
+            R"("line\nfeed\ttab")");
+  EXPECT_EQ(dump_json(Json(std::string("\x01"))), "\"\\u0001\"");
+}
+
+TEST(DumpJson, RoundTripsThroughParser) {
+  const std::string doc =
+      R"({"a":[1,2,{"deep":true}],"b":"x","c":null,"d":-7.25})";
+  EXPECT_EQ(dump_json(parse_json(doc)), doc);
+}
+
+TEST(DumpJson, ObjectKeysComeOutSorted) {
+  JsonObject obj;
+  obj.emplace("zeta", Json(1.0));
+  obj.emplace("alpha", Json(2.0));
+  obj.emplace("mid", Json(3.0));
+  EXPECT_EQ(dump_json(Json(std::move(obj))),
+            R"({"alpha":2,"mid":3,"zeta":1})");
+}
+
+TEST(JsonlWriter, OneFlushedLinePerRecord) {
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  JsonObject a;
+  a.emplace("id", Json(std::string("first")));
+  writer.write(Json(std::move(a)));
+  JsonObject b;
+  b.emplace("id", Json(std::string("second")));
+  writer.write(Json(std::move(b)));
+  EXPECT_EQ(writer.lines(), 2u);
+  EXPECT_EQ(out.str(), "{\"id\":\"first\"}\n{\"id\":\"second\"}\n");
 }
 
 TEST(Rng, UniformInUnitInterval) {

@@ -1,0 +1,123 @@
+// The `wasai-campaign` tool: batch-analyze a directory of contracts
+// (`<stem>.wasm` + `<stem>.abi` pairs) with per-contract fault isolation.
+//
+//   wasai-campaign run <corpus-dir> [options]
+//
+// Options:
+//   --jobs N          worker threads (default 1; 0 = hardware concurrency)
+//   --iterations N    fuzzing rounds per contract (default 48)
+//   --seed N          RNG seed shared by every contract (default 1)
+//   --deadline-ms N   wall-clock budget per contract (default 0 = none)
+//   --retries N       total attempts per contract (default 2)
+//   --parallel        solve flip constraints on a worker pool
+//   --out FILE        JSONL records destination (default: stdout)
+//   --summary FILE    aggregate summary JSON destination (default: stderr)
+//   --findings-only   emit the stable findings projection instead of full
+//                     records (byte-identical across --jobs values)
+//
+// Exit status: 0 when the campaign ran (even if every contract errored),
+// 2 on usage errors. Per-contract faults are data, not process failures.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "campaign/report.hpp"
+#include "util/jsonl.hpp"
+
+namespace {
+
+using namespace wasai;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  wasai-campaign run <corpus-dir> [--jobs N] [--iterations N]\n"
+      "        [--seed N] [--deadline-ms N] [--retries N] [--parallel]\n"
+      "        [--out FILE] [--summary FILE] [--findings-only]\n");
+  return 2;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string corpus_dir = argv[2];
+
+  campaign::CampaignOptions options;
+  std::string out_path;
+  std::string summary_path;
+  bool findings_only = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      options.fuzz.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.fuzz.rng_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      options.deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      options.max_attempts = std::atoi(argv[++i]);
+    } else if (arg == "--parallel") {
+      options.fuzz.parallel_solving = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--summary" && i + 1 < argc) {
+      summary_path = argv[++i];
+    } else if (arg == "--findings-only") {
+      findings_only = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto inputs = campaign::scan_directory(corpus_dir);
+  std::fprintf(stderr, "wasai-campaign: %zu contracts in %s, %u jobs\n",
+               inputs.size(), corpus_dir.c_str(),
+               options.jobs == 0 ? 0u : options.jobs);
+
+  campaign::CampaignRunner runner(options);
+  const auto report = runner.run(inputs);
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::trunc);
+    if (!out_file) throw util::UsageError("cannot open " + out_path);
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+  if (findings_only) {
+    util::JsonlWriter writer(out);
+    for (const auto& record : report.records) {
+      writer.write(campaign::findings_to_json(record));
+    }
+  } else {
+    campaign::write_records_jsonl(out, report);
+  }
+
+  const std::string summary =
+      util::dump_json(campaign::summary_to_json(report.summary));
+  if (summary_path.empty()) {
+    std::fprintf(stderr, "%s\n", summary.c_str());
+  } else {
+    std::ofstream summary_file(summary_path, std::ios::trunc);
+    if (!summary_file) {
+      throw util::UsageError("cannot open " + summary_path);
+    }
+    summary_file << summary << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+    return usage();
+  } catch (const wasai::util::Error& e) {
+    std::fprintf(stderr, "wasai-campaign: %s\n", e.what());
+    return 2;
+  }
+}
