@@ -47,8 +47,9 @@ struct Frame {
 
 class Executor {
  public:
-  Executor(Instance& inst, const ExecLimits& limits, std::uint64_t& steps)
-      : inst_(inst), limits_(limits), steps_(steps) {}
+  Executor(Instance& inst, const ExecLimits& limits, std::uint64_t& steps,
+           ExecProbe* probe)
+      : inst_(inst), limits_(limits), steps_(steps), probe_(probe) {}
 
   std::vector<Value> run(std::uint32_t func_index,
                          std::span<const Value> args) {
@@ -76,6 +77,15 @@ class Executor {
     }
     Frame& f = frames_.back();
     const Instr& ins = f.fn->body[f.pc];
+    if (probe_ != nullptr) {
+      ExecProbeView view;
+      view.func_index = f.func_index;
+      view.pc = f.pc;
+      view.stack = stack_;
+      view.frame_stack_base = f.stack_base;
+      view.locals = f.locals;
+      probe_->on_instr(view, inst_);
+    }
     switch (ins.op) {
       // ---- control ----
       case Opcode::Unreachable:
@@ -384,6 +394,7 @@ class Executor {
   Instance& inst_;
   const ExecLimits& limits_;
   std::uint64_t& steps_;
+  ExecProbe* probe_;
   std::vector<Value> stack_;
   std::vector<Ctrl> ctrls_;
   std::vector<Frame> frames_;
@@ -727,7 +738,7 @@ Value eval_binary_op(Opcode op, Value lhs, Value rhs) {
 
 std::vector<Value> Vm::invoke(Instance& instance, std::uint32_t func_index,
                               std::span<const Value> args) {
-  Executor exec(instance, limits_, steps_);
+  Executor exec(instance, limits_, steps_, probe_);
   return exec.run(func_index, args);
 }
 

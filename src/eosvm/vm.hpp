@@ -28,6 +28,26 @@ Value eval_unary_op(wasm::Opcode op, Value x);
 /// Concrete evaluation of a binary/relational instruction.
 Value eval_binary_op(wasm::Opcode op, Value lhs, Value rhs);
 
+/// Machine state visible to an ExecProbe, snapshotted immediately BEFORE
+/// the instruction at (func_index, pc) executes. Spans alias the live
+/// executor state and are only valid during the callback.
+struct ExecProbeView {
+  std::uint32_t func_index = 0;  // function-space index (defined function)
+  std::uint32_t pc = 0;          // instruction index within its body
+  std::span<const Value> stack;  // the full value stack
+  std::size_t frame_stack_base = 0;  // current frame's stack base
+  std::span<const Value> locals;     // current frame's Local section
+};
+
+/// Per-instruction observation hook. The differential testing oracle uses
+/// this to record the concrete machine state the symbolic replayer must
+/// reproduce; it is a null pointer (zero cost) in production fuzzing.
+class ExecProbe {
+ public:
+  virtual ~ExecProbe() = default;
+  virtual void on_instr(const ExecProbeView& view, Instance& instance) = 0;
+};
+
 class Vm {
  public:
   explicit Vm(ExecLimits limits = {}) : limits_(limits) {}
@@ -42,9 +62,13 @@ class Vm {
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
   void reset_steps() { steps_ = 0; }
 
+  /// Install (or clear, with nullptr) a per-instruction probe.
+  void set_probe(ExecProbe* probe) { probe_ = probe; }
+
  private:
   ExecLimits limits_;
   std::uint64_t steps_ = 0;
+  ExecProbe* probe_ = nullptr;
 };
 
 }  // namespace wasai::vm

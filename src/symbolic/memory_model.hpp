@@ -31,6 +31,14 @@ class MemoryModel {
 
   [[nodiscard]] std::size_t bytes_tracked() const { return bytes_.size(); }
 
+  /// Every byte the model has an expression for (stored, bound, or created
+  /// by an unknown load). The differential oracle concretizes these and
+  /// compares them against the concrete machine's final memory image.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, z3::expr>&
+  tracked_bytes() const {
+    return bytes_;
+  }
+
   /// Count of symbolic load objects created so far.
   [[nodiscard]] std::size_t unknown_loads() const { return unknown_loads_; }
 

@@ -54,12 +54,14 @@ class ReplayMachine {
   ReplayMachine(Z3Env& env, const Module& module, const SiteTable& sites,
                 const ActionTrace& trace, const ActionCallSite& call_site,
                 const abi::ActionDef& def,
-                const std::vector<abi::ParamValue>& seed_params)
+                const std::vector<abi::ParamValue>& seed_params,
+                ReplayObserver* observer)
       : env_(env),
         module_(module),
         sites_(sites),
         trace_(trace),
         call_site_(call_site),
+        observer_(observer),
         mem_(env) {
     // Table image for resolving call_indirect targets.
     std::uint32_t table_size = 0;
@@ -92,11 +94,27 @@ class ReplayMachine {
       ++result_.events_replayed;
     }
     finalize();
+    if (observer_ != nullptr) observer_->on_finish(mem_, globals_);
     return std::move(result_);
   }
 
  private:
   void step(const TraceEvent& ev, bool is_root_begin) {
+    if (observer_ != nullptr && !frames_.empty() &&
+        (ev.kind == EventKind::Instr || ev.kind == EventKind::CallDirect ||
+         ev.kind == EventKind::CallIndirect)) {
+      const auto& info = sites_.at(ev.site);
+      ReplayStepView view;
+      view.kind = ev.kind;
+      view.site = ev.site;
+      view.func_index = info.func_index;
+      view.instr_index = info.instr_index;
+      view.stack = stack_;
+      view.frame_stack_base = frames_.back().stack_base;
+      view.locals = frames_.back().locals;
+      view.globals = globals_;
+      observer_->on_event(view);
+    }
     switch (ev.kind) {
       case EventKind::FunctionBegin:
         on_function_begin(ev, is_root_begin);
@@ -497,6 +515,7 @@ class ReplayMachine {
   const SiteTable& sites_;
   const ActionTrace& trace_;
   const ActionCallSite& call_site_;
+  ReplayObserver* observer_;
 
   MemoryModel mem_;
   ReplayResult result_;
@@ -588,8 +607,10 @@ std::optional<ActionCallSite> locate_action_call(
 ReplayResult replay(Z3Env& env, const Module& module, const SiteTable& sites,
                     const ActionTrace& trace, const ActionCallSite& site,
                     const abi::ActionDef& def,
-                    const std::vector<abi::ParamValue>& seed_params) {
-  ReplayMachine machine(env, module, sites, trace, site, def, seed_params);
+                    const std::vector<abi::ParamValue>& seed_params,
+                    ReplayObserver* observer) {
+  ReplayMachine machine(env, module, sites, trace, site, def, seed_params,
+                        observer);
   return machine.run();
 }
 

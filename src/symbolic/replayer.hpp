@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,12 +78,42 @@ std::optional<ActionCallSite> locate_action_call(
     const wasm::Module& module,
     std::optional<std::size_t> expected_params = std::nullopt);
 
+/// Symbolic machine state exposed to a ReplayObserver, snapshotted BEFORE
+/// the replayed instruction mutates it. Spans alias live machine state and
+/// are only valid during the callback.
+struct ReplayStepView {
+  instrument::EventKind kind = instrument::EventKind::Instr;
+  std::uint32_t site = 0;            // site id of the replayed event
+  std::uint32_t func_index = 0;      // original function of the site
+  std::uint32_t instr_index = 0;     // instruction index within its body
+  std::span<const SymValue> stack;   // full symbolic stack (action-relative)
+  std::size_t frame_stack_base = 0;  // current frame's stack base
+  std::span<const SymValue> locals;  // current frame's Local section
+  std::span<const SymValue> globals;
+};
+
+/// Observes the symbolic machine as the trace replays. The differential
+/// oracle pairs these snapshots with the concrete ExecProbe stream; normal
+/// fuzzing passes no observer.
+class ReplayObserver {
+ public:
+  virtual ~ReplayObserver() = default;
+  /// Fired for every Instr / CallDirect / CallIndirect event, i.e. exactly
+  /// once per original instruction the action executed.
+  virtual void on_event(const ReplayStepView& view) = 0;
+  /// Fired once after the last event, with the final memory model and
+  /// global state.
+  virtual void on_finish(const MemoryModel& memory,
+                         std::span<const SymValue> globals) = 0;
+};
+
 /// Replay `trace` starting at the action function identified by `site`.
 /// `module` must be the ORIGINAL (uninstrumented) module.
 ReplayResult replay(Z3Env& env, const wasm::Module& module,
                     const instrument::SiteTable& sites,
                     const instrument::ActionTrace& trace,
                     const ActionCallSite& site, const abi::ActionDef& def,
-                    const std::vector<abi::ParamValue>& seed_params);
+                    const std::vector<abi::ParamValue>& seed_params,
+                    ReplayObserver* observer = nullptr);
 
 }  // namespace wasai::symbolic

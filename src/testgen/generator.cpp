@@ -1,0 +1,1093 @@
+#include "testgen/generator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <string>
+
+#include "corpus/contract_builder.hpp"
+#include "util/rng.hpp"
+
+namespace wasai::testgen {
+
+namespace {
+
+using abi::ParamType;
+using corpus::kActionBuf;
+using corpus::kMsgRegion;
+using corpus::kScratchRegion;
+using util::Rng;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr std::uint64_t kPrologueSalt = 0x70726f6c6f677565ULL;  // "prologue"
+
+/// A typed expression under construction: instructions that push exactly
+/// one value, plus whether that value may depend on symbolic input
+/// ("tainted"). Fallback-only ops (float arithmetic, clz/ctz/popcnt,
+/// int→float conversion) are restricted to untainted operands.
+struct Expr {
+  std::vector<Instr> code;
+  bool tainted = false;
+};
+
+void append(std::vector<Instr>& out, const std::vector<Instr>& part) {
+  out.insert(out.end(), part.begin(), part.end());
+}
+
+struct LocalInfo {
+  ValType type;
+  bool tainted = false;
+  bool writable = false;  // only extra general locals are set targets
+};
+
+/// Per-action generation context: tracks the taint of every mutable
+/// location so fallback ops stay on concrete-origin data.
+struct Ctx {
+  Rng rng;
+  const corpus::EnvImports* env = nullptr;
+  const std::vector<HelperSpec>* helpers = nullptr;
+  std::uint32_t first_helper_index = 0;
+
+  std::vector<LocalInfo> locals;
+  std::vector<GlobalSpec>* globals = nullptr;
+  std::vector<bool> global_taint;
+  std::vector<bool> slot_taint;  // kNumSlots, false after the prologue
+
+  struct PtrParam {
+    std::uint32_t local;   // local holding the (concrete) pointer
+    std::uint32_t addr;    // its static address inside kActionBuf
+    std::uint32_t length;  // bytes of bound symbolic content
+  };
+  std::vector<PtrParam> assets;          // 16 bound bytes each
+  std::optional<PtrParam> string_param;  // 1 bound length byte
+
+  std::uint32_t counter_base = 0;  // loop counters live at the local tail
+  std::uint32_t counters_free = 0;
+};
+
+std::uint32_t slot_addr(std::uint32_t slot) {
+  return kScratchRegion + 8 * slot;
+}
+
+std::uint32_t natural_align(Opcode op) {
+  return static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<unsigned>(wasm::op_info(op).access_bytes)));
+}
+
+/// Emit a load of `target`, exercising both plain-const and
+/// const+offset-immediate memarg forms.
+void emit_load(Ctx& c, std::vector<Instr>& out, Opcode op,
+               std::uint32_t target) {
+  std::uint32_t imm = 0;
+  if (c.rng.chance(0.4)) {
+    imm = static_cast<std::uint32_t>(c.rng.below(65));
+  }
+  out.push_back(wasm::i32_const(static_cast<std::int32_t>(target - imm)));
+  out.push_back(wasm::mem_load(op, imm, natural_align(op)));
+}
+
+Expr gen_expr(Ctx& c, ValType want, int depth);
+
+// ---------------------------------------------------------------- leaves
+
+Expr const_leaf(Ctx& c, ValType want) {
+  Expr e;
+  switch (want) {
+    case ValType::I32:
+      e.code.push_back(wasm::i32_const(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(c.rng.next()))));
+      break;
+    case ValType::I64:
+      e.code.push_back(wasm::i64_const_u(c.rng.next()));
+      break;
+    case ValType::F32:
+      e.code.push_back(wasm::f32_const(
+          static_cast<float>(c.rng.range(-100000, 100000)) * 0.25f));
+      break;
+    case ValType::F64:
+      e.code.push_back(wasm::f64_const(
+          static_cast<double>(c.rng.range(-100000000, 100000000)) * 0.125));
+      break;
+  }
+  return e;
+}
+
+std::vector<std::uint32_t> locals_of_type(const Ctx& c, ValType t) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < c.locals.size(); ++i) {
+    if (c.locals[i].type == t) out.push_back(i);
+  }
+  return out;
+}
+
+/// Load of the wanted type from a scratch slot (concrete-origin unless a
+/// tainted store hit the slot) — covers all 14 load widths over time.
+Expr slot_load(Ctx& c, ValType want) {
+  static const std::vector<Opcode> i32_loads = {
+      Opcode::I32Load, Opcode::I32Load8S, Opcode::I32Load8U,
+      Opcode::I32Load16S, Opcode::I32Load16U};
+  static const std::vector<Opcode> i64_loads = {
+      Opcode::I64Load,    Opcode::I64Load8S,  Opcode::I64Load8U,
+      Opcode::I64Load16S, Opcode::I64Load16U, Opcode::I64Load32S,
+      Opcode::I64Load32U};
+  Opcode op;
+  switch (want) {
+    case ValType::I32:
+      op = c.rng.pick(i32_loads);
+      break;
+    case ValType::I64:
+      op = c.rng.pick(i64_loads);
+      break;
+    case ValType::F32:
+      op = Opcode::F32Load;
+      break;
+    default:
+      op = Opcode::F64Load;
+      break;
+  }
+  const auto& info = wasm::op_info(op);
+  const auto slot = static_cast<std::uint32_t>(c.rng.below(kNumSlots));
+  const auto inner = static_cast<std::uint32_t>(
+      c.rng.below(8 - info.access_bytes + 1));
+  Expr e;
+  e.tainted = c.slot_taint[slot];
+  emit_load(c, e.code, op, slot_addr(slot) + inner);
+  return e;
+}
+
+/// Load from a bound parameter region (asset amount/symbol bytes or the
+/// string length byte). Always tainted; always concretizable because the
+/// replayer pre-binds these bytes to input variables.
+std::optional<Expr> param_region_load(Ctx& c, ValType want) {
+  if (want == ValType::F32) return std::nullopt;
+  if (want == ValType::F64 && c.assets.empty()) return std::nullopt;
+  if ((want == ValType::I32 || want == ValType::I64) && c.assets.empty() &&
+      !c.string_param.has_value()) {
+    return std::nullopt;
+  }
+
+  Expr e;
+  e.tainted = true;
+  if (want == ValType::I64 && !c.assets.empty() && c.rng.chance(0.7)) {
+    const auto& a = c.rng.pick(c.assets);
+    const std::uint32_t field = c.rng.chance(0.5) ? 0 : 8;
+    if (c.rng.chance(0.5)) {
+      e.code.push_back(wasm::local_get(a.local));
+      e.code.push_back(wasm::mem_load(Opcode::I64Load, field, 3));
+    } else {
+      e.code.push_back(
+          wasm::i32_const(static_cast<std::int32_t>(a.addr + field)));
+      e.code.push_back(wasm::mem_load(Opcode::I64Load, 0, 3));
+    }
+    return e;
+  }
+  if (want == ValType::F64 && !c.assets.empty()) {
+    // Reinterpreting the asset amount as f64 keeps the value symbolic but
+    // fully modelled (bit-pattern identity).
+    const auto& a = c.rng.pick(c.assets);
+    e.code.push_back(wasm::local_get(a.local));
+    e.code.push_back(wasm::mem_load(Opcode::I64Load, 0, 3));
+    e.code.emplace_back(Opcode::F64ReinterpretI64);
+    return e;
+  }
+  // Narrow integer view of a bound region.
+  if (c.string_param.has_value() && (c.assets.empty() || c.rng.chance(0.4))) {
+    e.code.push_back(wasm::local_get(c.string_param->local));
+    e.code.push_back(wasm::mem_load(Opcode::I32Load8U, 0, 0));
+  } else {
+    const auto& a = c.rng.pick(c.assets);
+    static const std::vector<Opcode> narrow = {
+        Opcode::I32Load8S, Opcode::I32Load8U, Opcode::I32Load16S,
+        Opcode::I32Load16U, Opcode::I32Load};
+    const Opcode op = c.rng.pick(narrow);
+    const auto& info = wasm::op_info(op);
+    const auto inner = static_cast<std::uint32_t>(
+        c.rng.below(16 - info.access_bytes + 1));
+    e.code.push_back(wasm::local_get(a.local));
+    e.code.push_back(wasm::mem_load(op, inner, natural_align(op)));
+  }
+  if (want == ValType::I64) e.code.emplace_back(Opcode::I64ExtendI32U);
+  return e;
+}
+
+/// Library-API call usable inside an expression: the replayer lifts the
+/// concrete return from the trace, so the result is untainted.
+std::optional<Expr> api_leaf(Ctx& c, ValType want) {
+  Expr e;
+  if (want == ValType::I32) {
+    switch (c.rng.below(3)) {
+      case 0:
+        e.code.push_back(wasm::call(c.env->tapos_block_num));
+        break;
+      case 1:
+        e.code.push_back(wasm::call(c.env->action_data_size));
+        break;
+      default: {
+        Expr arg = gen_expr(c, ValType::I64, 0);
+        e.code = std::move(arg.code);
+        e.code.push_back(wasm::call(c.env->has_auth));
+        break;
+      }
+    }
+    return e;
+  }
+  if (want == ValType::I64) {
+    e.code.push_back(wasm::call(
+        c.rng.chance(0.5) ? c.env->current_time : c.env->current_receiver));
+    return e;
+  }
+  return std::nullopt;
+}
+
+Expr gen_leaf(Ctx& c, ValType want) {
+  const double roll = c.rng.uniform();
+  if (roll < 0.30) return const_leaf(c, want);
+  if (roll < 0.50) {
+    const auto candidates = locals_of_type(c, want);
+    if (!candidates.empty()) {
+      const std::uint32_t idx = c.rng.pick(candidates);
+      Expr e;
+      e.code.push_back(wasm::local_get(idx));
+      e.tainted = c.locals[idx].tainted;
+      return e;
+    }
+  }
+  if (roll < 0.62 && c.globals != nullptr) {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < c.globals->size(); ++i) {
+      if ((*c.globals)[i].type == want) candidates.push_back(i);
+    }
+    if (!candidates.empty()) {
+      const std::uint32_t idx = c.rng.pick(candidates);
+      Expr e;
+      e.code.push_back(wasm::global_get(idx));
+      e.tainted = c.global_taint[idx];
+      return e;
+    }
+  }
+  if (roll < 0.72) {
+    if (auto e = param_region_load(c, want)) return *e;
+  }
+  if (roll < 0.80) {
+    if (auto e = api_leaf(c, want)) return *e;
+  }
+  return slot_load(c, want);
+}
+
+// ------------------------------------------------------------- operators
+
+/// Wrap a divisor so it is concretely in [1, mask]: (d & mask) | 1.
+void guard_divisor(std::vector<Instr>& out, ValType t) {
+  if (t == ValType::I32) {
+    out.push_back(wasm::i32_const(0x7fff));
+    out.emplace_back(Opcode::I32And);
+    out.push_back(wasm::i32_const(1));
+    out.emplace_back(Opcode::I32Or);
+  } else {
+    out.push_back(wasm::i64_const(0x7fff));
+    out.emplace_back(Opcode::I64And);
+    out.push_back(wasm::i64_const(1));
+    out.emplace_back(Opcode::I64Or);
+  }
+}
+
+Expr int_binary(Ctx& c, ValType want, int depth) {
+  const bool is32 = want == ValType::I32;
+  static const std::vector<Opcode> i32_ops = {
+      Opcode::I32Add,  Opcode::I32Sub,  Opcode::I32Mul,  Opcode::I32And,
+      Opcode::I32Or,   Opcode::I32Xor,  Opcode::I32Shl,  Opcode::I32ShrS,
+      Opcode::I32ShrU, Opcode::I32Rotl, Opcode::I32Rotr, Opcode::I32DivS,
+      Opcode::I32DivU, Opcode::I32RemS, Opcode::I32RemU};
+  static const std::vector<Opcode> i64_ops = {
+      Opcode::I64Add,  Opcode::I64Sub,  Opcode::I64Mul,  Opcode::I64And,
+      Opcode::I64Or,   Opcode::I64Xor,  Opcode::I64Shl,  Opcode::I64ShrS,
+      Opcode::I64ShrU, Opcode::I64Rotl, Opcode::I64Rotr, Opcode::I64DivS,
+      Opcode::I64DivU, Opcode::I64RemS, Opcode::I64RemU};
+  const Opcode op = is32 ? c.rng.pick(i32_ops) : c.rng.pick(i64_ops);
+  Expr lhs = gen_expr(c, want, depth - 1);
+  Expr rhs = gen_expr(c, want, depth - 1);
+  Expr e;
+  e.code = std::move(lhs.code);
+  append(e.code, rhs.code);
+  const bool division =
+      op == Opcode::I32DivS || op == Opcode::I32DivU ||
+      op == Opcode::I32RemS || op == Opcode::I32RemU ||
+      op == Opcode::I64DivS || op == Opcode::I64DivU ||
+      op == Opcode::I64RemS || op == Opcode::I64RemU;
+  if (division) guard_divisor(e.code, want);
+  e.code.emplace_back(op);
+  e.tainted = lhs.tainted || rhs.tainted;
+  return e;
+}
+
+/// i32-producing comparison over a random operand type. Float comparisons
+/// are concrete-fallback in the replayer, so they require untainted sides.
+Expr comparison(Ctx& c, int depth) {
+  static const std::vector<Opcode> i32_cmp = {
+      Opcode::I32Eq,  Opcode::I32Ne,  Opcode::I32LtS, Opcode::I32LtU,
+      Opcode::I32GtS, Opcode::I32GtU, Opcode::I32LeS, Opcode::I32LeU,
+      Opcode::I32GeS, Opcode::I32GeU};
+  static const std::vector<Opcode> i64_cmp = {
+      Opcode::I64Eq,  Opcode::I64Ne,  Opcode::I64LtS, Opcode::I64LtU,
+      Opcode::I64GtS, Opcode::I64GtU, Opcode::I64LeS, Opcode::I64LeU,
+      Opcode::I64GeS, Opcode::I64GeU};
+  static const std::vector<Opcode> f64_cmp = {
+      Opcode::F64Eq, Opcode::F64Ne, Opcode::F64Lt,
+      Opcode::F64Gt, Opcode::F64Le, Opcode::F64Ge};
+  static const std::vector<Opcode> f32_cmp = {
+      Opcode::F32Eq, Opcode::F32Ne, Opcode::F32Lt,
+      Opcode::F32Gt, Opcode::F32Le, Opcode::F32Ge};
+
+  const double roll = c.rng.uniform();
+  Expr e;
+  if (roll < 0.40) {
+    Expr a = gen_expr(c, ValType::I32, depth - 1);
+    Expr b = gen_expr(c, ValType::I32, depth - 1);
+    e.code = std::move(a.code);
+    append(e.code, b.code);
+    e.code.emplace_back(c.rng.pick(i32_cmp));
+    e.tainted = a.tainted || b.tainted;
+  } else if (roll < 0.80) {
+    Expr a = gen_expr(c, ValType::I64, depth - 1);
+    Expr b = gen_expr(c, ValType::I64, depth - 1);
+    e.code = std::move(a.code);
+    append(e.code, b.code);
+    e.code.emplace_back(c.rng.pick(i64_cmp));
+    e.tainted = a.tainted || b.tainted;
+  } else {
+    // Untainted float comparison: sides built from concrete-origin data.
+    const bool wide = c.rng.chance(0.5);
+    const ValType ft = wide ? ValType::F64 : ValType::F32;
+    Expr a = gen_expr(c, ft, 0);
+    Expr b = gen_expr(c, ft, 0);
+    if (a.tainted || b.tainted) {
+      // A tainted leaf slipped in (tainted slot/local): fall back to eqz.
+      Expr x = gen_expr(c, ValType::I32, depth - 1);
+      e.code = std::move(x.code);
+      e.code.emplace_back(Opcode::I32Eqz);
+      e.tainted = x.tainted;
+      return e;
+    }
+    e.code = std::move(a.code);
+    append(e.code, b.code);
+    e.code.emplace_back(wide ? c.rng.pick(f64_cmp) : c.rng.pick(f32_cmp));
+  }
+  return e;
+}
+
+Expr float_arith(Ctx& c, ValType want, int depth) {
+  const bool wide = want == ValType::F64;
+  static const std::vector<Opcode> f32_ops = {
+      Opcode::F32Add, Opcode::F32Sub, Opcode::F32Mul, Opcode::F32Div,
+      Opcode::F32Min, Opcode::F32Max, Opcode::F32Copysign};
+  static const std::vector<Opcode> f64_ops = {
+      Opcode::F64Add, Opcode::F64Sub, Opcode::F64Mul, Opcode::F64Div,
+      Opcode::F64Min, Opcode::F64Max, Opcode::F64Copysign};
+  Expr a = gen_expr(c, want, depth - 1);
+  Expr b = gen_expr(c, want, depth - 1);
+  if (a.tainted || b.tainted) {
+    // Taint discipline: float arithmetic is concrete-fallback in the
+    // replayer, so keep only the first operand instead.
+    Expr e;
+    e.code = std::move(a.code);
+    append(e.code, b.code);
+    e.code.emplace_back(Opcode::Drop);
+    e.tainted = a.tainted || b.tainted;
+    return e;
+  }
+  Expr e;
+  e.code = std::move(a.code);
+  append(e.code, b.code);
+  e.code.emplace_back(wide ? c.rng.pick(f64_ops) : c.rng.pick(f32_ops));
+  return e;
+}
+
+Expr unary(Ctx& c, ValType want, int depth) {
+  Expr e;
+  switch (want) {
+    case ValType::I32: {
+      const double roll = c.rng.uniform();
+      if (roll < 0.25) {
+        Expr x = gen_expr(c, ValType::I64, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(Opcode::I32WrapI64);
+        e.tainted = x.tainted;
+      } else if (roll < 0.45) {
+        const bool wide = c.rng.chance(0.5);
+        Expr x = gen_expr(c, wide ? ValType::I64 : ValType::I32, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(wide ? Opcode::I64Eqz : Opcode::I32Eqz);
+        e.tainted = x.tainted;
+      } else if (roll < 0.65) {
+        Expr x = gen_expr(c, ValType::F32, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(Opcode::I32ReinterpretF32);
+        e.tainted = x.tainted;
+      } else {
+        // clz/ctz/popcnt: concrete fallback — untainted operand required.
+        Expr x = gen_expr(c, ValType::I32, 0);
+        if (x.tainted) return x;
+        static const std::vector<Opcode> bits = {
+            Opcode::I32Clz, Opcode::I32Ctz, Opcode::I32Popcnt};
+        e.code = std::move(x.code);
+        e.code.emplace_back(c.rng.pick(bits));
+      }
+      return e;
+    }
+    case ValType::I64: {
+      const double roll = c.rng.uniform();
+      if (roll < 0.40) {
+        Expr x = gen_expr(c, ValType::I32, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(c.rng.chance(0.5) ? Opcode::I64ExtendI32S
+                                              : Opcode::I64ExtendI32U);
+        e.tainted = x.tainted;
+      } else if (roll < 0.65) {
+        Expr x = gen_expr(c, ValType::F64, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(Opcode::I64ReinterpretF64);
+        e.tainted = x.tainted;
+      } else {
+        Expr x = gen_expr(c, ValType::I64, 0);
+        if (x.tainted) return x;
+        static const std::vector<Opcode> bits = {
+            Opcode::I64Clz, Opcode::I64Ctz, Opcode::I64Popcnt};
+        e.code = std::move(x.code);
+        e.code.emplace_back(c.rng.pick(bits));
+      }
+      return e;
+    }
+    case ValType::F32: {
+      const double roll = c.rng.uniform();
+      if (roll < 0.35) {
+        Expr x = gen_expr(c, ValType::I32, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(Opcode::F32ReinterpretI32);
+        e.tainted = x.tainted;
+        return e;
+      }
+      Expr x = gen_expr(c, ValType::F32, 0);
+      if (x.tainted) return x;
+      if (roll < 0.55) {
+        static const std::vector<Opcode> fl = {
+            Opcode::F32Abs,   Opcode::F32Neg,     Opcode::F32Ceil,
+            Opcode::F32Floor, Opcode::F32Nearest, Opcode::F32Sqrt};
+        e.code = std::move(x.code);
+        e.code.emplace_back(c.rng.pick(fl));
+        return e;
+      }
+      if (roll < 0.80) {
+        Expr y = gen_expr(c, ValType::F64, 0);
+        if (y.tainted) return x;
+        e.code = std::move(y.code);
+        e.code.emplace_back(Opcode::F32DemoteF64);
+        return e;
+      }
+      Expr i = gen_expr(c, ValType::I32, 0);
+      if (i.tainted) return x;
+      e.code = std::move(i.code);
+      e.code.emplace_back(c.rng.chance(0.5) ? Opcode::F32ConvertI32S
+                                            : Opcode::F32ConvertI32U);
+      return e;
+    }
+    default: {  // F64
+      const double roll = c.rng.uniform();
+      if (roll < 0.35) {
+        Expr x = gen_expr(c, ValType::I64, depth - 1);
+        e.code = std::move(x.code);
+        e.code.emplace_back(Opcode::F64ReinterpretI64);
+        e.tainted = x.tainted;
+        return e;
+      }
+      Expr x = gen_expr(c, ValType::F64, 0);
+      if (x.tainted) return x;
+      if (roll < 0.55) {
+        static const std::vector<Opcode> fl = {
+            Opcode::F64Abs,   Opcode::F64Neg,     Opcode::F64Ceil,
+            Opcode::F64Floor, Opcode::F64Nearest, Opcode::F64Sqrt};
+        e.code = std::move(x.code);
+        e.code.emplace_back(c.rng.pick(fl));
+        return e;
+      }
+      if (roll < 0.80) {
+        Expr y = gen_expr(c, ValType::F32, 0);
+        if (y.tainted) return x;
+        e.code = std::move(y.code);
+        e.code.emplace_back(Opcode::F64PromoteF32);
+        return e;
+      }
+      Expr i = gen_expr(c, ValType::I64, 0);
+      if (i.tainted) return x;
+      e.code = std::move(i.code);
+      e.code.emplace_back(c.rng.chance(0.5) ? Opcode::F64ConvertI64S
+                                            : Opcode::F64ConvertI64U);
+      return e;
+    }
+  }
+}
+
+Expr helper_call(Ctx& c, ValType want, int depth) {
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i = 0; i < c.helpers->size(); ++i) {
+    const auto& h = (*c.helpers)[i];
+    if (!h.type.results.empty() && h.type.results[0] == want) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return gen_leaf(c, want);
+  const std::uint32_t h = c.rng.pick(candidates);
+  Expr e;
+  for (const ValType pt : (*c.helpers)[h].type.params) {
+    Expr arg = gen_expr(c, pt, depth - 1);
+    append(e.code, arg.code);
+    e.tainted = e.tainted || arg.tainted;
+  }
+  e.code.push_back(wasm::call(c.first_helper_index + h));
+  return e;
+}
+
+Expr select_expr(Ctx& c, ValType want, int depth) {
+  Expr v1 = gen_expr(c, want, depth - 1);
+  Expr v2 = gen_expr(c, want, depth - 1);
+  Expr cond = gen_expr(c, ValType::I32, depth - 1);
+  Expr e;
+  e.code = std::move(v1.code);
+  append(e.code, v2.code);
+  append(e.code, cond.code);
+  e.code.emplace_back(Opcode::Select);
+  e.tainted = v1.tainted || v2.tainted || cond.tainted;
+  return e;
+}
+
+Expr gen_expr(Ctx& c, ValType want, int depth) {
+  if (depth <= 0) return gen_leaf(c, want);
+  const double roll = c.rng.uniform();
+  if (want == ValType::I32) {
+    if (roll < 0.30) return int_binary(c, want, depth);
+    if (roll < 0.55) return comparison(c, depth);
+    if (roll < 0.70) return unary(c, want, depth);
+    if (roll < 0.80) return helper_call(c, want, depth);
+    if (roll < 0.88) return select_expr(c, want, depth);
+    return gen_leaf(c, want);
+  }
+  if (want == ValType::I64) {
+    if (roll < 0.40) return int_binary(c, want, depth);
+    if (roll < 0.60) return unary(c, want, depth);
+    if (roll < 0.72) return helper_call(c, want, depth);
+    if (roll < 0.82) return select_expr(c, want, depth);
+    return gen_leaf(c, want);
+  }
+  // floats
+  if (roll < 0.35) return float_arith(c, want, depth);
+  if (roll < 0.60) return unary(c, want, depth);
+  if (roll < 0.72) return select_expr(c, want, depth);
+  return gen_leaf(c, want);
+}
+
+// ------------------------------------------------------------ statements
+
+void gen_statements(Ctx& c, std::vector<Instr>& out, int depth, int budget);
+
+/// One of the 9 store widths into a scratch slot; updates slot taint.
+void stmt_store(Ctx& c, std::vector<Instr>& out) {
+  static const std::vector<Opcode> stores = {
+      Opcode::I32Store, Opcode::I32Store8, Opcode::I32Store16,
+      Opcode::I64Store, Opcode::I64Store8, Opcode::I64Store16,
+      Opcode::I64Store32, Opcode::F32Store, Opcode::F64Store};
+  const Opcode op = c.rng.pick(stores);
+  const auto& info = wasm::op_info(op);
+  const auto slot = static_cast<std::uint32_t>(c.rng.below(kNumSlots));
+  const auto inner = static_cast<std::uint32_t>(
+      c.rng.below(8 - info.access_bytes + 1));
+  const std::uint32_t target = slot_addr(slot) + inner;
+
+  std::uint32_t imm = 0;
+  if (c.rng.chance(0.4)) {
+    imm = static_cast<std::uint32_t>(c.rng.below(65));
+  }
+  out.push_back(wasm::i32_const(static_cast<std::int32_t>(target - imm)));
+  ValType vt;
+  switch (op) {
+    case Opcode::I32Store:
+    case Opcode::I32Store8:
+    case Opcode::I32Store16:
+      vt = ValType::I32;
+      break;
+    case Opcode::F32Store:
+      vt = ValType::F32;
+      break;
+    case Opcode::F64Store:
+      vt = ValType::F64;
+      break;
+    default:
+      vt = ValType::I64;
+      break;
+  }
+  Expr value = gen_expr(c, vt, 2);
+  append(out, value.code);
+  out.push_back(wasm::mem_store(op, imm, natural_align(op)));
+  if (value.tainted) c.slot_taint[slot] = true;
+}
+
+void stmt_local_set(Ctx& c, std::vector<Instr>& out) {
+  std::vector<std::uint32_t> writable;
+  for (std::uint32_t i = 0; i < c.locals.size(); ++i) {
+    if (c.locals[i].writable) writable.push_back(i);
+  }
+  if (writable.empty()) {
+    out.emplace_back(Opcode::Nop);
+    return;
+  }
+  const std::uint32_t idx = c.rng.pick(writable);
+  Expr value = gen_expr(c, c.locals[idx].type, 2);
+  append(out, value.code);
+  if (c.rng.chance(0.3)) {
+    out.push_back(wasm::local_tee(idx));
+    out.emplace_back(Opcode::Drop);
+  } else {
+    out.push_back(wasm::local_set(idx));
+  }
+  // Taint is a may-analysis over all paths (this statement may sit in a
+  // conditionally-skipped region), so it only ever accumulates.
+  c.locals[idx].tainted = c.locals[idx].tainted || value.tainted;
+}
+
+void stmt_global_set(Ctx& c, std::vector<Instr>& out) {
+  if (c.globals == nullptr || c.globals->empty()) {
+    out.emplace_back(Opcode::Nop);
+    return;
+  }
+  const auto idx = static_cast<std::uint32_t>(c.rng.below(c.globals->size()));
+  Expr value = gen_expr(c, (*c.globals)[idx].type, 2);
+  append(out, value.code);
+  out.push_back(wasm::global_set(idx));
+  c.global_taint[idx] = c.global_taint[idx] || value.tainted;
+}
+
+/// eosio_assert((E | 1), msg): the condition is nonzero by construction,
+/// so the action never traps, while symbolic Es exercise the replayer's
+/// assert-hold path constraints.
+void stmt_assert(Ctx& c, std::vector<Instr>& out) {
+  Expr cond = gen_expr(c, ValType::I32, 2);
+  append(out, cond.code);
+  out.push_back(wasm::i32_const(1));
+  out.emplace_back(Opcode::I32Or);
+  out.push_back(wasm::i32_const(static_cast<std::int32_t>(kMsgRegion)));
+  out.push_back(wasm::call(c.env->eosio_assert));
+}
+
+void stmt_api(Ctx& c, std::vector<Instr>& out) {
+  Expr v = gen_expr(c, ValType::I64, 2);
+  append(out, v.code);
+  switch (c.rng.below(3)) {
+    case 0:
+      out.push_back(wasm::call(c.env->printi));
+      break;
+    case 1:
+      out.push_back(wasm::call(c.env->require_recipient));
+      break;
+    default:
+      out.push_back(wasm::call(c.env->require_auth));
+      break;
+  }
+}
+
+void stmt_if(Ctx& c, std::vector<Instr>& out, int depth) {
+  Expr cond = gen_expr(c, ValType::I32, 2);
+  append(out, cond.code);
+  out.push_back(wasm::if_());
+  gen_statements(c, out, depth - 1, 1 + static_cast<int>(c.rng.below(3)));
+  if (c.rng.chance(0.5)) {
+    out.emplace_back(Opcode::Else);
+    gen_statements(c, out, depth - 1, 1 + static_cast<int>(c.rng.below(3)));
+  }
+  out.emplace_back(Opcode::End);
+}
+
+void stmt_loop(Ctx& c, std::vector<Instr>& out, int depth) {
+  if (c.counters_free == 0) {
+    stmt_if(c, out, depth);
+    return;
+  }
+  --c.counters_free;
+  const std::uint32_t counter = c.counter_base + c.counters_free;
+  const auto iterations = static_cast<std::int32_t>(1 + c.rng.below(4));
+  // A later iteration observes state written by an earlier one, so inside a
+  // loop body every mutable location must be assumed tainted — otherwise a
+  // concrete-fallback op generated at the top of the body could receive a
+  // symbolic value carried around the back edge.
+  for (auto& l : c.locals) {
+    if (l.writable) l.tainted = true;
+  }
+  std::fill(c.global_taint.begin(), c.global_taint.end(), true);
+  std::fill(c.slot_taint.begin(), c.slot_taint.end(), true);
+  out.push_back(wasm::i32_const(iterations));
+  out.push_back(wasm::local_set(counter));
+  out.push_back(wasm::loop());
+  gen_statements(c, out, depth - 1, 1 + static_cast<int>(c.rng.below(3)));
+  out.push_back(wasm::local_get(counter));
+  out.push_back(wasm::i32_const(1));
+  out.emplace_back(Opcode::I32Sub);
+  out.push_back(wasm::local_tee(counter));
+  out.push_back(wasm::br_if(0));
+  out.emplace_back(Opcode::End);
+}
+
+void stmt_br_table(Ctx& c, std::vector<Instr>& out, int depth) {
+  out.push_back(wasm::block());
+  out.push_back(wasm::block());
+  out.push_back(wasm::block());
+  Expr idx = gen_expr(c, ValType::I32, 2);
+  append(out, idx.code);
+  Instr bt(Opcode::BrTable);
+  bt.table = {0, 1};
+  bt.a = 2;  // default depth
+  out.push_back(bt);
+  out.emplace_back(Opcode::End);
+  gen_statements(c, out, depth - 1, 1);
+  out.emplace_back(Opcode::End);
+  gen_statements(c, out, depth - 1, 1);
+  out.emplace_back(Opcode::End);
+}
+
+void stmt_block_skip(Ctx& c, std::vector<Instr>& out, int depth) {
+  out.push_back(wasm::block());
+  gen_statements(c, out, depth - 1, 1);
+  Expr cond = gen_expr(c, ValType::I32, 2);
+  append(out, cond.code);
+  out.push_back(wasm::br_if(0));
+  gen_statements(c, out, depth - 1, 1);
+  out.emplace_back(Opcode::End);
+}
+
+void stmt_drop(Ctx& c, std::vector<Instr>& out) {
+  static const std::vector<ValType> types = {ValType::I32, ValType::I64,
+                                             ValType::F32, ValType::F64};
+  Expr v = gen_expr(c, c.rng.pick(types), 3);
+  append(out, v.code);
+  out.emplace_back(Opcode::Drop);
+}
+
+void stmt_guarded_return(Ctx& c, std::vector<Instr>& out) {
+  Expr cond = gen_expr(c, ValType::I32, 1);
+  append(out, cond.code);
+  out.push_back(wasm::if_());
+  out.emplace_back(Opcode::Return);
+  out.emplace_back(Opcode::End);
+}
+
+void gen_statement(Ctx& c, std::vector<Instr>& out, int depth) {
+  const double roll = c.rng.uniform();
+  if (roll < 0.22) {
+    stmt_store(c, out);
+  } else if (roll < 0.36) {
+    stmt_local_set(c, out);
+  } else if (roll < 0.44) {
+    stmt_global_set(c, out);
+  } else if (roll < 0.52) {
+    stmt_assert(c, out);
+  } else if (roll < 0.60) {
+    stmt_api(c, out);
+  } else if (roll < 0.68 && depth > 0) {
+    stmt_if(c, out, depth);
+  } else if (roll < 0.75 && depth > 0) {
+    stmt_loop(c, out, depth);
+  } else if (roll < 0.81 && depth > 0) {
+    stmt_br_table(c, out, depth);
+  } else if (roll < 0.87 && depth > 0) {
+    stmt_block_skip(c, out, depth);
+  } else if (roll < 0.95) {
+    stmt_drop(c, out);
+  } else if (roll < 0.97) {
+    stmt_guarded_return(c, out);
+  } else {
+    out.emplace_back(Opcode::Nop);
+  }
+}
+
+void gen_statements(Ctx& c, std::vector<Instr>& out, int depth, int budget) {
+  for (int i = 0; i < budget; ++i) gen_statement(c, out, depth);
+}
+
+// --------------------------------------------------------------- helpers
+
+/// Helper bodies treat every parameter as tainted and use only replayer-
+/// modelled integer ops, so a helper's result expression is always exact.
+Expr helper_expr(Rng& rng, const FuncType& type,
+                 const std::vector<HelperSpec>& lower,
+                 std::uint32_t first_helper_index, ValType want, int depth) {
+  Expr e;
+  e.tainted = true;
+  if (depth <= 0 || rng.chance(0.2)) {
+    if (!type.params.empty() && rng.chance(0.7)) {
+      const auto p = static_cast<std::uint32_t>(rng.below(type.params.size()));
+      e.code.push_back(wasm::local_get(p));
+      const ValType pt = type.params[p];
+      if (pt == ValType::I32 && want == ValType::I64) {
+        e.code.emplace_back(rng.chance(0.5) ? Opcode::I64ExtendI32S
+                                            : Opcode::I64ExtendI32U);
+      } else if (pt == ValType::I64 && want == ValType::I32) {
+        e.code.emplace_back(Opcode::I32WrapI64);
+      }
+      return e;
+    }
+    if (want == ValType::I32) {
+      e.code.push_back(wasm::i32_const(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(rng.next()))));
+    } else {
+      e.code.push_back(wasm::i64_const_u(rng.next()));
+    }
+    return e;
+  }
+  const double roll = rng.uniform();
+  if (roll < 0.25 && !lower.empty()) {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < lower.size(); ++i) {
+      if (lower[i].type.results[0] == want) candidates.push_back(i);
+    }
+    if (!candidates.empty()) {
+      const std::uint32_t h = rng.pick(candidates);
+      for (const ValType pt : lower[h].type.params) {
+        Expr arg = helper_expr(rng, type, lower, first_helper_index, pt,
+                               depth - 1);
+        append(e.code, arg.code);
+      }
+      e.code.push_back(wasm::call(first_helper_index + h));
+      return e;
+    }
+  }
+  static const std::vector<Opcode> i32_ops = {
+      Opcode::I32Add, Opcode::I32Sub, Opcode::I32Mul, Opcode::I32And,
+      Opcode::I32Or,  Opcode::I32Xor, Opcode::I32Shl, Opcode::I32ShrU,
+      Opcode::I32Rotl};
+  static const std::vector<Opcode> i64_ops = {
+      Opcode::I64Add, Opcode::I64Sub, Opcode::I64Mul, Opcode::I64And,
+      Opcode::I64Or,  Opcode::I64Xor, Opcode::I64Shl, Opcode::I64ShrU,
+      Opcode::I64Rotr};
+  Expr a = helper_expr(rng, type, lower, first_helper_index, want, depth - 1);
+  Expr b = helper_expr(rng, type, lower, first_helper_index, want, depth - 1);
+  e.code = std::move(a.code);
+  append(e.code, b.code);
+  e.code.emplace_back(want == ValType::I32 ? rng.pick(i32_ops)
+                                           : rng.pick(i64_ops));
+  return e;
+}
+
+HelperSpec gen_helper(Rng& rng, const std::vector<HelperSpec>& lower,
+                      std::uint32_t first_helper_index) {
+  HelperSpec h;
+  const auto nparams = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < nparams; ++i) {
+    h.type.params.push_back(rng.chance(0.5) ? ValType::I32 : ValType::I64);
+  }
+  h.type.results.push_back(rng.chance(0.5) ? ValType::I32 : ValType::I64);
+  Expr body = helper_expr(rng, h.type, lower, first_helper_index,
+                          h.type.results[0], 3);
+  h.body = std::move(body.code);
+  h.body.emplace_back(Opcode::End);
+  return h;
+}
+
+// --------------------------------------------------------------- actions
+
+struct ParamDraw {
+  std::vector<ParamType> types;
+  std::vector<abi::ParamValue> seed;
+};
+
+ParamDraw draw_params(Rng& rng) {
+  ParamDraw out;
+  const auto n = rng.below(5);  // 0..4 scalar/asset params
+  for (std::uint64_t i = 0; i < n; ++i) {
+    switch (rng.below(6)) {
+      case 0:
+        out.types.push_back(ParamType::Name);
+        out.seed.emplace_back(abi::name(rng.name_chars(8)));
+        break;
+      case 1:
+        out.types.push_back(ParamType::U64);
+        out.seed.emplace_back(rng.next());
+        break;
+      case 2:
+        out.types.push_back(ParamType::I64);
+        out.seed.emplace_back(static_cast<std::int64_t>(rng.next()));
+        break;
+      case 3:
+        out.types.push_back(ParamType::U32);
+        out.seed.emplace_back(static_cast<std::uint32_t>(rng.next()));
+        break;
+      case 4:
+        out.types.push_back(ParamType::F64);
+        out.seed.emplace_back(static_cast<double>(rng.range(-1000000,
+                                                            1000000)) *
+                              0.5);
+        break;
+      default:
+        out.types.push_back(ParamType::Asset);
+        out.seed.emplace_back(abi::Asset{rng.range(0, 1'000'000'000),
+                                         abi::eos_symbol()});
+        break;
+    }
+  }
+  if (rng.chance(0.35)) {
+    out.types.push_back(ParamType::String);
+    out.seed.emplace_back(rng.name_chars(1 + rng.below(20)));
+  }
+  return out;
+}
+
+ActionSpec gen_action(Rng rng, const corpus::EnvImports& env,
+                      std::vector<GlobalSpec>& globals,
+                      const std::vector<HelperSpec>& helpers,
+                      std::uint32_t first_helper_index,
+                      const std::string& name) {
+  ActionSpec a;
+  a.def.name = abi::name(name);
+  ParamDraw params = draw_params(rng);
+  a.def.params = params.types;
+  a.seed = std::move(params.seed);
+
+  constexpr std::uint32_t kMaxLoops = 2;
+  a.extra_locals = {ValType::I32, ValType::I32, ValType::I64,
+                    ValType::I64, ValType::F32, ValType::F64};
+  for (std::uint32_t i = 0; i < kMaxLoops; ++i) {
+    a.extra_locals.push_back(ValType::I32);
+  }
+
+  Ctx c;
+  c.rng = rng;
+  c.env = &env;
+  c.helpers = &helpers;
+  c.first_helper_index = first_helper_index;
+  c.globals = &globals;
+  c.global_taint.assign(globals.size(), false);
+  c.slot_taint.assign(kNumSlots, false);
+
+  // Local table: self + params + general extras + loop counters.
+  c.locals.push_back(LocalInfo{ValType::I64, false, false});  // self
+  for (std::size_t i = 0; i < a.def.params.size(); ++i) {
+    const ValType lt = corpus::ContractBuilder::local_type(a.def.params[i]);
+    const auto local_idx = static_cast<std::uint32_t>(c.locals.size());
+    const bool pointer = a.def.params[i] == ParamType::Asset ||
+                         a.def.params[i] == ParamType::String;
+    // Pointer locals are concrete; scalar params are symbolic input.
+    c.locals.push_back(LocalInfo{lt, !pointer, false});
+    if (pointer) {
+      Ctx::PtrParam p;
+      p.local = local_idx;
+      p.addr = kActionBuf + corpus::ContractBuilder::param_offset(a.def, i);
+      p.length = a.def.params[i] == ParamType::Asset ? 16 : 1;
+      if (a.def.params[i] == ParamType::Asset) {
+        c.assets.push_back(p);
+      } else {
+        c.string_param = p;
+      }
+    }
+  }
+  const auto extras_base = static_cast<std::uint32_t>(c.locals.size());
+  for (std::size_t i = 0; i + kMaxLoops < a.extra_locals.size(); ++i) {
+    c.locals.push_back(LocalInfo{a.extra_locals[i], false, true});
+  }
+  c.counter_base = extras_base + 6;
+  c.counters_free = kMaxLoops;
+  for (std::uint32_t i = 0; i < kMaxLoops; ++i) {
+    c.locals.push_back(LocalInfo{ValType::I32, false, false});
+  }
+
+  const int top_level = 4 + static_cast<int>(c.rng.below(7));
+  for (int i = 0; i < top_level; ++i) {
+    Statement s;
+    gen_statement(c, s.code, 2);
+    a.statements.push_back(std::move(s));
+  }
+  return a;
+}
+
+}  // namespace
+
+ModuleSpec generate_spec(std::uint64_t seed) {
+  ModuleSpec spec;
+  spec.seed = seed;
+  Rng rng(seed);
+
+  // Env-import indices and the index of the first defined function are
+  // fixed by ContractBuilder's deterministic import block.
+  corpus::ContractBuilder layout;
+  const corpus::EnvImports env = layout.env();
+  const std::uint32_t base = layout.raw().module().num_imported_functions();
+
+  const auto nglobals = rng.below(4);
+  static const std::vector<ValType> gtypes = {ValType::I32, ValType::I64,
+                                              ValType::F64};
+  for (std::uint64_t i = 0; i < nglobals; ++i) {
+    GlobalSpec g;
+    g.type = rng.pick(gtypes);
+    g.init = g.type == ValType::F64
+                 ? std::uint64_t{0x4010000000000000ULL}  // 4.0
+                 : rng.next();
+    if (g.type == ValType::I32) g.init = static_cast<std::uint32_t>(g.init);
+    spec.globals.push_back(g);
+  }
+
+  const auto nhelpers = rng.below(4);
+  for (std::uint64_t i = 0; i < nhelpers; ++i) {
+    Rng hr = rng.fork(0x68656c70 + i);  // "help"
+    spec.helpers.push_back(gen_helper(hr, spec.helpers, base));
+  }
+
+  const auto nactions = 1 + rng.below(2);
+  for (std::uint64_t i = 0; i < nactions; ++i) {
+    const std::string name =
+        std::string(1, static_cast<char>('a' + i)) + rng.name_chars(6);
+    spec.actions.push_back(gen_action(rng.fork(0xac710000 + i), env,
+                                      spec.globals, spec.helpers, base,
+                                      name));
+  }
+  return spec;
+}
+
+Generated materialize(const ModuleSpec& spec) {
+  corpus::ContractBuilder cb;
+  for (std::size_t i = 0; i < spec.helpers.size(); ++i) {
+    cb.raw().add_func(spec.helpers[i].type, {}, spec.helpers[i].body,
+                      "h" + std::to_string(i));
+  }
+  for (const GlobalSpec& g : spec.globals) {
+    cb.raw().add_global(g.type, true, g.init);
+  }
+
+  // The prologue initialises every scratch slot so loads in statement code
+  // read model-tracked bytes; it is part of materialization (never subject
+  // to minimization) so statement subsets keep their load semantics.
+  Rng prologue_rng(spec.seed ^ kPrologueSalt);
+  std::vector<Instr> prologue;
+  for (std::uint32_t s = 0; s < kNumSlots; ++s) {
+    prologue.push_back(
+        wasm::i32_const(static_cast<std::int32_t>(slot_addr(s))));
+    prologue.push_back(wasm::i64_const_u(prologue_rng.next()));
+    prologue.push_back(wasm::mem_store(Opcode::I64Store, 0, 3));
+  }
+
+  for (const ActionSpec& a : spec.actions) {
+    std::vector<Instr> body = prologue;
+    for (const Statement& s : a.statements) append(body, s.code);
+    body.emplace_back(Opcode::End);
+    corpus::ActionOptions opts;
+    cb.add_action(a.def, a.extra_locals, std::move(body), opts);
+  }
+
+  Generated out;
+  out.spec = spec;
+  out.abi = cb.abi();
+  out.module = std::move(cb).build_module(corpus::DispatcherStyle::Standard);
+  return out;
+}
+
+Generated generate(std::uint64_t seed) {
+  return materialize(generate_spec(seed));
+}
+
+}  // namespace wasai::testgen

@@ -1,0 +1,76 @@
+// Seeded generator of well-typed random Wasm contracts for differential
+// testing. A module is first drawn as a ModuleSpec — a statement-list IR
+// whose every subset still lowers to a VALID module — and then lowered
+// through corpus::ContractBuilder so each module carries the eosio-style
+// apply dispatcher, action entry points and multi-function call graph the
+// replayer's calling-convention analysis (§3.4.2) expects.
+//
+// Generated code observes one discipline: operations the symbolic replayer
+// models only by concrete fallback (float arithmetic, clz/ctz/popcnt,
+// int→float conversions) are never applied to values derived from action
+// parameters, so a replay under fully-concrete inputs must concretize to
+// exactly the interpreter's state — any mismatch is a real soundness bug
+// in the codec, interpreter, instrumenter or replayer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abi/abi_def.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::testgen {
+
+/// Scratch slots the prologue initialises (8 bytes each, at kScratchRegion).
+constexpr std::uint32_t kNumSlots = 12;
+
+/// One minimizer-granularity unit: an instruction sequence with net-zero
+/// stack effect that is valid at any statement position.
+struct Statement {
+  std::vector<wasm::Instr> code;
+};
+
+/// A pure helper function (no memory/global access; may call lower-indexed
+/// helpers). Always a single result.
+struct HelperSpec {
+  wasm::FuncType type;
+  std::vector<wasm::Instr> body;  // ends with End
+};
+
+struct GlobalSpec {
+  wasm::ValType type;
+  std::uint64_t init = 0;
+};
+
+struct ActionSpec {
+  abi::ActionDef def;
+  std::vector<abi::ParamValue> seed;  // concrete inputs the oracle executes
+  std::vector<wasm::ValType> extra_locals;
+  std::vector<Statement> statements;
+};
+
+struct ModuleSpec {
+  std::uint64_t seed = 0;
+  std::vector<GlobalSpec> globals;
+  std::vector<HelperSpec> helpers;
+  std::vector<ActionSpec> actions;
+};
+
+struct Generated {
+  ModuleSpec spec;
+  wasm::Module module;
+  abi::Abi abi;
+};
+
+/// Deterministically draw a random module specification from `seed`.
+ModuleSpec generate_spec(std::uint64_t seed);
+
+/// Deterministically lower a spec to a module + ABI. Dropping statements or
+/// whole actions from a spec keeps it materializable, which is what lets
+/// the delta-minimizer shrink divergent modules structurally instead of
+/// byte-wise.
+Generated materialize(const ModuleSpec& spec);
+
+Generated generate(std::uint64_t seed);
+
+}  // namespace wasai::testgen

@@ -1,0 +1,104 @@
+#include "testgen/minimize.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "testgen/oracle.hpp"
+#include "util/error.hpp"
+
+namespace wasai::testgen {
+
+namespace {
+
+/// Flattened statement coordinates: (action index, statement index).
+std::vector<std::pair<std::size_t, std::size_t>> statement_ids(
+    const ModuleSpec& spec) {
+  std::vector<std::pair<std::size_t, std::size_t>> ids;
+  for (std::size_t a = 0; a < spec.actions.size(); ++a) {
+    for (std::size_t s = 0; s < spec.actions[a].statements.size(); ++s) {
+      ids.emplace_back(a, s);
+    }
+  }
+  return ids;
+}
+
+/// Copy of `spec` without the statements whose flattened position falls in
+/// [begin, end).
+ModuleSpec without_range(
+    const ModuleSpec& spec,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ids,
+    std::size_t begin, std::size_t end) {
+  ModuleSpec out = spec;
+  for (auto& action : out.actions) action.statements.clear();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i >= begin && i < end) continue;
+    const auto [a, s] = ids[i];
+    out.actions[a].statements.push_back(spec.actions[a].statements[s]);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const ModuleSpec& failing, const Predicate& pred,
+                        std::size_t max_tests) {
+  MinimizeResult res;
+  res.spec = failing;
+
+  const auto test = [&](const ModuleSpec& cand) {
+    if (res.tests >= max_tests) return false;
+    ++res.tests;
+    return pred(cand);
+  };
+
+  // Phase 1: drop whole actions. Actions never call each other (only
+  // helpers, which stay), so any subset is self-contained.
+  bool changed = true;
+  while (changed && res.spec.actions.size() > 1 && res.tests < max_tests) {
+    changed = false;
+    for (std::size_t i = 0; i < res.spec.actions.size(); ++i) {
+      ModuleSpec cand = res.spec;
+      cand.actions.erase(cand.actions.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      if (test(cand)) {
+        res.spec = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: ddmin over the flattened statement list.
+  auto ids = statement_ids(res.spec);
+  std::size_t chunk = (ids.size() + 1) / 2;
+  while (chunk >= 1 && !ids.empty() && res.tests < max_tests) {
+    bool reduced = false;
+    for (std::size_t start = 0; start < ids.size(); start += chunk) {
+      ModuleSpec cand = without_range(res.spec, ids, start,
+                                      std::min(start + chunk, ids.size()));
+      if (test(cand)) {
+        res.spec = std::move(cand);
+        ids = statement_ids(res.spec);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+  return res;
+}
+
+bool oracle_fails(const ModuleSpec& spec) {
+  try {
+    return !check_module(materialize(spec)).ok();
+  } catch (const util::Error&) {
+    // A spec that cannot even materialize is not a usable reproducer.
+    return false;
+  }
+}
+
+}  // namespace wasai::testgen

@@ -1,0 +1,30 @@
+// Structural delta-minimization of divergent modules: because every subset
+// of a ModuleSpec's actions/statements still materializes to a valid
+// module, shrinking happens on the spec IR (ddmin over statements) instead
+// of byte-wise on the binary.
+#pragma once
+
+#include <functional>
+
+#include "testgen/generator.hpp"
+
+namespace wasai::testgen {
+
+/// Returns true while the candidate spec still reproduces the failure.
+using Predicate = std::function<bool(const ModuleSpec&)>;
+
+struct MinimizeResult {
+  ModuleSpec spec;
+  std::size_t tests = 0;  // predicate evaluations spent
+};
+
+/// Greedily drop whole actions, then ddmin the flattened statement list.
+/// Helpers, globals and the slot prologue are never touched (helpers keep
+/// call indices stable; the prologue keeps loads well-defined).
+MinimizeResult minimize(const ModuleSpec& failing, const Predicate& pred,
+                        std::size_t max_tests = 200);
+
+/// The standard predicate: materialize + differential check still fails.
+bool oracle_fails(const ModuleSpec& spec);
+
+}  // namespace wasai::testgen

@@ -1,0 +1,62 @@
+// The differential oracle: each generated module is (1) round-tripped
+// through the codec, (2) executed concretely in eosvm under a
+// per-instruction probe, (3) traced through the instrumentation pipeline and
+// replayed symbolically with fully-concrete inputs. Since every input is
+// concrete, the replayer's state must concretize to exactly the
+// interpreter's state at every original instruction — a divergence is a
+// real soundness bug in the codec, interpreter, instrumenter or replayer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testgen/generator.hpp"
+
+namespace wasai::testgen {
+
+/// One concrete/symbolic mismatch (or structural misalignment).
+struct Divergence {
+  std::string action;  // action name
+  std::string what;    // human-readable description with location
+};
+
+/// Per-action comparison statistics.
+struct ActionCheck {
+  std::string action;
+  std::size_t events_compared = 0;
+  std::size_t values_compared = 0;
+  /// Symbolic values that did not reduce to a numeral under full input
+  /// substitution (replayer lost precision where it should not have).
+  std::size_t unknown_values = 0;
+  std::size_t divergences = 0;
+};
+
+struct OracleResult {
+  bool roundtrip_ok = false;  // decode∘encode byte-identity + validation
+  std::vector<ActionCheck> actions;
+  std::vector<Divergence> divergences;
+  /// FNV-1a digest over the concrete machine's final state across all
+  /// actions (memory, globals, instruction count) — the batch
+  /// reproducibility fingerprint.
+  std::uint64_t state_digest = 0;
+  std::string error;  // nonempty on harness failure (trap, locate, replay)
+
+  [[nodiscard]] bool ok() const {
+    return roundtrip_ok && error.empty() && divergences.empty() &&
+           unknown_values() == 0;
+  }
+  [[nodiscard]] std::size_t unknown_values() const {
+    std::size_t n = 0;
+    for (const auto& a : actions) n += a.unknown_values;
+    return n;
+  }
+};
+
+/// Run the full differential check on a materialized module.
+OracleResult check_module(const Generated& gen);
+
+/// generate(seed) + check_module.
+OracleResult check_seed(std::uint64_t seed);
+
+}  // namespace wasai::testgen

@@ -1,0 +1,57 @@
+// FNV-1a digests for machine-state fingerprints. The differential oracle
+// hashes stacks/locals/memory snapshots so reports can name a divergent
+// state without dumping it, and the testgen CLI prints a batch digest so
+// seeded runs can be compared byte-for-byte across hosts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace wasai::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Incremental 64-bit FNV-1a.
+class Digest {
+ public:
+  void u8(std::uint8_t b) {
+    h_ = (h_ ^ b) * kFnvPrime;
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t b : data) u8(b);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+  /// 16-hex-digit rendering (stable across platforms).
+  [[nodiscard]] std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[15 - i] = digits[(h_ >> (4 * i)) & 0xf];
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  Digest d;
+  d.bytes(data);
+  return d.value();
+}
+
+}  // namespace wasai::util

@@ -44,23 +44,41 @@ std::uint64_t read_uleb(ByteReader& r, int max_bits) {
 }
 
 std::int64_t read_sleb(ByteReader& r, int max_bits) {
-  std::int64_t result = 0;
+  // ceil(max_bits / 7) bytes encode any max_bits-wide value; one more byte
+  // is overlong and the spec-mandated error (and on a 64-bit accumulator,
+  // shifting an 11th byte by 70 would be UB before any later check fired).
+  const int max_bytes = (max_bits + 6) / 7;
+  std::uint64_t result = 0;
   int shift = 0;
+  int consumed = 0;
   std::uint8_t byte = 0;
   do {
     byte = r.u8();
-    if (shift >= max_bits + 7) {
+    if (++consumed > max_bytes) {
       throw DecodeError("sleb128 value exceeds " + std::to_string(max_bits) +
                         " bits");
     }
-    result |= static_cast<std::int64_t>(static_cast<std::uint64_t>(byte & 0x7f)
-                                        << shift);
+    const std::uint64_t group = byte & 0x7f;
+    if (shift + 7 > max_bits) {
+      // Final partial group: the bits beyond max_bits must all equal the
+      // sign bit, otherwise the encoded value does not fit.
+      const int used = max_bits - shift;
+      const std::uint8_t spill =
+          static_cast<std::uint8_t>(group >> (used - 1)) & 0x7f >> (used - 1);
+      const std::uint8_t all_ones =
+          static_cast<std::uint8_t>(0x7f >> (used - 1));
+      if (spill != 0 && spill != all_ones) {
+        throw DecodeError("sleb128 value exceeds " +
+                          std::to_string(max_bits) + " bits");
+      }
+    }
+    result |= group << shift;
     shift += 7;
   } while (byte & 0x80);
   if (shift < 64 && (byte & 0x40)) {
-    result |= -(static_cast<std::int64_t>(1) << shift);  // sign-extend
+    result |= ~std::uint64_t{0} << shift;  // sign-extend
   }
-  return result;
+  return static_cast<std::int64_t>(result);
 }
 
 }  // namespace wasai::util

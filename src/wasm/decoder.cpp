@@ -12,10 +12,27 @@ using util::read_sleb;
 using util::read_uleb;
 using util::read_uleb32;
 
+/// Total locals any single function may declare. The binary format lets a
+/// six-byte body claim 2^32 locals; real-world modules stay far below this.
+constexpr std::uint64_t kMaxLocals = 100'000;
+
+/// A vector count claimed by the input. Every element consumes at least one
+/// input byte, so a count beyond the remaining bytes is malformed — checking
+/// before `reserve` keeps a corrupted count from demanding a multi-GB
+/// allocation.
+std::uint32_t read_count(ByteReader& r) {
+  const auto n = read_uleb32(r);
+  if (n > r.remaining()) {
+    throw DecodeError("vector count " + std::to_string(n) +
+                      " exceeds remaining input");
+  }
+  return n;
+}
+
 FuncType decode_functype(ByteReader& r) {
   if (r.u8() != 0x60) throw DecodeError("expected functype tag 0x60");
   FuncType ft;
-  const auto nparams = read_uleb32(r);
+  const auto nparams = read_count(r);
   ft.params.reserve(nparams);
   for (std::uint32_t i = 0; i < nparams; ++i) {
     ft.params.push_back(valtype_from_byte(r.u8()));
@@ -117,7 +134,7 @@ Instr decode_instr(ByteReader& r) {
       ins.a = read_uleb32(r);
       break;
     case ImmKind::BrTable: {
-      const auto count = read_uleb32(r);
+      const auto count = read_count(r);
       ins.table.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         ins.table.push_back(read_uleb32(r));
@@ -180,7 +197,7 @@ Module decode(std::span<const std::uint8_t> binary) {
       case 0:  // custom: skipped
         break;
       case 1: {  // types
-        const auto n = read_uleb32(s);
+        const auto n = read_count(s);
         m.types.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           m.types.push_back(decode_functype(s));
@@ -215,7 +232,7 @@ Module decode(std::span<const std::uint8_t> binary) {
         break;
       }
       case 3: {  // function declarations
-        const auto n = read_uleb32(s);
+        const auto n = read_count(s);
         func_type_indices.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           func_type_indices.push_back(read_uleb32(s));
@@ -274,7 +291,7 @@ Module decode(std::span<const std::uint8_t> binary) {
           if (static_cast<Opcode>(s.u8()) != Opcode::End) {
             throw DecodeError("element offset missing end");
           }
-          const auto count = read_uleb32(s);
+          const auto count = read_count(s);
           seg.func_indices.reserve(count);
           for (std::uint32_t j = 0; j < count; ++j) {
             seg.func_indices.push_back(read_uleb32(s));
@@ -294,10 +311,16 @@ Module decode(std::span<const std::uint8_t> binary) {
           ByteReader body_reader(s.bytes(body_size));
           Function fn;
           fn.type_index = func_type_indices[i];
-          const auto nlocals = read_uleb32(body_reader);
+          const auto nlocals = read_count(body_reader);
           for (std::uint32_t j = 0; j < nlocals; ++j) {
             const auto count = read_uleb32(body_reader);
             const auto type = valtype_from_byte(body_reader.u8());
+            // Local groups are run-length encoded, so `count` is not bounded
+            // by input size; cap the expanded total instead (locals bomb).
+            if (count > kMaxLocals - fn.locals.size()) {
+              throw DecodeError("function declares more than " +
+                                std::to_string(kMaxLocals) + " locals");
+            }
             fn.locals.insert(fn.locals.end(), count, type);
           }
           fn.body = decode_body(body_reader);

@@ -12,6 +12,7 @@
 #include "abi/abi_json.hpp"
 #include "campaign/report.hpp"
 #include "corpus/templates.hpp"
+#include "testgen/generator.hpp"
 #include "util/jsonl.hpp"
 #include "wasm/builder.hpp"
 #include "wasm/encoder.hpp"
@@ -137,6 +138,47 @@ TEST(Campaign, MixedCorpusFinishesWithPerContractRecords) {
   EXPECT_EQ(summary.io_error, 1u);
   EXPECT_EQ(summary.failed, 0u);
   EXPECT_EQ(summary.vulnerable, 1u);
+}
+
+// ------------------------------------------------- generated-module corpus
+
+TEST(Campaign, GeneratedCorpusRunsWithFaultIsolation) {
+  // Random well-typed contracts from the testgen generator must survive the
+  // campaign pipeline end to end; a deliberately-truncated generated module
+  // goes through the fault-isolation path without poisoning its neighbours.
+  util::Rng seeds(555);
+  std::vector<ContractInput> inputs;
+  for (int i = 0; i < 3; ++i) {
+    const auto gen = testgen::generate(seeds.next());
+    ContractInput input;
+    input.id = "testgen-" + std::to_string(i);
+    input.wasm = wasm::encode(gen.module);
+    input.abi_json = abi::abi_to_json(gen.abi);
+    inputs.push_back(std::move(input));
+  }
+  const auto bad = testgen::generate(seeds.next());
+  ContractInput truncated;
+  truncated.id = "testgen-truncated";
+  const auto bad_bytes = wasm::encode(bad.module);
+  truncated.wasm.assign(bad_bytes.begin(),
+                        bad_bytes.begin() +
+                            static_cast<long>(bad_bytes.size() / 3));
+  truncated.abi_json = abi::abi_to_json(bad.abi);
+  inputs.push_back(std::move(truncated));
+
+  CampaignRunner runner(quick_options(6));
+  const auto report = runner.run(inputs);
+  ASSERT_EQ(report.records.size(), inputs.size());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.records[i].status, ContractStatus::Ok)
+        << report.records[i].id << ": " << report.records[i].error;
+    EXPECT_GT(report.records[i].transactions, 0u) << report.records[i].id;
+  }
+  EXPECT_EQ(report.records[3].status, ContractStatus::BadInput);
+  EXPECT_FALSE(report.records[3].error.empty());
+  EXPECT_EQ(report.summary.ok, 3u);
+  EXPECT_EQ(report.summary.bad_input, 1u);
+  EXPECT_EQ(report.summary.failed, 0u);
 }
 
 // ------------------------------------------------------------- deadlines

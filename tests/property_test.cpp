@@ -13,8 +13,12 @@
 #include "instrument/trace_sink.hpp"
 #include "scanner/facts.hpp"
 #include "symbolic/solver.hpp"
+#include "testgen/generator.hpp"
 #include "util/rng.hpp"
+#include "wasm/decoder.hpp"
 #include "wasm/encoder.hpp"
+#include "wasm/printer.hpp"
+#include "wasm/validator.hpp"
 
 namespace wasai {
 namespace {
@@ -202,6 +206,66 @@ TEST(Property, InstrumentedExecutionNeverDiverges) {
     EXPECT_EQ(facts.called_api("tapos_block_num"), expect_taken)
         << "round " << round;
   }
+}
+
+// ---------------------------------------------- generator-driven properties
+
+TEST(Property, GeneratedModulesAlwaysValidateAndRoundTrip) {
+  // The testgen builder's output contract: every generated module validates,
+  // and encode∘decode is byte-identity on encoder output.
+  Rng seeds(20260806);
+  for (int i = 0; i < 25; ++i) {
+    const std::uint64_t seed = seeds.next();
+    const auto gen = testgen::generate(seed);
+    EXPECT_NO_THROW(wasm::validate(gen.module)) << "seed " << seed;
+    const auto bytes = wasm::encode(gen.module);
+    const wasm::Module back = wasm::decode(bytes);
+    EXPECT_NO_THROW(wasm::validate(back)) << "seed " << seed;
+    EXPECT_EQ(wasm::encode(back), bytes) << "seed " << seed;
+  }
+}
+
+TEST(Property, PrinterStableAcrossRoundTrip) {
+  // Debug names are not encoded, so printing is compared on the decoded
+  // module: one more encode/decode round must not change the rendering.
+  Rng seeds(424242);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t seed = seeds.next();
+    const wasm::Module once =
+        wasm::decode(wasm::encode(testgen::generate(seed).module));
+    const wasm::Module twice = wasm::decode(wasm::encode(once));
+    EXPECT_EQ(wasm::to_string(once), wasm::to_string(twice))
+        << "seed " << seed;
+  }
+}
+
+TEST(Property, ValidatorNeverAcceptsWhatDecoderRejects) {
+  // Single-byte corruption of a valid binary: the decoder either rejects
+  // with DecodeError (the only acceptable escape) or yields a module that
+  // the validator in turn either accepts or rejects with ValidationError.
+  // Any other exception type propagates and fails the test.
+  Rng rng(123);
+  const auto bytes = wasm::encode(testgen::generate(rng.next()).module);
+  int decoded = 0;
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto mutated = bytes;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      const wasm::Module m = wasm::decode(mutated);
+      ++decoded;
+      try {
+        wasm::validate(m);
+      } catch (const util::ValidationError&) {
+      }
+    } catch (const util::DecodeError&) {
+      ++rejected;
+    }
+  }
+  // The mutation set must exercise both outcomes to mean anything.
+  EXPECT_GT(decoded, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 }  // namespace

@@ -12,6 +12,12 @@
 
 namespace wasai::test {
 
+/// Base seed of the tier-1 testgen differential batch (testgen_diff_test).
+/// Changing it invalidates the recorded batch behaviour; any divergence at
+/// this seed is reproducible with
+///   wasai-testgen check --seed 20260806 --modules 200
+constexpr std::uint64_t kTestgenTier1Seed = 20260806;
+
 /// A host that knows a handful of functions and records every call.
 class RecordingHost : public vm::HostInterface {
  public:

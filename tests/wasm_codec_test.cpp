@@ -1,6 +1,7 @@
 // Decoder/encoder round-trip and structural tests for the Wasm substrate.
 #include <gtest/gtest.h>
 
+#include "util/leb128.hpp"
 #include "util/rng.hpp"
 #include "wasm/builder.hpp"
 #include "wasm/decoder.hpp"
@@ -233,6 +234,156 @@ TEST(Builder, TypeDeduplication) {
   b.add_func(FuncType{{ValType::I64}, {}}, {}, {Instr(Opcode::End)});
   b.add_func(FuncType{{ValType::I64}, {}}, {}, {Instr(Opcode::End)});
   EXPECT_EQ(b.module().types.size(), 1u);
+}
+
+// ------------------------------------------------- LEB128 width edge cases
+
+std::uint64_t decode_uleb(const Bytes& bytes, int max_bits) {
+  util::ByteReader r(bytes);
+  return util::read_uleb(r, max_bits);
+}
+
+std::int64_t decode_sleb(const Bytes& bytes, int max_bits) {
+  util::ByteReader r(bytes);
+  return util::read_sleb(r, max_bits);
+}
+
+Bytes uleb_bytes(std::uint64_t v) {
+  util::ByteWriter w;
+  util::write_uleb(w, v);
+  return w.data();
+}
+
+Bytes sleb_bytes(std::int64_t v) {
+  util::ByteWriter w;
+  util::write_sleb(w, v);
+  return w.data();
+}
+
+TEST(Leb128, UnsignedRoundTripsBoundaryValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{0xffffffff}, ~std::uint64_t{0}}) {
+    EXPECT_EQ(decode_uleb(uleb_bytes(v), 64), v) << v;
+  }
+  // u64::max needs the full 10 bytes.
+  EXPECT_EQ(uleb_bytes(~std::uint64_t{0}).size(), 10u);
+  EXPECT_EQ(uleb_bytes(0).size(), 1u);
+}
+
+TEST(Leb128, UnsignedRejectsValuesBeyondWidth) {
+  // 2^32 fits 64 bits but not 32.
+  const Bytes v = uleb_bytes(std::uint64_t{1} << 32);
+  EXPECT_EQ(decode_uleb(v, 64), std::uint64_t{1} << 32);
+  EXPECT_THROW(decode_uleb(v, 32), util::DecodeError);
+  // Spill bits in the final group of a 32-bit read must be zero.
+  EXPECT_EQ(decode_uleb({0xff, 0xff, 0xff, 0xff, 0x0f}, 32), 0xffffffffu);
+  EXPECT_THROW(decode_uleb({0xff, 0xff, 0xff, 0xff, 0x1f}, 32),
+               util::DecodeError);
+  // An all-zero continuation chain past the byte budget still overflows.
+  EXPECT_THROW(decode_uleb({0x80, 0x80, 0x80, 0x80, 0x80, 0x00}, 32),
+               util::DecodeError);
+}
+
+TEST(Leb128, SignedRoundTripsBoundaryValues) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{63},
+        std::int64_t{64}, std::int64_t{-64}, std::int64_t{-65},
+        std::int64_t{INT32_MAX}, std::int64_t{INT32_MIN}, INT64_MAX,
+        INT64_MIN}) {
+    EXPECT_EQ(decode_sleb(sleb_bytes(v), 64), v) << v;
+  }
+  // The sign boundary at -64/-65 is where the encoding grows a byte.
+  EXPECT_EQ(sleb_bytes(-64).size(), 1u);
+  EXPECT_EQ(sleb_bytes(-65).size(), 2u);
+  EXPECT_EQ(sleb_bytes(INT64_MIN).size(), 10u);
+}
+
+TEST(Leb128, SignedRejectsOverlongAndOverflowingEncodings) {
+  // An 11th byte can never be needed for a 64-bit value; shifting its group
+  // by 70 would be UB if the reader did not cap the byte count.
+  const Bytes eleven = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                        0x80, 0x80, 0x80, 0x80, 0x00};
+  EXPECT_THROW(decode_sleb(eleven, 64), util::DecodeError);
+
+  // 32-bit final group: spill bits must replicate the sign bit.
+  // -1 encoded in 5 bytes: sign-consistent, accepted.
+  EXPECT_EQ(decode_sleb({0xff, 0xff, 0xff, 0xff, 0x7f}, 32), -1);
+  // INT32_MIN's canonical 5-byte form.
+  EXPECT_EQ(decode_sleb(sleb_bytes(INT32_MIN), 32), INT32_MIN);
+  // Mixed spill bits (neither all-zero nor all-one): value does not fit.
+  EXPECT_THROW(decode_sleb({0xff, 0xff, 0xff, 0xff, 0x3f}, 32),
+               util::DecodeError);
+  EXPECT_THROW(decode_sleb({0x80, 0x80, 0x80, 0x80, 0x40}, 32),
+               util::DecodeError);
+}
+
+TEST(Leb128, SignedTruncatedInputThrowsNotHangs) {
+  EXPECT_THROW(decode_sleb({0x80, 0x80}, 64), util::DecodeError);
+  EXPECT_THROW(decode_uleb({0xff}, 64), util::DecodeError);
+}
+
+// ------------------------------------------------- empty-section emission
+
+TEST(Codec, EmptyModuleEncodesToBareHeader) {
+  const Bytes bytes = encode(Module{});
+  // Magic + version only: no zero-length sections are emitted.
+  const Bytes header = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  EXPECT_EQ(bytes, header);
+  const Module back = decode(bytes);
+  EXPECT_TRUE(back.types.empty());
+  EXPECT_TRUE(back.functions.empty());
+  EXPECT_EQ(encode(back), bytes);
+}
+
+TEST(Codec, ExplicitlyEmptySectionsDecode) {
+  // A producer may emit a present-but-empty section (vector count 0). The
+  // decoder must accept it; re-encoding then canonically drops it.
+  Bytes bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  for (const std::uint8_t id : {0x01, 0x02, 0x03, 0x06, 0x07, 0x09, 0x0b}) {
+    bytes.push_back(id);
+    bytes.push_back(0x01);  // section size
+    bytes.push_back(0x00);  // vector count
+  }
+  const Module m = decode(bytes);
+  EXPECT_TRUE(m.types.empty());
+  EXPECT_TRUE(m.imports.empty());
+  EXPECT_TRUE(m.globals.empty());
+  EXPECT_EQ(encode(m), encode(Module{}));
+}
+
+TEST(Codec, VectorCountBeyondInputRejectedBeforeAllocation) {
+  // A type-section count of 2^32-1 with no element bytes behind it must be
+  // rejected up front (otherwise `reserve` attempts a multi-GB allocation).
+  const Bytes bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00,
+                       0x01, 0x05, 0xff, 0xff, 0xff, 0xff, 0x0f};
+  EXPECT_THROW(decode(bytes), util::DecodeError);
+}
+
+TEST(Codec, LocalsBombRejected) {
+  // Locals are run-length encoded, so a six-byte body can claim billions of
+  // locals; the decoder caps the expanded total.
+  const auto with_locals = [](std::size_t n) {
+    ModuleBuilder b;
+    b.add_func(FuncType{{}, {}}, std::vector<ValType>(n, ValType::I32),
+               {Instr(Opcode::End)});
+    return encode(std::move(b).build());
+  };
+  EXPECT_NO_THROW(decode(with_locals(1000)));
+  EXPECT_THROW(decode(with_locals(100'001)), util::DecodeError);
+}
+
+TEST(Codec, StartSectionZeroIsPreserved) {
+  // Function index 0 is a valid start function; the encoder must not treat
+  // the zero index as "no start section".
+  ModuleBuilder b;
+  b.add_func(FuncType{{}, {}}, {}, {Instr(Opcode::End)});
+  Module m = std::move(b).build();
+  m.start = 0;
+  const Module back = decode(encode(m));
+  ASSERT_TRUE(back.start.has_value());
+  EXPECT_EQ(*back.start, 0u);
 }
 
 TEST(Printer, RendersInstructions) {
