@@ -1,6 +1,7 @@
 #include "baselines/eosfuzzer.hpp"
 
 #include <chrono>
+#include <unordered_set>
 
 #include "scanner/facts.hpp"
 
@@ -42,7 +43,7 @@ EosFuzzer::EosFuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
 EosFuzzerReport EosFuzzer::run() {
   EosFuzzerReport report;
   const auto start = std::chrono::steady_clock::now();
-  std::set<std::uint64_t> branches;
+  std::unordered_set<std::uint64_t> branches;
   static const abi::ActionDef kTransferDef = abi::transfer_action_def();
 
   std::size_t rotation = 0;

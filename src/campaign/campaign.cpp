@@ -48,8 +48,16 @@ void fill_analysis(ContractRecord& record, const AnalysisResult& result) {
   record.replay_failures = result.details.replay_failures;
   record.solver_queries = result.details.solver_queries;
   record.solver_sat = result.details.solver_sat;
+  record.solver_sat_late = result.details.solver_sat_late;
   record.solver_unsat = result.details.solver_unsat;
   record.solver_unknown = result.details.solver_unknown;
+  record.solver_cache_hits = result.details.solver_cache_hits;
+  record.solver_cache_misses = result.details.solver_cache_misses;
+  record.solver_cache_evictions = result.details.solver_cache_evictions;
+  if (result.details.fuzz_ms > 0) {
+    record.seeds_per_sec = static_cast<double>(result.details.transactions) /
+                           (result.details.fuzz_ms / 1000.0);
+  }
   record.iterations_run = result.details.iterations_run;
   record.timings.init_ms = result.init_ms;
   record.timings.fuzz_ms = result.details.fuzz_ms;
@@ -207,6 +215,8 @@ CampaignReport CampaignRunner::run(const std::vector<ContractInput>& inputs) {
     }
     s.total_transactions += record.transactions;
     s.total_solver_queries += record.solver_queries;
+    s.total_solver_cache_hits += record.solver_cache_hits;
+    s.total_solver_cache_misses += record.solver_cache_misses;
     s.total_solver_ms += record.timings.solver_ms;
   }
   s.findings_by_type.assign(by_type.begin(), by_type.end());

@@ -67,8 +67,14 @@ struct ContractRecord {
   std::size_t replay_failures = 0;
   std::size_t solver_queries = 0;
   std::size_t solver_sat = 0;
+  std::size_t solver_sat_late = 0;
   std::size_t solver_unsat = 0;
   std::size_t solver_unknown = 0;
+  std::size_t solver_cache_hits = 0;
+  std::size_t solver_cache_misses = 0;
+  std::size_t solver_cache_evictions = 0;
+  /// Fuzz throughput: transactions per second of fuzz-loop wall time.
+  double seeds_per_sec = 0;
   int iterations_run = 0;
 
   [[nodiscard]] bool completed() const {
@@ -87,6 +93,8 @@ struct CampaignSummary {
   std::size_t vulnerable = 0;  // completed contracts with ≥1 finding
   std::size_t total_transactions = 0;
   std::size_t total_solver_queries = 0;
+  std::size_t total_solver_cache_hits = 0;
+  std::size_t total_solver_cache_misses = 0;
   double total_solver_ms = 0;
   double wall_ms = 0;  // whole-campaign wall time
   /// Finding counts keyed by vulnerability name ("FakeEos", ...).

@@ -61,8 +61,12 @@ Json record_to_json(const ContractRecord& record) {
   JsonObject solver;
   solver.emplace("queries", num(record.solver_queries));
   solver.emplace("sat", num(record.solver_sat));
+  solver.emplace("sat_late", num(record.solver_sat_late));
   solver.emplace("unsat", num(record.solver_unsat));
   solver.emplace("unknown", num(record.solver_unknown));
+  solver.emplace("cache_hits", num(record.solver_cache_hits));
+  solver.emplace("cache_misses", num(record.solver_cache_misses));
+  solver.emplace("cache_evictions", num(record.solver_cache_evictions));
 
   JsonObject out;
   out.emplace("id", Json(record.id));
@@ -71,6 +75,7 @@ Json record_to_json(const ContractRecord& record) {
   out.emplace("timings", Json(std::move(timings)));
   out.emplace("iterations", num(record.iterations_run));
   out.emplace("transactions", num(record.transactions));
+  out.emplace("seeds_per_sec", num(record.seeds_per_sec));
   out.emplace("branches", num(record.distinct_branches));
   out.emplace("adaptive_seeds", num(record.adaptive_seeds));
   out.emplace("replays", num(record.replays));
@@ -107,6 +112,8 @@ Json summary_to_json(const CampaignSummary& summary) {
   out.emplace("vulnerable", num(summary.vulnerable));
   out.emplace("transactions", num(summary.total_transactions));
   out.emplace("solver_queries", num(summary.total_solver_queries));
+  out.emplace("solver_cache_hits", num(summary.total_solver_cache_hits));
+  out.emplace("solver_cache_misses", num(summary.total_solver_cache_misses));
   out.emplace("solver_ms", num(summary.total_solver_ms));
   out.emplace("wall_ms", num(summary.wall_ms));
   out.emplace("findings_by_type", Json(std::move(by_type)));

@@ -1,5 +1,8 @@
 #include "engine/fuzzer.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "scanner/facts.hpp"
 #include "symbolic/parallel_solver.hpp"
 
@@ -25,6 +28,10 @@ Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
           harness_.names().victim, harness_.names().token,
           harness_.names().fake_token, harness_.names().fake_notif}),
       rng_(options.rng_seed ^ 0xfeedfacecafebeefull) {
+  if (options_.solver_cache) {
+    solver_cache_ = std::make_unique<symbolic::SolverCache>(
+        options_.solver_cache_capacity);
+  }
   // L2 of Algorithm 1: fill the seed pool with random data. The eosponser
   // ("transfer") is exercised by the payload modes; Normal mode rotates
   // over the remaining actions.
@@ -59,7 +66,7 @@ PayloadMode Fuzzer::schedule(int iteration) const {
   }
 }
 
-Seed Fuzzer::select_seed(PayloadMode mode, int iteration) {
+Seed Fuzzer::select_seed(PayloadMode mode) {
   const abi::ActionDef transfer_def = abi::transfer_action_def();
   if (mode != PayloadMode::Normal) {
     // All payloads are parameterized by a transfer-shaped seed. The fake
@@ -100,13 +107,14 @@ Seed Fuzzer::select_seed(PayloadMode mode, int iteration) {
     }
     return fresh;
   }
-  (void)iteration;
   return *seed;
 }
 
 FuzzReport Fuzzer::run() {
   const auto start = std::chrono::steady_clock::now();
-  std::set<std::uint64_t> branches;
+  std::unordered_set<std::uint64_t> branches;
+  report_.curve.reserve(static_cast<std::size_t>(
+      std::max(options_.iterations, 0)));
 
   for (int i = 0; i < options_.iterations; ++i) {
     if (options_.cancel && options_.cancel->expired()) {
@@ -114,7 +122,7 @@ FuzzReport Fuzzer::run() {
       break;
     }
     PayloadMode mode = schedule(i);
-    const Seed seed = select_seed(mode, i);
+    const Seed seed = select_seed(mode);
     if (mode == PayloadMode::Normal &&
         seed.action == abi::name("transfer")) {
       mode = PayloadMode::ValidTransfer;  // transfer-only contract
@@ -177,6 +185,9 @@ FuzzReport Fuzzer::run() {
     }
   }
   report_.distinct_branches = branches.size();
+  if (solver_cache_ != nullptr) {
+    report_.solver_cache_evictions = solver_cache_->stats().evictions;
+  }
   report_.fuzz_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -209,6 +220,9 @@ void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
     if (solver_opts.cancel == nullptr) {
       solver_opts.cancel = options_.cancel.get();
     }
+    if (solver_opts.cache == nullptr) {
+      solver_opts.cache = solver_cache_.get();
+    }
     auto adaptive =
         options_.parallel_solving
             ? symbolic::solve_flips_parallel(env_, replayed,
@@ -219,9 +233,12 @@ void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
                                     solver_opts);
     report_.solver_queries += adaptive.queries;
     report_.solver_sat += adaptive.sat;
+    report_.solver_sat_late += adaptive.sat_late;
     report_.solver_unsat += adaptive.unsat;
     report_.solver_unknown += adaptive.unknown;
     report_.solver_wall_ms += adaptive.wall_ms;
+    report_.solver_cache_hits += adaptive.cache_hits;
+    report_.solver_cache_misses += adaptive.cache_misses;
     for (auto& params : adaptive.seeds) {
       pool_.add_priority(Seed{trace.action, std::move(params)});
       ++report_.adaptive_seeds;

@@ -29,6 +29,13 @@ struct FuzzOptions {
   /// of sequentially (0 threads = hardware concurrency).
   bool parallel_solving = false;
   unsigned solver_threads = 0;
+  /// Cross-iteration flip dedup: cache solver verdicts + models keyed by
+  /// the query's constraint digest, so a flip already decided in an earlier
+  /// iteration costs a hash lookup instead of a Z3 call. Off = every flip
+  /// goes to Z3 (perf-bench/ablation knob; the seed stream is identical
+  /// either way).
+  bool solver_cache = true;
+  std::size_t solver_cache_capacity = 4096;
   /// Extension of §4.2's "address pool" future work: let the fuzzer create
   /// and authorize additional local sender accounts, so contracts that
   /// serve only specific addresses (e.g. an administrator) can still be
@@ -62,9 +69,14 @@ struct FuzzReport {
   std::size_t replay_failures = 0;
   // Solver verdict breakdown and wall time (campaign observability).
   std::size_t solver_sat = 0;
+  std::size_t solver_sat_late = 0;  // sat past the hard cap, model discarded
   std::size_t solver_unsat = 0;
   std::size_t solver_unknown = 0;
   double solver_wall_ms = 0;
+  // Cross-iteration query-cache effectiveness (zero when the cache is off).
+  std::size_t solver_cache_hits = 0;
+  std::size_t solver_cache_misses = 0;
+  std::size_t solver_cache_evictions = 0;
   /// Wall time of the fuzz loop itself (excludes harness construction).
   double fuzz_ms = 0;
   /// Iterations actually executed (< options.iterations when cancelled).
@@ -89,7 +101,7 @@ class Fuzzer {
 
  private:
   scanner::PayloadMode schedule(int iteration) const;
-  Seed select_seed(scanner::PayloadMode mode, int iteration);
+  Seed select_seed(scanner::PayloadMode mode);
   void feedback_trace(const instrument::ActionTrace& trace);
 
   FuzzOptions options_;
@@ -99,6 +111,7 @@ class Fuzzer {
   Dbg dbg_;
   scanner::Scanner scanner_;
   symbolic::Z3Env env_;
+  std::unique_ptr<symbolic::SolverCache> solver_cache_;
   FuzzReport report_;
   std::vector<abi::Name> action_rotation_;
   std::vector<std::shared_ptr<scanner::CustomOracle>> custom_oracles_;

@@ -172,7 +172,8 @@ chain::TxResult ChainHarness::run_normal(const Seed& seed) {
   return execute(std::move(act));
 }
 
-void ChainHarness::accumulate_branches(std::set<std::uint64_t>& out) const {
+void ChainHarness::accumulate_branches(
+    std::unordered_set<std::uint64_t>& out) const {
   for (const auto* trace : victim_traces()) {
     for (const auto& ev : trace->events) {
       if (ev.kind != instrument::EventKind::Instr || ev.nvals != 1) continue;

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <set>
+#include <unordered_set>
 
 #include "chain/controller.hpp"
 #include "engine/seed.hpp"
@@ -63,7 +64,7 @@ class ChainHarness {
   }
 
   /// Fold the last run's distinct (branch site, direction) keys into `out`.
-  void accumulate_branches(std::set<std::uint64_t>& out) const;
+  void accumulate_branches(std::unordered_set<std::uint64_t>& out) const;
 
   /// Enable the dynamic address pool: payload senders follow the seed's
   /// `from` parameter, creating and funding local accounts on demand.

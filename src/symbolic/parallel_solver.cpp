@@ -1,8 +1,8 @@
 #include "symbolic/parallel_solver.hpp"
 
 #include <chrono>
-#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace wasai::symbolic {
@@ -12,49 +12,24 @@ namespace {
 using abi::ParamValue;
 using Clock = std::chrono::steady_clock;
 
+/// One flip query as seen by the coordinator: either answered by the
+/// cross-iteration cache during the pre-pass, or exported as SMT-LIB2 text
+/// for a worker to solve.
+struct PendingFlip {
+  QueryKey key;                     // meaningful only with a cache
+  const CacheEntry* hit = nullptr;  // non-null: answered by the cache
+  std::string smt2;                 // exported query (misses only)
+};
+
+/// One worker outcome: the shared query result plus whether the worker got
+/// to it at all before the budget/cancellation gate fired.
 struct QueryResult {
-  enum class Verdict { Sat, Unsat, Unknown } verdict = Verdict::Unknown;
-  std::map<std::string, std::uint64_t> model;  // var name -> value
+  SmtQueryResult result;
   bool attempted = false;  // false when skipped by budget/cancellation
 };
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
-
-/// Solve one SMT-LIB2 query in a worker-owned context. A result whose wall
-/// time exceeds `hard_ms` is downgraded to Unknown — same accounting as the
-/// serial solver, so the two stay in lockstep.
-QueryResult solve_one(const std::string& smt2, unsigned timeout_ms,
-                      double hard_ms) {
-  QueryResult out;
-  out.attempted = true;
-  z3::context ctx;
-  z3::solver solver(ctx);
-  z3::params p(ctx);
-  p.set("timeout", timeout_ms);
-  solver.set(p);
-  solver.from_string(smt2.c_str());
-  const auto start = Clock::now();
-  const auto verdict = solver.check();
-  if (ms_since(start) > hard_ms) {
-    return out;  // overshoot: Unknown, model discarded
-  }
-  if (verdict == z3::unsat) {
-    out.verdict = QueryResult::Verdict::Unsat;
-  } else if (verdict == z3::sat) {
-    out.verdict = QueryResult::Verdict::Sat;
-    z3::model model = solver.get_model();
-    for (unsigned i = 0; i < model.size(); ++i) {
-      const z3::func_decl decl = model.get_const_decl(i);
-      if (decl.arity() != 0) continue;
-      const z3::expr value = model.get_const_interp(decl);
-      if (value.is_numeral()) {
-        out.model.emplace(decl.name().str(), value.get_numeral_uint64());
-      }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -69,27 +44,53 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   const auto start = Clock::now();
   const double hard_ms = options.effective_hard_timeout_ms();
 
-  // Export every flip query as SMT-LIB2 in the shared context, in serial
-  // path order — queries[i] is flip i, and results[i] holds its verdict,
-  // whichever worker solves it.
-  std::vector<std::string> queries;
-  std::size_t flips = 0;
+  // Coordinator pre-pass: walk the path once with a single exporter solver
+  // (prefix holds asserted as they are passed; each flip exported from a
+  // push() scope), so exporting is O(path) assertions instead of the old
+  // O(path²) re-assert. Flips the cross-iteration cache already decided are
+  // answered here and never reach a worker; the exporter itself is
+  // materialized lazily on the first miss so an all-hits walk never pays
+  // Z3 internalization. flips[i] is flip i in serial path order, whichever
+  // worker solves it.
+  std::vector<PendingFlip> flips;
+  std::optional<z3::solver> exporter;
+  std::vector<const z3::expr*> prefix;
+  QueryDigest digest;
   for (std::size_t k = 0;
-       k < replay.path.size() && flips < options.max_flips; ++k) {
+       k < replay.path.size() && flips.size() < options.max_flips; ++k) {
     const PathStep& step = replay.path[k];
-    if (!step.can_flip || !step.flip) continue;
-    ++flips;
-    z3::solver exporter(env.ctx());
-    for (std::size_t j = 0; j < k; ++j) {
-      if (replay.path[j].hold) exporter.add(*replay.path[j].hold);
+    if (step.can_flip && step.flip) {
+      PendingFlip pending;
+      if (options.cache != nullptr) {
+        pending.key = digest.flip_key(*step.flip);
+        pending.hit = options.cache->lookup(pending.key);
+      }
+      if (pending.hit == nullptr) {
+        if (!exporter.has_value()) {
+          exporter.emplace(env.ctx());
+          for (const z3::expr* hold : prefix) exporter->add(*hold);
+        }
+        exporter->push();
+        exporter->add(*step.flip);
+        pending.smt2 = exporter->to_smt2();
+        exporter->pop();
+      }
+      flips.push_back(std::move(pending));
     }
-    exporter.add(*step.flip);
-    queries.push_back(exporter.to_smt2());
+    if (step.hold) {
+      prefix.push_back(&*step.hold);
+      if (exporter.has_value()) exporter->add(*step.hold);
+      if (options.cache != nullptr) digest.extend(*step.hold);
+    }
   }
 
-  // Fan the queries out over the worker pool.
+  // Fan the cache misses out over the worker pool.
   AdaptiveSeeds out;
-  std::vector<QueryResult> results(queries.size());
+  std::vector<std::size_t> miss_indices;
+  for (std::size_t i = 0; i < flips.size(); ++i) {
+    if (flips[i].hit == nullptr) miss_indices.push_back(i);
+  }
+  std::vector<QueryResult> results(flips.size());
   std::size_t next = 0;
   bool stop = false;
   std::mutex mu;
@@ -99,47 +100,76 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
       std::size_t index;
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (stop || next >= queries.size()) return;
+        if (stop || next >= miss_indices.size()) return;
         if ((options.cancel != nullptr && options.cancel->expired()) ||
             (options.wall_budget_ms != 0 &&
              ms_since(start) >= options.wall_budget_ms)) {
           stop = true;
           return;
         }
-        index = next++;
+        index = miss_indices[next++];
       }
-      results[index] = solve_one(queries[index], options.timeout_ms, hard_ms);
+      results[index] = QueryResult{
+          solve_smt2_query(flips[index].smt2, options.timeout_ms, hard_ms),
+          true};
     }
   };
   const unsigned n = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(queries.size(), 1)));
+      threads,
+      static_cast<unsigned>(std::max<std::size_t>(miss_indices.size(), 1)));
   pool.reserve(n);
   for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
   out.aborted = stop;
 
-  // Map each model back onto the seed parameters by variable name, walking
-  // results in flip order so the emitted seed sequence matches the serial
-  // solver regardless of which worker finished first.
-  for (const auto& result : results) {
-    if (!result.attempted) continue;  // skipped by budget/cancellation
-    ++out.queries;
-    switch (result.verdict) {
-      case QueryResult::Verdict::Unsat:
+  // Merge in flip order so the emitted seed sequence matches the serial
+  // solver regardless of which worker finished first. Freshly solved
+  // sat/unsat verdicts feed the cache for later iterations.
+  for (std::size_t i = 0; i < flips.size(); ++i) {
+    const PendingFlip& pending = flips[i];
+    if (pending.hit != nullptr) {
+      ++out.cache_hits;
+      if (pending.hit->verdict == CachedVerdict::Sat) {
+        ++out.sat;
+        out.seeds.push_back(
+            seed_from_model_values(seed, replay.bindings,
+                                   pending.hit->model));
+      } else {
         ++out.unsat;
+      }
+      continue;
+    }
+    if (!results[i].attempted) continue;  // skipped by budget/cancellation
+    const SmtQueryResult& result = results[i].result;
+    ++out.queries;
+    if (options.cache != nullptr) ++out.cache_misses;
+    if (result.overshoot) {
+      // Same sat_late/unknown split as the serial solver; never cached.
+      if (result.verdict == SmtQueryResult::Verdict::Sat) {
+        ++out.sat_late;
+      } else {
+        ++out.unknown;
+      }
+      continue;
+    }
+    switch (result.verdict) {
+      case SmtQueryResult::Verdict::Unsat:
+        ++out.unsat;
+        if (options.cache != nullptr) {
+          options.cache->insert(pending.key, CachedVerdict::Unsat);
+        }
         break;
-      case QueryResult::Verdict::Unknown:
+      case SmtQueryResult::Verdict::Unknown:
         ++out.unknown;
         break;
-      case QueryResult::Verdict::Sat: {
+      case SmtQueryResult::Verdict::Sat: {
         ++out.sat;
-        std::vector<ParamValue> mutated = seed;
-        for (const auto& binding : replay.bindings) {
-          const auto it = result.model.find(binding.var.decl().name().str());
-          if (it == result.model.end()) continue;
-          apply_model_binding(mutated, binding, it->second);
+        out.seeds.push_back(
+            seed_from_model_values(seed, replay.bindings, result.model));
+        if (options.cache != nullptr) {
+          options.cache->insert(pending.key, CachedVerdict::Sat,
+                                ModelValues(result.model));
         }
-        out.seeds.push_back(std::move(mutated));
         break;
       }
     }

@@ -3,6 +3,17 @@
 // at the same time and generate more adaptive seeds before reaching the
 // timeout." Queries are exported as SMT-LIB2 text and each worker thread
 // solves in its own Z3 context (contexts are not thread-shareable).
+//
+// Exporting is prefix-sharded: a single coordinator-side solver walks the
+// path once, accumulating holds and serializing each flip from a push()
+// scope, so one call issues O(path) assertions (the legacy exporter
+// re-asserted the prefix per flip, O(path²)). With a SolverOptions::cache,
+// already-decided flips are answered in the coordinator pre-pass and never
+// reach a worker; freshly solved sat/unsat verdicts are inserted at merge
+// time. One caveat vs the serial solver: two identical flip queries inside
+// the SAME call both go to workers here (the serial walk would answer the
+// second from the cache), so hit/miss/query counters can differ on such
+// paths while the emitted seed stream stays identical.
 #pragma once
 
 #include "symbolic/solver.hpp"

@@ -1,7 +1,9 @@
 #include "symbolic/solver.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <optional>
 
 namespace wasai::symbolic {
 
@@ -9,11 +11,6 @@ namespace {
 
 using abi::ParamValue;
 using Clock = std::chrono::steady_clock;
-
-std::uint64_t eval_var(z3::model& model, const z3::expr& var) {
-  const z3::expr v = model.eval(var, /*model_completion=*/true);
-  return v.get_numeral_uint64();
-}
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -63,6 +60,63 @@ void apply_model_binding(std::vector<ParamValue>& params,
   }
 }
 
+ModelValues extract_model_values(const z3::model& model) {
+  ModelValues out;
+  out.reserve(model.size());
+  for (unsigned i = 0; i < model.size(); ++i) {
+    const z3::func_decl decl = model.get_const_decl(i);
+    if (decl.arity() != 0) continue;
+    const z3::expr value = model.get_const_interp(decl);
+    if (value.is_numeral()) {
+      out.emplace_back(decl.name().str(), value.get_numeral_uint64());
+    }
+  }
+  return out;
+}
+
+std::vector<ParamValue> seed_from_model_values(
+    const std::vector<ParamValue>& seed_params,
+    const std::vector<InputBinding>& bindings, const ModelValues& values) {
+  std::vector<ParamValue> mutated = seed_params;
+  for (const auto& binding : bindings) {
+    // Mutate only the parameters the model actually mentions;
+    // unconstrained variables keep their executed-seed values.
+    const std::string name = binding.var.decl().name().str();
+    const auto it =
+        std::find_if(values.begin(), values.end(),
+                     [&](const auto& nv) { return nv.first == name; });
+    if (it == values.end()) continue;
+    apply_model_binding(mutated, binding, it->second);
+  }
+  return mutated;
+}
+
+SmtQueryResult solve_smt2_query(const std::string& smt2, unsigned timeout_ms,
+                                double hard_ms) {
+  SmtQueryResult out;
+  z3::context ctx;
+  z3::solver solver(ctx);
+  z3::params p(ctx);
+  p.set("timeout", timeout_ms);
+  solver.set(p);
+  solver.from_string(smt2.c_str());
+  const auto start = Clock::now();
+  const auto verdict = solver.check();
+  if (verdict == z3::unsat) {
+    out.verdict = SmtQueryResult::Verdict::Unsat;
+  } else if (verdict == z3::sat) {
+    out.verdict = SmtQueryResult::Verdict::Sat;
+  }
+  if (ms_since(start) > hard_ms) {
+    out.overshoot = true;  // model discarded; verdict kept for accounting
+    return out;
+  }
+  if (verdict == z3::sat) {
+    out.model = extract_model_values(solver.get_model());
+  }
+  return out;
+}
+
 AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
                           const std::vector<ParamValue>& seed_params,
                           const SolverOptions& opts) {
@@ -71,59 +125,122 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
   const auto start = Clock::now();
   const double hard_ms = opts.effective_hard_timeout_ms();
 
-  for (std::size_t k = 0;
-       k < replay.path.size() && flips_attempted < opts.max_flips; ++k) {
+  // Incremental mode: one walker solver accumulates holds across the whole
+  // walk; each flip is serialized from a push() scope and decided in a
+  // fresh context (see the header note on why the walker never check()s
+  // itself). The walker is materialized lazily on the first cache miss —
+  // asserting holds into a Z3 solver costs internalization work, and a
+  // walk whose flips are all answered by the cache should not pay it.
+  // Legacy mode re-asserts the prefix into a fresh solver per flip.
+  std::optional<z3::solver> walker;
+  QueryDigest digest;                   // rolling prefix digest (cache keys)
+  std::vector<const z3::expr*> prefix;  // holds walked so far
+
+  for (std::size_t k = 0; k < replay.path.size(); ++k) {
     const PathStep& step = replay.path[k];
-    if (!step.can_flip || !step.flip) continue;
+    if (step.can_flip && step.flip) {
+      if (flips_attempted >= opts.max_flips) break;
 
-    // The per-query "timeout" parameter below is only a soft limit; these
-    // wall-clock gates are what actually bound one solve_flips call.
-    if (opts.cancel != nullptr && opts.cancel->expired()) {
-      out.aborted = true;
-      break;
-    }
-    if (opts.wall_budget_ms != 0 && ms_since(start) >= opts.wall_budget_ms) {
-      out.aborted = true;
-      break;
-    }
-
-    ++flips_attempted;
-    ++out.queries;
-
-    z3::solver solver(env.ctx());
-    z3::params p(env.ctx());
-    p.set("timeout", opts.timeout_ms);
-    solver.set(p);
-    // Path prefix must stay feasible (§3.4.4: AND of prior constraints).
-    for (std::size_t j = 0; j < k; ++j) {
-      if (replay.path[j].hold) solver.add(*replay.path[j].hold);
-    }
-    solver.add(*step.flip);
-
-    const auto query_start = Clock::now();
-    const auto verdict = solver.check();
-    const double query_ms = ms_since(query_start);
-
-    if (query_ms > hard_ms) {
-      // Z3 overshot its soft timeout badly enough that the result is no
-      // longer worth the budget it consumed; account it as unknown so the
-      // fuzz iteration moves on instead of compounding the overrun.
-      ++out.unknown;
-    } else if (verdict == z3::sat) {
-      ++out.sat;
-      z3::model model = solver.get_model();
-      std::vector<ParamValue> mutated = seed_params;
-      for (const auto& binding : replay.bindings) {
-        // Mutate only the parameters the constraints actually mention;
-        // unconstrained variables keep their executed-seed values.
-        if (!model.has_interp(binding.var.decl())) continue;
-        apply_model_binding(mutated, binding, eval_var(model, binding.var));
+      // The per-query "timeout" parameter is only a soft limit; these
+      // wall-clock gates are what actually bound one solve_flips call.
+      if (opts.cancel != nullptr && opts.cancel->expired()) {
+        out.aborted = true;
+        break;
       }
-      out.seeds.push_back(std::move(mutated));
-    } else if (verdict == z3::unsat) {
-      ++out.unsat;
-    } else {
-      ++out.unknown;
+      if (opts.wall_budget_ms != 0 && ms_since(start) >= opts.wall_budget_ms) {
+        out.aborted = true;
+        break;
+      }
+      ++flips_attempted;
+
+      QueryKey key;
+      const CacheEntry* hit = nullptr;
+      if (opts.cache != nullptr) {
+        key = digest.flip_key(*step.flip);
+        hit = opts.cache->lookup(key);
+      }
+      if (hit != nullptr) {
+        ++out.cache_hits;
+        if (hit->verdict == CachedVerdict::Sat) {
+          ++out.sat;
+          out.seeds.push_back(
+              seed_from_model_values(seed_params, replay.bindings,
+                                     hit->model));
+        } else {
+          ++out.unsat;
+        }
+      } else {
+        if (opts.cache != nullptr) ++out.cache_misses;
+        ++out.queries;
+
+        SmtQueryResult result;
+        if (opts.incremental) {
+          if (!walker.has_value()) {
+            walker.emplace(env.ctx());
+            for (const z3::expr* hold : prefix) walker->add(*hold);
+          }
+          walker->push();
+          walker->add(*step.flip);
+          const std::string smt2 = walker->to_smt2();
+          walker->pop();
+          result = solve_smt2_query(smt2, opts.timeout_ms, hard_ms);
+        } else {
+          z3::solver solver(env.ctx());
+          z3::params p(env.ctx());
+          p.set("timeout", opts.timeout_ms);
+          solver.set(p);
+          // Path prefix must stay feasible (§3.4.4: AND of prior
+          // constraints).
+          for (const z3::expr* hold : prefix) solver.add(*hold);
+          solver.add(*step.flip);
+          const auto query_start = Clock::now();
+          const auto verdict = solver.check();
+          if (verdict == z3::unsat) {
+            result.verdict = SmtQueryResult::Verdict::Unsat;
+          } else if (verdict == z3::sat) {
+            result.verdict = SmtQueryResult::Verdict::Sat;
+          }
+          if (ms_since(query_start) > hard_ms) {
+            result.overshoot = true;
+          } else if (verdict == z3::sat) {
+            result.model = extract_model_values(solver.get_model());
+          }
+        }
+
+        if (result.overshoot) {
+          // Z3 overshot its soft timeout badly enough that the result is no
+          // longer worth the budget it consumed. The model (if any) is
+          // discarded so the seed stream stays timing-independent, and the
+          // outcome is never cached — see SolverOptions::hard_timeout_ms
+          // for the sat_late/unknown split.
+          if (result.verdict == SmtQueryResult::Verdict::Sat) {
+            ++out.sat_late;
+          } else {
+            ++out.unknown;
+          }
+        } else if (result.verdict == SmtQueryResult::Verdict::Sat) {
+          ++out.sat;
+          out.seeds.push_back(seed_from_model_values(seed_params,
+                                                     replay.bindings,
+                                                     result.model));
+          if (opts.cache != nullptr) {
+            opts.cache->insert(key, CachedVerdict::Sat,
+                               std::move(result.model));
+          }
+        } else if (result.verdict == SmtQueryResult::Verdict::Unsat) {
+          ++out.unsat;
+          if (opts.cache != nullptr) {
+            opts.cache->insert(key, CachedVerdict::Unsat);
+          }
+        } else {
+          ++out.unknown;
+        }
+      }
+    }
+    if (step.hold) {
+      prefix.push_back(&*step.hold);
+      if (walker.has_value()) walker->add(*step.hold);
+      if (opts.cache != nullptr) digest.extend(*step.hold);
     }
   }
   out.wall_ms = ms_since(start);

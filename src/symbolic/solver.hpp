@@ -1,9 +1,28 @@
 // Constraint flipping and solving (§3.4.4): negate each flippable
 // conditional state, conjoin the path prefix, and ask Z3 for a model —
 // each model becomes an adaptive seed.
+//
+// Two serial strategies share one walk:
+//  * incremental (default): a single walker z3::solver accumulates the
+//    path prefix once — assert hold k, push, assert flip, serialize, pop,
+//    continue — so one solve_flips call issues O(path) constraint
+//    assertions; each serialized flip query is decided in a fresh context
+//    (the exact procedure the parallel workers use). Checking directly on
+//    the walker would avoid the serialization, but Z3's incremental engine
+//    picks different models than a one-shot solver for the same query
+//    (measured: the majority of sat models differ), which would break the
+//    cross-mode seed parity this repo guarantees. The SMT-LIB2 round trip
+//    is model-stable: fresh-context from_string reproduces the one-shot
+//    models bit-for-bit.
+//  * legacy (incremental = false): a fresh solver per flip re-asserts the
+//    whole prefix, O(path²) assertions per call. Kept as the reference
+//    implementation the parity tests and the perf bench compare against.
+// An optional cross-iteration SolverCache short-circuits queries that were
+// already decided in an earlier iteration (see solver_cache.hpp).
 #pragma once
 
 #include "symbolic/replayer.hpp"
+#include "symbolic/solver_cache.hpp"
 #include "util/cancel.hpp"
 
 namespace wasai::symbolic {
@@ -11,12 +30,23 @@ namespace wasai::symbolic {
 struct SolverOptions {
   unsigned timeout_ms = 200;    // per-query budget (paper used 3,000 ms)
   std::size_t max_flips = 24;   // cap on flip targets per executed seed
+  /// Incremental path-prefix solving (see header note). Off = legacy
+  /// fresh-solver-per-flip; parity between the two is tested, and the perf
+  /// bench toggles this knob.
+  bool incremental = true;
+  /// Cross-iteration query cache; not owned, may be null (= no caching).
+  /// One cache must only ever see queries from one Z3Env.
+  SolverCache* cache = nullptr;
   /// Hard wall-clock cap per query. Z3's "timeout" parameter is a soft
-  /// limit that the solver can overshoot; a query whose wall time exceeds
-  /// this cap is accounted as `unknown` and its model discarded. 0 derives
-  /// a generous default (10×timeout_ms + 1000) so the cap only fires on
-  /// genuinely stuck queries, not on scheduler jitter — keeping the seed
-  /// stream deterministic in practice.
+  /// limit that the solver can overshoot. Accounting for a query whose
+  /// wall time exceeds this cap:
+  ///  * verdict sat  -> counted as `sat_late`; the model is still discarded
+  ///    (using it would make the seed stream timing-dependent);
+  ///  * anything else -> counted as `unknown`.
+  /// Overshot queries are never cached. 0 derives a generous default
+  /// (10×timeout_ms + 1000) so the cap only fires on genuinely stuck
+  /// queries, not on scheduler jitter — keeping the seed stream
+  /// deterministic in practice.
   unsigned hard_timeout_ms = 0;
   /// Total wall budget for one solve_flips call; once exhausted, remaining
   /// flips are skipped (`aborted` is set). 0 = unlimited.
@@ -34,18 +64,52 @@ struct AdaptiveSeeds {
   /// One mutated parameter vector per satisfiable flip, in flip (i.e.
   /// serial path) order.
   std::vector<std::vector<abi::ParamValue>> seeds;
+  /// Z3 check() calls actually issued (cache hits do not count).
   std::size_t queries = 0;
+  // Verdict accounting: sat + sat_late + unsat + unknown covers every flip
+  // attempted (whether answered by Z3 or by the cache).
   std::size_t sat = 0;
+  std::size_t sat_late = 0;  // sat, but past the hard cap: model discarded
   std::size_t unsat = 0;
-  std::size_t unknown = 0;  // timeouts and per-query wall overshoots
-  double wall_ms = 0;       // total wall time spent solving
-  bool aborted = false;     // stopped early (wall budget or cancellation)
+  std::size_t unknown = 0;   // timeouts and non-sat wall overshoots
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;  // flips that went to Z3 despite a cache
+  double wall_ms = 0;            // total wall time spent solving
+  bool aborted = false;  // stopped early (wall budget or cancellation)
 };
 
 /// Apply one solved binding onto a parameter vector. Shared by the serial
 /// and parallel solvers so both map models onto seeds identically.
 void apply_model_binding(std::vector<abi::ParamValue>& params,
                          const InputBinding& binding, std::uint64_t value);
+
+/// Extract every zero-arity numeral interpretation of `model` as
+/// (name, value) pairs — the representation the cache stores and both
+/// solvers map back onto seeds.
+ModelValues extract_model_values(const z3::model& model);
+
+/// Apply extracted model values onto a copy of the seed parameters through
+/// the input bindings; bindings whose variable the model does not mention
+/// keep their executed-seed values.
+std::vector<abi::ParamValue> seed_from_model_values(
+    const std::vector<abi::ParamValue>& seed_params,
+    const std::vector<InputBinding>& bindings, const ModelValues& values);
+
+/// Outcome of one serialized flip query.
+struct SmtQueryResult {
+  enum class Verdict : std::uint8_t { Sat, Unsat, Unknown } verdict =
+      Verdict::Unknown;
+  ModelValues model;       // populated for sat within the hard cap
+  bool overshoot = false;  // wall time exceeded hard_ms; model discarded
+};
+
+/// Decide one SMT-LIB2 query in a fresh Z3 context. The single solving
+/// procedure behind both the serial incremental walk and the parallel
+/// workers — using exactly one procedure everywhere is what makes the
+/// emitted seed stream identical across modes. Safe to call from any
+/// thread (the context is function-local).
+SmtQueryResult solve_smt2_query(const std::string& smt2, unsigned timeout_ms,
+                                double hard_ms);
 
 /// Solve every flippable conditional of `replay` against the path prefix,
 /// mapping each model back onto the executed seed's parameters through the

@@ -1,0 +1,60 @@
+#include "symbolic/solver_cache.hpp"
+
+namespace wasai::symbolic {
+
+void QueryDigest::absorb(util::Digest& d, const std::string& text) const {
+  // Length framing keeps constraint boundaries unambiguous under
+  // concatenation ("a" + "bc" vs "ab" + "c").
+  d.u64(text.size());
+  for (const char c : text) d.u8(static_cast<std::uint8_t>(c));
+}
+
+void QueryDigest::extend(const z3::expr& hold) {
+  const std::string text = hold.to_string();
+  absorb(primary_, text);
+  absorb(secondary_, text);
+}
+
+QueryKey QueryDigest::flip_key(const z3::expr& flip) const {
+  const std::string text = flip.to_string();
+  util::Digest p = primary_;
+  util::Digest s = secondary_;
+  absorb(p, text);
+  absorb(s, text);
+  return QueryKey{p.value(), s.value()};
+}
+
+const CacheEntry* SolverCache::lookup(const QueryKey& key) {
+  const auto it = map_.find(key.primary);
+  if (it == map_.end() || it->second.key != key) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return &it->second.entry;
+}
+
+void SolverCache::insert(const QueryKey& key, CachedVerdict verdict,
+                         ModelValues model) {
+  const auto it = map_.find(key.primary);
+  if (it != map_.end()) {
+    it->second.key = key;
+    it->second.entry = CacheEntry{verdict, std::move(model)};
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key.primary);
+  map_.emplace(key.primary,
+               Slot{key, CacheEntry{verdict, std::move(model)}, lru_.begin()});
+  ++stats_.insertions;
+  stats_.entries = map_.size();
+}
+
+}  // namespace wasai::symbolic

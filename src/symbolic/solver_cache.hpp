@@ -1,0 +1,121 @@
+// Cross-iteration flip-query dedup (the concolic loop's §3.4.4 hot path):
+// every fuzz iteration replays a trace and flips each branch, and most of
+// those (prefix, flip) pairs were already decided in an earlier iteration —
+// the trace shapes recur as the seed pool converges. The cache keys each
+// query by a digest of its printed constraint set and stores the verdict
+// plus the satisfying model bindings, so a repeated flip costs a hash
+// lookup instead of a Z3 call.
+//
+// Determinism note: keys are digests of the RAW printed constraints, not an
+// alpha-renamed normal form. Z3's model choice depends on symbol names, so
+// two alpha-equivalent queries with different variable names can have
+// different models; sharing a cached model between them would make a cached
+// run diverge from an uncached one. Replay variable names are deterministic
+// per trace shape ("p0", "p1_amount", "mem_<addr>" — see inputs.cpp and
+// memory_model.cpp), so recurring queries are textually identical and the
+// raw-text key already dedups everything that is safe to dedup.
+#pragma once
+
+#include <z3++.h>
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/digest.hpp"
+
+namespace wasai::symbolic {
+
+/// Model bindings of a sat query: (variable name, value) in Z3 model
+/// declaration order. Small enough that linear lookup beats a map.
+using ModelValues = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/// 128-bit cache key: two independent FNV streams over the same constraint
+/// text. The secondary digest guards against primary collisions silently
+/// returning a wrong verdict — a mismatch is treated as a miss.
+struct QueryKey {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+
+  bool operator==(const QueryKey&) const = default;
+};
+
+/// Rolling digest over the printed path-prefix constraints. The fuzzer's
+/// walk extends it once per hold (each constraint is printed exactly once),
+/// and flip_key() forks the prefix state with the flip constraint's text to
+/// produce the key of one (prefix, flip) query in O(|flip|).
+class QueryDigest {
+ public:
+  /// Absorb the next path-prefix constraint.
+  void extend(const z3::expr& hold);
+
+  /// Key of the query "prefix so far AND flip". Does not mutate the prefix.
+  [[nodiscard]] QueryKey flip_key(const z3::expr& flip) const;
+
+ private:
+  void absorb(util::Digest& d, const std::string& text) const;
+
+  util::Digest primary_;
+  util::Digest secondary_{make_secondary()};
+
+  static util::Digest make_secondary() {
+    util::Digest d;
+    d.u64(0x5eedcafef00dull);  // distinct stream salt
+    return d;
+  }
+};
+
+enum class CachedVerdict : std::uint8_t { Sat, Unsat };
+
+struct CacheEntry {
+  CachedVerdict verdict = CachedVerdict::Unsat;
+  ModelValues model;  // empty unless verdict == Sat
+};
+
+struct SolverCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t insertions = 0;
+  std::size_t entries = 0;
+};
+
+/// Bounded LRU map from query key to solved verdict + model. One instance
+/// per Fuzzer (one Z3Env); NOT thread-safe — the parallel solver consults
+/// it from the coordinating thread only (pre-pass / merge), never from
+/// workers. Only Sat and Unsat verdicts are cached: unknown and overshoot
+/// outcomes are timing artifacts that a later attempt may decide.
+class SolverCache {
+ public:
+  explicit SolverCache(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the entry or nullptr, counting a hit or miss and refreshing
+  /// the entry's LRU position.
+  const CacheEntry* lookup(const QueryKey& key);
+
+  /// Record a solved query, evicting the least-recently-used entry when at
+  /// capacity. Re-inserting an existing key refreshes value and position.
+  void insert(const QueryKey& key, CachedVerdict verdict,
+              ModelValues model = {});
+
+  [[nodiscard]] const SolverCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    QueryKey key;
+    CacheEntry entry;
+    std::list<std::uint64_t>::iterator lru;  // position in lru_
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Slot> map_;  // keyed by primary digest
+  std::list<std::uint64_t> lru_;  // most-recent first, holds primary keys
+  SolverCacheStats stats_;
+};
+
+}  // namespace wasai::symbolic

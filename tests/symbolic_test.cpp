@@ -525,9 +525,128 @@ TEST(Solver, ReportsWallTimeAndRespectsWallBudget) {
   opts.wall_budget_ms = 1;
   const auto budgeted = solve_flips(fx.env_, r, fx.last_params_, opts);
   // One flip target: either it ran inside the budget or the call aborted —
-  // both are legal; what matters is that accounting stays consistent.
-  EXPECT_EQ(budgeted.queries,
-            budgeted.sat + budgeted.unsat + budgeted.unknown);
+  // both are legal; what matters is that accounting stays consistent
+  // (sat_late counts sat verdicts past the hard cap, models discarded).
+  EXPECT_EQ(budgeted.queries, budgeted.sat + budgeted.sat_late +
+                                  budgeted.unsat + budgeted.unknown);
+}
+
+// Three flippable branches over different parameters — the workload the
+// perf-layer parity tests below share.
+std::vector<Instr> three_branch_body(const corpus::EnvImports& env) {
+  return {
+      // if (amount == 1337) tapos
+      wasm::local_get(3), wasm::mem_load(Opcode::I64Load),
+      wasm::i64_const(1337), Instr(Opcode::I64Eq), wasm::if_(),
+      wasm::call(env.tapos_block_num), Instr(Opcode::Drop),
+      Instr(Opcode::End),
+      // if (from == lucky) tapos
+      wasm::local_get(1), wasm::i64_const_u(name("lucky").value()),
+      Instr(Opcode::I64Eq), wasm::if_(), wasm::call(env.tapos_block_num),
+      Instr(Opcode::Drop), Instr(Opcode::End),
+      // if (memo[0] == 'x') tapos
+      wasm::local_get(4), wasm::mem_load(Opcode::I32Load8U, /*offset=*/1),
+      wasm::i32_const('x'), Instr(Opcode::I32Eq), wasm::if_(),
+      wasm::call(env.tapos_block_num), Instr(Opcode::Drop),
+      Instr(Opcode::End), Instr(Opcode::End)};
+}
+
+void expect_same_seeds(const AdaptiveSeeds& actual,
+                       const AdaptiveSeeds& expected, const char* label) {
+  ASSERT_EQ(actual.seeds.size(), expected.seeds.size()) << label;
+  for (std::size_t i = 0; i < expected.seeds.size(); ++i) {
+    ASSERT_EQ(actual.seeds[i].size(), expected.seeds[i].size()) << label;
+    for (std::size_t j = 0; j < expected.seeds[i].size(); ++j) {
+      EXPECT_EQ(abi::to_string(actual.seeds[i][j]),
+                abi::to_string(expected.seeds[i][j]))
+          << label << ", seed " << i << ", param " << j;
+    }
+  }
+}
+
+TEST(Solver, IncrementalMatchesLegacySeedStream) {
+  ContractBuilder probe;
+  ReplayFixture fx(three_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5, "m"));
+  const ReplayResult r = fx.replay_last(trace);
+  ASSERT_EQ(r.path.size(), 3u);
+
+  SolverOptions legacy_opts;
+  legacy_opts.incremental = false;
+  const auto legacy = solve_flips(fx.env_, r, fx.last_params_, legacy_opts);
+  ASSERT_EQ(legacy.seeds.size(), 3u);
+
+  SolverOptions incremental_opts;
+  incremental_opts.incremental = true;
+  const auto incremental =
+      solve_flips(fx.env_, r, fx.last_params_, incremental_opts);
+  EXPECT_EQ(incremental.queries, legacy.queries);
+  EXPECT_EQ(incremental.sat, legacy.sat);
+  EXPECT_EQ(incremental.unsat, legacy.unsat);
+  EXPECT_EQ(incremental.unknown, legacy.unknown);
+  expect_same_seeds(incremental, legacy, "incremental vs legacy");
+}
+
+TEST(Solver, CachedRerunAnswersEveryFlipWithoutZ3) {
+  ContractBuilder probe;
+  ReplayFixture fx(three_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5, "m"));
+  const ReplayResult r = fx.replay_last(trace);
+
+  const auto uncached = solve_flips(fx.env_, r, fx.last_params_);
+
+  SolverCache cache(64);
+  SolverOptions opts;
+  opts.cache = &cache;
+  const auto first = solve_flips(fx.env_, r, fx.last_params_, opts);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, first.queries);
+  expect_same_seeds(first, uncached, "first cached vs uncached");
+
+  const auto second = solve_flips(fx.env_, r, fx.last_params_, opts);
+  EXPECT_EQ(second.queries, 0u);  // every flip answered by the cache
+  EXPECT_EQ(second.cache_hits, first.queries);
+  EXPECT_EQ(second.sat, first.sat);
+  EXPECT_EQ(second.unsat, first.unsat);
+  expect_same_seeds(second, first, "second cached vs first");
+  EXPECT_EQ(cache.stats().hits, second.cache_hits);
+  EXPECT_EQ(cache.stats().entries, first.queries);
+}
+
+TEST(ParallelSolver, SharesCacheAndSeedStreamWithSerial) {
+  ContractBuilder probe;
+  ReplayFixture fx(three_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5, "m"));
+  const ReplayResult r = fx.replay_last(trace);
+
+  SolverCache serial_cache(64);
+  SolverOptions serial_opts;
+  serial_opts.cache = &serial_cache;
+  const auto serial = solve_flips(fx.env_, r, fx.last_params_, serial_opts);
+
+  // A fresh cache populated by the parallel pre-pass/merge must produce
+  // the same stream, then answer a rerun entirely from memory.
+  SolverCache parallel_cache(64);
+  SolverOptions parallel_opts;
+  parallel_opts.cache = &parallel_cache;
+  const auto first =
+      solve_flips_parallel(fx.env_, r, fx.last_params_, parallel_opts, 2);
+  EXPECT_EQ(first.queries, serial.queries);
+  EXPECT_EQ(first.cache_misses, serial.cache_misses);
+  expect_same_seeds(first, serial, "parallel+cache vs serial+cache");
+
+  const auto second =
+      solve_flips_parallel(fx.env_, r, fx.last_params_, parallel_opts, 2);
+  EXPECT_EQ(second.queries, 0u);
+  EXPECT_EQ(second.cache_hits, first.queries);
+  expect_same_seeds(second, first, "parallel rerun from cache");
+
+  // Cross-pollination: a serial walk can consume what the parallel run
+  // cached.
+  const auto cross =
+      solve_flips(fx.env_, r, fx.last_params_, parallel_opts);
+  EXPECT_EQ(cross.queries, 0u);
+  expect_same_seeds(cross, serial, "serial walk over parallel cache");
 }
 
 TEST(Replay, DbApiCallsRecordedWithConcreteArgs) {

@@ -10,6 +10,10 @@
 //   --deadline-ms N   wall-clock budget per contract (default 0 = none)
 //   --retries N       total attempts per contract (default 2)
 //   --parallel        solve flip constraints on a worker pool
+//   --no-incremental  legacy per-flip prefix re-assertion (perf baseline)
+//   --no-solver-cache disable the cross-iteration flip query cache
+//   --solver-cache-capacity N
+//                     cached verdicts kept per contract (default 4096)
 //   --out FILE        JSONL records destination (default: stdout)
 //   --summary FILE    aggregate summary JSON destination (default: stderr)
 //   --findings-only   emit the stable findings projection instead of full
@@ -35,6 +39,8 @@ int usage() {
       "usage:\n"
       "  wasai-campaign run <corpus-dir> [--jobs N] [--iterations N]\n"
       "        [--seed N] [--deadline-ms N] [--retries N] [--parallel]\n"
+      "        [--no-incremental] [--no-solver-cache]\n"
+      "        [--solver-cache-capacity N]\n"
       "        [--out FILE] [--summary FILE] [--findings-only]\n");
   return 2;
 }
@@ -61,6 +67,13 @@ int cmd_run(int argc, char** argv) {
       options.max_attempts = std::atoi(argv[++i]);
     } else if (arg == "--parallel") {
       options.fuzz.parallel_solving = true;
+    } else if (arg == "--no-incremental") {
+      options.fuzz.solver.incremental = false;
+    } else if (arg == "--no-solver-cache") {
+      options.fuzz.solver_cache = false;
+    } else if (arg == "--solver-cache-capacity" && i + 1 < argc) {
+      options.fuzz.solver_cache_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--summary" && i + 1 < argc) {

@@ -9,6 +9,10 @@
 //   --seed N             RNG seed (default 1)
 //   --no-feedback        disable symbolic feedback (blind-fuzzer ablation)
 //   --parallel           solve flip constraints on a worker pool
+//   --no-incremental     legacy per-flip prefix re-assertion (perf baseline)
+//   --no-solver-cache    disable the cross-iteration flip query cache
+//   --solver-cache-capacity N
+//                        cached verdicts kept (default 4096)
 //   --address-pool       enable the dynamic sender pool extension
 //   --trace-out FILE     save the final campaign's traces (§3.3.1 format)
 #include <cstdio>
@@ -50,8 +54,9 @@ int usage() {
       stderr,
       "usage:\n"
       "  wasai analyze <contract.wasm> <contract.abi> [--iterations N]\n"
-      "        [--seed N] [--no-feedback] [--parallel] [--address-pool]\n"
-      "        [--trace-out FILE]\n"
+      "        [--seed N] [--no-feedback] [--parallel] [--no-incremental]\n"
+      "        [--no-solver-cache] [--solver-cache-capacity N]\n"
+      "        [--address-pool] [--trace-out FILE]\n"
       "  wasai emit-sample <fake-eos|fake-notif|miss-auth|blockinfo|"
       "rollback>\n"
       "        <out-prefix> [--safe]\n"
@@ -95,6 +100,13 @@ int cmd_analyze(int argc, char** argv) {
       options.fuzz.symbolic_feedback = false;
     } else if (arg == "--parallel") {
       options.fuzz.parallel_solving = true;
+    } else if (arg == "--no-incremental") {
+      options.fuzz.solver.incremental = false;
+    } else if (arg == "--no-solver-cache") {
+      options.fuzz.solver_cache = false;
+    } else if (arg == "--solver-cache-capacity" && i + 1 < argc) {
+      options.fuzz.solver_cache_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--address-pool") {
       options.fuzz.dynamic_address_pool = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -127,9 +139,9 @@ int cmd_analyze(int argc, char** argv) {
   }
   std::printf(
       "stats: %zu transactions, %zu branches, %zu replays, %zu SMT queries, "
-      "%zu adaptive seeds\n",
+      "%zu cache hits, %zu adaptive seeds\n",
       report.transactions, report.distinct_branches, report.replays,
-      report.solver_queries, report.adaptive_seeds);
+      report.solver_queries, report.solver_cache_hits, report.adaptive_seeds);
 
   if (!trace_out.empty()) {
     instrument::save_traces(trace_out, fuzzer.harness().sink().actions());
