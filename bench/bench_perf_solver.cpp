@@ -1,7 +1,8 @@
 // Solver performance suite: fuzzes the committed corpus with the
 // incremental path-prefix walk and the cross-iteration query cache toggled
 // independently, and writes BENCH_solver.json with per-config throughput
-// (seeds/sec), solver wall time, Z3 query counts and cache hit rates.
+// (transactions/sec), solver wall time, Z3 query counts and cache hit
+// rates.
 //
 // The suite doubles as an end-to-end parity gate: all four configurations
 // must produce identical findings, adaptive-seed counts and coverage for
@@ -77,7 +78,7 @@ struct ConfigTotals {
   std::size_t adaptive_seeds = 0;
   std::vector<Fingerprint> fingerprints;
 
-  [[nodiscard]] double seeds_per_sec() const {
+  [[nodiscard]] double transactions_per_sec() const {
     return fuzz_ms > 0 ? static_cast<double>(transactions) / (fuzz_ms / 1e3)
                        : 0.0;
   }
@@ -169,7 +170,7 @@ util::Json totals_to_json(const ConfigTotals& t) {
   };
   out.emplace("solver_wall_ms", num(t.solver_wall_ms));
   out.emplace("fuzz_ms", num(t.fuzz_ms));
-  out.emplace("seeds_per_sec", num(t.seeds_per_sec()));
+  out.emplace("transactions_per_sec", num(t.transactions_per_sec()));
   out.emplace("transactions", num(t.transactions));
   out.emplace("queries", num(t.queries));
   out.emplace("sat", num(t.sat));
@@ -213,9 +214,9 @@ int main() {
     const ConfigTotals& t = totals[config.name];
     std::printf(
         "  %-18s %7.1f solver ms, %5zu queries, %5zu hits (%4.1f%%), "
-        "%7.1f seeds/sec  (%.1fs)\n",
+        "%7.1f txn/sec  (%.1fs)\n",
         config.name.c_str(), t.solver_wall_ms, t.queries, t.cache_hits,
-        100.0 * t.hit_rate(), t.seeds_per_sec(), secs);
+        100.0 * t.hit_rate(), t.transactions_per_sec(), secs);
   }
 
   // Parity gate: every configuration must reproduce the legacy run's

@@ -55,8 +55,9 @@ void fill_analysis(ContractRecord& record, const AnalysisResult& result) {
   record.solver_cache_misses = result.details.solver_cache_misses;
   record.solver_cache_evictions = result.details.solver_cache_evictions;
   if (result.details.fuzz_ms > 0) {
-    record.seeds_per_sec = static_cast<double>(result.details.transactions) /
-                           (result.details.fuzz_ms / 1000.0);
+    record.transactions_per_sec =
+        static_cast<double>(result.details.transactions) /
+        (result.details.fuzz_ms / 1000.0);
   }
   record.iterations_run = result.details.iterations_run;
   record.timings.init_ms = result.init_ms;

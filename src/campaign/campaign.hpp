@@ -74,7 +74,7 @@ struct ContractRecord {
   std::size_t solver_cache_misses = 0;
   std::size_t solver_cache_evictions = 0;
   /// Fuzz throughput: transactions per second of fuzz-loop wall time.
-  double seeds_per_sec = 0;
+  double transactions_per_sec = 0;
   int iterations_run = 0;
 
   [[nodiscard]] bool completed() const {

@@ -75,7 +75,7 @@ Json record_to_json(const ContractRecord& record) {
   out.emplace("timings", Json(std::move(timings)));
   out.emplace("iterations", num(record.iterations_run));
   out.emplace("transactions", num(record.transactions));
-  out.emplace("seeds_per_sec", num(record.seeds_per_sec));
+  out.emplace("transactions_per_sec", num(record.transactions_per_sec));
   out.emplace("branches", num(record.distinct_branches));
   out.emplace("adaptive_seeds", num(record.adaptive_seeds));
   out.emplace("replays", num(record.replays));

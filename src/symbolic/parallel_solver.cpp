@@ -14,11 +14,12 @@ using Clock = std::chrono::steady_clock;
 
 /// One flip query as seen by the coordinator: either answered by the
 /// cross-iteration cache during the pre-pass, or exported as SMT-LIB2 text
-/// for a worker to solve.
+/// for a worker to solve. The cache entry is copied by value: merge-time
+/// insert() calls can LRU-evict the cache slot a pointer would dangle into.
 struct PendingFlip {
-  QueryKey key;                     // meaningful only with a cache
-  const CacheEntry* hit = nullptr;  // non-null: answered by the cache
-  std::string smt2;                 // exported query (misses only)
+  QueryKey key;                  // meaningful only with a cache
+  std::optional<CacheEntry> hit; // engaged: answered by the cache
+  std::string smt2;              // exported query (misses only)
 };
 
 /// One worker outcome: the shared query result plus whether the worker got
@@ -63,9 +64,11 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
       PendingFlip pending;
       if (options.cache != nullptr) {
         pending.key = digest.flip_key(*step.flip);
-        pending.hit = options.cache->lookup(pending.key);
+        if (const CacheEntry* hit = options.cache->lookup(pending.key)) {
+          pending.hit = *hit;
+        }
       }
-      if (pending.hit == nullptr) {
+      if (!pending.hit.has_value()) {
         if (!exporter.has_value()) {
           exporter.emplace(env.ctx());
           for (const z3::expr* hold : prefix) exporter->add(*hold);
@@ -88,7 +91,7 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   AdaptiveSeeds out;
   std::vector<std::size_t> miss_indices;
   for (std::size_t i = 0; i < flips.size(); ++i) {
-    if (flips[i].hit == nullptr) miss_indices.push_back(i);
+    if (!flips[i].hit.has_value()) miss_indices.push_back(i);
   }
   std::vector<QueryResult> results(flips.size());
   std::size_t next = 0;
@@ -127,7 +130,13 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   // sat/unsat verdicts feed the cache for later iterations.
   for (std::size_t i = 0; i < flips.size(); ++i) {
     const PendingFlip& pending = flips[i];
-    if (pending.hit != nullptr) {
+    if (!pending.hit.has_value() && !results[i].attempted) {
+      // Workers drain misses in flip order, so the first unattempted miss
+      // is the budget/cancellation abort point; stopping here matches the
+      // serial walk, which emits nothing past its abort break.
+      break;
+    }
+    if (pending.hit.has_value()) {
       ++out.cache_hits;
       if (pending.hit->verdict == CachedVerdict::Sat) {
         ++out.sat;
@@ -139,7 +148,6 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
       }
       continue;
     }
-    if (!results[i].attempted) continue;  // skipped by budget/cancellation
     const SmtQueryResult& result = results[i].result;
     ++out.queries;
     if (options.cache != nullptr) ++out.cache_misses;

@@ -13,7 +13,12 @@
 // time. One caveat vs the serial solver: two identical flip queries inside
 // the SAME call both go to workers here (the serial walk would answer the
 // second from the cache), so hit/miss/query counters can differ on such
-// paths while the emitted seed stream stays identical.
+// paths while the emitted seed stream stays identical. On budget/cancel
+// abort the merge stops at the first unattempted flip — like the serial
+// walk, nothing past the abort point is emitted — but the abort position
+// itself is timing-dependent in both modes (the serial walk gates every
+// flip, the parallel pool gates worker claims), so aborted calls carry no
+// cross-mode parity guarantee.
 #pragma once
 
 #include "symbolic/solver.hpp"

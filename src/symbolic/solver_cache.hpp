@@ -32,9 +32,12 @@ namespace wasai::symbolic {
 /// declaration order. Small enough that linear lookup beats a map.
 using ModelValues = std::vector<std::pair<std::string, std::uint64_t>>;
 
-/// 128-bit cache key: two independent FNV streams over the same constraint
-/// text. The secondary digest guards against primary collisions silently
-/// returning a wrong verdict — a mismatch is treated as a miss.
+/// 128-bit cache key: the primary FNV-1a digest plus a salted second
+/// FNV-1a stream over the same constraint text (same non-cryptographic
+/// hash family, different seed — the streams are correlated, not an
+/// independent hash pair). The secondary digest is a best-effort guard
+/// against a primary collision silently returning a wrong verdict — a
+/// mismatch is treated as a miss.
 struct QueryKey {
   std::uint64_t primary = 0;
   std::uint64_t secondary = 0;

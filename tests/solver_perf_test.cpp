@@ -26,12 +26,14 @@ struct Outcome {
 };
 
 Outcome run_once(const util::Bytes& wasm, const abi::Abi& abi,
-                 bool incremental, bool cache, bool parallel) {
+                 bool incremental, bool cache, bool parallel,
+                 std::size_t cache_capacity = 4096) {
   AnalysisOptions options;
   options.fuzz.iterations = 12;
   options.fuzz.rng_seed = 1;
   options.fuzz.solver.incremental = incremental;
   options.fuzz.solver_cache = cache;
+  options.fuzz.solver_cache_capacity = cache_capacity;
   options.fuzz.parallel_solving = parallel;
   const auto result = analyze(wasm, abi, options);
   Outcome out{result.details.adaptive_seeds,
@@ -72,6 +74,31 @@ TEST(SolverPerfParity, ConfigsAgreeOnFixedSeedTestgenModules) {
         << "incremental+cached, seed " << seed;
     EXPECT_EQ(run_once(wasm, gen.abi, true, true, true), legacy)
         << "incremental+cached parallel, seed " << seed;
+  }
+}
+
+TEST(SolverPerfParity, TinyCacheEvictionKeepsParity) {
+  // Regression: a capacity below the flip count forces LRU eviction while
+  // a single solve call is still merging its results, so cached entries
+  // must be copied out of the cache, not referenced — a dangling entry
+  // corrupts the seed stream. Parity against the uncached legacy walk
+  // must survive constant eviction pressure in both serial and parallel
+  // modes.
+  for (const std::uint64_t seed : {7ull, 1234567ull}) {
+    const auto gen = testgen::generate(seed);
+    const auto wasm = wasm::encode(gen.module);
+
+    const Outcome legacy =
+        run_once(wasm, gen.abi, /*incremental=*/false, /*cache=*/false,
+                 /*parallel=*/false);
+    EXPECT_EQ(run_once(wasm, gen.abi, true, true, false,
+                       /*cache_capacity=*/2),
+              legacy)
+        << "tiny-cache serial, seed " << seed;
+    EXPECT_EQ(run_once(wasm, gen.abi, true, true, true,
+                       /*cache_capacity=*/2),
+              legacy)
+        << "tiny-cache parallel, seed " << seed;
   }
 }
 
