@@ -27,6 +27,8 @@
 
 #include "bench/bench_util.hpp"
 #include "corpus/templates.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "testgen/generator.hpp"
 #include "util/jsonl.hpp"
 #include "wasai/wasai.hpp"
@@ -76,6 +78,7 @@ struct ConfigTotals {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t adaptive_seeds = 0;
+  obs::PhaseTotals phases;
   std::vector<Fingerprint> fingerprints;
 
   [[nodiscard]] double transactions_per_sec() const {
@@ -137,10 +140,18 @@ std::string findings_fingerprint(const AnalysisResult& result) {
 ConfigTotals run_config(const std::vector<Contract>& corpus,
                         const Config& config, int iterations) {
   ConfigTotals totals;
+  // One obs registry per configuration: the per-phase breakdown lands in
+  // BENCH_solver.json next to the wall clocks, so a perf regression can be
+  // attributed to a phase (replay vs solve_flips vs execute) without a
+  // rerun. Spans are neutral w.r.t. the parity gate — pinned by
+  // tests/obs_neutrality_test.cpp.
+  obs::Registry registry;
+  obs::Obs& obs = registry.track("bench");
   for (const auto& contract : corpus) {
     AnalysisOptions options;
     options.fuzz.iterations = iterations;
     options.fuzz.rng_seed = 1;
+    options.fuzz.obs = &obs;
     options.fuzz.solver.incremental = config.incremental;
     options.fuzz.solver_cache = config.cache;
     const auto result = analyze(contract.wasm, contract.abi, options);
@@ -160,6 +171,7 @@ ConfigTotals run_config(const std::vector<Contract>& corpus,
         d.adaptive_seeds, d.distinct_branches, d.transactions,
         findings_fingerprint(result)});
   }
+  totals.phases = registry.aggregate_all();
   return totals;
 }
 
@@ -181,6 +193,7 @@ util::Json totals_to_json(const ConfigTotals& t) {
   out.emplace("cache_misses", num(t.cache_misses));
   out.emplace("cache_hit_rate", num(t.hit_rate()));
   out.emplace("adaptive_seeds", num(t.adaptive_seeds));
+  out.emplace("obs", obs::phase_totals_json(t.phases));
   return util::Json(std::move(out));
 }
 

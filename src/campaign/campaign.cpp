@@ -93,69 +93,88 @@ CampaignRunner::CampaignRunner(CampaignOptions options)
   if (options_.max_attempts < 1) options_.max_attempts = 1;
 }
 
-ContractRecord CampaignRunner::run_one(const ContractInput& input) const {
+ContractRecord CampaignRunner::run_one(const ContractInput& input,
+                                       obs::Obs* obs) const {
   ContractRecord record;
   record.id = input.id;
   const auto start = Clock::now();
+  const std::size_t obs_mark = obs != nullptr ? obs->mark() : 0;
 
-  // ---- load phase: file reads and ABI parse, contained per contract ----
-  util::Bytes wasm_bytes;
-  abi::Abi contract_abi;
-  try {
-    wasm_bytes = input.wasm_path.empty() ? input.wasm
-                                         : read_file(input.wasm_path);
-    std::string abi_json = input.abi_json;
-    if (!input.abi_path.empty()) {
-      const auto bytes = read_file(input.abi_path);
-      abi_json.assign(bytes.begin(), bytes.end());
-    }
-    contract_abi = abi::abi_from_json(abi_json);
-  } catch (const util::UsageError& e) {
-    record.status = ContractStatus::IoError;
-    record.error = e.what();
-    record.timings.total_ms = ms_since(start);
-    return record;
-  } catch (const util::Error& e) {
-    record.status = ContractStatus::BadInput;
-    record.error = e.what();
-    record.timings.total_ms = ms_since(start);
-    return record;
-  }
-  record.timings.load_ms = ms_since(start);
-
-  // ---- analysis phase: bounded retry around the whole pipeline --------
-  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
-    record.attempts = attempt;
-    AnalysisOptions analysis;
-    analysis.fuzz = options_.fuzz;
-    if (options_.deadline_ms > 0) {
-      analysis.fuzz.cancel =
-          util::CancelToken::with_deadline(options_.deadline_ms);
-    }
+  const auto body = [&] {
+    // ---- load phase: file reads and ABI parse, contained per contract --
+    util::Bytes wasm_bytes;
+    abi::Abi contract_abi;
     try {
-      const AnalysisResult result =
-          analyze(wasm_bytes, contract_abi, analysis);
-      fill_analysis(record, result);
-      record.error.clear();
-      break;
-    } catch (const util::Error& e) {
-      record.error = e.what();
-      if (is_permanent_input_fault(e)) {
-        record.status = ContractStatus::BadInput;
-        break;
+      const obs::Span load_span(obs, obs::span_name::kLoad);
+      wasm_bytes = input.wasm_path.empty() ? input.wasm
+                                           : read_file(input.wasm_path);
+      std::string abi_json = input.abi_json;
+      if (!input.abi_path.empty()) {
+        const auto bytes = read_file(input.abi_path);
+        abi_json.assign(bytes.begin(), bytes.end());
       }
-      record.status = ContractStatus::Failed;
-    } catch (const std::exception& e) {
-      // z3::exception and friends do not derive util::Error; treat them as
-      // transient solver failures and retry.
+      contract_abi = abi::abi_from_json(abi_json);
+    } catch (const util::UsageError& e) {
+      record.status = ContractStatus::IoError;
       record.error = e.what();
-      record.status = ContractStatus::Failed;
-    } catch (...) {
-      record.error = "unknown exception";
-      record.status = ContractStatus::Failed;
+      return;
+    } catch (const util::Error& e) {
+      record.status = ContractStatus::BadInput;
+      record.error = e.what();
+      return;
     }
+    record.timings.load_ms = ms_since(start);
+
+    // ---- analysis phase: bounded retry around the whole pipeline ------
+    for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+      record.attempts = attempt;
+      AnalysisOptions analysis;
+      analysis.fuzz = options_.fuzz;
+      analysis.fuzz.obs = obs;
+      if (options_.deadline_ms > 0) {
+        analysis.fuzz.cancel =
+            util::CancelToken::with_deadline(options_.deadline_ms);
+      }
+      try {
+        const AnalysisResult result =
+            analyze(wasm_bytes, contract_abi, analysis);
+        fill_analysis(record, result);
+        record.error.clear();
+        break;
+      } catch (const util::Error& e) {
+        record.error = e.what();
+        if (is_permanent_input_fault(e)) {
+          record.status = ContractStatus::BadInput;
+          break;
+        }
+        record.status = ContractStatus::Failed;
+      } catch (const std::exception& e) {
+        // z3::exception and friends do not derive util::Error; treat them
+        // as transient solver failures and retry.
+        record.error = e.what();
+        record.status = ContractStatus::Failed;
+      } catch (...) {
+        record.error = "unknown exception";
+        record.status = ContractStatus::Failed;
+      }
+    }
+  };
+
+  {
+    // Root span for this contract, closed (RAII, even on the fault paths)
+    // BEFORE the slice is aggregated: the record's phase block therefore
+    // includes `contract` itself, whose self time is exactly the wall time
+    // no child phase accounts for (retry bookkeeping, analyzer teardown).
+    // Summed self times telescope to the contract's inclusive time by
+    // construction — the invariant the obs tests pin.
+    const obs::Span contract_span(obs, obs::span_name::kContract, input.id);
+    body();
   }
   record.timings.total_ms = ms_since(start);
+  if (obs != nullptr) {
+    obs->count("campaign.contracts");
+    record.phases = obs->aggregate_since(obs_mark);
+  }
   return record;
 }
 
@@ -165,13 +184,15 @@ CampaignReport CampaignRunner::run(const std::vector<ContractInput>& inputs) {
   report.records.resize(inputs.size());
 
   // Worker pool over an atomic work index; records land in their input
-  // slot, so the output order never depends on scheduling.
+  // slot, so the output order never depends on scheduling. Each worker
+  // owns one observability track, so the Chrome trace export gets one row
+  // per worker thread.
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](obs::Obs* obs) {
     for (;;) {
       const std::size_t index = next.fetch_add(1);
       if (index >= inputs.size()) return;
-      report.records[index] = run_one(inputs[index]);
+      report.records[index] = run_one(inputs[index], obs);
     }
   };
   const unsigned n = std::min<unsigned>(
@@ -179,7 +200,13 @@ CampaignReport CampaignRunner::run(const std::vector<ContractInput>& inputs) {
       static_cast<unsigned>(std::max<std::size_t>(inputs.size(), 1)));
   std::vector<std::thread> pool;
   pool.reserve(n);
-  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < n; ++t) {
+    obs::Obs* obs =
+        options_.obs != nullptr
+            ? &options_.obs->track("worker-" + std::to_string(t))
+            : nullptr;
+    pool.emplace_back(worker, obs);
+  }
   for (auto& t : pool) t.join();
 
   // ---- aggregate summary ----------------------------------------------
@@ -221,6 +248,13 @@ CampaignReport CampaignRunner::run(const std::vector<ContractInput>& inputs) {
     s.total_solver_ms += record.timings.solver_ms;
   }
   s.findings_by_type.assign(by_type.begin(), by_type.end());
+  // Campaign rollup: merge the per-record slices (workers are joined, so
+  // the record totals are final). Using the record slices rather than
+  // Registry::aggregate_all keeps the rollup scoped to THIS run even when
+  // the registry is shared across campaigns.
+  for (const auto& record : report.records) {
+    obs::merge_totals(s.phases, record.phases);
+  }
   s.wall_ms = ms_since(start);
   return report;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "wasai/wasai.hpp"
 
 namespace wasai::campaign {
@@ -76,6 +77,9 @@ struct ContractRecord {
   /// Fuzz throughput: transactions per second of fuzz-loop wall time.
   double transactions_per_sec = 0;
   int iterations_run = 0;
+  /// Per-phase wall/self time of this contract's span slice (empty with
+  /// observability off). Serialized as the record's `obs` JSONL block.
+  obs::PhaseTotals phases;
 
   [[nodiscard]] bool completed() const {
     return status == ContractStatus::Ok ||
@@ -99,6 +103,9 @@ struct CampaignSummary {
   double wall_ms = 0;  // whole-campaign wall time
   /// Finding counts keyed by vulnerability name ("FakeEos", ...).
   std::vector<std::pair<std::string, std::size_t>> findings_by_type;
+  /// Campaign-wide per-phase rollup over every worker track (empty with
+  /// observability off).
+  obs::PhaseTotals phases;
 };
 
 struct CampaignReport {
@@ -119,6 +126,12 @@ struct CampaignOptions {
   /// Fuzzing configuration shared by every contract (same RNG seed each,
   /// keeping records independent of campaign composition and job count).
   engine::FuzzOptions fuzz{};
+  /// Observability registry for this campaign; not owned, may be null
+  /// (= off, the --no-obs kill switch). Each worker thread creates its own
+  /// track ("worker-0", ...), so the Chrome trace export shows one row per
+  /// worker with the nested per-contract phase spans. Findings, records
+  /// and seed streams are byte-identical with or without it.
+  obs::Registry* obs = nullptr;
 };
 
 class CampaignRunner {
@@ -130,7 +143,7 @@ class CampaignRunner {
   CampaignReport run(const std::vector<ContractInput>& inputs);
 
  private:
-  ContractRecord run_one(const ContractInput& input) const;
+  ContractRecord run_one(const ContractInput& input, obs::Obs* obs) const;
 
   CampaignOptions options_;
 };

@@ -1,5 +1,6 @@
 #include "campaign/report.hpp"
 
+#include "obs/trace_export.hpp"
 #include "util/jsonl.hpp"
 
 namespace wasai::campaign {
@@ -85,6 +86,11 @@ Json record_to_json(const ContractRecord& record) {
   out.emplace("findings", findings_array(record.scan));
   out.emplace("custom_findings", custom_array(record.custom));
   if (!record.error.empty()) out.emplace("error", Json(record.error));
+  // Per-phase observability block; absent entirely when obs is off, so the
+  // --no-obs record is the byte-identical pre-obs schema.
+  if (!record.phases.empty()) {
+    out.emplace("obs", obs::phase_totals_json(record.phases));
+  }
   return Json(std::move(out));
 }
 
@@ -117,6 +123,9 @@ Json summary_to_json(const CampaignSummary& summary) {
   out.emplace("solver_ms", num(summary.total_solver_ms));
   out.emplace("wall_ms", num(summary.wall_ms));
   out.emplace("findings_by_type", Json(std::move(by_type)));
+  if (!summary.phases.empty()) {
+    out.emplace("obs", obs::phase_totals_json(summary.phases));
+  }
   return Json(std::move(out));
 }
 

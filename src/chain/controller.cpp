@@ -20,7 +20,9 @@ bool Controller::account_exists(Name account) const {
 
 void Controller::deploy_contract(Name account, util::Bytes wasm_binary,
                                  abi::Abi abi) {
-  auto module = std::make_shared<wasm::Module>(wasm::decode(wasm_binary));
+  const obs::Span span(obs_, obs::span_name::kDeploy);
+  auto module =
+      std::make_shared<wasm::Module>(wasm::decode(wasm_binary, obs_));
   wasm::validate(*module);
   if (!module->find_export("apply")) {
     throw util::ValidationError("contract has no apply export");
@@ -55,6 +57,8 @@ const Database* Controller::find_database(Name code) const {
 }
 
 TxResult Controller::push_transaction(const Transaction& tx) {
+  const obs::Span span(obs_, obs::span_name::kExecute);
+  if (obs_ != nullptr) obs_->count("execute.transactions");
   Snapshot snap{dbs_, deferred_};
   TxResult result;
   vm::Vm vm(limits);
@@ -72,6 +76,11 @@ TxResult Controller::push_transaction(const Transaction& tx) {
     result.error = e.what();
   }
   result.steps = vm.steps();
+  if (obs_ != nullptr) {
+    obs_->count("execute.steps", result.steps);
+    obs_->latency_us("execute.tx_us",
+                     static_cast<std::uint64_t>(span.elapsed_us()));
+  }
   advance_block();
   return result;
 }
@@ -88,6 +97,8 @@ std::vector<TxResult> Controller::execute_deferred() {
   std::vector<TxResult> results;
   results.reserve(pending.size());
   for (const auto& act : pending) {
+    const obs::Span span(obs_, obs::span_name::kExecute);
+    if (obs_ != nullptr) obs_->count("execute.transactions");
     Snapshot snap{dbs_, deferred_};
     TxResult result;
     vm::Vm vm(limits);
@@ -103,6 +114,11 @@ std::vector<TxResult> Controller::execute_deferred() {
       result.error = e.what();
     }
     result.steps = vm.steps();
+    if (obs_ != nullptr) {
+      obs_->count("execute.steps", result.steps);
+      obs_->latency_us("execute.tx_us",
+                       static_cast<std::uint64_t>(span.elapsed_us()));
+    }
     advance_block();
     results.push_back(std::move(result));
   }

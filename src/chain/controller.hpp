@@ -14,6 +14,7 @@
 #include "chain/native.hpp"
 #include "chain/observer.hpp"
 #include "eosvm/vm.hpp"
+#include "obs/obs.hpp"
 #include "wasm/module.hpp"
 
 namespace wasai::chain {
@@ -61,6 +62,12 @@ class Controller {
   void set_observer(ExecutionObserver* obs) { observer_ = obs; }
   [[nodiscard]] ExecutionObserver* observer() const { return observer_; }
 
+  /// Observability track for this chain's thread (may be null = off).
+  /// Transactions record `execute` spans; deployment records `deploy`
+  /// spans wrapping the decode + validate work.
+  void set_obs(obs::Obs* obs) { obs_ = obs; }
+  [[nodiscard]] obs::Obs* obs() const { return obs_; }
+
   /// Per-transaction execution limits.
   vm::ExecLimits limits;
 
@@ -91,6 +98,7 @@ class Controller {
   std::map<Name, Database> dbs_;
   std::vector<Action> deferred_;
   ExecutionObserver* observer_ = nullptr;
+  obs::Obs* obs_ = nullptr;
 
   std::uint32_t block_num_ = 1000;
   std::uint32_t block_prefix_ = 0x5eed1e55;

@@ -22,7 +22,7 @@ std::vector<abi::Name> default_accounts(const HarnessNames& names) {
 Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
                FuzzOptions options)
     : options_(options),
-      harness_(contract_wasm, std::move(abi), HarnessNames{}),
+      harness_(contract_wasm, std::move(abi), HarnessNames{}, options.obs),
       mutator_(util::Rng(options.rng_seed), default_accounts(harness_.names())),
       scanner_(scanner::Scanner::Config{
           harness_.names().victim, harness_.names().token,
@@ -111,6 +111,7 @@ Seed Fuzzer::select_seed(PayloadMode mode) {
 }
 
 FuzzReport Fuzzer::run() {
+  const obs::Span fuzz_span(options_.obs, obs::span_name::kFuzz);
   const auto start = std::chrono::steady_clock::now();
   std::unordered_set<std::uint64_t> branches;
   report_.curve.reserve(static_cast<std::size_t>(
@@ -149,12 +150,15 @@ FuzzReport Fuzzer::run() {
     ++report_.transactions;
 
     // Vulnerability detection on every victim trace (L7 of Algorithm 1).
-    for (const auto* trace : harness_.victim_traces()) {
-      const auto facts =
-          scanner::extract_facts(*trace, harness_.sites(), harness_.original());
-      scanner_.observe(mode, trace->action, facts, result.success);
-      for (const auto& oracle : custom_oracles_) {
-        oracle->observe(mode, trace->action, facts, result.success);
+    {
+      const obs::Span scan_span(options_.obs, obs::span_name::kOracleScan);
+      for (const auto* trace : harness_.victim_traces()) {
+        const auto facts = scanner::extract_facts(*trace, harness_.sites(),
+                                                  harness_.original());
+        scanner_.observe(mode, trace->action, facts, result.success);
+        for (const auto& oracle : custom_oracles_) {
+          oracle->observe(mode, trace->action, facts, result.success);
+        }
       }
     }
 
@@ -214,7 +218,8 @@ void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
   try {
     const auto replayed =
         symbolic::replay(env_, harness_.original(), harness_.sites(), trace,
-                         *site, *def, harness_.last_params());
+                         *site, *def, harness_.last_params(),
+                         /*observer=*/nullptr, options_.obs);
     dbg_.record(trace.action, replayed.api_calls);
     symbolic::SolverOptions solver_opts = options_.solver;
     if (solver_opts.cancel == nullptr) {
@@ -223,6 +228,7 @@ void Fuzzer::feedback_trace(const instrument::ActionTrace& trace) {
     if (solver_opts.cache == nullptr) {
       solver_opts.cache = solver_cache_.get();
     }
+    if (solver_opts.obs == nullptr) solver_opts.obs = options_.obs;
     auto adaptive =
         options_.parallel_solving
             ? symbolic::solve_flips_parallel(env_, replayed,

@@ -49,6 +49,12 @@ struct FuzzOptions {
   /// the report carries whatever was found so far (deadline_hit = true).
   /// The campaign runner uses this to enforce per-contract deadlines.
   std::shared_ptr<const util::CancelToken> cancel = nullptr;
+  /// Observability track of the thread running this fuzzer (may be null =
+  /// off). Threaded to the harness (decode/instrument/deploy/execute), the
+  /// replayer and the solvers; the run itself records `fuzz` and
+  /// `oracle_scan` spans. Observability never touches the RNG or any
+  /// dataflow, so the seed stream and report are identical either way.
+  obs::Obs* obs = nullptr;
 };
 
 struct CoveragePoint {

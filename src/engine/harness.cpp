@@ -18,13 +18,14 @@ using chain::token_issue;
 using chain::token_transfer;
 
 ChainHarness::ChainHarness(const util::Bytes& contract_wasm, abi::Abi abi,
-                           HarnessNames names)
+                           HarnessNames names, obs::Obs* obs)
     : names_(names), abi_(std::move(abi)) {
-  original_ = wasm::decode(contract_wasm);
-  instrument::Instrumented inst = instrument::instrument(original_);
+  original_ = wasm::decode(contract_wasm, obs);
+  instrument::Instrumented inst = instrument::instrument(original_, obs);
   sites_ = std::move(inst.sites);
 
   chain_.set_observer(&sink_);
+  chain_.set_obs(obs);
   chain_.create_account(names_.attacker);
 
   chain_.deploy_native(names_.token, std::make_shared<chain::TokenContract>());

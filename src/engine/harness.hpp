@@ -27,8 +27,10 @@ class ChainHarness {
   /// Instruments `contract_wasm` and deploys it along with eosio.token, a
   /// counterfeit token and the notification-forwarding agent. Funds the
   /// attacker with real and fake EOS and the victim with a bankroll.
+  /// A non-null `obs` is handed to the decoder, instrumenter and chain so
+  /// their phases land on the owning thread's track (null = off).
   ChainHarness(const util::Bytes& contract_wasm, abi::Abi abi,
-               HarnessNames names = {});
+               HarnessNames names = {}, obs::Obs* obs = nullptr);
 
   [[nodiscard]] const HarnessNames& names() const { return names_; }
   [[nodiscard]] chain::Controller& chain() { return chain_; }

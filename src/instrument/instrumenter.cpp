@@ -292,7 +292,8 @@ class FunctionRewriter {
 
 }  // namespace
 
-Instrumented instrument(const Module& original) {
+Instrumented instrument(const Module& original, obs::Obs* obs) {
+  const obs::Span span(obs, obs::span_name::kInstrument);
   for (const auto& imp : original.imports) {
     if (imp.module == kHookModule) {
       throw util::ValidationError("module already instrumented");
@@ -341,6 +342,10 @@ Instrumented instrument(const Module& original) {
   }
 
   wasm::validate(m);  // the rewrite must preserve validity
+  if (obs != nullptr) {
+    obs->count("instrument.modules");
+    obs->count("instrument.sites", out.sites.size());
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "instrument/hooks.hpp"
 #include "instrument/trace.hpp"
+#include "obs/obs.hpp"
 #include "wasm/module.hpp"
 
 namespace wasai::instrument {
@@ -18,7 +19,9 @@ struct Instrumented {
 /// Instrument `original`. The returned module imports the full hook set
 /// from the "wasai" module; all function indices are remapped accordingly.
 /// Throws util::ValidationError if the module is invalid or already
-/// imports from "wasai".
-Instrumented instrument(const wasm::Module& original);
+/// imports from "wasai". A non-null `obs` wraps the rewrite in an
+/// `instrument` phase span and counts injected sites.
+Instrumented instrument(const wasm::Module& original,
+                        obs::Obs* obs = nullptr);
 
 }  // namespace wasai::instrument

@@ -1,0 +1,173 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace wasai::obs {
+
+const std::vector<std::string>& span_vocabulary() {
+  static const std::vector<std::string> kNames = {
+      span_name::kContract, span_name::kLoad,       span_name::kInit,
+      span_name::kDecode,   span_name::kInstrument, span_name::kDeploy,
+      span_name::kFuzz,     span_name::kExecute,    span_name::kOracleScan,
+      span_name::kReplay,   span_name::kSolve,
+  };
+  return kNames;
+}
+
+bool is_known_span(std::string_view name) {
+  const auto& vocab = span_vocabulary();
+  return std::find(vocab.begin(), vocab.end(), name) != vocab.end();
+}
+
+void Histogram::observe_us(double us) {
+  if (us < 0 || !std::isfinite(us)) us = 0;
+  const auto v = static_cast<std::uint64_t>(us);
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(v), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<std::uint64_t>(us * 1000.0),
+                      std::memory_order_relaxed);
+  std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_us_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_upper_us(std::size_t i) {
+  if (i == 0) return 0;  // us < 1
+  if (i >= kBuckets - 1) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Obs::begin(const char* name, std::string arg) {
+  events_.push_back(TraceEvent{name, EventPhase::Begin, registry_->now_us(),
+                               std::move(arg)});
+}
+
+void Obs::end(const char* name) {
+  events_.push_back(TraceEvent{name, EventPhase::End, registry_->now_us(), {}});
+}
+
+void Obs::count(const std::string& name, std::uint64_t delta) {
+  registry_->counter(name).add(delta);
+}
+
+void Obs::latency_us(const std::string& name, double us) {
+  registry_->histogram(name).observe_us(us);
+}
+
+double Obs::now_us() const { return registry_->now_us(); }
+
+PhaseTotals Obs::aggregate_since(std::size_t mark) const {
+  return aggregate_events(events_, mark, events_.size());
+}
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+Obs& Registry::track(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto tid = static_cast<std::uint32_t>(tracks_.size() + 1);
+  tracks_.push_back(
+      std::unique_ptr<Obs>(new Obs(this, tid, std::move(label))));
+  return *tracks_.back();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+double Registry::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<const Obs*> Registry::tracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Obs*> out;
+  out.reserve(tracks_.size());
+  for (const auto& t : tracks_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+PhaseTotals Registry::aggregate_all() const {
+  PhaseTotals totals;
+  for (const Obs* track : tracks()) {
+    merge_totals(totals, track->aggregate_since(0));
+  }
+  return totals;
+}
+
+PhaseTotals aggregate_events(const std::vector<TraceEvent>& events,
+                             std::size_t begin, std::size_t end) {
+  PhaseTotals totals;
+  // Stack walk: self time = inclusive duration minus the inclusive
+  // durations of direct children.
+  struct Frame {
+    const char* name;
+    double begin_us;
+    double child_us = 0;
+  };
+  std::vector<Frame> stack;
+  for (std::size_t i = begin; i < end && i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (ev.phase == EventPhase::Begin) {
+      stack.push_back(Frame{ev.name, ev.ts_us});
+      continue;
+    }
+    if (stack.empty()) continue;  // unbalanced tail: ignore the stray End
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const double dur = ev.ts_us - frame.begin_us;
+    PhaseStat& stat = totals[frame.name];
+    ++stat.count;
+    stat.total_us += dur;
+    stat.self_us += dur - frame.child_us;
+    if (!stack.empty()) {
+      stack.back().child_us += dur;
+    }
+  }
+  return totals;
+}
+
+void merge_totals(PhaseTotals& into, const PhaseTotals& from) {
+  for (const auto& [name, stat] : from) {
+    PhaseStat& slot = into[name];
+    slot.count += stat.count;
+    slot.total_us += stat.total_us;
+    slot.self_us += stat.self_us;
+  }
+}
+
+}  // namespace wasai::obs

@@ -1,0 +1,246 @@
+// Unified observability layer: RAII phase spans, monotonic counters and
+// log2-bucket latency histograms behind one per-campaign Registry. The
+// paper's evaluation (Tables 4-6, Fig. 3) is a cost-breakdown argument —
+// where fuzzing time goes across instrumentation, VM replay, symbolic
+// state building and Z3 solving — and this layer is the measurement
+// substrate every perf PR shares for before/after claims.
+//
+// Structure:
+//  * Registry  — thread-safe owner of tracks, counters and histograms.
+//                One per campaign (or per CLI invocation); all exports
+//                (Chrome trace JSON, metrics blocks) read from it.
+//  * Obs       — one per-thread *track* handle, created by
+//                Registry::track(). Span begin/end events append to its
+//                private log (single-writer, no lock on the hot path);
+//                counter/histogram updates go to the shared registry
+//                (atomics, safe from any thread).
+//  * Span      — RAII phase marker. Constructing with a null Obs* is a
+//                no-op: the runtime kill switch (--no-obs) simply passes
+//                nullptr down the pipeline, so the instrumented code paths
+//                stay compiled in and the seed streams stay byte-identical
+//                whether observability is on or off.
+//
+// The span-name vocabulary is fixed (see span_name below and DESIGN.md);
+// the Chrome-trace validator rejects events outside it, which keeps the
+// per-phase breakdown comparable across PRs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wasai::obs {
+
+/// The fixed span vocabulary. Every phase the pipeline times is one of
+/// these; the trace validator and the per-phase JSONL block both key on
+/// them. Names are static strings so events can store bare pointers.
+namespace span_name {
+inline constexpr const char* kContract = "contract";      // one analyze()
+inline constexpr const char* kLoad = "load";              // file read + ABI
+inline constexpr const char* kInit = "init";              // harness build
+inline constexpr const char* kDecode = "decode";          // wasm::decode
+inline constexpr const char* kInstrument = "instrument";  // hook injection
+inline constexpr const char* kDeploy = "deploy";          // chain set_code
+inline constexpr const char* kFuzz = "fuzz";              // the fuzz loop
+inline constexpr const char* kExecute = "execute";        // one transaction
+inline constexpr const char* kOracleScan = "oracle_scan"; // §3.5 detectors
+inline constexpr const char* kReplay = "replay";          // symbolic replay
+inline constexpr const char* kSolve = "solve_flips";      // Z3 flip solving
+}  // namespace span_name
+
+/// All vocabulary names, for validators and docs.
+const std::vector<std::string>& span_vocabulary();
+bool is_known_span(std::string_view name);
+
+enum class EventPhase : std::uint8_t { Begin, End };
+
+/// One half of a span. `name` must point at a static-duration string (the
+/// vocabulary constants). Per-track logs are append-only in program order,
+/// so B/E pairs are properly nested and timestamps are monotonic per track
+/// by construction.
+struct TraceEvent {
+  const char* name = nullptr;
+  EventPhase phase = EventPhase::Begin;
+  double ts_us = 0;  // microseconds since the registry epoch
+  std::string arg;   // optional annotation (e.g. contract id), Begin only
+};
+
+/// Monotonic counter. Updates are relaxed atomics — totals are exact once
+/// writers are quiescent (post-join), which is when exports run.
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucket latency histogram over microseconds. Bucket b counts
+/// observations with floor(log2(us)) == b-1 (bucket 0: us < 1), so 48
+/// buckets cover sub-microsecond through multi-hour latencies.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void observe_us(double us);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_us() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  [[nodiscard]] std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i in microseconds (last bucket
+  /// unbounded).
+  static std::uint64_t bucket_upper_us(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Aggregated per-phase wall time over one span-log slice.
+struct PhaseStat {
+  std::uint64_t count = 0;
+  double total_us = 0;  // inclusive (children counted)
+  double self_us = 0;   // exclusive (children subtracted)
+};
+using PhaseTotals = std::map<std::string, PhaseStat>;
+
+class Registry;
+
+/// Per-thread track handle threaded down the pipeline (decoder,
+/// instrumenter, chain, replayer, solver). Span events are single-writer:
+/// only the owning thread may begin/end spans; counters and histograms
+/// forward to the shared registry and are safe from any thread (the
+/// parallel solver's workers use them without owning a track).
+class Obs {
+ public:
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] Registry& registry() const { return *registry_; }
+
+  void begin(const char* name, std::string arg = {});
+  void end(const char* name);
+
+  /// Shared-registry metric updates (thread-safe).
+  void count(const std::string& name, std::uint64_t delta = 1);
+  void latency_us(const std::string& name, double us);
+
+  /// Microseconds since the registry epoch (monotonic clock).
+  [[nodiscard]] double now_us() const;
+
+  /// Bookmark the event log; aggregate_since() folds the slice written
+  /// after the bookmark into per-phase totals (used for the per-contract
+  /// `obs` JSONL block). The slice must contain balanced B/E pairs, which
+  /// RAII spans guarantee even on exception unwind.
+  [[nodiscard]] std::size_t mark() const { return events_.size(); }
+  [[nodiscard]] PhaseTotals aggregate_since(std::size_t mark) const;
+
+ private:
+  friend class Registry;
+  Obs(Registry* registry, std::uint32_t tid, std::string label)
+      : registry_(registry), tid_(tid), label_(std::move(label)) {}
+
+  Registry* registry_;
+  std::uint32_t tid_;
+  std::string label_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII phase span. A null `obs` makes every operation a no-op — the
+/// kill-switch contract: identical control flow, zero recorded state.
+class Span {
+ public:
+  Span(Obs* obs, const char* name, std::string arg = {}) : obs_(obs),
+                                                           name_(name) {
+    if (obs_ != nullptr) {
+      begin_us_ = obs_->now_us();
+      obs_->begin(name_, std::move(arg));
+    }
+  }
+  ~Span() {
+    if (obs_ != nullptr) obs_->end(name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Microseconds since construction (0 when disabled).
+  [[nodiscard]] double elapsed_us() const {
+    return obs_ != nullptr ? obs_->now_us() - begin_us_ : 0;
+  }
+
+ private:
+  Obs* obs_;
+  const char* name_;
+  double begin_us_ = 0;
+};
+
+/// Thread-safe owner of every track, counter and histogram of one campaign
+/// (or one CLI run). Track creation and metric registration take a mutex;
+/// span recording and metric updates do not.
+class Registry {
+ public:
+  Registry();
+
+  /// Create a new track (one per worker thread). The returned handle is
+  /// owned by the registry and valid for its lifetime.
+  Obs& track(std::string label);
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Microseconds since the registry epoch (monotonic clock).
+  [[nodiscard]] double now_us() const;
+
+  // Snapshot access for exporters. Tracks' event logs must be quiescent
+  // (workers joined); counters/histograms are always safe to read.
+  [[nodiscard]] std::vector<const Obs*> tracks() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  histograms() const;
+
+  /// Per-phase totals over every track's full log (campaign-level rollup).
+  [[nodiscard]] PhaseTotals aggregate_all() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Obs>> tracks_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Fold `totals` from a balanced event slice [begin, end).
+PhaseTotals aggregate_events(const std::vector<TraceEvent>& events,
+                             std::size_t begin, std::size_t end);
+
+/// Merge per-contract totals into a campaign rollup.
+void merge_totals(PhaseTotals& into, const PhaseTotals& from);
+
+}  // namespace wasai::obs

@@ -1,0 +1,169 @@
+#include "obs/trace_export.hpp"
+
+#include <map>
+#include <vector>
+
+namespace wasai::obs {
+
+namespace {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+Json num(double v) { return Json(v); }
+Json num(std::uint64_t v) { return Json(static_cast<double>(v)); }
+
+JsonObject event_common(const char* ph, double ts_us, std::uint32_t tid) {
+  JsonObject ev;
+  ev.emplace("cat", Json(std::string("wasai")));
+  ev.emplace("ph", Json(std::string(ph)));
+  ev.emplace("ts", num(ts_us));
+  ev.emplace("pid", num(1.0));
+  ev.emplace("tid", num(static_cast<double>(tid)));
+  return ev;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const Registry& registry) {
+  JsonArray events;
+  for (const Obs* track : registry.tracks()) {
+    // thread_name metadata gives each worker a labeled Perfetto track.
+    JsonObject meta = event_common("M", 0, track->tid());
+    meta.emplace("name", Json(std::string("thread_name")));
+    JsonObject meta_args;
+    meta_args.emplace("name", Json(track->label()));
+    meta.emplace("args", Json(std::move(meta_args)));
+    events.emplace_back(std::move(meta));
+
+    for (const TraceEvent& ev : track->events()) {
+      JsonObject out = event_common(
+          ev.phase == EventPhase::Begin ? "B" : "E", ev.ts_us, track->tid());
+      out.emplace("name", Json(std::string(ev.name)));
+      if (!ev.arg.empty()) {
+        JsonObject args;
+        args.emplace("id", Json(ev.arg));
+        out.emplace("args", Json(std::move(args)));
+      }
+      events.emplace_back(std::move(out));
+    }
+  }
+  JsonObject doc;
+  doc.emplace("traceEvents", Json(std::move(events)));
+  doc.emplace("displayTimeUnit", Json(std::string("ms")));
+  return Json(std::move(doc));
+}
+
+Json phase_totals_json(const PhaseTotals& totals) {
+  JsonObject phases;
+  for (const auto& [name, stat] : totals) {
+    JsonObject entry;
+    entry.emplace("count", num(stat.count));
+    entry.emplace("total_ms", num(stat.total_us / 1000.0));
+    entry.emplace("self_ms", num(stat.self_us / 1000.0));
+    phases.emplace(name, Json(std::move(entry)));
+  }
+  return Json(std::move(phases));
+}
+
+Json metrics_json(const Registry& registry) {
+  JsonObject out;
+  out.emplace("phases", phase_totals_json(registry.aggregate_all()));
+
+  JsonObject counters;
+  for (const auto& [name, counter] : registry.counters()) {
+    counters.emplace(name, num(counter->value()));
+  }
+  out.emplace("counters", Json(std::move(counters)));
+
+  JsonObject histograms;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    JsonObject entry;
+    entry.emplace("count", num(histogram->count()));
+    entry.emplace("total_ms", num(histogram->total_us() / 1000.0));
+    entry.emplace("max_us", num(histogram->max_us()));
+    JsonArray buckets;  // sparse: only non-empty buckets, as [le_us, count]
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t count = histogram->bucket(i);
+      if (count == 0) continue;
+      JsonArray pair;
+      pair.emplace_back(num(static_cast<double>(
+          std::min(Histogram::bucket_upper_us(i),
+                   static_cast<std::uint64_t>(1) << 53))));
+      pair.emplace_back(num(count));
+      buckets.emplace_back(std::move(pair));
+    }
+    entry.emplace("buckets", Json(std::move(buckets)));
+    histograms.emplace(name, Json(std::move(entry)));
+  }
+  out.emplace("histograms", Json(std::move(histograms)));
+  return Json(std::move(out));
+}
+
+std::optional<std::string> validate_chrome_trace(const util::Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return "missing traceEvents array";
+  }
+
+  struct TrackState {
+    std::vector<std::string> open;  // span-name stack
+    double last_ts = 0;
+  };
+  std::map<double, TrackState> tracks;
+
+  std::size_t index = 0;
+  for (const Json& ev : events->as_array()) {
+    const std::string at = "event " + std::to_string(index++);
+    if (!ev.is_object()) return at + ": not an object";
+    const Json* name = ev.find("name");
+    const Json* ph = ev.find("ph");
+    const Json* ts = ev.find("ts");
+    const Json* pid = ev.find("pid");
+    const Json* tid = ev.find("tid");
+    if (name == nullptr || !name->is_string()) return at + ": missing name";
+    if (ph == nullptr || !ph->is_string()) return at + ": missing ph";
+    if (ts == nullptr || !ts->is_number()) return at + ": missing ts";
+    if (pid == nullptr || !pid->is_number()) return at + ": missing pid";
+    if (tid == nullptr || !tid->is_number()) return at + ": missing tid";
+
+    const std::string& phase = ph->as_string();
+    if (phase == "M") continue;  // metadata (thread_name etc.)
+    if (phase != "B" && phase != "E") {
+      return at + ": unexpected ph '" + phase + "'";
+    }
+    if (!is_known_span(name->as_string())) {
+      return at + ": unknown span name '" + name->as_string() + "'";
+    }
+
+    TrackState& track = tracks[tid->as_number()];
+    if (ts->as_number() < track.last_ts) {
+      return at + ": timestamp moved backwards on tid " +
+             std::to_string(tid->as_number());
+    }
+    track.last_ts = ts->as_number();
+    if (phase == "B") {
+      track.open.push_back(name->as_string());
+    } else {
+      if (track.open.empty()) {
+        return at + ": E event '" + name->as_string() + "' with no open span";
+      }
+      if (track.open.back() != name->as_string()) {
+        return at + ": E event '" + name->as_string() +
+               "' does not match open span '" + track.open.back() + "'";
+      }
+      track.open.pop_back();
+    }
+  }
+  for (const auto& [tid, track] : tracks) {
+    if (!track.open.empty()) {
+      return "tid " + std::to_string(tid) + " ends with unclosed span '" +
+             track.open.back() + "'";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wasai::obs

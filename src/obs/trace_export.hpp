@@ -1,0 +1,44 @@
+// Exporters for the observability Registry:
+//  * chrome_trace_json — Trace Event Format (B/E duration events, one
+//    track per registered worker) loadable in chrome://tracing and
+//    Perfetto;
+//  * metrics_json / phase_totals_json — the aggregated `obs` block merged
+//    into the campaign JSONL and the `wasai` summary;
+//  * validate_chrome_trace — the schema gate CI runs on emitted traces
+//    (matching B/E pairs per thread, monotonic timestamps, the fixed span
+//    vocabulary).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace wasai::obs {
+
+/// Chrome trace-event document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+/// Every span becomes a B/E pair on its track's tid; tracks carry
+/// thread_name metadata events. Timestamps are microseconds since the
+/// registry epoch (the Trace Event Format's native unit).
+util::Json chrome_trace_json(const Registry& registry);
+
+/// Aggregated metrics block: per-phase totals over every track plus every
+/// counter and histogram. Shape:
+///   {"phases":{name:{"count","total_ms","self_ms"}},
+///    "counters":{name:value},
+///    "histograms":{name:{"count","total_ms","max_ms","buckets":[[le_us,n]..]}}}
+util::Json metrics_json(const Registry& registry);
+
+/// Just the per-phase totals (the per-contract JSONL `obs` block).
+util::Json phase_totals_json(const PhaseTotals& totals);
+
+/// Validate a parsed Chrome trace document. Checks: traceEvents array is
+/// present; every event carries name/ph/ts/pid/tid; per tid the B/E events
+/// nest properly (LIFO name matching, nothing left open), timestamps are
+/// monotonically non-decreasing, and every duration-event name is in the
+/// span vocabulary. Returns std::nullopt on success, else a description of
+/// the first violation.
+std::optional<std::string> validate_chrome_trace(const util::Json& doc);
+
+}  // namespace wasai::obs

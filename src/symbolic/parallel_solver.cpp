@@ -42,6 +42,9 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  // Only the coordinator thread owns the span log; workers record their
+  // per-query wall times through the (thread-safe) shared histogram.
+  const obs::Span span(options.obs, obs::span_name::kSolve);
   const auto start = Clock::now();
   const double hard_ms = options.effective_hard_timeout_ms();
 
@@ -112,9 +115,15 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
         }
         index = miss_indices[next++];
       }
+      const auto query_begin = Clock::now();
       results[index] = QueryResult{
           solve_smt2_query(flips[index].smt2, options.timeout_ms, hard_ms),
           true};
+      if (options.obs != nullptr) {
+        options.obs->count("solver.queries");
+        options.obs->latency_us("solver.query_us",
+                                ms_since(query_begin) * 1000.0);
+      }
     }
   };
   const unsigned n = std::min<unsigned>(
@@ -138,6 +147,7 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
     }
     if (pending.hit.has_value()) {
       ++out.cache_hits;
+      if (options.obs != nullptr) options.obs->count("solver.cache_hits");
       if (pending.hit->verdict == CachedVerdict::Sat) {
         ++out.sat;
         out.seeds.push_back(

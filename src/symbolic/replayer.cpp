@@ -608,10 +608,16 @@ ReplayResult replay(Z3Env& env, const Module& module, const SiteTable& sites,
                     const ActionTrace& trace, const ActionCallSite& site,
                     const abi::ActionDef& def,
                     const std::vector<abi::ParamValue>& seed_params,
-                    ReplayObserver* observer) {
+                    ReplayObserver* observer, obs::Obs* obs) {
+  const obs::Span span(obs, obs::span_name::kReplay);
   ReplayMachine machine(env, module, sites, trace, site, def, seed_params,
                         observer);
-  return machine.run();
+  ReplayResult result = machine.run();
+  if (obs != nullptr) {
+    obs->count("replay.runs");
+    obs->count("replay.events", result.events_replayed);
+  }
+  return result;
 }
 
 }  // namespace wasai::symbolic

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "instrument/trace.hpp"
+#include "obs/obs.hpp"
 #include "symbolic/inputs.hpp"
 #include "symbolic/memory_model.hpp"
 #include "wasm/module.hpp"
@@ -108,12 +109,14 @@ class ReplayObserver {
 };
 
 /// Replay `trace` starting at the action function identified by `site`.
-/// `module` must be the ORIGINAL (uninstrumented) module.
+/// `module` must be the ORIGINAL (uninstrumented) module. A non-null `obs`
+/// wraps the replay in a `replay` phase span and counts replayed events.
 ReplayResult replay(Z3Env& env, const wasm::Module& module,
                     const instrument::SiteTable& sites,
                     const instrument::ActionTrace& trace,
                     const ActionCallSite& site, const abi::ActionDef& def,
                     const std::vector<abi::ParamValue>& seed_params,
-                    ReplayObserver* observer = nullptr);
+                    ReplayObserver* observer = nullptr,
+                    obs::Obs* obs = nullptr);
 
 }  // namespace wasai::symbolic

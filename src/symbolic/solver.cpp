@@ -120,6 +120,7 @@ SmtQueryResult solve_smt2_query(const std::string& smt2, unsigned timeout_ms,
 AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
                           const std::vector<ParamValue>& seed_params,
                           const SolverOptions& opts) {
+  const obs::Span span(opts.obs, obs::span_name::kSolve);
   AdaptiveSeeds out;
   std::size_t flips_attempted = 0;
   const auto start = Clock::now();
@@ -161,6 +162,7 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
       }
       if (hit != nullptr) {
         ++out.cache_hits;
+        if (opts.obs != nullptr) opts.obs->count("solver.cache_hits");
         if (hit->verdict == CachedVerdict::Sat) {
           ++out.sat;
           out.seeds.push_back(
@@ -173,6 +175,7 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
         if (opts.cache != nullptr) ++out.cache_misses;
         ++out.queries;
 
+        const auto query_begin = Clock::now();
         SmtQueryResult result;
         if (opts.incremental) {
           if (!walker.has_value()) {
@@ -207,6 +210,11 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
           }
         }
 
+        if (opts.obs != nullptr) {
+          opts.obs->count("solver.queries");
+          opts.obs->latency_us("solver.query_us",
+                               ms_since(query_begin) * 1000.0);
+        }
         if (result.overshoot) {
           // Z3 overshot its soft timeout badly enough that the result is no
           // longer worth the budget it consumed. The model (if any) is

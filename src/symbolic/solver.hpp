@@ -54,6 +54,11 @@ struct SolverOptions {
   /// Cooperative cancellation checked between queries (campaign deadlines).
   /// Not owned; may be null.
   const util::CancelToken* cancel = nullptr;
+  /// Observability track of the calling thread (may be null = off). The
+  /// whole call is wrapped in a `solve_flips` span; per-query wall times
+  /// feed the `solver.query_us` histogram. Parallel workers only touch the
+  /// shared histogram/counters, never the track's span log.
+  obs::Obs* obs = nullptr;
 
   [[nodiscard]] unsigned effective_hard_timeout_ms() const {
     return hard_timeout_ms != 0 ? hard_timeout_ms : 10 * timeout_ms + 1000;

@@ -1,6 +1,7 @@
 #include "wasai/wasai.hpp"
 
 #include <chrono>
+#include <optional>
 
 namespace wasai {
 
@@ -13,10 +14,16 @@ AnalysisResult analyze(const util::Bytes& contract_wasm, const abi::Abi& abi,
   };
 
   const auto start = Clock::now();
-  engine::Fuzzer fuzzer(contract_wasm, abi, options.fuzz);
   AnalysisResult result;
+  std::optional<engine::Fuzzer> fuzzer;
+  {
+    // Harness construction is the `init` phase: decode, instrument, deploy
+    // and fund the local chain.
+    const obs::Span init_span(options.fuzz.obs, obs::span_name::kInit);
+    fuzzer.emplace(contract_wasm, abi, options.fuzz);
+  }
   result.init_ms = ms_since(start);
-  result.details = fuzzer.run();
+  result.details = fuzzer->run();
   result.report = result.details.scan;
   result.total_ms = ms_since(start);
   return result;

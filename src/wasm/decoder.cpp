@@ -170,7 +170,12 @@ Instr decode_instr(ByteReader& r) {
   return ins;
 }
 
-Module decode(std::span<const std::uint8_t> binary) {
+Module decode(std::span<const std::uint8_t> binary, obs::Obs* obs) {
+  const obs::Span span(obs, obs::span_name::kDecode);
+  if (obs != nullptr) {
+    obs->count("decode.modules");
+    obs->count("decode.bytes", binary.size());
+  }
   ByteReader r(binary);
   if (r.u32_le() != kWasmMagic) throw DecodeError("bad magic");
   if (r.u32_le() != kWasmVersion) throw DecodeError("unsupported version");

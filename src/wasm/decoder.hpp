@@ -4,13 +4,16 @@
 
 #include <span>
 
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "wasm/module.hpp"
 
 namespace wasai::wasm {
 
 /// Decode a full binary module. Throws util::DecodeError on malformed input.
-Module decode(std::span<const std::uint8_t> binary);
+/// When `obs` is non-null the decode is wrapped in a `decode` phase span
+/// and counted (`decode.modules`, `decode.bytes`); null is a no-op.
+Module decode(std::span<const std::uint8_t> binary, obs::Obs* obs = nullptr);
 
 /// Decode a single instruction at the reader's position (used by tests).
 Instr decode_instr(util::ByteReader& r);

@@ -1,0 +1,323 @@
+// Observability layer tests: Span/Registry/Counter/Histogram units, the
+// phase aggregation algebra (inclusive vs self time, open-span exclusion),
+// the Chrome trace exporter + validator schema gate, and an end-to-end
+// campaign (including a truncated module, so fault paths must still close
+// their spans) whose emitted trace and per-record `obs` blocks are checked
+// against the wall clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "abi/abi_json.hpp"
+#include "campaign/report.hpp"
+#include "corpus/templates.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
+#include "testgen/generator.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "wasm/encoder.hpp"
+
+namespace wasai {
+namespace {
+
+using obs::EventPhase;
+using obs::Registry;
+using obs::Span;
+using util::Json;
+using util::Rng;
+
+// ------------------------------------------------------------ span units
+
+TEST(Obs, NullObsSpanIsANoOp) {
+  // The --no-obs kill switch: a null handle runs the same code path but
+  // records nothing and reads no clock.
+  const Span span(nullptr, obs::span_name::kFuzz, "ignored");
+  EXPECT_EQ(span.elapsed_us(), 0.0);
+}
+
+TEST(Obs, SpansRecordBalancedNestedEvents) {
+  Registry registry;
+  obs::Obs& track = registry.track("main");
+  {
+    const Span outer(&track, obs::span_name::kContract, "c1");
+    const Span inner(&track, obs::span_name::kDecode);
+    EXPECT_GE(inner.elapsed_us(), 0.0);
+  }
+  const auto& events = track.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "contract");
+  EXPECT_EQ(events[0].phase, EventPhase::Begin);
+  EXPECT_EQ(events[0].arg, "c1");
+  EXPECT_STREQ(events[1].name, "decode");
+  EXPECT_STREQ(events[2].name, "decode");
+  EXPECT_EQ(events[2].phase, EventPhase::End);
+  EXPECT_STREQ(events[3].name, "contract");
+  // Timestamps are monotonic per track by construction.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+}
+
+TEST(Obs, VocabularyIsClosed) {
+  for (const auto& name : obs::span_vocabulary()) {
+    EXPECT_TRUE(obs::is_known_span(name));
+  }
+  EXPECT_TRUE(obs::is_known_span("solve_flips"));
+  EXPECT_FALSE(obs::is_known_span("made_up_phase"));
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(Obs, CountersAccumulateAcrossTracks) {
+  Registry registry;
+  obs::Obs& a = registry.track("a");
+  obs::Obs& b = registry.track("b");
+  a.count("execute.transactions");
+  b.count("execute.transactions", 4);
+  EXPECT_EQ(registry.counter("execute.transactions").value(), 5u);
+}
+
+TEST(Obs, HistogramBucketsAreLog2) {
+  Registry registry;
+  obs::Obs& track = registry.track("main");
+  track.latency_us("solver.query_us", 0.5);     // bucket 0 (< 1us)
+  track.latency_us("solver.query_us", 1000.0);  // a mid bucket
+  const obs::Histogram& h = registry.histogram("solver.query_us");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_us(), 1000u);
+  EXPECT_NEAR(h.total_us(), 1000.5, 0.01);
+  EXPECT_EQ(h.bucket(0), 1u);
+  // The 1000us observation landed in exactly one bucket whose range
+  // contains it.
+  std::size_t hits = 0;
+  for (std::size_t i = 1; i < obs::Histogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    ++hits;
+    EXPECT_GE(obs::Histogram::bucket_upper_us(i), 1000u);
+    EXPECT_LT(obs::Histogram::bucket_upper_us(i - 1), 1000u);
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+// ----------------------------------------------------------- aggregation
+
+TEST(Obs, AggregateSplitsSelfFromInclusiveTime) {
+  Registry registry;
+  obs::Obs& track = registry.track("main");
+  {
+    const Span fuzz(&track, obs::span_name::kFuzz);
+    { const Span ex1(&track, obs::span_name::kExecute); }
+    { const Span ex2(&track, obs::span_name::kExecute); }
+  }
+  const obs::PhaseTotals totals = track.aggregate_since(0);
+  ASSERT_TRUE(totals.contains("fuzz"));
+  ASSERT_TRUE(totals.contains("execute"));
+  EXPECT_EQ(totals.at("fuzz").count, 1u);
+  EXPECT_EQ(totals.at("execute").count, 2u);
+  // fuzz self time = inclusive minus its direct children.
+  EXPECT_NEAR(totals.at("fuzz").self_us,
+              totals.at("fuzz").total_us - totals.at("execute").total_us,
+              0.01);
+  // Telescoping: summed self time equals the root's inclusive time.
+  double self_sum = 0;
+  for (const auto& [name, stat] : totals) self_sum += stat.self_us;
+  EXPECT_NEAR(self_sum, totals.at("fuzz").total_us, 0.01);
+}
+
+TEST(Obs, AggregateSinceExcludesTheStillOpenSpan) {
+  // run_one aggregates while its root `contract` span is still open; the
+  // unbalanced Begin must contribute nothing rather than corrupt totals.
+  Registry registry;
+  obs::Obs& track = registry.track("main");
+  const std::size_t mark = track.mark();
+  const Span contract(&track, obs::span_name::kContract, "c1");
+  { const Span load(&track, obs::span_name::kLoad); }
+  const obs::PhaseTotals totals = track.aggregate_since(mark);
+  EXPECT_FALSE(totals.contains("contract"));
+  ASSERT_TRUE(totals.contains("load"));
+  EXPECT_EQ(totals.at("load").count, 1u);
+}
+
+TEST(Obs, MergeTotalsSumsPerPhase) {
+  obs::PhaseTotals into;
+  obs::PhaseTotals from;
+  into["fuzz"] = {2, 100.0, 60.0};
+  from["fuzz"] = {1, 50.0, 10.0};
+  from["load"] = {1, 5.0, 5.0};
+  obs::merge_totals(into, from);
+  EXPECT_EQ(into.at("fuzz").count, 3u);
+  EXPECT_NEAR(into.at("fuzz").total_us, 150.0, 1e-9);
+  EXPECT_NEAR(into.at("fuzz").self_us, 70.0, 1e-9);
+  EXPECT_EQ(into.at("load").count, 1u);
+}
+
+// -------------------------------------------------- chrome trace schema
+
+TEST(ObsTrace, ExportedTraceValidates) {
+  Registry registry;
+  obs::Obs& track = registry.track("worker-0");
+  {
+    const Span contract(&track, obs::span_name::kContract, "c1");
+    const Span fuzz(&track, obs::span_name::kFuzz);
+  }
+  const Json doc = obs::chrome_trace_json(registry);
+  EXPECT_EQ(obs::validate_chrome_trace(doc), std::nullopt);
+
+  // Schema spot checks: metadata event names the track; B/E counts match.
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_GE(events.size(), 5u);  // 1 metadata + 2 B/E pairs
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("name").as_string(), "thread_name");
+  EXPECT_EQ(events[0].at("args").at("name").as_string(), "worker-0");
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const auto& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+}
+
+Json synthetic_trace(util::JsonArray events) {
+  util::JsonObject doc;
+  doc.emplace("traceEvents", Json(std::move(events)));
+  doc.emplace("displayTimeUnit", Json(std::string("ms")));
+  return Json(std::move(doc));
+}
+
+Json event(const std::string& name, const std::string& ph, double ts,
+           double tid) {
+  util::JsonObject ev;
+  ev.emplace("name", Json(name));
+  ev.emplace("ph", Json(ph));
+  ev.emplace("ts", Json(ts));
+  ev.emplace("pid", Json(1.0));
+  ev.emplace("tid", Json(tid));
+  ev.emplace("cat", Json(std::string("wasai")));
+  return Json(std::move(ev));
+}
+
+TEST(ObsTrace, ValidatorRejectsMalformedTraces) {
+  // Not an object / no traceEvents.
+  EXPECT_NE(obs::validate_chrome_trace(Json(util::JsonArray{})), std::nullopt);
+  EXPECT_NE(obs::validate_chrome_trace(Json(util::JsonObject{})),
+            std::nullopt);
+
+  // Unknown span name.
+  EXPECT_NE(obs::validate_chrome_trace(synthetic_trace(
+                {event("warp_drive", "B", 1, 0), event("warp_drive", "E", 2, 0)})),
+            std::nullopt);
+
+  // Unclosed span.
+  EXPECT_NE(obs::validate_chrome_trace(
+                synthetic_trace({event("fuzz", "B", 1, 0)})),
+            std::nullopt);
+
+  // End without a begin.
+  EXPECT_NE(obs::validate_chrome_trace(
+                synthetic_trace({event("fuzz", "E", 1, 0)})),
+            std::nullopt);
+
+  // Mismatched LIFO nesting.
+  EXPECT_NE(obs::validate_chrome_trace(synthetic_trace(
+                {event("fuzz", "B", 1, 0), event("execute", "B", 2, 0),
+                 event("fuzz", "E", 3, 0), event("execute", "E", 4, 0)})),
+            std::nullopt);
+
+  // Decreasing timestamps within a track.
+  EXPECT_NE(obs::validate_chrome_trace(synthetic_trace(
+                {event("fuzz", "B", 5, 0), event("fuzz", "E", 1, 0)})),
+            std::nullopt);
+
+  // Unknown phase letter.
+  EXPECT_NE(obs::validate_chrome_trace(
+                synthetic_trace({event("fuzz", "X", 1, 0)})),
+            std::nullopt);
+
+  // A well-formed minimal trace passes.
+  EXPECT_EQ(obs::validate_chrome_trace(synthetic_trace(
+                {event("fuzz", "B", 1, 0), event("execute", "B", 2, 0),
+                 event("execute", "E", 3, 0), event("fuzz", "E", 4, 0)})),
+            std::nullopt);
+}
+
+// ------------------------------------------------- end-to-end campaign
+
+TEST(ObsTrace, CampaignTraceValidatesAndSelfTimesCoverWallTime) {
+  // Two healthy contracts plus one truncated module: the fault path must
+  // unwind through RAII spans and leave a balanced, validating trace.
+  Rng seeds(404);
+  std::vector<campaign::ContractInput> inputs;
+  for (int i = 0; i < 2; ++i) {
+    const auto gen = testgen::generate(seeds.next());
+    campaign::ContractInput input;
+    input.id = "testgen-" + std::to_string(i);
+    input.wasm = wasm::encode(gen.module);
+    input.abi_json = abi::abi_to_json(gen.abi);
+    inputs.push_back(std::move(input));
+  }
+  {
+    const auto bad = testgen::generate(seeds.next());
+    const auto bytes = wasm::encode(bad.module);
+    campaign::ContractInput truncated;
+    truncated.id = "truncated";
+    truncated.wasm.assign(bytes.begin(),
+                          bytes.begin() + static_cast<long>(bytes.size() / 3));
+    truncated.abi_json = abi::abi_to_json(bad.abi);
+    inputs.push_back(std::move(truncated));
+  }
+
+  Registry registry;
+  campaign::CampaignOptions options;
+  options.fuzz.iterations = 12;
+  options.fuzz.rng_seed = 7;
+  options.jobs = 2;
+  options.obs = &registry;
+  campaign::CampaignRunner runner(options);
+  const auto report = runner.run(inputs);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records[2].status, campaign::ContractStatus::BadInput);
+
+  // The emitted trace passes the same validator CI runs.
+  const Json doc = obs::chrome_trace_json(registry);
+  const auto problem = obs::validate_chrome_trace(doc);
+  EXPECT_EQ(problem, std::nullopt) << *problem;
+
+  // Every record (fault records included) carries a phase block rooted at
+  // `contract`. Summed self times telescope to the contract's inclusive
+  // time, and that inclusive time covers the record's wall clock within 5%
+  // (the span opens/closes a hair inside the total_ms measurement).
+  for (const auto& record : report.records) {
+    ASSERT_TRUE(record.phases.contains("contract")) << record.id;
+    const obs::PhaseStat& contract = record.phases.at("contract");
+    EXPECT_EQ(contract.count, 1u) << record.id;
+    double self_ms = 0;
+    for (const auto& [name, stat] : record.phases) {
+      EXPECT_TRUE(obs::is_known_span(name)) << name;
+      self_ms += stat.self_us / 1000.0;
+    }
+    const double contract_ms = contract.total_us / 1000.0;
+    EXPECT_NEAR(self_ms, contract_ms, 0.01 * contract_ms + 0.001)
+        << record.id;
+    EXPECT_LE(std::abs(contract_ms - record.timings.total_ms),
+              std::max(0.05 * record.timings.total_ms, 1.0))
+        << record.id << ": contract span " << contract_ms << "ms vs wall "
+        << record.timings.total_ms << "ms";
+  }
+
+  // The summary rollup merges every record's phases.
+  ASSERT_TRUE(report.summary.phases.contains("contract"));
+  EXPECT_EQ(report.summary.phases.at("contract").count, 3u);
+  ASSERT_TRUE(report.summary.phases.contains("fuzz"));
+  EXPECT_EQ(report.summary.phases.at("fuzz").count, 2u);  // faults skip fuzz
+  // Shared counters landed in the registry.
+  EXPECT_EQ(registry.counter("campaign.contracts").value(), 3u);
+  EXPECT_GT(registry.counter("execute.transactions").value(), 0u);
+}
+
+}  // namespace
+}  // namespace wasai

@@ -649,6 +649,48 @@ TEST(ParallelSolver, SharesCacheAndSeedStreamWithSerial) {
   expect_same_seeds(cross, serial, "serial walk over parallel cache");
 }
 
+TEST(ParallelSolver, MergeStopsAtFirstUnattemptedMissUnderCancellation) {
+  ContractBuilder probe;
+  ReplayFixture fx(three_branch_body(probe.env()));
+  const auto& trace = fx.run(default_seed(5, "m"));
+  const ReplayResult r = fx.replay_last(trace);
+
+  // Capacity-1 LRU: a full serial walk leaves only the LAST flip's verdict
+  // cached, so a rerun sees [miss, miss, hit] in path order.
+  SolverCache cache(1);
+  SolverOptions opts;
+  opts.cache = &cache;
+  const auto warm = solve_flips(fx.env_, r, fx.last_params_, opts);
+  ASSERT_EQ(warm.queries, 3u);
+  ASSERT_EQ(cache.stats().entries, 1u);
+
+  // Cancel before any worker dequeues: every miss stays unattempted. The
+  // merge must stop at the FIRST unattempted miss and emit nothing past
+  // it — not even the later cache hit — because the serial walk's abort
+  // break would never have reached that flip either. Emitting it would
+  // fork the adaptive-seed stream between serial and parallel solving.
+  const auto token = util::CancelToken::with_deadline(0);
+  token->cancel();
+  opts.cancel = token.get();
+  const auto aborted =
+      solve_flips_parallel(fx.env_, r, fx.last_params_, opts, 2);
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.queries, 0u);
+  EXPECT_EQ(aborted.cache_hits, 0u);  // the hit lies past the abort point
+  EXPECT_EQ(aborted.sat, 0u);
+  EXPECT_EQ(aborted.unsat, 0u);
+  EXPECT_TRUE(aborted.seeds.empty());
+
+  // Sanity: without cancellation the same cache state merges hits and
+  // fresh verdicts back into the full serial stream.
+  opts.cancel = nullptr;
+  const auto resumed =
+      solve_flips_parallel(fx.env_, r, fx.last_params_, opts, 2);
+  EXPECT_FALSE(resumed.aborted);
+  EXPECT_GE(resumed.cache_hits, 1u);
+  expect_same_seeds(resumed, warm, "post-abort rerun vs warm serial walk");
+}
+
 TEST(Replay, DbApiCallsRecordedWithConcreteArgs) {
   ContractBuilder probe;
   const auto env = probe.env();

@@ -2,8 +2,9 @@
 // (`<stem>.wasm` + `<stem>.abi` pairs) with per-contract fault isolation.
 //
 //   wasai-campaign run <corpus-dir> [options]
+//   wasai-campaign check-trace <trace.json>
 //
-// Options:
+// Options (run):
 //   --jobs N          worker threads (default 1; 0 = hardware concurrency)
 //   --iterations N    fuzzing rounds per contract (default 48)
 //   --seed N          RNG seed shared by every contract (default 1)
@@ -18,6 +19,15 @@
 //   --summary FILE    aggregate summary JSON destination (default: stderr)
 //   --findings-only   emit the stable findings projection instead of full
 //                     records (byte-identical across --jobs values)
+//   --trace-out FILE  write a Chrome trace-event JSON of the campaign (one
+//                     track per worker; load in chrome://tracing/Perfetto)
+//   --no-obs          observability kill switch: spans/counters become
+//                     no-ops; records drop the `obs` block but are
+//                     otherwise byte-identical (same seeds, same findings)
+//
+// `check-trace` parses a trace produced by --trace-out and validates it
+// (matching B/E pairs per track, monotonic timestamps, known span names);
+// exit 0 = valid, 1 = rejected. CI gates the obs-trace artifact on it.
 //
 // Exit status: 0 when the campaign ran (even if every contract errored),
 // 2 on usage errors. Per-contract faults are data, not process failures.
@@ -25,8 +35,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "campaign/report.hpp"
+#include "obs/trace_export.hpp"
 #include "util/jsonl.hpp"
 
 namespace {
@@ -41,7 +53,9 @@ int usage() {
       "        [--seed N] [--deadline-ms N] [--retries N] [--parallel]\n"
       "        [--no-incremental] [--no-solver-cache]\n"
       "        [--solver-cache-capacity N]\n"
-      "        [--out FILE] [--summary FILE] [--findings-only]\n");
+      "        [--out FILE] [--summary FILE] [--findings-only]\n"
+      "        [--trace-out FILE] [--no-obs]\n"
+      "  wasai-campaign check-trace <trace.json>\n");
   return 2;
 }
 
@@ -52,7 +66,9 @@ int cmd_run(int argc, char** argv) {
   campaign::CampaignOptions options;
   std::string out_path;
   std::string summary_path;
+  std::string trace_path;
   bool findings_only = false;
+  bool no_obs = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
@@ -80,9 +96,17 @@ int cmd_run(int argc, char** argv) {
       summary_path = argv[++i];
     } else if (arg == "--findings-only") {
       findings_only = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--no-obs") {
+      no_obs = true;
     } else {
       return usage();
     }
+  }
+  if (!trace_path.empty() && no_obs) {
+    // Fail before the campaign runs, not after it has burned the budget.
+    throw util::UsageError("--trace-out requires observability (--no-obs)");
   }
 
   const auto inputs = campaign::scan_directory(corpus_dir);
@@ -90,8 +114,19 @@ int cmd_run(int argc, char** argv) {
                inputs.size(), corpus_dir.c_str(),
                options.jobs == 0 ? 0u : options.jobs);
 
+  // Observability is on by default (the spans are nanoseconds per contract);
+  // --no-obs passes a null registry so every span/counter no-ops.
+  obs::Registry registry;
+  if (!no_obs) options.obs = &registry;
+
   campaign::CampaignRunner runner(options);
   const auto report = runner.run(inputs);
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path, std::ios::trunc);
+    if (!trace_file) throw util::UsageError("cannot open " + trace_path);
+    trace_file << util::dump_json(obs::chrome_trace_json(registry)) << '\n';
+  }
 
   std::ofstream out_file;
   if (!out_path.empty()) {
@@ -108,8 +143,16 @@ int cmd_run(int argc, char** argv) {
     campaign::write_records_jsonl(out, report);
   }
 
+  // With observability on, the summary's `obs` block is upgraded from the
+  // per-phase rollup to the full metrics document (phases + counters +
+  // histograms).
+  util::JsonObject summary_obj =
+      campaign::summary_to_json(report.summary).as_object();
+  if (!no_obs) {
+    summary_obj["obs"] = obs::metrics_json(registry);
+  }
   const std::string summary =
-      util::dump_json(campaign::summary_to_json(report.summary));
+      util::dump_json(util::Json(std::move(summary_obj)));
   if (summary_path.empty()) {
     std::fprintf(stderr, "%s\n", summary.c_str());
   } else {
@@ -122,12 +165,35 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_check_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) throw util::UsageError(std::string("cannot open ") + argv[2]);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const util::Json doc = util::parse_json(ss.str());
+  if (const auto problem = obs::validate_chrome_trace(doc)) {
+    std::fprintf(stderr, "wasai-campaign: invalid trace: %s\n",
+                 problem->c_str());
+    return 1;
+  }
+  std::size_t events = 0;
+  if (const util::Json* arr = doc.find("traceEvents")) {
+    events = arr->as_array().size();
+  }
+  std::fprintf(stderr, "wasai-campaign: trace ok (%zu events)\n", events);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+    if (std::strcmp(argv[1], "check-trace") == 0) {
+      return cmd_check_trace(argc, argv);
+    }
     return usage();
   } catch (const wasai::util::Error& e) {
     std::fprintf(stderr, "wasai-campaign: %s\n", e.what());

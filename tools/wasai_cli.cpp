@@ -15,6 +15,12 @@
 //                        cached verdicts kept (default 4096)
 //   --address-pool       enable the dynamic sender pool extension
 //   --trace-out FILE     save the final campaign's traces (§3.3.1 format)
+//   --obs-trace FILE     save a Chrome trace-event JSON of the analysis
+//                        phases (chrome://tracing / Perfetto); distinct
+//                        from --trace-out, which saves action traces
+//   --no-obs             observability kill switch (spans become no-ops;
+//                        output drops the obs summary but is otherwise
+//                        byte-identical)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +31,7 @@
 #include "corpus/templates.hpp"
 #include "instrument/instrumenter.hpp"
 #include "instrument/trace_io.hpp"
+#include "obs/trace_export.hpp"
 #include "wasai/wasai.hpp"
 #include "wasm/decoder.hpp"
 #include "wasm/printer.hpp"
@@ -56,7 +63,8 @@ int usage() {
       "  wasai analyze <contract.wasm> <contract.abi> [--iterations N]\n"
       "        [--seed N] [--no-feedback] [--parallel] [--no-incremental]\n"
       "        [--no-solver-cache] [--solver-cache-capacity N]\n"
-      "        [--address-pool] [--trace-out FILE]\n"
+      "        [--address-pool] [--trace-out FILE] [--obs-trace FILE]\n"
+      "        [--no-obs]\n"
       "  wasai emit-sample <fake-eos|fake-notif|miss-auth|blockinfo|"
       "rollback>\n"
       "        <out-prefix> [--safe]\n"
@@ -90,6 +98,8 @@ int cmd_analyze(int argc, char** argv) {
   AnalysisOptions options;
   options.fuzz.iterations = 48;
   std::string trace_out;
+  std::string obs_trace_out;
+  bool no_obs = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--iterations" && i + 1 < argc) {
@@ -111,9 +121,17 @@ int cmd_analyze(int argc, char** argv) {
       options.fuzz.dynamic_address_pool = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--obs-trace" && i + 1 < argc) {
+      obs_trace_out = argv[++i];
+    } else if (arg == "--no-obs") {
+      no_obs = true;
     } else {
       return usage();
     }
+  }
+  if (!obs_trace_out.empty() && no_obs) {
+    // Fail before the analysis runs, not after it has burned the budget.
+    throw util::UsageError("--obs-trace requires observability (--no-obs)");
   }
 
   const auto wasm_bytes = read_file(wasm_path);
@@ -124,6 +142,10 @@ int cmd_analyze(int argc, char** argv) {
   std::printf("wasai: analyzing %s (%zu bytes, %zu actions)\n",
               wasm_path.c_str(), wasm_bytes.size(),
               contract_abi.actions.size());
+
+  obs::Registry registry;
+  obs::Obs* obs = no_obs ? nullptr : &registry.track("main");
+  options.fuzz.obs = obs;
 
   engine::Fuzzer fuzzer(wasm_bytes, contract_abi, options.fuzz);
   const auto report = fuzzer.run();
@@ -143,10 +165,25 @@ int cmd_analyze(int argc, char** argv) {
       report.transactions, report.distinct_branches, report.replays,
       report.solver_queries, report.solver_cache_hits, report.adaptive_seeds);
 
+  if (obs != nullptr) {
+    // Per-phase wall/self breakdown of this analysis (the same numbers the
+    // campaign JSONL `obs` block carries).
+    std::printf("obs: %s\n",
+                util::dump_json(
+                    obs::phase_totals_json(registry.aggregate_all()))
+                    .c_str());
+  }
+
   if (!trace_out.empty()) {
     instrument::save_traces(trace_out, fuzzer.harness().sink().actions());
     std::printf("traces: %zu action traces saved to %s\n",
                 fuzzer.harness().sink().actions().size(), trace_out.c_str());
+  }
+  if (!obs_trace_out.empty()) {
+    std::ofstream out(obs_trace_out, std::ios::trunc);
+    if (!out) throw util::UsageError("cannot open " + obs_trace_out);
+    out << util::dump_json(obs::chrome_trace_json(registry)) << '\n';
+    std::printf("obs trace: saved to %s\n", obs_trace_out.c_str());
   }
   return report.scan.found.empty() ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "abi/abi_json.hpp"
 #include "testgen/minimize.hpp"
 #include "testgen/oracle.hpp"
 #include "util/digest.hpp"
@@ -112,9 +113,17 @@ int cmd_generate(const Options& opt) {
   for (std::size_t i = 0; i < opt.count; ++i) {
     const std::uint64_t module_seed = base.next();
     const auto gen = testgen::generate(module_seed);
-    const auto path = std::filesystem::path(opt.out_dir) /
-                      ("testgen_" + std::to_string(module_seed) + ".wasm");
+    const auto stem = "testgen_" + std::to_string(module_seed);
+    const auto path =
+        std::filesystem::path(opt.out_dir) / (stem + ".wasm");
     write_file(path, wasm::encode(gen.module));
+    // Sibling .abi so the output directory is directly consumable by
+    // `wasai-campaign run` (scan_directory pairs <stem>.wasm + <stem>.abi).
+    const std::string abi_json = abi::abi_to_json(gen.abi);
+    write_file(std::filesystem::path(opt.out_dir) / (stem + ".abi"),
+               std::span(reinterpret_cast<const std::uint8_t*>(
+                             abi_json.data()),
+                         abi_json.size()));
     std::cout << path.string() << "\n";
   }
   return 0;
