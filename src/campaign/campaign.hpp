@@ -10,10 +10,26 @@
 // RNG seed), records are collected indexed by input order, and workers
 // never share mutable analysis state — so the findings of a campaign are
 // byte-identical for any `jobs` value.
+//
+// Robustness (crash-safe campaigns):
+//  * Graceful shutdown — a campaign-wide CancelToken (tripped by the CLI's
+//    SIGINT/SIGTERM handler) stops workers from claiming new contracts;
+//    in-flight contracts drain through their cooperative deadline and are
+//    recorded with status `interrupted`. Contracts never claimed produce
+//    no record, so a later --resume picks them up.
+//  * Watchdog escalation — a monitor thread detects contracts that ignore
+//    the cooperative deadline by more than `hung_grace` (a wedged Z3 query
+//    deep inside a worker), records them as `hung`, abandons the wedged
+//    worker thread and spawns a replacement so the pool keeps draining.
+//  * Checkpoint/resume — every record carries a content digest of the
+//    wasm+abi bytes; `skip_digests` makes the runner skip contracts whose
+//    digest is already in a previous run's record stream (see resume.hpp).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -38,9 +54,19 @@ enum class ContractStatus : std::uint8_t {
   IoError,   // input file missing/unreadable
   BadInput,  // malformed Wasm/ABI or missing apply export — not retried
   Failed,    // analysis kept throwing after every retry attempt
+  Interrupted,  // campaign-wide shutdown drained this in-flight contract
+  Hung,      // ignored the cooperative deadline; abandoned by the watchdog
+  Skipped,   // digest found in skip_digests (resume); dropped from records
 };
 
 const char* to_string(ContractStatus s);
+
+/// Content digest of one contract: util::fnv1a over the wasm bytes, a 0x00
+/// separator, and the ABI JSON bytes, rendered as 16 hex digits. The key a
+/// resume uses to recognize contracts that were already analyzed — stable
+/// across renames, paths and campaign composition.
+std::string content_digest(const util::Bytes& wasm,
+                           const std::string& abi_json);
 
 struct PhaseTimings {
   double load_ms = 0;    // file read + ABI parse
@@ -53,11 +79,14 @@ struct PhaseTimings {
 /// Per-contract observability record — one JSONL line per contract.
 struct ContractRecord {
   std::string id;
+  /// content_digest() of the analyzed bytes; empty when loading failed
+  /// before both inputs were in memory (io-error).
+  std::string digest;
   ContractStatus status = ContractStatus::Ok;
   std::string error;  // what() of the last failure, empty on Ok
   int attempts = 0;   // 1 on first-try success
   PhaseTimings timings;
-  // Analysis payload (meaningful for Ok and Deadline):
+  // Analysis payload (meaningful for Ok, Deadline and Interrupted):
   scanner::Report scan;
   std::vector<scanner::CustomFinding> custom;
   std::vector<engine::CoveragePoint> curve;
@@ -81,9 +110,17 @@ struct ContractRecord {
   /// observability off). Serialized as the record's `obs` JSONL block.
   obs::PhaseTotals phases;
 
+  /// Terminal analysis outcomes whose findings are final. Interrupted and
+  /// hung records carry partial payloads but will be re-analyzed by a
+  /// resume, so they are excluded (their findings would double-count).
   [[nodiscard]] bool completed() const {
     return status == ContractStatus::Ok ||
            status == ContractStatus::Deadline;
+  }
+  /// Statuses a resume does not re-analyze: completed analyses plus
+  /// deterministic input faults (retrying malformed bytes cannot help).
+  [[nodiscard]] bool resumable_skip() const {
+    return completed() || status == ContractStatus::BadInput;
   }
 };
 
@@ -94,7 +131,10 @@ struct CampaignSummary {
   std::size_t io_error = 0;
   std::size_t bad_input = 0;
   std::size_t failed = 0;
-  std::size_t vulnerable = 0;  // completed contracts with ≥1 finding
+  std::size_t interrupted = 0;  // drained by a campaign-wide shutdown
+  std::size_t hung = 0;         // abandoned by the watchdog
+  std::size_t skipped = 0;      // resume: digest already recorded
+  std::size_t vulnerable = 0;   // completed contracts with ≥1 finding
   std::size_t total_transactions = 0;
   std::size_t total_solver_queries = 0;
   std::size_t total_solver_cache_hits = 0;
@@ -109,9 +149,17 @@ struct CampaignSummary {
 };
 
 struct CampaignReport {
-  std::vector<ContractRecord> records;  // input order, one per input
+  /// Input order, one per analyzed input. Contracts skipped via
+  /// skip_digests and contracts never claimed before a shutdown are absent.
+  std::vector<ContractRecord> records;
   CampaignSummary summary;
 };
+
+/// Pluggable analysis entry point — wasai::analyze by default. Tests
+/// substitute stubs (a contract that ignores its cancel token, a shutdown
+/// trigger) to drive the watchdog and signal-drain paths deterministically.
+using AnalyzeFn = std::function<AnalysisResult(
+    const util::Bytes& wasm, const abi::Abi& abi, const AnalysisOptions&)>;
 
 struct CampaignOptions {
   /// Worker threads analyzing contracts concurrently. 0 = hardware
@@ -121,7 +169,8 @@ struct CampaignOptions {
   /// cooperative cancel token threaded into the fuzz loop and solver.
   double deadline_ms = 0;
   /// Total analysis attempts per contract (≥1). Transient failures —
-  /// anything other than malformed input — are retried up to this count.
+  /// anything other than malformed input and resource exhaustion — are
+  /// retried up to this count.
   int max_attempts = 2;
   /// Fuzzing configuration shared by every contract (same RNG seed each,
   /// keeping records independent of campaign composition and job count).
@@ -132,7 +181,31 @@ struct CampaignOptions {
   /// worker with the nested per-contract phase spans. Findings, records
   /// and seed streams are byte-identical with or without it.
   obs::Registry* obs = nullptr;
+  /// Campaign-wide cancellation (graceful shutdown). Not owned via raw
+  /// use; shared so per-contract deadline tokens can link to it as their
+  /// parent. Null = no external shutdown path.
+  std::shared_ptr<const util::CancelToken> cancel;
+  /// Content digests of contracts already analyzed by a previous run
+  /// (checkpoint/resume). A matching contract is skipped after its bytes
+  /// load: no record, `summary.skipped` incremented.
+  std::unordered_set<std::string> skip_digests;
+  /// Watchdog escalation factor: a contract whose attempt exceeds
+  /// deadline_ms * hung_grace is presumed wedged inside non-cooperative
+  /// code (e.g. one Z3 query ignoring its soft timeout), recorded as
+  /// `hung`, and its worker thread abandoned. Only active when
+  /// deadline_ms > 0. Must be > 1 so the cooperative deadline always gets
+  /// the first chance.
+  double hung_grace = 4.0;
+  /// Watchdog poll interval.
+  double watchdog_poll_ms = 250;
+  /// Analysis entry point; null = wasai::analyze.
+  AnalyzeFn analyze_fn;
 };
+
+/// Summary over an arbitrary record set (no wall_ms/phases — those describe
+/// one run, not a record set). Used both by CampaignRunner::run and by the
+/// resume path, which recomputes the summary over merged old + new records.
+CampaignSummary summarize_records(const std::vector<ContractRecord>& records);
 
 class CampaignRunner {
  public:
@@ -143,8 +216,6 @@ class CampaignRunner {
   CampaignReport run(const std::vector<ContractInput>& inputs);
 
  private:
-  ContractRecord run_one(const ContractInput& input, obs::Obs* obs) const;
-
   CampaignOptions options_;
 };
 

@@ -39,6 +39,31 @@ Json custom_array(const std::vector<scanner::CustomFinding>& custom) {
   return Json(std::move(out));
 }
 
+ContractStatus status_from_string(const std::string& name) {
+  for (const ContractStatus s :
+       {ContractStatus::Ok, ContractStatus::Deadline, ContractStatus::IoError,
+        ContractStatus::BadInput, ContractStatus::Failed,
+        ContractStatus::Interrupted, ContractStatus::Hung,
+        ContractStatus::Skipped}) {
+    if (name == to_string(s)) return s;
+  }
+  throw util::DecodeError("unknown contract status: " + name);
+}
+
+double get_num(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_number() : 0.0;
+}
+
+std::size_t get_size(const Json& obj, const char* key) {
+  return static_cast<std::size_t>(get_num(obj, key));
+}
+
+std::string get_str(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->as_string() : std::string();
+}
+
 }  // namespace
 
 Json record_to_json(const ContractRecord& record) {
@@ -71,6 +96,9 @@ Json record_to_json(const ContractRecord& record) {
 
   JsonObject out;
   out.emplace("id", Json(record.id));
+  // Content digest keys --resume dedup; absent when loading failed before
+  // both inputs were in memory (the digest covers wasm AND abi bytes).
+  if (!record.digest.empty()) out.emplace("digest", Json(record.digest));
   out.emplace("status", Json(std::string(to_string(record.status))));
   out.emplace("attempts", num(record.attempts));
   out.emplace("timings", Json(std::move(timings)));
@@ -94,6 +122,75 @@ Json record_to_json(const ContractRecord& record) {
   return Json(std::move(out));
 }
 
+ContractRecord record_from_json(const Json& json) {
+  ContractRecord record;
+  record.id = json.at("id").as_string();
+  record.digest = get_str(json, "digest");
+  record.status = status_from_string(json.at("status").as_string());
+  record.error = get_str(json, "error");
+  record.attempts = static_cast<int>(get_num(json, "attempts"));
+  if (const Json* timings = json.find("timings")) {
+    record.timings.load_ms = get_num(*timings, "load_ms");
+    record.timings.init_ms = get_num(*timings, "init_ms");
+    record.timings.fuzz_ms = get_num(*timings, "fuzz_ms");
+    record.timings.solver_ms = get_num(*timings, "solver_ms");
+    record.timings.total_ms = get_num(*timings, "total_ms");
+  }
+  record.iterations_run = static_cast<int>(get_num(json, "iterations"));
+  record.transactions = get_size(json, "transactions");
+  record.transactions_per_sec = get_num(json, "transactions_per_sec");
+  record.distinct_branches = get_size(json, "branches");
+  record.adaptive_seeds = get_size(json, "adaptive_seeds");
+  record.replays = get_size(json, "replays");
+  record.replay_failures = get_size(json, "replay_failures");
+  if (const Json* solver = json.find("solver")) {
+    record.solver_queries = get_size(*solver, "queries");
+    record.solver_sat = get_size(*solver, "sat");
+    record.solver_sat_late = get_size(*solver, "sat_late");
+    record.solver_unsat = get_size(*solver, "unsat");
+    record.solver_unknown = get_size(*solver, "unknown");
+    record.solver_cache_hits = get_size(*solver, "cache_hits");
+    record.solver_cache_misses = get_size(*solver, "cache_misses");
+    record.solver_cache_evictions = get_size(*solver, "cache_evictions");
+  }
+  if (const Json* curve = json.find("coverage_curve")) {
+    for (const Json& point : curve->as_array()) {
+      const JsonArray& triple = point.as_array();
+      if (triple.size() != 3) {
+        throw util::DecodeError("coverage_curve point is not a triple");
+      }
+      engine::CoveragePoint cp;
+      cp.iteration = static_cast<int>(triple[0].as_number());
+      cp.elapsed_ms = triple[1].as_number();
+      cp.branches = static_cast<std::size_t>(triple[2].as_number());
+      record.curve.push_back(cp);
+    }
+  }
+  if (const Json* findings = json.find("findings")) {
+    for (const Json& entry : findings->as_array()) {
+      const std::string& type_name = entry.at("type").as_string();
+      const auto type = scanner::vuln_from_string(type_name);
+      if (!type.has_value()) {
+        throw util::DecodeError("unknown vulnerability type: " + type_name);
+      }
+      record.scan.found.insert(*type);
+      record.scan.findings.push_back(
+          scanner::Finding{*type, entry.at("detail").as_string()});
+    }
+  }
+  if (const Json* custom = json.find("custom_findings")) {
+    for (const Json& entry : custom->as_array()) {
+      scanner::CustomFinding finding;
+      finding.id = entry.at("id").as_string();
+      finding.detail = entry.at("detail").as_string();
+      record.custom.push_back(std::move(finding));
+    }
+  }
+  // The `obs` block is intentionally not parsed back: phase totals feed the
+  // campaign rollup of the run that produced them, not a merged summary.
+  return record;
+}
+
 Json findings_to_json(const ContractRecord& record) {
   JsonObject out;
   out.emplace("id", Json(record.id));
@@ -115,6 +212,9 @@ Json summary_to_json(const CampaignSummary& summary) {
   out.emplace("io_error", num(summary.io_error));
   out.emplace("bad_input", num(summary.bad_input));
   out.emplace("failed", num(summary.failed));
+  out.emplace("interrupted", num(summary.interrupted));
+  out.emplace("hung", num(summary.hung));
+  out.emplace("skipped", num(summary.skipped));
   out.emplace("vulnerable", num(summary.vulnerable));
   out.emplace("transactions", num(summary.total_transactions));
   out.emplace("solver_queries", num(summary.total_solver_queries));

@@ -13,6 +13,11 @@ namespace wasai::campaign {
 /// Full per-contract record (status, timings, counters, curve, findings).
 util::Json record_to_json(const ContractRecord& record);
 
+/// Inverse of record_to_json, used by --resume to fold a previous run's
+/// record stream into the merged summary. Unknown statuses/vuln names throw
+/// util::DecodeError; fields absent from older streams default to zero.
+ContractRecord record_from_json(const util::Json& json);
+
 /// Only the findings of a record ({"id", "findings", "custom"}) — the
 /// stable projection used for determinism comparisons across job counts.
 util::Json findings_to_json(const ContractRecord& record);

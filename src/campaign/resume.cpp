@@ -1,0 +1,29 @@
+#include "campaign/resume.hpp"
+
+#include "campaign/report.hpp"
+#include "util/jsonl.hpp"
+
+namespace wasai::campaign {
+
+ResumeState load_resume_state(const std::string& path) {
+  const util::JsonlReadResult stream = util::read_jsonl_file(path);
+  ResumeState state;
+  state.torn_tail = stream.torn_tail;
+  for (std::size_t i = 0; i < stream.records.size(); ++i) {
+    ContractRecord record = record_from_json(stream.records[i]);
+    if (!record.resumable_skip()) {
+      // Non-final outcome (interrupted/hung/failed/io-error): drop the line
+      // so the re-analysis on resume is the only record of this contract.
+      ++state.dropped;
+      continue;
+    }
+    if (!record.digest.empty()) {
+      state.skip_digests.insert(record.digest);
+    }
+    state.kept_lines.push_back(stream.lines[i]);
+    state.kept_records.push_back(std::move(record));
+  }
+  return state;
+}
+
+}  // namespace wasai::campaign

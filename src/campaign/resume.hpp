@@ -1,0 +1,41 @@
+// Checkpoint/resume for interrupted campaigns. A campaign's JSONL record
+// stream doubles as its checkpoint: every line is flushed as it is written,
+// each record carries the content digest of the analyzed bytes, and the
+// stream needs no footer to be readable. Resuming therefore means: parse
+// the previous stream (tolerating a torn final line from a crash or kill),
+// keep the records whose outcomes are final, and hand their digests to the
+// runner as skip_digests so only the unfinished remainder is re-analyzed.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace wasai::campaign {
+
+struct ResumeState {
+  /// Raw JSONL lines of the kept records, byte-identical to the previous
+  /// stream (newline excluded). Rewriting the file from these lines — not
+  /// from a re-serialization — is what makes resumed streams byte-stable.
+  std::vector<std::string> kept_lines;
+  /// The same records, parsed — input to the merged-summary computation.
+  std::vector<ContractRecord> kept_records;
+  /// Digests of kept records; becomes CampaignOptions::skip_digests.
+  std::unordered_set<std::string> skip_digests;
+  /// Records present in the stream but re-analyzed on resume (interrupted,
+  /// hung, failed, io-error — non-final outcomes) — their lines are dropped.
+  std::size_t dropped = 0;
+  /// True when the previous stream ended mid-line (the writer was killed
+  /// between write and newline) and the torn tail was discarded.
+  bool torn_tail = false;
+};
+
+/// Parse a previous run's record stream. Only the FINAL line may be torn
+/// (unterminated or unparseable — the crash artifact); a malformed interior
+/// line means the file is not a record stream and throws util::DecodeError.
+/// Throws util::UsageError when the file cannot be opened.
+ResumeState load_resume_state(const std::string& path);
+
+}  // namespace wasai::campaign

@@ -99,7 +99,13 @@ std::vector<const Obs*> Registry::tracks() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Obs*> out;
   out.reserve(tracks_.size());
-  for (const auto& t : tracks_) out.push_back(t.get());
+  for (const auto& t : tracks_) {
+    // Abandoned tracks belong to watchdog-abandoned zombie threads that may
+    // still be appending events; reading them would race, so exporters
+    // never see them.
+    if (t->abandoned()) continue;
+    out.push_back(t.get());
+  }
   return out;
 }
 

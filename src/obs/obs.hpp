@@ -144,6 +144,17 @@ class Obs {
   }
   [[nodiscard]] Registry& registry() const { return *registry_; }
 
+  /// Quarantine this track: the campaign watchdog calls this when it
+  /// abandons a wedged worker thread. The zombie thread may keep appending
+  /// span events (single-writer still holds — it IS the writer), so
+  /// exporters must no longer read the log; Registry::tracks() filters
+  /// abandoned tracks out, which also keeps the exported traces' telescoping
+  /// self-time invariant intact (an abandoned log can end mid-span).
+  void abandon() { abandoned_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool abandoned() const {
+    return abandoned_.load(std::memory_order_acquire);
+  }
+
   void begin(const char* name, std::string arg = {});
   void end(const char* name);
 
@@ -170,6 +181,7 @@ class Obs {
   std::uint32_t tid_;
   std::string label_;
   std::vector<TraceEvent> events_;
+  std::atomic<bool> abandoned_{false};
 };
 
 /// RAII phase span. A null `obs` makes every operation a no-op — the

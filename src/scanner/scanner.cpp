@@ -128,4 +128,13 @@ const char* to_string(VulnType t) {
   return "?";
 }
 
+std::optional<VulnType> vuln_from_string(std::string_view name) {
+  for (const VulnType t :
+       {VulnType::FakeEos, VulnType::FakeNotif, VulnType::MissAuth,
+        VulnType::BlockinfoDep, VulnType::Rollback}) {
+    if (name == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
 }  // namespace wasai::scanner

@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "abi/name.hpp"
@@ -22,6 +23,10 @@ enum class VulnType : std::uint8_t {
 };
 
 const char* to_string(VulnType t);
+
+/// Inverse of to_string; nullopt for unknown names. Used when campaign
+/// records are parsed back from JSONL (checkpoint/resume).
+std::optional<VulnType> vuln_from_string(std::string_view name);
 
 /// How the transaction that produced a trace was constructed — the oracle
 /// payloads of §2.3.

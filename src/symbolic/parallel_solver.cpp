@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 namespace wasai::symbolic {
 
@@ -12,14 +13,20 @@ namespace {
 using abi::ParamValue;
 using Clock = std::chrono::steady_clock;
 
-/// One flip query as seen by the coordinator: either answered by the
-/// cross-iteration cache during the pre-pass, or exported as SMT-LIB2 text
+/// One flip query as seen by the coordinator: answered by the
+/// cross-iteration cache during the pre-pass, deduplicated against an
+/// identical earlier query of the same batch, or exported as SMT-LIB2 text
 /// for a worker to solve. The cache entry is copied by value: merge-time
 /// insert() calls can LRU-evict the cache slot a pointer would dangle into.
 struct PendingFlip {
   QueryKey key;                  // meaningful only with a cache
   std::optional<CacheEntry> hit; // engaged: answered by the cache
-  std::string smt2;              // exported query (misses only)
+  /// Index of an identical query earlier in this batch. Duplicates are not
+  /// dispatched; the merge resolves them the way the serial walk would —
+  /// from the cache once the first instance's verdict lands there, or by an
+  /// inline re-query when it does not (overshoot/unknown are never cached).
+  std::optional<std::size_t> dup_of;
+  std::string smt2;              // exported query (dispatched misses only)
 };
 
 /// One worker outcome: the shared query result plus whether the worker got
@@ -60,6 +67,13 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   std::optional<z3::solver> exporter;
   std::vector<const z3::expr*> prefix;
   QueryDigest digest;
+  // Intra-batch dedup (cache mode only): primary digest -> index of the
+  // first pending miss with that key. The serial walk answers a repeated
+  // (prefix, flip) query from the cache entry its first instance inserted;
+  // dispatching both copies here would instead give each a timing-dependent
+  // verdict of its own (one can overshoot the hard cap while the other
+  // lands sat), diverging from the serial seed stream.
+  std::unordered_map<std::uint64_t, std::size_t> first_by_key;
   for (std::size_t k = 0;
        k < replay.path.size() && flips.size() < options.max_flips; ++k) {
     const PathStep& step = replay.path[k];
@@ -69,9 +83,17 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
         pending.key = digest.flip_key(*step.flip);
         if (const CacheEntry* hit = options.cache->lookup(pending.key)) {
           pending.hit = *hit;
+        } else {
+          const auto first = first_by_key.find(pending.key.primary);
+          if (first != first_by_key.end() &&
+              flips[first->second].key == pending.key) {
+            pending.dup_of = first->second;
+          } else {
+            first_by_key.emplace(pending.key.primary, flips.size());
+          }
         }
       }
-      if (!pending.hit.has_value()) {
+      if (!pending.hit.has_value() && !pending.dup_of.has_value()) {
         if (!exporter.has_value()) {
           exporter.emplace(env.ctx());
           for (const z3::expr* hold : prefix) exporter->add(*hold);
@@ -90,11 +112,14 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
     }
   }
 
-  // Fan the cache misses out over the worker pool.
+  // Fan the cache misses out over the worker pool (first instances only —
+  // duplicates are resolved at merge time).
   AdaptiveSeeds out;
   std::vector<std::size_t> miss_indices;
   for (std::size_t i = 0; i < flips.size(); ++i) {
-    if (!flips[i].hit.has_value()) miss_indices.push_back(i);
+    if (!flips[i].hit.has_value() && !flips[i].dup_of.has_value()) {
+      miss_indices.push_back(i);
+    }
   }
   std::vector<QueryResult> results(flips.size());
   std::size_t next = 0;
@@ -137,28 +162,19 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   // Merge in flip order so the emitted seed sequence matches the serial
   // solver regardless of which worker finished first. Freshly solved
   // sat/unsat verdicts feed the cache for later iterations.
-  for (std::size_t i = 0; i < flips.size(); ++i) {
-    const PendingFlip& pending = flips[i];
-    if (!pending.hit.has_value() && !results[i].attempted) {
-      // Workers drain misses in flip order, so the first unattempted miss
-      // is the budget/cancellation abort point; stopping here matches the
-      // serial walk, which emits nothing past its abort break.
-      break;
+  const auto consume_cached = [&](const CacheEntry& entry) {
+    ++out.cache_hits;
+    if (options.obs != nullptr) options.obs->count("solver.cache_hits");
+    if (entry.verdict == CachedVerdict::Sat) {
+      ++out.sat;
+      out.seeds.push_back(
+          seed_from_model_values(seed, replay.bindings, entry.model));
+    } else {
+      ++out.unsat;
     }
-    if (pending.hit.has_value()) {
-      ++out.cache_hits;
-      if (options.obs != nullptr) options.obs->count("solver.cache_hits");
-      if (pending.hit->verdict == CachedVerdict::Sat) {
-        ++out.sat;
-        out.seeds.push_back(
-            seed_from_model_values(seed, replay.bindings,
-                                   pending.hit->model));
-      } else {
-        ++out.unsat;
-      }
-      continue;
-    }
-    const SmtQueryResult& result = results[i].result;
+  };
+  const auto consume_solved = [&](const SmtQueryResult& result,
+                                  const QueryKey& key) {
     ++out.queries;
     if (options.cache != nullptr) ++out.cache_misses;
     if (result.overshoot) {
@@ -168,13 +184,13 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
       } else {
         ++out.unknown;
       }
-      continue;
+      return;
     }
     switch (result.verdict) {
       case SmtQueryResult::Verdict::Unsat:
         ++out.unsat;
         if (options.cache != nullptr) {
-          options.cache->insert(pending.key, CachedVerdict::Unsat);
+          options.cache->insert(key, CachedVerdict::Unsat);
         }
         break;
       case SmtQueryResult::Verdict::Unknown:
@@ -185,12 +201,55 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
         out.seeds.push_back(
             seed_from_model_values(seed, replay.bindings, result.model));
         if (options.cache != nullptr) {
-          options.cache->insert(pending.key, CachedVerdict::Sat,
+          options.cache->insert(key, CachedVerdict::Sat,
                                 ModelValues(result.model));
         }
         break;
       }
     }
+  };
+  for (std::size_t i = 0; i < flips.size(); ++i) {
+    const PendingFlip& pending = flips[i];
+    if (pending.dup_of.has_value()) {
+      // An identical query earlier in this batch (its merge step ran
+      // already — dup_of < i). Resolve exactly as the serial walk would on
+      // its second encounter: the first instance's sat/unsat verdict is in
+      // the cache now, so this is a hit; if the first instance overshot or
+      // came back unknown (never cached), serial re-issues the query, and
+      // so do we — inline on the coordinator, behind the same gates the
+      // serial walk applies between queries.
+      if (const CacheEntry* entry = options.cache->lookup(pending.key)) {
+        consume_cached(*entry);
+        continue;
+      }
+      if ((options.cancel != nullptr && options.cancel->expired()) ||
+          (options.wall_budget_ms != 0 &&
+           ms_since(start) >= options.wall_budget_ms)) {
+        out.aborted = true;
+        break;
+      }
+      const auto query_begin = Clock::now();
+      const SmtQueryResult requeried = solve_smt2_query(
+          flips[*pending.dup_of].smt2, options.timeout_ms, hard_ms);
+      if (options.obs != nullptr) {
+        options.obs->count("solver.queries");
+        options.obs->latency_us("solver.query_us",
+                                ms_since(query_begin) * 1000.0);
+      }
+      consume_solved(requeried, pending.key);
+      continue;
+    }
+    if (!pending.hit.has_value() && !results[i].attempted) {
+      // Workers drain misses in flip order, so the first unattempted miss
+      // is the budget/cancellation abort point; stopping here matches the
+      // serial walk, which emits nothing past its abort break.
+      break;
+    }
+    if (pending.hit.has_value()) {
+      consume_cached(*pending.hit);
+      continue;
+    }
+    consume_solved(results[i].result, pending.key);
   }
   out.wall_ms = ms_since(start);
   return out;

@@ -10,15 +10,18 @@
 // re-asserted the prefix per flip, O(path²)). With a SolverOptions::cache,
 // already-decided flips are answered in the coordinator pre-pass and never
 // reach a worker; freshly solved sat/unsat verdicts are inserted at merge
-// time. One caveat vs the serial solver: two identical flip queries inside
-// the SAME call both go to workers here (the serial walk would answer the
-// second from the cache), so hit/miss/query counters can differ on such
-// paths while the emitted seed stream stays identical. On budget/cancel
-// abort the merge stops at the first unattempted flip — like the serial
-// walk, nothing past the abort point is emitted — but the abort position
-// itself is timing-dependent in both modes (the serial walk gates every
-// flip, the parallel pool gates worker claims), so aborted calls carry no
-// cross-mode parity guarantee.
+// time. Identical flip queries inside the SAME call are deduplicated in
+// the pre-pass: only the first instance is dispatched, and each duplicate
+// is resolved at merge time exactly as the serial walk would — from the
+// cache when the first instance's verdict was cacheable, by an inline
+// re-query on the coordinator otherwise — so verdicts, counters and the
+// emitted seed stream match the serial walk even when two racing workers
+// would have timed the same query differently. On budget/cancel abort the
+// merge stops at the first unattempted flip — like the serial walk,
+// nothing past the abort point is emitted — but the abort position itself
+// is timing-dependent in both modes (the serial walk gates every flip, the
+// parallel pool gates worker claims), so aborted calls carry no cross-mode
+// parity guarantee.
 #pragma once
 
 #include "symbolic/solver.hpp"

@@ -5,6 +5,7 @@
 // killed mid-transaction.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -18,8 +19,13 @@ class CancelToken {
 
   CancelToken() = default;
 
-  /// Token that auto-expires `budget_ms` from now (0 = no deadline).
-  static std::shared_ptr<CancelToken> with_deadline(double budget_ms) {
+  /// Token that auto-expires `budget_ms` from now (0 = no deadline). An
+  /// optional `parent` links the token into a cancellation tree: the child
+  /// expires as soon as the parent does, so a campaign-wide signal token
+  /// trips every per-contract deadline token derived from it.
+  static std::shared_ptr<CancelToken> with_deadline(
+      double budget_ms,
+      std::shared_ptr<const CancelToken> parent = nullptr) {
     auto token = std::make_shared<CancelToken>();
     if (budget_ms > 0) {
       token->deadline_ = Clock::now() + std::chrono::duration_cast<
@@ -29,17 +35,20 @@ class CancelToken {
                                                 budget_ms));
       token->has_deadline_ = true;
     }
+    token->parent_ = std::move(parent);
     return token;
   }
 
-  /// Request cancellation explicitly (thread-safe).
+  /// Request cancellation explicitly (thread-safe; the store is lock-free,
+  /// so this is safe to call from a POSIX signal handler).
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once cancelled or past the deadline. Workers poll this at loop
-  /// boundaries; it never blocks.
+  /// True once cancelled, past the deadline, or the parent expired. Workers
+  /// poll this at loop boundaries; it never blocks.
   [[nodiscard]] bool expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
-    if (has_deadline_ && Clock::now() >= deadline_) {
+    if ((has_deadline_ && Clock::now() >= deadline_) ||
+        (parent_ != nullptr && parent_->expired())) {
       cancelled_.store(true, std::memory_order_relaxed);
       return true;
     }
@@ -48,17 +57,22 @@ class CancelToken {
 
   /// Milliseconds until the deadline (0 when expired; +inf when none).
   [[nodiscard]] double remaining_ms() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return 0;
-    if (!has_deadline_) return std::numeric_limits<double>::infinity();
-    const auto left = std::chrono::duration<double, std::milli>(
-        deadline_ - Clock::now());
-    return left.count() > 0 ? left.count() : 0;
+    if (expired()) return 0;
+    double left = std::numeric_limits<double>::infinity();
+    if (has_deadline_) {
+      left = std::chrono::duration<double, std::milli>(deadline_ -
+                                                       Clock::now())
+                 .count();
+    }
+    if (parent_ != nullptr) left = std::min(left, parent_->remaining_ms());
+    return left > 0 ? left : 0;
   }
 
  private:
   mutable std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
+  std::shared_ptr<const CancelToken> parent_;
 };
 
 }  // namespace wasai::util

@@ -246,9 +246,50 @@ Json parse_json(std::string_view text) {
 
 namespace {
 
+void escape_byte(std::string& out, unsigned char b) {
+  constexpr char hex[] = "0123456789abcdef";
+  out += "\\u00";
+  out.push_back(hex[(b >> 4) & 0xf]);
+  out.push_back(hex[b & 0xf]);
+}
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not valid UTF-8 (stray continuation byte, truncated or
+/// overlong sequence, surrogate code point, > U+10FFFF).
+std::size_t utf8_sequence_len(const std::string& s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len = 0;
+  unsigned char lo = 0x80;  // tightened bound on the first continuation
+  unsigned char hi = 0xbf;  // byte, per Unicode Table 3-7
+  if (lead < 0x80) return 1;
+  if (lead >= 0xc2 && lead <= 0xdf) {
+    len = 2;
+  } else if (lead >= 0xe0 && lead <= 0xef) {
+    len = 3;
+    if (lead == 0xe0) lo = 0xa0;  // reject overlong
+    if (lead == 0xed) hi = 0x9f;  // reject surrogates U+D800..U+DFFF
+  } else if (lead >= 0xf0 && lead <= 0xf4) {
+    len = 4;
+    if (lead == 0xf0) lo = 0x90;  // reject overlong
+    if (lead == 0xf4) hi = 0x8f;  // reject > U+10FFFF
+  } else {
+    return 0;  // 0x80..0xc1 (continuation/overlong lead) or 0xf5..0xff
+  }
+  if (i + len > s.size()) return 0;  // truncated at end of string
+  if (byte(i + 1) < lo || byte(i + 1) > hi) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    if (byte(i + k) < 0x80 || byte(i + k) > 0xbf) return 0;
+  }
+  return len;
+}
+
 void dump_string(std::string& out, const std::string& s) {
   out.push_back('"');
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
@@ -273,14 +314,26 @@ void dump_string(std::string& out, const std::string& s) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out.push_back(hex[(c >> 4) & 0xf]);
-          out.push_back(hex[c & 0xf]);
+          escape_byte(out, static_cast<unsigned char>(c));
+        } else if (static_cast<unsigned char>(c) < 0x80) {
+          out.push_back(c);
         } else {
-          out.push_back(c);  // UTF-8 passthrough
+          // Non-ASCII: pass well-formed UTF-8 through untouched; anything
+          // else gets each invalid byte escaped as \u00XX so one raw Z3 or
+          // decoder message can never render a whole JSONL file (and hence
+          // a --resume) unparseable. The escape reads as the byte's Latin-1
+          // codepoint — lossy about encoding, not about value.
+          const std::size_t len = utf8_sequence_len(s, i);
+          if (len == 0) {
+            escape_byte(out, static_cast<unsigned char>(c));
+          } else {
+            out.append(s, i, len);
+            i += len;
+            continue;
+          }
         }
     }
+    ++i;
   }
   out.push_back('"');
 }

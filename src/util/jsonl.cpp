@@ -1,0 +1,59 @@
+#include "util/jsonl.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace wasai::util {
+
+JsonlReadResult read_jsonl(std::string_view text) {
+  JsonlReadResult out;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string_view::npos;
+    const std::string_view line =
+        text.substr(pos, terminated ? nl - pos : std::string_view::npos);
+    const std::size_t line_end = terminated ? nl + 1 : text.size();
+    const bool final_line = line_end >= text.size();
+    ++line_no;
+
+    // A line the writer never finished: no terminator. Only possible on the
+    // final line, and only after a crash mid-write.
+    if (!terminated) {
+      out.torn_tail = true;
+      break;
+    }
+    if (line.empty()) {  // stray blank line: tolerated, carries no record
+      out.valid_bytes = line_end;
+      pos = line_end;
+      continue;
+    }
+    try {
+      out.records.push_back(parse_json(line));
+    } catch (const DecodeError& e) {
+      if (final_line) {
+        // Terminated but unparseable final line: a tear that happened to
+        // land before the '\n' of the previous buffer — still resumable.
+        out.torn_tail = true;
+        break;
+      }
+      throw DecodeError("jsonl: line " + std::to_string(line_no) + ": " +
+                        e.what());
+    }
+    out.lines.emplace_back(line);
+    out.valid_bytes = line_end;
+    pos = line_end;
+  }
+  return out;
+}
+
+JsonlReadResult read_jsonl_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return read_jsonl(ss.str());
+}
+
+}  // namespace wasai::util

@@ -1,9 +1,12 @@
-// JSON Lines output (one compact JSON document per line) — the campaign
-// runner's on-disk record format. Records are flushed per line so a crash
-// mid-campaign loses at most the record being written.
+// JSON Lines input/output (one compact JSON document per line) — the
+// campaign runner's on-disk record format. Records are flushed per line so
+// a crash mid-campaign loses at most the record being written; the reader
+// tolerates exactly that failure mode by truncating a torn final line.
 #pragma once
 
 #include <ostream>
+#include <string_view>
+#include <vector>
 
 #include "util/json.hpp"
 
@@ -27,5 +30,31 @@ class JsonlWriter {
   std::ostream* out_;
   std::size_t lines_ = 0;
 };
+
+/// Result of parsing a JSONL stream that may have died mid-write.
+struct JsonlReadResult {
+  std::vector<Json> records;  // one per intact line, in file order
+  /// Raw text of each intact line (no trailing newline), aligned with
+  /// `records`. Kept so a resume can rewrite surviving lines byte-for-byte
+  /// instead of re-serializing them.
+  std::vector<std::string> lines;
+  /// Byte offset where the intact prefix ends (== text size when clean).
+  /// Truncating the file here removes the torn tail and leaves valid JSONL.
+  std::size_t valid_bytes = 0;
+  /// True when the final line was torn: either unterminated (no trailing
+  /// '\n' — the writer always emits one) or unparseable.
+  bool torn_tail = false;
+};
+
+/// Parse a JSONL document, tolerating a torn FINAL line (the only damage a
+/// per-line-flushed writer can leave behind): the tail is dropped and
+/// reported, never thrown. An unparseable line anywhere else means the file
+/// was corrupted some other way, and that throws DecodeError with the line
+/// number — silently skipping interior records would corrupt a resume.
+JsonlReadResult read_jsonl(std::string_view text);
+
+/// read_jsonl over a file's contents. Throws UsageError when the file
+/// cannot be opened.
+JsonlReadResult read_jsonl_file(const std::string& path);
 
 }  // namespace wasai::util

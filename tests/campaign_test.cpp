@@ -4,13 +4,20 @@
 // record schema.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "abi/abi_json.hpp"
 #include "campaign/report.hpp"
+#include "campaign/resume.hpp"
 #include "corpus/templates.hpp"
 #include "testgen/generator.hpp"
 #include "util/jsonl.hpp"
@@ -303,6 +310,290 @@ TEST(Campaign, JsonlRecordsParseWithExpectedSchema) {
   EXPECT_NE(summary.find("findings_by_type"), nullptr);
   // The summary line round-trips through the parser too.
   EXPECT_NO_THROW(util::parse_json(util::dump_json(summary)));
+}
+
+// ------------------------------------------------------ graceful shutdown
+
+TEST(Campaign, CancelTokenParentTripsDerivedDeadlineTokens) {
+  const auto parent = util::CancelToken::with_deadline(0);
+  const auto child = util::CancelToken::with_deadline(60000, parent);
+  EXPECT_FALSE(child->expired());
+  EXPECT_GT(child->remaining_ms(), 0.0);
+  parent->cancel();  // campaign-wide signal trips every derived token
+  EXPECT_TRUE(child->expired());
+  EXPECT_EQ(child->remaining_ms(), 0.0);
+}
+
+TEST(Campaign, ShutdownDrainsInFlightAndLeavesRestUnclaimed) {
+  Rng rng(11);
+  const auto sample = corpus::make_fake_eos_sample(rng, true);
+  std::vector<ContractInput> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(from_sample("c" + std::to_string(i), sample));
+  }
+
+  const auto cancel = util::CancelToken::with_deadline(0);
+  CampaignOptions options = quick_options();
+  options.jobs = 1;
+  options.deadline_ms = 60000;
+  options.cancel = cancel;
+  std::atomic<int> calls{0};
+  options.analyze_fn = [&](const util::Bytes&, const abi::Abi&,
+                           const AnalysisOptions& analysis) {
+    ++calls;
+    // The shutdown signal arrives mid-contract...
+    cancel->cancel();
+    // ...and is visible through the per-contract deadline token, which is
+    // parented to the campaign token.
+    EXPECT_NE(analysis.fuzz.cancel, nullptr);
+    EXPECT_TRUE(analysis.fuzz.cancel->expired());
+    AnalysisResult result;
+    result.details.deadline_hit = true;  // loop unwound via the token
+    return result;
+  };
+
+  CampaignRunner runner(options);
+  const auto report = runner.run(inputs);
+  // The in-flight contract drained as `interrupted`; the worker claimed no
+  // further contracts, and unclaimed contracts produce no record at all, so
+  // a --resume re-analyzes everything that is not final.
+  EXPECT_EQ(calls.load(), 1);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].status, ContractStatus::Interrupted);
+  EXPECT_FALSE(report.records[0].completed());
+  EXPECT_FALSE(report.records[0].resumable_skip());
+  EXPECT_FALSE(report.records[0].digest.empty());
+  EXPECT_EQ(report.summary.interrupted, 1u);
+  EXPECT_EQ(report.summary.contracts, 1u);
+}
+
+// --------------------------------------------------- watchdog escalation
+
+TEST(Campaign, WatchdogAbandonsWedgedContractAndPoolDrains) {
+  // One contract wedges inside (stub) analysis, ignoring its cancel token
+  // until the latch opens — a stand-in for a Z3 query that ignores its soft
+  // timeout. The watchdog must record it as `hung` after
+  // deadline_ms * hung_grace and spawn a replacement worker so the rest of
+  // the corpus still drains.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<int> wedge_exited{0};
+  };
+  const auto latch = std::make_shared<Latch>();
+
+  const util::Bytes wedge_bytes = {0xde, 0xad};
+  const std::string abi_json = R"({"structs":[],"actions":[],"tables":[]})";
+  std::vector<ContractInput> inputs;
+  ContractInput wedge;
+  wedge.id = "wedge";
+  wedge.wasm = wedge_bytes;
+  wedge.abi_json = abi_json;
+  inputs.push_back(std::move(wedge));
+  for (int i = 0; i < 3; ++i) {
+    ContractInput quick;
+    quick.id = "quick-" + std::to_string(i);
+    quick.wasm = {static_cast<std::uint8_t>(i + 1)};
+    quick.abi_json = abi_json;
+    inputs.push_back(std::move(quick));
+  }
+
+  CampaignOptions options;
+  options.jobs = 2;
+  options.deadline_ms = 50;
+  options.hung_grace = 2;
+  options.watchdog_poll_ms = 10;
+  options.analyze_fn = [latch, wedge_bytes](const util::Bytes& wasm,
+                                            const abi::Abi&,
+                                            const AnalysisOptions&) {
+    if (wasm == wedge_bytes) {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      latch->cv.wait(lock, [&] { return latch->open; });
+      latch->wedge_exited.store(1);
+    }
+    return AnalysisResult{};
+  };
+
+  CampaignRunner runner(options);
+  const auto report = runner.run(inputs);
+
+  // run() returned while the wedged thread was still blocked: the watchdog
+  // wrote the hung record and retired the seat.
+  ASSERT_EQ(report.records.size(), inputs.size());
+  const auto& hung = report.records[0];
+  EXPECT_EQ(hung.id, "wedge");
+  EXPECT_EQ(hung.status, ContractStatus::Hung);
+  EXPECT_FALSE(hung.resumable_skip());  // a resume re-analyzes it
+  EXPECT_FALSE(hung.digest.empty());    // published before analysis began
+  EXPECT_NE(hung.error.find("watchdog"), std::string::npos);
+  for (std::size_t i = 1; i < report.records.size(); ++i) {
+    EXPECT_EQ(report.records[i].status, ContractStatus::Ok)
+        << report.records[i].id;
+  }
+  EXPECT_EQ(report.summary.hung, 1u);
+  EXPECT_EQ(report.summary.ok, inputs.size() - 1);
+
+  // Unblock the zombie so it stands down before the test ends. (Its state —
+  // including the latch — is shared_ptr-held, so this is tidiness, not a
+  // correctness requirement.)
+  {
+    std::lock_guard<std::mutex> lock(latch->mu);
+    latch->open = true;
+  }
+  latch->cv.notify_all();
+  while (latch->wedge_exited.load() == 0) {
+    std::this_thread::yield();
+  }
+  // The zombie holds the last shared_ptr to the campaign state; give it
+  // time to unwind past the latch and release it, so the sanitizer jobs'
+  // leak checker never sees the (deliberately) detached thread mid-exit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+}
+
+// ----------------------------------------------------- checkpoint/resume
+
+TEST(Campaign, ContentDigestIsStableAndKeyedByBothInputs) {
+  const util::Bytes wasm = {1, 2, 3};
+  EXPECT_EQ(content_digest(wasm, "abi"), content_digest(wasm, "abi"));
+  EXPECT_EQ(content_digest(wasm, "abi").size(), 16u);
+  EXPECT_NE(content_digest(wasm, "abi"), content_digest(wasm, "ab"));
+  EXPECT_NE(content_digest(wasm, "abi"), content_digest({1, 2}, "abi"));
+  // The 0x00 separator keeps (wasm, abi) splits from colliding.
+  EXPECT_NE(content_digest({1, 2, 3}, "abi"),
+            content_digest({1, 2, 3, 'a'}, "bi"));
+}
+
+TEST(Campaign, RecordJsonRoundTripsByteIdentically) {
+  const auto inputs = mixed_corpus();
+  CampaignRunner runner(quick_options());
+  const auto report = runner.run(inputs);
+  for (const auto& record : report.records) {
+    const std::string dumped = util::dump_json(record_to_json(record));
+    const ContractRecord reparsed =
+        record_from_json(util::parse_json(dumped));
+    EXPECT_EQ(util::dump_json(record_to_json(reparsed)), dumped)
+        << record.id;
+  }
+}
+
+TEST(Campaign, ResumeAfterTornStreamMergesWithoutReanalysis) {
+  namespace fs = std::filesystem;
+  const auto inputs = mixed_corpus();
+
+  // Uninterrupted baseline run -> full record stream.
+  CampaignRunner runner(quick_options());
+  const auto full = runner.run(inputs);
+  std::ostringstream full_stream;
+  write_records_jsonl(full_stream, full);
+  std::vector<std::string> full_lines;
+  {
+    std::istringstream in(full_stream.str());
+    for (std::string line; std::getline(in, line);) {
+      full_lines.push_back(line);
+    }
+  }
+  ASSERT_EQ(full_lines.size(), inputs.size());
+
+  // Simulated crash: the first 4 records survived, the 5th was torn
+  // mid-write (no terminating newline, half a document).
+  const fs::path checkpoint =
+      fs::temp_directory_path() / "wasai_resume_test.jsonl";
+  {
+    std::ofstream out(checkpoint, std::ios::trunc | std::ios::binary);
+    for (std::size_t i = 0; i < 4; ++i) out << full_lines[i] << '\n';
+    out << full_lines[4].substr(0, full_lines[4].size() / 2);
+  }
+
+  const ResumeState state = load_resume_state(checkpoint.string());
+  EXPECT_TRUE(state.torn_tail);
+  ASSERT_EQ(state.kept_records.size(), 4u);  // ok + 3x bad-input: all final
+  EXPECT_EQ(state.dropped, 0u);
+  EXPECT_EQ(state.skip_digests.size(), 4u);
+  // Kept lines are the previous stream's bytes, not a re-serialization.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(state.kept_lines[i], full_lines[i]);
+  }
+
+  // Resumed run: recorded digests are skipped without re-analysis.
+  CampaignOptions options = quick_options();
+  options.skip_digests = state.skip_digests;
+  CampaignRunner resumed_runner(options);
+  const auto resumed = resumed_runner.run(inputs);
+  EXPECT_EQ(resumed.summary.skipped, 4u);
+  ASSERT_EQ(resumed.records.size(), inputs.size() - 4);
+
+  // Merged stream = kept lines + new records: every contract exactly once.
+  std::set<std::string> ids;
+  for (const auto& record : state.kept_records) ids.insert(record.id);
+  for (const auto& record : resumed.records) {
+    EXPECT_TRUE(ids.insert(record.id).second)
+        << record.id << " analyzed twice";
+  }
+  EXPECT_EQ(ids.size(), inputs.size());
+
+  // The re-analyzed records' findings are byte-identical to the baseline
+  // run's (analysis is deterministic; only timings/obs may differ).
+  const auto baseline_findings = [&](const std::string& id) {
+    for (const auto& record : full.records) {
+      if (record.id == id) {
+        return util::dump_json(findings_to_json(record));
+      }
+    }
+    throw util::UsageError("no baseline record " + id);
+  };
+  for (const auto& record : resumed.records) {
+    EXPECT_EQ(util::dump_json(findings_to_json(record)),
+              baseline_findings(record.id));
+  }
+
+  // The merged summary matches the uninterrupted run on every outcome
+  // count (wall_ms/phases are per-run and excluded by summarize_records).
+  std::vector<ContractRecord> merged = state.kept_records;
+  merged.insert(merged.end(), resumed.records.begin(),
+                resumed.records.end());
+  const CampaignSummary merged_summary = summarize_records(merged);
+  EXPECT_EQ(merged_summary.contracts, full.summary.contracts);
+  EXPECT_EQ(merged_summary.ok, full.summary.ok);
+  EXPECT_EQ(merged_summary.bad_input, full.summary.bad_input);
+  EXPECT_EQ(merged_summary.io_error, full.summary.io_error);
+  EXPECT_EQ(merged_summary.vulnerable, full.summary.vulnerable);
+  EXPECT_EQ(merged_summary.findings_by_type, full.summary.findings_by_type);
+
+  fs::remove(checkpoint);
+}
+
+TEST(Campaign, ResumeDropsNonFinalRecords) {
+  namespace fs = std::filesystem;
+  // A stream holding one final and one interrupted record: the interrupted
+  // line is dropped (its contract gets re-analyzed), the final one kept.
+  ContractRecord done;
+  done.id = "done";
+  done.digest = content_digest({1}, "a");
+  done.status = ContractStatus::Ok;
+  ContractRecord cut;
+  cut.id = "cut";
+  cut.digest = content_digest({2}, "b");
+  cut.status = ContractStatus::Interrupted;
+
+  const fs::path path =
+      fs::temp_directory_path() / "wasai_resume_drop_test.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << util::dump_json(record_to_json(done)) << '\n'
+        << util::dump_json(record_to_json(cut)) << '\n';
+  }
+  const ResumeState state = load_resume_state(path.string());
+  EXPECT_FALSE(state.torn_tail);
+  ASSERT_EQ(state.kept_records.size(), 1u);
+  EXPECT_EQ(state.kept_records[0].id, "done");
+  EXPECT_EQ(state.dropped, 1u);
+  EXPECT_EQ(state.skip_digests.count(done.digest), 1u);
+  EXPECT_EQ(state.skip_digests.count(cut.digest), 0u);
+  fs::remove(path);
+
+  EXPECT_THROW(load_resume_state("/nonexistent/stream.jsonl"),
+               util::UsageError);
 }
 
 }  // namespace

@@ -485,6 +485,58 @@ TEST(ParallelSolver, SeedsMatchSerialForAnyThreadCount) {
   }
 }
 
+TEST(ParallelSolver, IntraBatchDuplicatesMatchSerialCacheSemantics) {
+  // Two flippable steps with no holds between them carry the same
+  // (prefix, flip) cache key. The serial walk answers the second from the
+  // cache entry the first inserted (one query, one hit); the parallel
+  // pre-pass must deduplicate instead of dispatching both, or each copy
+  // gets an independent, timing-dependent verdict (one can overshoot the
+  // hard cap while the other lands sat) and the counters/seed stream
+  // diverge from serial.
+  Z3Env env;
+  const z3::expr x = env.var("p0", 64);
+  ReplayResult r;
+  PathStep step;
+  step.site = 1;
+  step.can_flip = true;
+  step.taken = false;
+  step.flip = (x == env.bv(5, 64));
+  r.path.push_back(step);
+  step.site = 2;  // identical flip, no hold in between: same query key
+  r.path.push_back(step);
+  r.bindings.push_back(
+      InputBinding{0, InputBinding::Kind::Whole, 0, x});
+  const std::vector<ParamValue> params = {std::uint64_t{0}};
+
+  SolverCache serial_cache(16);
+  SolverOptions serial_opts;
+  serial_opts.cache = &serial_cache;
+  const auto serial = solve_flips(env, r, params, serial_opts);
+  EXPECT_EQ(serial.queries, 1u);
+  EXPECT_EQ(serial.cache_misses, 1u);
+  EXPECT_EQ(serial.cache_hits, 1u);
+  EXPECT_EQ(serial.sat, 2u);
+  ASSERT_EQ(serial.seeds.size(), 2u);
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    SolverCache cache(16);
+    SolverOptions opts;
+    opts.cache = &cache;
+    const auto parallel = solve_flips_parallel(env, r, params, opts, threads);
+    EXPECT_EQ(parallel.queries, serial.queries) << threads << " threads";
+    EXPECT_EQ(parallel.cache_hits, serial.cache_hits) << threads;
+    EXPECT_EQ(parallel.cache_misses, serial.cache_misses) << threads;
+    EXPECT_EQ(parallel.sat, serial.sat);
+    ASSERT_EQ(parallel.seeds.size(), serial.seeds.size());
+    for (std::size_t i = 0; i < serial.seeds.size(); ++i) {
+      ASSERT_EQ(parallel.seeds[i].size(), serial.seeds[i].size());
+      EXPECT_EQ(abi::to_string(parallel.seeds[i][0]),
+                abi::to_string(serial.seeds[i][0]))
+          << threads << " threads, seed " << i;
+    }
+  }
+}
+
 TEST(Solver, CancelledTokenAbortsBeforeAnyQuery) {
   ContractBuilder probe;
   ReplayFixture fx(amount_eq_branch_body(probe.env()));

@@ -219,6 +219,79 @@ TEST(JsonlWriter, OneFlushedLinePerRecord) {
   EXPECT_EQ(out.str(), "{\"id\":\"first\"}\n{\"id\":\"second\"}\n");
 }
 
+TEST(DumpJson, PassesWellFormedUtf8Through) {
+  // 2-, 3- and 4-byte sequences survive byte-for-byte.
+  const std::string text = "A\xc3\xa9 \xe6\xbc\xa2 \xf0\x9f\x98\x80";
+  EXPECT_EQ(dump_json(Json(std::string(text))), "\"" + text + "\"");
+}
+
+TEST(DumpJson, EscapesInvalidUtf8Bytes) {
+  // A raw Z3/decoder message can carry arbitrary bytes into a record's
+  // `error` string; each invalid byte is escaped as \u00XX so the JSONL
+  // stream stays parseable (and hence resumable).
+  EXPECT_EQ(dump_json(Json(std::string("a\xffz"))), R"("a\u00ffz")");
+  // Stray continuation byte.
+  EXPECT_EQ(dump_json(Json(std::string("\x80"))), R"("\u0080")");
+  // Overlong encoding of '/': both bytes invalid.
+  EXPECT_EQ(dump_json(Json(std::string("\xc0\xaf"))), R"("\u00c0\u00af")");
+  // CESU-8 surrogate (U+D800): lead 0xed with continuation above 0x9f.
+  EXPECT_EQ(dump_json(Json(std::string("\xed\xa0\x80"))),
+            R"("\u00ed\u00a0\u0080")");
+  // Truncated 3-byte sequence at end of string.
+  EXPECT_EQ(dump_json(Json(std::string("ok\xe6\xbc"))),
+            R"("ok\u00e6\u00bc")");
+  // Everything it emits reparses.
+  for (int b = 0; b < 256; ++b) {
+    std::string s = "x";
+    s.push_back(static_cast<char>(b));
+    const std::string dumped = dump_json(Json(std::string(s)));
+    EXPECT_NO_THROW(parse_json(dumped)) << "byte " << b << ": " << dumped;
+  }
+}
+
+// ------------------------------------------------------------ JSONL reader
+
+TEST(ReadJsonl, ParsesCleanStream) {
+  const auto r = read_jsonl("{\"a\":1}\n{\"a\":2}\n\n{\"a\":3}\n");
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 3u);  // blank line tolerated, not a record
+  ASSERT_EQ(r.lines.size(), 3u);
+  EXPECT_EQ(r.lines[1], "{\"a\":2}");
+  EXPECT_DOUBLE_EQ(r.records[2].at("a").as_number(), 3.0);
+  EXPECT_EQ(r.valid_bytes, std::string("{\"a\":1}\n{\"a\":2}\n\n{\"a\":3}\n")
+                               .size());
+}
+
+TEST(ReadJsonl, DropsUnterminatedFinalLine) {
+  const std::string text = "{\"a\":1}\n{\"a\":2}\n{\"a\":3";
+  const auto r = read_jsonl(text);
+  EXPECT_TRUE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 2u);
+  // Truncating at valid_bytes removes exactly the torn tail.
+  EXPECT_EQ(text.substr(0, r.valid_bytes), "{\"a\":1}\n{\"a\":2}\n");
+}
+
+TEST(ReadJsonl, DropsUnparseableFinalLine) {
+  // Terminated but cut mid-document (kill between two buffered writes).
+  const auto r = read_jsonl("{\"a\":1}\n{\"a\":2,\n");
+  EXPECT_TRUE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.valid_bytes, std::string("{\"a\":1}\n").size());
+}
+
+TEST(ReadJsonl, ThrowsOnInteriorCorruption) {
+  // A bad line with intact lines after it is not the per-line-flush failure
+  // mode; silently skipping it would corrupt a resume.
+  EXPECT_THROW(read_jsonl("{\"a\":1}\nnot json\n{\"a\":3}\n"), DecodeError);
+}
+
+TEST(ReadJsonl, EmptyStreamIsClean) {
+  const auto r = read_jsonl("");
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.valid_bytes, 0u);
+}
+
 TEST(Rng, UniformInUnitInterval) {
   Rng rng(3);
   for (int i = 0; i < 1000; ++i) {
