@@ -69,6 +69,24 @@ void BM_InterpreterLoop(benchmark::State& state) {
       static_cast<double>(total_steps), benchmark::Counter::kIsRate);
 }
 
+void BM_InterpreterLoopFast(benchmark::State& state) {
+  test::RecordingHost host;
+  auto module = std::make_shared<const wasm::Module>(loop_module());
+  vm::Instance inst(module, host, vm::FlatModule::build(module));
+  const auto f = *inst.module().find_export("f");
+  vm::Vm vm;
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    vm.reset_steps();
+    auto out = vm.invoke(inst, f, {{Value::i64(10'000)}});
+    total_steps += vm.steps();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total_steps), benchmark::Counter::kIsRate);
+}
+
 void BM_InterpreterLoopInstrumented(benchmark::State& state) {
   const auto instrumented = instrument::instrument(loop_module());
   instrument::TraceSink sink;
@@ -76,6 +94,27 @@ void BM_InterpreterLoopInstrumented(benchmark::State& state) {
                     sink);
   // No open action: hook calls are dispatched but dropped, isolating the
   // instrumentation overhead itself.
+  const auto f = *inst.module().find_export("f");
+  vm::Vm vm;
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    vm.reset_steps();
+    auto out = vm.invoke(inst, f, {{Value::i64(10'000)}});
+    total_steps += vm.steps();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total_steps), benchmark::Counter::kIsRate);
+}
+
+void BM_InterpreterLoopInstrumentedFast(benchmark::State& state) {
+  const auto instrumented = instrument::instrument(loop_module());
+  instrument::TraceSink sink;
+  auto module = std::make_shared<const wasm::Module>(instrumented.module);
+  // Fast path: flattened stream plus direct hook dispatch (the hook
+  // imports bypass call_host and land on TraceSink::on_hook).
+  vm::Instance inst(module, sink, vm::FlatModule::build(module));
   const auto f = *inst.module().find_export("f");
   vm::Vm vm;
   std::uint64_t total_steps = 0;
@@ -113,7 +152,9 @@ void BM_CodecRoundTrip(benchmark::State& state) {
 }
 
 BENCHMARK(BM_InterpreterLoop);
+BENCHMARK(BM_InterpreterLoopFast);
 BENCHMARK(BM_InterpreterLoopInstrumented);
+BENCHMARK(BM_InterpreterLoopInstrumentedFast);
 BENCHMARK(BM_InstrumenterRewrite);
 BENCHMARK(BM_CodecRoundTrip);
 

@@ -1,0 +1,324 @@
+// VM execution-engine performance suite: fuzzes the committed corpus on
+// the legacy interpreter and on the fast path (pre-flattened instruction
+// streams, direct hook dispatch, arena-backed trace capture) and writes
+// BENCH_vm.json with per-config throughput.
+//
+// Two phases per configuration:
+//   pipeline — the full concolic loop (symbolic feedback on), whose
+//              per-contract fingerprints pin end-to-end parity: findings,
+//              transactions, coverage, adaptive seeds AND a digest of the
+//              final captured trace bytes must be identical across
+//              configurations. ANY divergence fails the bench (exit 1).
+//   exec     — feedback off (execution-dominated loop), which isolates the
+//              interpreter + trace-capture + scan throughput the fast path
+//              targets; `transactions_per_sec` and the headline speedup
+//              come from this phase.
+//
+// Corpus: the `examples/wasm/testgen_<seed>.wasm` modules (regenerated
+// from the seed in the filename), one vulnerable sample per corpus
+// template family, and a compute-representative `hotloop` contract whose
+// action body is a counted arithmetic loop (see make_hotloop_contract).
+//
+// Knobs: WASAI_BENCH_ITERATIONS (default 36 pipeline rounds per contract),
+// WASAI_BENCH_EXEC_ITERATIONS (default 160 exec rounds per contract),
+// WASAI_BENCH_OUT (default BENCH_vm.json in the working directory).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "corpus/contract_builder.hpp"
+#include "corpus/templates.hpp"
+#include "engine/fuzzer.hpp"
+#include "instrument/trace_io.hpp"
+#include "testgen/generator.hpp"
+#include "util/digest.hpp"
+#include "util/jsonl.hpp"
+#include "wasm/encoder.hpp"
+
+#ifndef WASAI_EXAMPLES_DIR
+#error "build must define WASAI_EXAMPLES_DIR"
+#endif
+
+namespace {
+
+using namespace wasai;
+
+struct Contract {
+  std::string id;
+  util::Bytes wasm;
+  abi::Abi abi;
+};
+
+struct Config {
+  std::string name;
+  bool fastpath;
+};
+
+/// What both configurations must reproduce exactly, per contract. The
+/// trace digest covers the serialized bytes of the final iteration's
+/// captured traces, so a single diverging value, event order or payload
+/// byte shows up even when the aggregate counters happen to agree.
+struct Fingerprint {
+  std::size_t adaptive_seeds = 0;
+  std::size_t distinct_branches = 0;
+  std::size_t transactions = 0;
+  std::string findings;
+  std::uint64_t trace_digest = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct ConfigTotals {
+  double fuzz_ms = 0;            // exec phase wall time
+  std::size_t transactions = 0;  // exec phase transactions
+  double pipeline_fuzz_ms = 0;
+  std::size_t pipeline_transactions = 0;
+  std::size_t distinct_branches = 0;
+  std::vector<Fingerprint> fingerprints;
+
+  [[nodiscard]] double transactions_per_sec() const {
+    return fuzz_ms > 0 ? static_cast<double>(transactions) / (fuzz_ms / 1e3)
+                       : 0.0;
+  }
+  [[nodiscard]] double pipeline_transactions_per_sec() const {
+    return pipeline_fuzz_ms > 0 ? static_cast<double>(pipeline_transactions) /
+                                      (pipeline_fuzz_ms / 1e3)
+                                : 0.0;
+  }
+};
+
+/// Compute-representative contract. The testgen modules and template
+/// families execute a few dozen instructions per transaction, so chain-side
+/// per-transaction costs (abi packing, scheduling, native token transfers)
+/// dominate the exec phase and mask interpreter throughput. Real contracts
+/// spend most of an action inside loops — memo parsing, token math, table
+/// scans — so the corpus gets one contract whose action runs a counted LCG
+/// loop: ~17 interpreted instructions plus two hook sites (the loop-exit
+/// br_if and an i64 comparison) per round. The loop state is seeded from a
+/// constant, not the action parameter, so the symbolic-feedback phase sees
+/// concrete branch conditions and the pipeline stays solver-light.
+Contract make_hotloop_contract() {
+  constexpr std::int64_t kRounds = 4000;
+  constexpr std::uint32_t kAcc = 2;  // extra locals follow self + param
+  constexpr std::uint32_t kIdx = 3;
+  corpus::ContractBuilder b;
+  const abi::ActionDef def{abi::name("churn"), {abi::ParamType::U64}};
+  std::vector<wasm::Instr> body = {
+      wasm::i64_const(0x9e3779b9),
+      wasm::local_set(kAcc),
+      wasm::block(),
+      wasm::loop(),
+      wasm::local_get(kIdx),
+      wasm::i64_const(kRounds),
+      wasm::Instr(wasm::Opcode::I64GeS),
+      wasm::br_if(1),
+      wasm::local_get(kAcc),
+      wasm::i64_const_u(0x5851f42d4c957f2dULL),
+      wasm::Instr(wasm::Opcode::I64Mul),
+      wasm::i64_const_u(0x14057b7ef767814fULL),
+      wasm::Instr(wasm::Opcode::I64Add),
+      wasm::local_get(kIdx),
+      wasm::Instr(wasm::Opcode::I64Xor),
+      wasm::local_set(kAcc),
+      wasm::local_get(kIdx),
+      wasm::i64_const(1),
+      wasm::Instr(wasm::Opcode::I64Add),
+      wasm::local_set(kIdx),
+      wasm::br(0),
+      wasm::Instr(wasm::Opcode::End),  // loop
+      wasm::Instr(wasm::Opcode::End),  // block
+      wasm::Instr(wasm::Opcode::End),  // function
+  };
+  b.add_action(def, {wasm::ValType::I64, wasm::ValType::I64},
+               std::move(body));
+  const abi::Abi contract_abi = b.abi();
+  return Contract{"hotloop",
+                  std::move(b).build_binary(corpus::DispatcherStyle::Standard),
+                  contract_abi};
+}
+
+std::vector<Contract> build_corpus() {
+  namespace fs = std::filesystem;
+  std::vector<Contract> corpus;
+
+  std::vector<std::uint64_t> seeds;
+  const fs::path dir = fs::path(WASAI_EXAMPLES_DIR) / "wasm";
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string stem = entry.path().stem().string();
+    if (entry.path().extension() != ".wasm") continue;
+    if (stem.rfind("testgen_", 0) != 0) continue;
+    seeds.push_back(std::stoull(stem.substr(8)));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  for (const auto seed : seeds) {
+    const auto gen = testgen::generate(seed);
+    corpus.push_back(Contract{"testgen_" + std::to_string(seed),
+                              wasm::encode(gen.module), gen.abi});
+  }
+
+  util::Rng rng(2022);
+  const auto add = [&corpus](corpus::Sample sample) {
+    corpus.push_back(
+        Contract{sample.tag, std::move(sample.wasm), std::move(sample.abi)});
+  };
+  add(corpus::make_fake_eos_sample(rng, /*vulnerable=*/true));
+  add(corpus::make_fake_notif_sample(rng, /*vulnerable=*/true));
+  add(corpus::make_missauth_sample(rng, /*vulnerable=*/true));
+  add(corpus::make_blockinfo_sample(rng, /*vulnerable=*/true));
+  add(corpus::make_rollback_sample(rng, /*vulnerable=*/true));
+  corpus.push_back(make_hotloop_contract());
+  return corpus;
+}
+
+std::string findings_fingerprint(const engine::FuzzReport& report) {
+  std::string out;
+  for (const auto& finding : report.scan.findings) {
+    out += scanner::to_string(finding.type);
+    out += ';';
+  }
+  return out;
+}
+
+/// One fuzzing run; returns the report and folds the final captured traces
+/// into a digest (the fuzzer's sink still holds the last iteration's
+/// capture window when run() returns).
+engine::FuzzReport run_one(const Contract& contract, bool fastpath,
+                           bool feedback, int iterations,
+                           std::uint64_t* trace_digest) {
+  engine::FuzzOptions options;
+  options.iterations = iterations;
+  options.rng_seed = 1;
+  options.symbolic_feedback = feedback;
+  options.vm_fastpath = fastpath;
+  engine::Fuzzer fuzzer(contract.wasm, contract.abi, options);
+  auto report = fuzzer.run();
+  if (trace_digest != nullptr) {
+    util::Digest digest;
+    digest.bytes(instrument::serialize_traces(
+        fuzzer.harness().sink().actions()));
+    *trace_digest = digest.value();
+  }
+  return report;
+}
+
+ConfigTotals run_config(const std::vector<Contract>& corpus,
+                        const Config& config, int pipeline_iterations,
+                        int exec_iterations) {
+  ConfigTotals totals;
+  for (const auto& contract : corpus) {
+    std::uint64_t trace_digest = 0;
+    const auto pipeline =
+        run_one(contract, config.fastpath, /*feedback=*/true,
+                pipeline_iterations, &trace_digest);
+    totals.pipeline_fuzz_ms += pipeline.fuzz_ms;
+    totals.pipeline_transactions += pipeline.transactions;
+    totals.distinct_branches += pipeline.distinct_branches;
+    totals.fingerprints.push_back(Fingerprint{
+        pipeline.adaptive_seeds, pipeline.distinct_branches,
+        pipeline.transactions, findings_fingerprint(pipeline),
+        trace_digest});
+
+    const auto exec = run_one(contract, config.fastpath, /*feedback=*/false,
+                              exec_iterations, nullptr);
+    totals.fuzz_ms += exec.fuzz_ms;
+    totals.transactions += exec.transactions;
+  }
+  return totals;
+}
+
+util::Json totals_to_json(const ConfigTotals& t) {
+  util::JsonObject out;
+  const auto num = [](auto v) { return util::Json(static_cast<double>(v)); };
+  out.emplace("fuzz_ms", num(t.fuzz_ms));
+  out.emplace("transactions", num(t.transactions));
+  out.emplace("transactions_per_sec", num(t.transactions_per_sec()));
+  out.emplace("pipeline_fuzz_ms", num(t.pipeline_fuzz_ms));
+  out.emplace("pipeline_transactions", num(t.pipeline_transactions));
+  out.emplace("pipeline_transactions_per_sec",
+              num(t.pipeline_transactions_per_sec()));
+  out.emplace("distinct_branches", num(t.distinct_branches));
+  return util::Json(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  const int pipeline_iterations =
+      static_cast<int>(bench::env_long("WASAI_BENCH_ITERATIONS", 36));
+  const int exec_iterations =
+      static_cast<int>(bench::env_long("WASAI_BENCH_EXEC_ITERATIONS", 160));
+  const char* out_env = std::getenv("WASAI_BENCH_OUT");
+  const std::string out_path = out_env == nullptr ? "BENCH_vm.json" : out_env;
+
+  const auto corpus = build_corpus();
+  std::printf(
+      "bench_perf_vm: %zu contracts, %d pipeline + %d exec iterations each\n",
+      corpus.size(), pipeline_iterations, exec_iterations);
+
+  const Config configs[] = {
+      {"legacy", false},
+      {"fastpath", true},
+  };
+
+  std::map<std::string, ConfigTotals> totals;
+  for (const auto& config : configs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    totals[config.name] =
+        run_config(corpus, config, pipeline_iterations, exec_iterations);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const ConfigTotals& t = totals[config.name];
+    std::printf("  %-9s %8.1f exec ms, %5zu txns, %8.1f txn/sec  (%.1fs)\n",
+                config.name.c_str(), t.fuzz_ms, t.transactions,
+                t.transactions_per_sec(), secs);
+  }
+
+  // Parity gate: the fast path must reproduce the legacy run's
+  // per-contract outcomes (including the trace bytes) exactly.
+  bool parity_ok = true;
+  const auto& reference = totals["legacy"].fingerprints;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (totals["fastpath"].fingerprints[i] == reference[i]) continue;
+    parity_ok = false;
+    std::printf("PARITY DIVERGENCE: fastpath on %s\n", corpus[i].id.c_str());
+  }
+
+  const double legacy_tps = totals["legacy"].transactions_per_sec();
+  const double fast_tps = totals["fastpath"].transactions_per_sec();
+  const double speedup = legacy_tps > 0 ? fast_tps / legacy_tps : 0.0;
+  std::printf(
+      "fastpath vs legacy: %.1f -> %.1f txn/sec (%.2fx), parity %s\n",
+      legacy_tps, fast_tps, speedup, parity_ok ? "ok" : "DIVERGED");
+
+  util::JsonObject doc;
+  util::JsonArray ids;
+  for (const auto& contract : corpus) ids.emplace_back(contract.id);
+  doc.emplace("corpus", util::Json(std::move(ids)));
+  doc.emplace("iterations",
+              util::Json(static_cast<double>(pipeline_iterations)));
+  doc.emplace("exec_iterations",
+              util::Json(static_cast<double>(exec_iterations)));
+  util::JsonObject config_obj;
+  for (const auto& [name, t] : totals) {
+    config_obj.emplace(name, totals_to_json(t));
+  }
+  doc.emplace("configs", util::Json(std::move(config_obj)));
+  doc.emplace("parity_ok", util::Json(parity_ok));
+  doc.emplace("speedup", util::Json(speedup));
+  doc.emplace("speedup_ok", util::Json(speedup >= 2.0));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << util::dump_json(util::Json(std::move(doc))) << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Only parity is a hard failure: timing is hardware-dependent, but any
+  // observable legacy/fastpath divergence is a correctness bug.
+  return parity_ok ? 0 : 1;
+}

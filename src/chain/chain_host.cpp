@@ -129,6 +129,14 @@ std::uint32_t ChainHost::bind(std::string_view module, std::string_view field,
   throw util::ValidationError("unknown library API env." + std::string(field));
 }
 
+vm::HookSink* ChainHost::hook_sink(std::uint32_t binding,
+                                   std::uint32_t& sink_binding) {
+  if (binding >= kExtraBase && extra_ != nullptr) {
+    return extra_->hook_sink(binding - kExtraBase, sink_binding);
+  }
+  return nullptr;
+}
+
 std::optional<Value> ChainHost::call_host(std::uint32_t binding,
                                           std::span<const Value> args,
                                           vm::Instance& instance) {

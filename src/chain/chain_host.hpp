@@ -24,6 +24,12 @@ class ChainHost : public vm::HostInterface {
                                      std::span<const vm::Value> args,
                                      vm::Instance& instance) override;
 
+  /// Forward fast-dispatch resolution the same way call_host forwards
+  /// calls: "env" APIs never short-circuit, offset bindings unwrap to the
+  /// extra host (typically the instrumentation trace sink).
+  vm::HookSink* hook_sink(std::uint32_t binding,
+                          std::uint32_t& sink_binding) override;
+
   /// Names of the library APIs this host provides ("require_auth", ...).
   static bool is_library_api(std::string_view field);
 

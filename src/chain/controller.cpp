@@ -28,6 +28,8 @@ void Controller::deploy_contract(Name account, util::Bytes wasm_binary,
     throw util::ValidationError("contract has no apply export");
   }
   AccountRec& rec = accounts_[account];
+  // Flatten once per deployed module; every action execution reuses it.
+  rec.flat = vm::FlatModule::build(module);
   rec.module = std::move(module);
   rec.abi = std::move(abi);
   rec.native = nullptr;
@@ -38,6 +40,7 @@ void Controller::deploy_native(Name account,
   AccountRec& rec = accounts_[account];
   rec.native = std::move(contract);
   rec.module = nullptr;
+  rec.flat = nullptr;
 }
 
 const abi::Abi* Controller::contract_abi(Name account) const {
@@ -178,7 +181,7 @@ void Controller::run_contract(ApplyContext& ctx, vm::Vm& vm) {
   const AccountRec& rec = accounts_.at(ctx.receiver());
   ChainHost host(ctx,
                  observer_ != nullptr ? observer_->hook_host() : nullptr);
-  vm::Instance instance(rec.module, host);
+  vm::Instance instance(rec.module, host, fastpath_ ? rec.flat : nullptr);
   const auto apply_fn = rec.module->find_export("apply");
   const std::vector<vm::Value> args = {
       vm::Value::i64(ctx.receiver().value()),

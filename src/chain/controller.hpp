@@ -68,6 +68,13 @@ class Controller {
   void set_obs(obs::Obs* obs) { obs_ = obs; }
   [[nodiscard]] obs::Obs* obs() const { return obs_; }
 
+  /// Toggle the VM fast path for subsequently executed actions. Flat code
+  /// is built at deploy time either way; this only controls whether
+  /// run_contract hands it to the Instance. Both paths are observably
+  /// identical — the switch exists for A/B benchmarking (--no-fastpath).
+  void set_fastpath(bool enabled) { fastpath_ = enabled; }
+  [[nodiscard]] bool fastpath() const { return fastpath_; }
+
   /// Per-transaction execution limits.
   vm::ExecLimits limits;
 
@@ -79,6 +86,7 @@ class Controller {
 
   struct AccountRec {
     std::shared_ptr<const wasm::Module> module;  // Wasm contract, if any
+    std::shared_ptr<const vm::FlatModule> flat;  // pre-flattened code
     abi::Abi abi;
     std::shared_ptr<NativeContract> native;  // native contract, if any
   };
@@ -99,6 +107,7 @@ class Controller {
   std::vector<Action> deferred_;
   ExecutionObserver* observer_ = nullptr;
   obs::Obs* obs_ = nullptr;
+  bool fastpath_ = true;
 
   std::uint32_t block_num_ = 1000;
   std::uint32_t block_prefix_ = 0x5eed1e55;

@@ -22,7 +22,8 @@ std::vector<abi::Name> default_accounts(const HarnessNames& names) {
 Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
                FuzzOptions options)
     : options_(options),
-      harness_(contract_wasm, std::move(abi), HarnessNames{}, options.obs),
+      harness_(contract_wasm, std::move(abi), HarnessNames{}, options.obs,
+               options.vm_fastpath),
       mutator_(util::Rng(options.rng_seed), default_accounts(harness_.names())),
       scanner_(scanner::Scanner::Config{
           harness_.names().victim, harness_.names().token,
@@ -114,6 +115,9 @@ FuzzReport Fuzzer::run() {
   const obs::Span fuzz_span(options_.obs, obs::span_name::kFuzz);
   const auto start = std::chrono::steady_clock::now();
   std::unordered_set<std::uint64_t> branches;
+  // Sized for both directions of every branch site — the cap on distinct
+  // coverage keys — so the set never rehashes mid-campaign.
+  branches.reserve(2 * harness_.sites().size());
   report_.curve.reserve(static_cast<std::size_t>(
       std::max(options_.iterations, 0)));
 
@@ -153,8 +157,8 @@ FuzzReport Fuzzer::run() {
     {
       const obs::Span scan_span(options_.obs, obs::span_name::kOracleScan);
       for (const auto* trace : harness_.victim_traces()) {
-        const auto facts = scanner::extract_facts(*trace, harness_.sites(),
-                                                  harness_.original());
+        const auto facts =
+            scanner::extract_facts(*trace, harness_.site_index());
         scanner_.observe(mode, trace->action, facts, result.success);
         for (const auto& oracle : custom_oracles_) {
           oracle->observe(mode, trace->action, facts, result.success);

@@ -42,6 +42,11 @@ struct FuzzOptions {
   /// driven. Off by default — the paper's WASAI lacks this, producing the
   /// documented Rollback false negatives.
   bool dynamic_address_pool = false;
+  /// VM fast path (pre-flattened instruction streams + direct hook
+  /// dispatch). Off = legacy interpreter; the two are observably identical
+  /// (byte-identical traces, seeds and report), so this is purely an A/B
+  /// benchmarking kill switch (--no-fastpath).
+  bool vm_fastpath = true;
   symbolic::SolverOptions solver{};
   std::size_t max_pool_per_action = 32;
   /// Cooperative cancellation: checked at every iteration boundary and

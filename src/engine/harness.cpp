@@ -18,11 +18,14 @@ using chain::token_issue;
 using chain::token_transfer;
 
 ChainHarness::ChainHarness(const util::Bytes& contract_wasm, abi::Abi abi,
-                           HarnessNames names, obs::Obs* obs)
+                           HarnessNames names, obs::Obs* obs,
+                           bool vm_fastpath)
     : names_(names), abi_(std::move(abi)) {
+  chain_.set_fastpath(vm_fastpath);
   original_ = wasm::decode(contract_wasm, obs);
   instrument::Instrumented inst = instrument::instrument(original_, obs);
   sites_ = std::move(inst.sites);
+  site_index_ = scanner::SiteIndex(sites_, original_);
 
   chain_.set_observer(&sink_);
   chain_.set_obs(obs);
@@ -178,10 +181,7 @@ void ChainHarness::accumulate_branches(
   for (const auto* trace : victim_traces()) {
     for (const auto& ev : trace->events) {
       if (ev.kind != instrument::EventKind::Instr || ev.nvals != 1) continue;
-      const auto& info = sites_.at(ev.site);
-      const auto op =
-          original_.defined(info.func_index).body[info.instr_index].op;
-      if (op == wasm::Opcode::If || op == wasm::Opcode::BrIf) {
+      if (site_index_.site(ev.site).is_branch) {
         out.insert((static_cast<std::uint64_t>(ev.site) << 1) |
                    (ev.val(0).truthy() ? 1 : 0));
       }

@@ -11,6 +11,7 @@
 #include "engine/seed.hpp"
 #include "instrument/instrumenter.hpp"
 #include "instrument/trace_sink.hpp"
+#include "scanner/facts.hpp"
 
 namespace wasai::engine {
 
@@ -29,14 +30,22 @@ class ChainHarness {
   /// attacker with real and fake EOS and the victim with a bankroll.
   /// A non-null `obs` is handed to the decoder, instrumenter and chain so
   /// their phases land on the owning thread's track (null = off).
+  /// `vm_fastpath` selects the VM execution path (see FuzzOptions).
   ChainHarness(const util::Bytes& contract_wasm, abi::Abi abi,
-               HarnessNames names = {}, obs::Obs* obs = nullptr);
+               HarnessNames names = {}, obs::Obs* obs = nullptr,
+               bool vm_fastpath = true);
 
   [[nodiscard]] const HarnessNames& names() const { return names_; }
   [[nodiscard]] chain::Controller& chain() { return chain_; }
   [[nodiscard]] instrument::TraceSink& sink() { return sink_; }
   [[nodiscard]] const wasm::Module& original() const { return original_; }
   [[nodiscard]] const instrument::SiteTable& sites() const { return sites_; }
+  /// Per-site metadata precomputed once at construction; the per-iteration
+  /// consumers (branch accumulation, fact extraction) index it instead of
+  /// re-deriving opcode info per event.
+  [[nodiscard]] const scanner::SiteIndex& site_index() const {
+    return site_index_;
+  }
   [[nodiscard]] const abi::Abi& contract_abi() const { return abi_; }
 
   /// Effective transfer parameters used by the last payload run (the ρ⃗ the
@@ -86,6 +95,7 @@ class ChainHarness {
   instrument::TraceSink sink_;
   wasm::Module original_;
   instrument::SiteTable sites_;
+  scanner::SiteIndex site_index_;
   abi::Abi abi_;
   std::vector<abi::ParamValue> last_params_;
   bool dynamic_senders_ = false;

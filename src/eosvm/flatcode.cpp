@@ -1,0 +1,278 @@
+#include "eosvm/flatcode.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wasai::vm {
+
+using util::ValidationError;
+using wasm::Instr;
+using wasm::kNoMatch;
+using wasm::Opcode;
+using wasm::ValType;
+
+namespace {
+
+/// Static control-nesting entry mirrored while flattening. Because Wasm
+/// control flow is structured, the runtime control stack at body[pc] always
+/// has exactly these entries above the frame's ctrl_base — which is what
+/// lets branch targets be resolved here instead of per taken branch.
+struct StaticCtrl {
+  std::uint32_t opener;
+  std::uint32_t end_idx;
+  bool is_loop;
+  std::uint8_t arity;
+};
+
+std::uint8_t block_arity(const Instr& ins) {
+  return ins.a == wasm::kBlockVoid ? 0 : 1;
+}
+
+std::uint64_t const_bits(const Instr& ins, const wasm::OpInfo& info) {
+  // i32/f32 constants are stored truncated to 32 bits, matching the stack
+  // representation the legacy interpreter produces.
+  if (info.result == ValType::I32 || info.result == ValType::F32) {
+    return static_cast<std::uint32_t>(ins.imm);
+  }
+  return ins.imm;
+}
+
+}  // namespace
+
+class FlatBuilder {
+ public:
+  explicit FlatBuilder(const wasm::Module& m) : m_(m) {}
+
+  FlatFunction flatten(const wasm::Function& fn) {
+    const wasm::FuncType& ft = m_.types.at(fn.type_index);
+    const wasm::ControlMap cmap = wasm::analyze_control(fn.body);
+
+    FlatFunction out;
+    out.num_params = static_cast<std::uint32_t>(ft.params.size());
+    out.result_arity = static_cast<std::uint8_t>(ft.results.size());
+    out.local_zeros.reserve(fn.locals.size());
+    for (const auto t : fn.locals) out.local_zeros.push_back(Value::zero(t));
+    out.code.resize(fn.body.size());
+
+    const std::uint32_t nlocals = out.num_locals();
+    std::vector<StaticCtrl> sctrl;
+
+    for (std::uint32_t pc = 0; pc < fn.body.size(); ++pc) {
+      const Instr& ins = fn.body[pc];
+      FlatInstr& fi = out.code[pc];
+      fi.opcode = ins.op;
+      switch (ins.op) {
+        case Opcode::Unreachable:
+          fi.op = FlatOp::Unreachable;
+          break;
+        case Opcode::Nop:
+          fi.op = FlatOp::Nop;
+          break;
+        case Opcode::Block:
+        case Opcode::Loop:
+          fi.op = FlatOp::Enter;
+          sctrl.push_back(StaticCtrl{pc, cmap.end_idx[pc],
+                                     ins.op == Opcode::Loop,
+                                     block_arity(ins)});
+          break;
+        case Opcode::If: {
+          fi.op = FlatOp::If;
+          const auto end = cmap.end_idx[pc];
+          const auto els = cmap.else_idx[pc];
+          if (els != kNoMatch) {
+            fi.a = els + 1;  // false: run the else arm, keep the ctrl entry
+            fi.flags = kFlatIfPushOnFalse;
+          } else {
+            fi.a = end + 1;  // empty else: skip the block entirely
+          }
+          sctrl.push_back(StaticCtrl{pc, end, false, block_arity(ins)});
+          break;
+        }
+        case Opcode::Else:
+          // Reached only by falling out of the then-arm: pop and skip to
+          // just past the matching end. Static nesting is unchanged (the
+          // if's entry stays in scope for the else arm).
+          fi.op = FlatOp::ElseSkip;
+          fi.a = cmap.end_idx[pc] + 1;
+          break;
+        case Opcode::End:
+          if (sctrl.empty()) {
+            // The implicit function block's end: identical to return.
+            fi.op = FlatOp::Return;
+          } else {
+            fi.op = FlatOp::End;
+            sctrl.pop_back();
+          }
+          break;
+        case Opcode::Br:
+          fi.op = FlatOp::Br;
+          fi.aux = add_branch(out, resolve_branch(sctrl, ins.a));
+          break;
+        case Opcode::BrIf:
+          fi.op = FlatOp::BrIf;
+          fi.aux = add_branch(out, resolve_branch(sctrl, ins.a));
+          break;
+        case Opcode::BrTable: {
+          fi.op = FlatOp::BrTable;
+          FlatBrTable table;
+          table.targets.reserve(ins.table.size());
+          for (const auto depth : ins.table) {
+            table.targets.push_back(resolve_branch(sctrl, depth));
+          }
+          table.fallback = resolve_branch(sctrl, ins.a);
+          fi.aux = static_cast<std::uint32_t>(out.brtables.size());
+          out.brtables.push_back(std::move(table));
+          break;
+        }
+        case Opcode::Return:
+          fi.op = FlatOp::Return;
+          break;
+        case Opcode::Call: {
+          if (ins.a >= m_.num_functions()) {
+            throw ValidationError("call to out-of-range function index " +
+                                  std::to_string(ins.a));
+          }
+          const wasm::FuncType& callee = m_.function_type(ins.a);
+          fi.a = ins.a;
+          fi.nargs = static_cast<std::uint16_t>(callee.params.size());
+          if (m_.is_imported_function(ins.a)) {
+            fi.op = FlatOp::CallImport;
+            fi.arity = static_cast<std::uint8_t>(callee.results.size());
+            if (!callee.results.empty()) {
+              fi.b = static_cast<std::uint32_t>(callee.results.front());
+            }
+          } else {
+            fi.op = FlatOp::CallDefined;
+            fi.b = ins.a - m_.num_imported_functions();
+          }
+          break;
+        }
+        case Opcode::CallIndirect: {
+          fi.op = FlatOp::CallIndirect;
+          if (ins.a >= m_.types.size()) {
+            throw ValidationError("call_indirect to out-of-range type index " +
+                                  std::to_string(ins.a));
+          }
+          fi.a = ins.a;
+          fi.aux = static_cast<std::uint32_t>(signatures_.size());
+          signatures_.push_back(&m_.types[ins.a]);
+          break;
+        }
+        case Opcode::Drop:
+          fi.op = FlatOp::Drop;
+          break;
+        case Opcode::Select:
+          fi.op = FlatOp::Select;
+          break;
+        case Opcode::LocalGet:
+        case Opcode::LocalSet:
+        case Opcode::LocalTee:
+          if (ins.a >= nlocals) {
+            throw ValidationError("local index out of range: " +
+                                  std::to_string(ins.a));
+          }
+          fi.op = ins.op == Opcode::LocalGet   ? FlatOp::LocalGet
+                  : ins.op == Opcode::LocalSet ? FlatOp::LocalSet
+                                               : FlatOp::LocalTee;
+          fi.a = ins.a;
+          break;
+        case Opcode::GlobalGet:
+        case Opcode::GlobalSet:
+          if (ins.a >= m_.globals.size()) {
+            throw ValidationError("global index out of range: " +
+                                  std::to_string(ins.a));
+          }
+          fi.op = ins.op == Opcode::GlobalGet ? FlatOp::GlobalGet
+                                              : FlatOp::GlobalSet;
+          fi.a = ins.a;
+          break;
+        case Opcode::MemorySize:
+          fi.op = FlatOp::MemorySize;
+          break;
+        case Opcode::MemoryGrow:
+          fi.op = FlatOp::MemoryGrow;
+          break;
+        default: {
+          const wasm::OpInfo& info = wasm::op_info(ins.op);
+          fi.info = &info;
+          switch (info.cls) {
+            case wasm::OpClass::Load:
+              fi.op = FlatOp::Load;
+              fi.b = ins.b;  // memarg offset
+              break;
+            case wasm::OpClass::Store:
+              fi.op = FlatOp::Store;
+              fi.b = ins.b;
+              break;
+            case wasm::OpClass::Const:
+              fi.op = FlatOp::Const;
+              fi.imm = const_bits(ins, info);
+              break;
+            case wasm::OpClass::Unary:
+              fi.op = FlatOp::Unary;
+              break;
+            case wasm::OpClass::Binary:
+              fi.op = FlatOp::Binary;
+              break;
+            default:
+              throw ValidationError(std::string("cannot flatten opcode ") +
+                                    info.name);
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<const wasm::FuncType*> take_signatures() {
+    return std::move(signatures_);
+  }
+
+ private:
+  static std::uint32_t add_branch(FlatFunction& out, BranchTarget bt) {
+    const auto slot = static_cast<std::uint32_t>(out.branches.size());
+    out.branches.push_back(bt);
+    return slot;
+  }
+
+  /// Resolve a label depth at the current static nesting into a runtime
+  /// branch edge. Mirrors Executor::branch(): depth counts outward from the
+  /// innermost entry; depths beyond the function's own nesting exit the
+  /// frame (the implicit function label).
+  static BranchTarget resolve_branch(const std::vector<StaticCtrl>& sctrl,
+                                     std::uint32_t depth) {
+    BranchTarget bt;
+    if (depth >= sctrl.size()) {
+      bt.to_function = true;
+      return bt;
+    }
+    const std::size_t rel = sctrl.size() - 1 - depth;
+    const StaticCtrl& c = sctrl[rel];
+    bt.depth = static_cast<std::uint32_t>(rel);  // offset from frame ctrl_base
+    bt.is_loop = c.is_loop;
+    bt.arity = c.is_loop ? std::uint8_t{0} : c.arity;
+    bt.target_pc = c.is_loop ? c.opener + 1 : c.end_idx + 1;
+    return bt;
+  }
+
+  const wasm::Module& m_;
+  std::vector<const wasm::FuncType*> signatures_;
+};
+
+std::shared_ptr<const FlatModule> FlatModule::build(
+    std::shared_ptr<const wasm::Module> module) {
+  auto flat = std::make_shared<FlatModule>();
+  flat->module_ = std::move(module);
+  FlatBuilder builder(*flat->module_);
+  flat->functions_.reserve(flat->module_->functions.size());
+  for (const auto& fn : flat->module_->functions) {
+    flat->functions_.push_back(builder.flatten(fn));
+  }
+  flat->signatures_ = builder.take_signatures();
+  return flat;
+}
+
+}  // namespace wasai::vm

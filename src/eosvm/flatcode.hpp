@@ -1,0 +1,170 @@
+// Pre-flattened instruction streams for the fast-path executor: every
+// operand decoded and every structured-control edge (branch target, else
+// skip, arity, loop-ness) resolved once per module, so the interpreter's
+// hot loop is a dense-array fetch plus a small switch instead of lazy
+// ControlMap lookups, op_info() calls and block_arity() recomputation.
+//
+// Invariants (relied on by probes and the differential oracle):
+//   * FlatFunction::code is 1:1 with wasm::Function::body — flat pc i
+//     describes exactly body[i], so ExecProbeView pcs, step counts and
+//     trap points are identical between the fast and legacy executors.
+//   * Flattening never changes observable semantics: the fast executor
+//     must produce byte-identical traces and results versus the legacy
+//     path (pinned by tests/fastpath_test.cpp and the testgen oracle).
+//   * A FlatModule is immutable and keyed to one wasm::Module; it is
+//     shared across Instances (the chain creates one Instance per action,
+//     so per-module caching is what makes flattening pay off).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eosvm/value.hpp"
+#include "wasm/control.hpp"
+#include "wasm/module.hpp"
+#include "wasm/opcode.hpp"
+
+namespace wasai::vm {
+
+/// Dispatch tag of one flattened instruction. Control flow is specialized
+/// (branch targets resolved at build time); value classes collapse onto
+/// their OpInfo-driven handlers.
+enum class FlatOp : std::uint8_t {
+  Unreachable,
+  Nop,
+  Enter,         // block/loop entry: push a control entry (height only)
+  If,            // pop condition; false target + push-on-false preresolved
+  ElseSkip,      // `else` reached by falling out of the then-arm
+  End,           // block end or function end (runtime ctrl_base check)
+  Br,            // unconditional branch, side-table target
+  BrIf,          // conditional branch, side-table target
+  BrTable,       // indexed branch, per-entry side-table targets
+  Return,
+  CallDefined,   // direct call to a defined function
+  CallImport,    // direct call to an imported function (host or hook)
+  CallIndirect,  // table call; expected signature preresolved
+  Drop,
+  Select,
+  LocalGet,
+  LocalSet,
+  LocalTee,
+  GlobalGet,
+  GlobalSet,
+  MemorySize,
+  MemoryGrow,
+  Load,
+  Store,
+  Const,
+  Unary,
+  Binary,
+};
+
+/// A fully resolved branch edge: everything the legacy executor recomputes
+/// from ControlMap + the runtime control stack on every taken branch.
+struct BranchTarget {
+  std::uint32_t target_pc = 0;  // pc after the branch is taken
+  std::uint32_t depth = 0;      // label depth (runtime ctrl index)
+  std::uint8_t arity = 0;       // values carried to the target
+  bool is_loop = false;         // loop: jump to opener, keep its ctrl entry
+  bool to_function = false;     // branch exits the frame (acts as return)
+};
+
+/// br_table side entry: the jump table with every target preresolved.
+struct FlatBrTable {
+  std::vector<BranchTarget> targets;
+  BranchTarget fallback;
+};
+
+/// One flattened instruction (same index as the original body instruction).
+struct FlatInstr {
+  FlatOp op = FlatOp::Nop;
+  wasm::Opcode opcode = wasm::Opcode::Nop;  // original opcode (eval dispatch)
+  std::uint8_t flags = 0;   // If: push ctrl when the condition is false
+  std::uint8_t arity = 0;   // Enter/If: block arity; CallImport: result count
+  std::uint16_t nargs = 0;  // CallImport/CallIndirect: argument count
+  std::uint32_t a = 0;      // operand: index / depth / false-target pc
+  std::uint32_t b = 0;      // operand: memarg offset / defined index
+  std::uint32_t aux = 0;    // side-table slot (branches_/brtables_/sig)
+  std::uint64_t imm = 0;    // Const: value bits, already truncated
+  const wasm::OpInfo* info = nullptr;  // Load/Store metadata
+};
+
+constexpr std::uint8_t kFlatIfPushOnFalse = 1;  // FlatInstr::flags bit
+
+/// Flattened body of one defined function plus its frame layout.
+struct FlatFunction {
+  std::vector<FlatInstr> code;  // 1:1 with Function::body
+  std::vector<BranchTarget> branches;
+  std::vector<FlatBrTable> brtables;
+  /// Typed zero values for the declared (non-parameter) locals, ready to be
+  /// bulk-copied into a fresh frame.
+  std::vector<Value> local_zeros;
+  std::uint32_t num_params = 0;
+  std::uint8_t result_arity = 0;
+
+  [[nodiscard]] std::uint32_t num_locals() const {
+    return num_params + static_cast<std::uint32_t>(local_zeros.size());
+  }
+};
+
+/// Runtime control-stack entry of the fast executor: branch arity, loop-ness
+/// and targets come from the side tables, so only the height remains.
+struct FastCtrl {
+  std::size_t height;
+};
+
+/// Call-stack frame of the fast executor. Locals live in a shared arena
+/// (FastBuffers::locals) so frames allocate nothing in steady state.
+struct FastFrame {
+  const FlatFunction* ff = nullptr;
+  std::uint32_t func_index = 0;  // function-space index
+  std::uint32_t pc = 0;
+  std::uint32_t locals_off = 0;  // slice of FastBuffers::locals
+  std::uint32_t locals_len = 0;
+  std::size_t stack_base = 0;
+  std::size_t ctrl_base = 0;
+  std::uint8_t result_arity = 0;
+};
+
+/// Reusable execution buffers, owned by the Vm so capacity persists across
+/// the many invoke() calls of one transaction (and across transactions when
+/// the caller reuses the Vm).
+struct FastBuffers {
+  std::vector<Value> stack;
+  std::vector<FastCtrl> ctrls;
+  std::vector<FastFrame> frames;
+  std::vector<Value> locals;
+};
+
+/// Immutable flattened image of a module's defined functions. Built once
+/// (typically at deploy) and shared by every Instance of the module.
+class FlatModule {
+ public:
+  /// Flatten every defined function. Throws util::ValidationError on
+  /// malformed bodies (unbalanced control, out-of-range local/global
+  /// indices) — conditions the validator rejects anyway.
+  static std::shared_ptr<const FlatModule> build(
+      std::shared_ptr<const wasm::Module> module);
+
+  [[nodiscard]] const wasm::Module& module() const { return *module_; }
+  [[nodiscard]] const std::shared_ptr<const wasm::Module>& module_ptr() const {
+    return module_;
+  }
+  [[nodiscard]] const FlatFunction& function(std::uint32_t defined_index) const {
+    return functions_[defined_index];
+  }
+  /// Expected signature of a call_indirect site (side table slot).
+  [[nodiscard]] const wasm::FuncType& signature(std::uint32_t slot) const {
+    return *signatures_[slot];
+  }
+
+ private:
+  std::shared_ptr<const wasm::Module> module_;
+  std::vector<FlatFunction> functions_;
+  std::vector<const wasm::FuncType*> signatures_;
+
+  friend class FlatBuilder;
+};
+
+}  // namespace wasai::vm

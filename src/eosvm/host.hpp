@@ -16,6 +16,22 @@ namespace wasai::vm {
 class Vm;
 class Instance;
 
+/// Direct receiver for instrumentation hook calls on the fast execution
+/// path. Hooks are void-result and touch neither linear memory nor the
+/// chain context, so the VM may call the sink with a raw slice of its value
+/// stack — skipping binding indirection and argument packing — without any
+/// observable difference from routing through call_host.
+class HookSink {
+ public:
+  virtual ~HookSink() = default;
+
+  /// Handle one hook event. `binding` is the id the sink itself returned
+  /// from bind(); `args` aliases the caller's value stack for the duration
+  /// of the call only.
+  virtual void on_hook(std::uint32_t binding, const Value* args,
+                       std::size_t nargs) = 0;
+};
+
 /// Implemented by the chain layer (library APIs) and wrapped by the
 /// instrumentation layer (trace hooks). Bindings are resolved once at
 /// instantiation; calls then dispatch on the integer binding id.
@@ -34,6 +50,18 @@ class HostInterface {
   virtual std::optional<Value> call_host(std::uint32_t binding,
                                          std::span<const Value> args,
                                          Instance& instance) = 0;
+
+  /// Fast-dispatch resolution, queried once per imported function at
+  /// instantiation: if `binding` ultimately lands in a trace-hook sink,
+  /// return that sink and store its own binding id in `sink_binding`
+  /// (layered hosts forward the query, unwrapping their offset scheme the
+  /// same way call_host forwards the call). Default: no fast path.
+  virtual HookSink* hook_sink(std::uint32_t binding,
+                              std::uint32_t& sink_binding) {
+    (void)binding;
+    (void)sink_binding;
+    return nullptr;
+  }
 };
 
 }  // namespace wasai::vm

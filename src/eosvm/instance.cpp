@@ -8,9 +8,13 @@ using util::Trap;
 using util::ValidationError;
 
 Instance::Instance(std::shared_ptr<const wasm::Module> module,
-                   HostInterface& host)
-    : module_(std::move(module)), host_(&host) {
+                   HostInterface& host,
+                   std::shared_ptr<const FlatModule> flat)
+    : module_(std::move(module)), host_(&host), flat_(std::move(flat)) {
   const wasm::Module& m = *module_;
+  if (flat_ != nullptr && &flat_->module() != &m) {
+    throw ValidationError("flat code built for a different module");
+  }
 
   if (!m.memories.empty()) {
     const auto& lim = m.memories.front().limits;
@@ -50,6 +54,19 @@ Instance::Instance(std::shared_ptr<const wasm::Module> module,
     const auto& imp = m.function_import(f);
     bindings_.push_back(
         host_->bind(imp.module, imp.field, m.types.at(imp.type_index)));
+  }
+
+  if (flat_ != nullptr) {
+    // Resolve trace-hook imports for direct dispatch. Only void-result
+    // imports qualify: hooks never produce a value, and a null result from
+    // on_hook would otherwise be indistinguishable from a missing one.
+    fast_hooks_.resize(imported);
+    for (std::uint32_t f = 0; f < imported; ++f) {
+      const auto& imp = m.function_import(f);
+      if (!m.types.at(imp.type_index).results.empty()) continue;
+      FastHook& hk = fast_hooks_[f];
+      hk.sink = host_->hook_sink(bindings_[f], hk.binding);
+    }
   }
 
   control_maps_.resize(m.functions.size());

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "eosvm/flatcode.hpp"
 #include "eosvm/host.hpp"
 #include "eosvm/value.hpp"
 #include "wasm/control.hpp"
@@ -16,11 +17,23 @@ namespace wasai::vm {
 
 constexpr std::uint32_t kNullFuncRef = 0xffffffff;
 
+/// Resolved fast dispatch for one imported function: when `sink` is set,
+/// the fast executor calls it directly instead of going through
+/// HostInterface::call_host.
+struct FastHook {
+  HookSink* sink = nullptr;
+  std::uint32_t binding = 0;  // the sink's own binding id
+};
+
 class Instance {
  public:
   /// Instantiate: allocates memory, initialises globals/table from the
   /// module's segments and resolves every function import against `host`.
-  Instance(std::shared_ptr<const wasm::Module> module, HostInterface& host);
+  /// When `flat` (the module's pre-flattened code, see FlatModule::build)
+  /// is provided, Vm::invoke takes the fast execution path and hook imports
+  /// are resolved for direct dispatch.
+  Instance(std::shared_ptr<const wasm::Module> module, HostInterface& host,
+           std::shared_ptr<const FlatModule> flat = nullptr);
 
   [[nodiscard]] const wasm::Module& module() const { return *module_; }
   [[nodiscard]] HostInterface& host() { return *host_; }
@@ -49,16 +62,27 @@ class Instance {
   /// Control maps are computed lazily per function and cached.
   const wasm::ControlMap& control_map(std::uint32_t defined_index);
 
+  /// Pre-flattened code, if this instance runs on the fast path.
+  [[nodiscard]] const FlatModule* flat() const { return flat_.get(); }
+
+  /// Fast hook dispatch for an imported function (unchecked: the fast
+  /// executor only indexes imports, and only when flat() is set).
+  [[nodiscard]] const FastHook& fast_hook(std::uint32_t func_index) const {
+    return fast_hooks_[func_index];
+  }
+
   /// Maximum pages the memory may grow to (EOSIO caps contract memory).
   std::uint32_t max_pages = 528;  // 33 MiB, the nodeos default
 
  private:
   std::shared_ptr<const wasm::Module> module_;
   HostInterface* host_;
+  std::shared_ptr<const FlatModule> flat_;
   std::vector<std::uint8_t> memory_;
   std::vector<Value> globals_;
   std::vector<std::uint32_t> table_;
   std::vector<std::uint32_t> bindings_;
+  std::vector<FastHook> fast_hooks_;
   std::vector<std::unique_ptr<wasm::ControlMap>> control_maps_;
 };
 

@@ -400,6 +400,364 @@ class Executor {
   std::vector<Frame> frames_;
 };
 
+/// Fast-path executor over pre-flattened code (FlatModule). Mirrors
+/// Executor instruction for instruction — identical step counting, limit
+/// checks, trap messages and probe views — but fetches fully decoded
+/// FlatInstrs, takes branches through precomputed side tables, keeps frame
+/// locals in a shared arena and dispatches trace hooks directly into their
+/// HookSink. Parity with Executor is pinned by tests/fastpath_test.cpp and
+/// the testgen differential oracle.
+class FastExecutor {
+ public:
+  FastExecutor(Instance& inst, const ExecLimits& limits, std::uint64_t& steps,
+               ExecProbe* probe, FastBuffers& buf)
+      : inst_(inst),
+        flat_(*inst.flat()),
+        limits_(limits),
+        steps_(steps),
+        probe_(probe),
+        stack_(buf.stack),
+        ctrls_(buf.ctrls),
+        frames_(buf.frames),
+        locals_(buf.locals),
+        num_imports_(inst.module().num_imported_functions()) {
+    stack_.clear();
+    ctrls_.clear();
+    frames_.clear();
+    locals_.clear();
+  }
+
+  std::vector<Value> run(std::uint32_t func_index,
+                         std::span<const Value> args) {
+    if (inst_.module().is_imported_function(func_index)) {
+      // Direct host invocation without a Wasm frame.
+      auto result = inst_.host().call_host(inst_.host_binding(func_index),
+                                           args, inst_);
+      std::vector<Value> out;
+      if (result) out.push_back(*result);
+      return out;
+    }
+    push_frame(func_index, args, stack_.size());
+    const std::uint8_t arity = frames_.back().result_arity;
+    while (!frames_.empty()) step();
+    return {stack_.end() - arity, stack_.end()};
+  }
+
+ private:
+  void step() {
+    if (++steps_ > limits_.max_steps) {
+      throw Trap("step limit exceeded (" + std::to_string(limits_.max_steps) +
+                 ")");
+    }
+    FastFrame& f = frames_.back();
+    const FlatInstr& fi = f.ff->code[f.pc];
+    if (probe_ != nullptr) {
+      ExecProbeView view;
+      view.func_index = f.func_index;
+      view.pc = f.pc;
+      view.stack = stack_;
+      view.frame_stack_base = f.stack_base;
+      view.locals = {locals_.data() + f.locals_off, f.locals_len};
+      probe_->on_instr(view, inst_);
+    }
+    switch (fi.op) {
+      // ---- control ----
+      case FlatOp::Unreachable:
+        throw Trap("unreachable executed");
+      case FlatOp::Nop:
+        ++f.pc;
+        break;
+      case FlatOp::Enter:
+        ctrls_.push_back(FastCtrl{stack_.size()});
+        ++f.pc;
+        break;
+      case FlatOp::If: {
+        if (pop().truthy()) {
+          ctrls_.push_back(FastCtrl{stack_.size()});
+          ++f.pc;
+        } else {
+          if (fi.flags & kFlatIfPushOnFalse) {
+            ctrls_.push_back(FastCtrl{stack_.size()});
+          }
+          f.pc = fi.a;
+        }
+        break;
+      }
+      case FlatOp::ElseSkip:
+        ctrls_.pop_back();
+        f.pc = fi.a;
+        break;
+      case FlatOp::End:
+        ctrls_.pop_back();
+        ++f.pc;
+        break;
+      case FlatOp::Br:
+        take_branch(f, f.ff->branches[fi.aux]);
+        break;
+      case FlatOp::BrIf:
+        if (pop().truthy()) {
+          take_branch(f, f.ff->branches[fi.aux]);
+        } else {
+          ++f.pc;
+        }
+        break;
+      case FlatOp::BrTable: {
+        const std::uint32_t idx = pop().u32();
+        const FlatBrTable& table = f.ff->brtables[fi.aux];
+        take_branch(f, idx < table.targets.size() ? table.targets[idx]
+                                                  : table.fallback);
+        break;
+      }
+      case FlatOp::Return:
+        pop_frame();
+        break;
+      case FlatOp::CallDefined:
+        call_defined(fi.a, fi.nargs);
+        break;
+      case FlatOp::CallImport:
+        call_import(f, fi.a, fi.nargs, fi.arity,
+                    static_cast<ValType>(fi.b));
+        break;
+      case FlatOp::CallIndirect: {
+        const std::uint32_t elem = pop().u32();
+        const std::uint32_t target = inst_.table_at(elem);
+        if (target == kNullFuncRef) {
+          throw Trap("call_indirect to null table entry " +
+                     std::to_string(elem));
+        }
+        const FuncType& expected = flat_.signature(fi.aux);
+        const FuncType& actual = inst_.module().function_type(target);
+        if (actual != expected) {
+          throw Trap("call_indirect signature mismatch");
+        }
+        if (target < num_imports_) {
+          call_import(f, target,
+                      static_cast<std::uint16_t>(actual.params.size()),
+                      static_cast<std::uint8_t>(actual.results.size()),
+                      actual.results.empty() ? ValType::I32
+                                             : actual.results.front());
+        } else {
+          call_defined(target,
+                       static_cast<std::uint16_t>(actual.params.size()));
+        }
+        break;
+      }
+
+      // ---- parametric ----
+      case FlatOp::Drop:
+        pop();
+        ++f.pc;
+        break;
+      case FlatOp::Select: {
+        const Value cond = pop();
+        const Value v2 = pop();
+        const Value v1 = pop();
+        push(cond.truthy() ? v1 : v2);
+        ++f.pc;
+        break;
+      }
+
+      // ---- variable (indices validated at flatten time) ----
+      case FlatOp::LocalGet:
+        push(locals_[f.locals_off + fi.a]);
+        ++f.pc;
+        break;
+      case FlatOp::LocalSet:
+        locals_[f.locals_off + fi.a] = pop();
+        ++f.pc;
+        break;
+      case FlatOp::LocalTee:
+        locals_[f.locals_off + fi.a] = stack_.back();
+        ++f.pc;
+        break;
+      case FlatOp::GlobalGet:
+        push(inst_.global(fi.a));
+        ++f.pc;
+        break;
+      case FlatOp::GlobalSet:
+        inst_.set_global(fi.a, pop());
+        ++f.pc;
+        break;
+
+      // ---- memory ----
+      case FlatOp::MemorySize:
+        push(Value::i32(inst_.memory_pages()));
+        ++f.pc;
+        break;
+      case FlatOp::MemoryGrow: {
+        const std::uint32_t delta = pop().u32();
+        push(Value::i32s(inst_.memory_grow(delta)));
+        ++f.pc;
+        break;
+      }
+      case FlatOp::Load: {
+        const wasm::OpInfo& info = *fi.info;
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(pop().u32()) + fi.b;
+        const auto bytes = inst_.memory_at(addr, info.access_bytes);
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, bytes.data(), info.access_bytes);
+        if (info.sign_extend) {
+          const int shift = 64 - info.access_bytes * 8;
+          raw = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(raw << shift) >> shift);
+        }
+        if (info.result == ValType::I32 || info.result == ValType::F32) {
+          raw = static_cast<std::uint32_t>(raw);
+        }
+        push(Value{info.result, raw});
+        ++f.pc;
+        break;
+      }
+      case FlatOp::Store: {
+        const Value value = pop();
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(pop().u32()) + fi.b;
+        const auto bytes = inst_.memory_at(addr, fi.info->access_bytes);
+        const std::uint64_t raw = value.bits;
+        std::memcpy(bytes.data(), &raw, fi.info->access_bytes);
+        ++f.pc;
+        break;
+      }
+
+      // ---- value ops ----
+      case FlatOp::Const:
+        push(Value{fi.info->result, fi.imm});
+        ++f.pc;
+        break;
+      case FlatOp::Unary:
+        push(eval_unary_op(fi.opcode, pop()));
+        ++f.pc;
+        break;
+      case FlatOp::Binary: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        push(eval_binary_op(fi.opcode, lhs, rhs));
+        ++f.pc;
+        break;
+      }
+    }
+  }
+
+  void push(Value v) {
+    if (stack_.size() >= limits_.max_value_stack) {
+      throw Trap("value stack overflow");
+    }
+    stack_.push_back(v);
+  }
+
+  Value pop() {
+    if (stack_.empty()) throw Trap("value stack underflow (vm bug)");
+    const Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  /// Open a frame whose base is `stack_base` (the stack size after the
+  /// caller's arguments are consumed). Arguments are copied into the locals
+  /// arena BEFORE the caller shrinks its stack, so `args` may alias it.
+  void push_frame(std::uint32_t func_index, std::span<const Value> args,
+                  std::size_t stack_base) {
+    if (frames_.size() >= limits_.max_call_depth) {
+      throw Trap("call depth limit exceeded");
+    }
+    const FlatFunction& ff = flat_.function(func_index - num_imports_);
+    if (args.size() != ff.num_params) {
+      throw Trap("argument count mismatch calling function " +
+                 std::to_string(func_index));
+    }
+    FastFrame frame;
+    frame.ff = &ff;
+    frame.func_index = func_index;
+    frame.pc = 0;
+    frame.locals_off = static_cast<std::uint32_t>(locals_.size());
+    frame.locals_len = ff.num_locals();
+    frame.stack_base = stack_base;
+    frame.ctrl_base = ctrls_.size();
+    frame.result_arity = ff.result_arity;
+    locals_.insert(locals_.end(), args.begin(), args.end());
+    locals_.insert(locals_.end(), ff.local_zeros.begin(),
+                   ff.local_zeros.end());
+    frames_.push_back(frame);
+  }
+
+  void pop_frame() {
+    FastFrame& f = frames_.back();
+    const std::uint8_t arity = f.result_arity;
+    // Move the results down to the frame's base.
+    for (std::uint8_t i = 0; i < arity; ++i) {
+      stack_[f.stack_base + i] = stack_[stack_.size() - arity + i];
+    }
+    stack_.resize(f.stack_base + arity);
+    ctrls_.resize(f.ctrl_base);
+    locals_.resize(f.locals_off);
+    frames_.pop_back();
+    if (!frames_.empty()) ++frames_.back().pc;
+  }
+
+  void take_branch(FastFrame& f, const BranchTarget& bt) {
+    if (bt.to_function) {
+      pop_frame();  // branch to the implicit function label == return
+      return;
+    }
+    const std::size_t target = f.ctrl_base + bt.depth;
+    const std::size_t height = ctrls_[target].height;
+    if (bt.is_loop) {
+      ctrls_.resize(target + 1);
+      stack_.resize(height);
+    } else {
+      for (std::uint8_t i = 0; i < bt.arity; ++i) {
+        stack_[height + i] = stack_[stack_.size() - bt.arity + i];
+      }
+      stack_.resize(height + bt.arity);
+      ctrls_.resize(target);
+    }
+    f.pc = bt.target_pc;
+  }
+
+  void call_defined(std::uint32_t func_index, std::uint16_t nargs) {
+    if (stack_.size() < nargs) throw Trap("call underflow (vm bug)");
+    const std::size_t base = stack_.size() - nargs;
+    push_frame(func_index, {stack_.data() + base, nargs}, base);
+    stack_.resize(base);
+    // pc of the caller is advanced when the callee's frame pops.
+  }
+
+  void call_import(FastFrame& f, std::uint32_t func_index,
+                   std::uint16_t nargs, std::uint8_t result_arity,
+                   ValType result_type) {
+    if (stack_.size() < nargs) throw Trap("host call underflow (vm bug)");
+    const Value* argp = stack_.data() + stack_.size() - nargs;
+    const FastHook& hk = inst_.fast_hook(func_index);
+    if (hk.sink != nullptr) {
+      // Direct hook dispatch: no binding indirection, no argument packing.
+      hk.sink->on_hook(hk.binding, argp, nargs);
+      stack_.resize(stack_.size() - nargs);
+    } else {
+      auto result = inst_.host().call_host(
+          inst_.host_binding(func_index),
+          std::span<const Value>(argp, nargs), inst_);
+      stack_.resize(stack_.size() - nargs);
+      if (result_arity != 0) {
+        if (!result) throw Trap("host function returned no value");
+        push(Value{result_type, result->bits});
+      }
+    }
+    ++f.pc;
+  }
+
+  Instance& inst_;
+  const FlatModule& flat_;
+  const ExecLimits& limits_;
+  std::uint64_t& steps_;
+  ExecProbe* probe_;
+  std::vector<Value>& stack_;
+  std::vector<FastCtrl>& ctrls_;
+  std::vector<FastFrame>& frames_;
+  std::vector<Value>& locals_;
+  std::uint32_t num_imports_;
+};
+
 template <typename T>
 T trunc_checked(double operand, const char* what) {
   if (std::isnan(operand)) throw Trap(std::string("trunc of NaN in ") + what);
@@ -738,6 +1096,10 @@ Value eval_binary_op(Opcode op, Value lhs, Value rhs) {
 
 std::vector<Value> Vm::invoke(Instance& instance, std::uint32_t func_index,
                               std::span<const Value> args) {
+  if (instance.flat() != nullptr) {
+    FastExecutor exec(instance, limits_, steps_, probe_, fast_buf_);
+    return exec.run(func_index, args);
+  }
   Executor exec(instance, limits_, steps_, probe_);
   return exec.run(func_index, args);
 }

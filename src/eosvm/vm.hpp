@@ -55,6 +55,10 @@ class Vm {
   /// Execute a function (by function-space index) with the given arguments.
   /// Returns the result values (empty or one element in the MVP). Throws
   /// util::Trap on any runtime fault, including limit exhaustion.
+  ///
+  /// Instances carrying pre-flattened code (Instance::flat()) run on the
+  /// fast execution path; both paths are observably identical (same traces,
+  /// same step counts, same trap messages).
   std::vector<Value> invoke(Instance& instance, std::uint32_t func_index,
                             std::span<const Value> args);
 
@@ -69,6 +73,9 @@ class Vm {
   ExecLimits limits_;
   std::uint64_t steps_ = 0;
   ExecProbe* probe_ = nullptr;
+  /// Fast-path stack/frame/locals buffers, reused across invokes so the
+  /// steady state of a transaction allocates nothing per action.
+  FastBuffers fast_buf_;
 };
 
 }  // namespace wasai::vm

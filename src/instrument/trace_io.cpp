@@ -41,7 +41,7 @@ TraceEvent read_event(util::ByteReader& r) {
 
 }  // namespace
 
-util::Bytes serialize_traces(const std::vector<ActionTrace>& traces) {
+util::Bytes serialize_traces(std::span<const ActionTrace> traces) {
   util::ByteWriter w;
   w.u32_le(kMagic);
   w.u32_le(kVersion);
@@ -85,7 +85,7 @@ std::vector<ActionTrace> deserialize_traces(
 }
 
 void save_traces(const std::string& path,
-                 const std::vector<ActionTrace>& traces) {
+                 std::span<const ActionTrace> traces) {
   const auto bytes = serialize_traces(traces);
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
       std::fopen(path.c_str(), "wb"), &std::fclose);

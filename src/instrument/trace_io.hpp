@@ -3,6 +3,7 @@
 // This module serializes ActionTraces to a compact binary format and back.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "instrument/trace.hpp"
@@ -11,7 +12,7 @@
 namespace wasai::instrument {
 
 /// Serialize traces (magic "WTRC" + version header).
-util::Bytes serialize_traces(const std::vector<ActionTrace>& traces);
+util::Bytes serialize_traces(std::span<const ActionTrace> traces);
 
 /// Parse traces; throws util::DecodeError on malformed input.
 std::vector<ActionTrace> deserialize_traces(
@@ -19,7 +20,7 @@ std::vector<ActionTrace> deserialize_traces(
 
 /// Write/read a trace file on disk. Throws util::UsageError on IO failure.
 void save_traces(const std::string& path,
-                 const std::vector<ActionTrace>& traces);
+                 std::span<const ActionTrace> traces);
 std::vector<ActionTrace> load_traces(const std::string& path);
 
 }  // namespace wasai::instrument

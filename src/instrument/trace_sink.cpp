@@ -23,10 +23,9 @@ std::uint32_t TraceSink::bind(std::string_view module, std::string_view field,
   throw util::ValidationError("unknown hook " + std::string(field));
 }
 
-std::optional<vm::Value> TraceSink::call_host(std::uint32_t binding,
-                                              std::span<const vm::Value> args,
-                                              vm::Instance&) {
-  if (open_.empty()) return std::nullopt;  // hooks outside an action: drop
+void TraceSink::on_hook(std::uint32_t binding, const vm::Value* args,
+                        std::size_t) {
+  if (open_.empty()) return;  // hooks outside an action: drop
   ActionTrace& trace = actions_[open_.back()];
 
   TraceEvent ev;
@@ -92,17 +91,26 @@ std::optional<vm::Value> TraceSink::call_host(std::uint32_t binding,
       throw util::Trap("invalid hook binding");
   }
   trace.events.push_back(ev);
+}
+
+std::optional<vm::Value> TraceSink::call_host(std::uint32_t binding,
+                                              std::span<const vm::Value> args,
+                                              vm::Instance&) {
+  on_hook(binding, args.data(), args.size());
   return std::nullopt;
 }
 
 void TraceSink::on_action_begin(abi::Name receiver, abi::Name code,
                                 abi::Name action) {
-  ActionTrace trace;
+  if (live_ == actions_.size()) actions_.emplace_back();
+  ActionTrace& trace = actions_[live_];
   trace.receiver = receiver;
   trace.code = code;
   trace.action = action;
-  actions_.push_back(std::move(trace));
-  open_.push_back(actions_.size() - 1);
+  trace.completed = false;
+  trace.events.clear();  // keeps the slot's event capacity
+  open_.push_back(live_);
+  ++live_;
 }
 
 void TraceSink::on_action_end(bool ok) {
@@ -114,20 +122,20 @@ void TraceSink::on_action_end(bool ok) {
 std::vector<const ActionTrace*> TraceSink::actions_of(
     abi::Name receiver) const {
   std::vector<const ActionTrace*> out;
-  for (const auto& a : actions_) {
+  for (const auto& a : actions()) {
     if (a.receiver == receiver) out.push_back(&a);
   }
   return out;
 }
 
 void TraceSink::clear() {
-  actions_.clear();
+  live_ = 0;  // slots and their event vectors stay allocated
   open_.clear();
 }
 
 std::size_t TraceSink::event_count() const {
   std::size_t n = 0;
-  for (const auto& a : actions_) n += a.events.size();
+  for (const auto& a : actions()) n += a.events.size();
   return n;
 }
 

@@ -1,8 +1,16 @@
 // Collects trace events emitted by the injected hooks, segmented per action
 // execution — the in-memory equivalent of the per-thread trace files WASAI
 // redirects on apply_context::finalize_trace() (§3.3.1).
+//
+// Storage is arena-style: action slots and their event vectors are recycled
+// across clear() calls, so a steady-state fuzzing iteration appends events
+// into already-allocated memory. Hook events arrive either through the
+// host-binding path (call_host) or, on the VM fast path, directly through
+// vm::HookSink::on_hook — both feed the same record() and are observably
+// identical.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "chain/observer.hpp"
@@ -11,7 +19,9 @@
 
 namespace wasai::instrument {
 
-class TraceSink : public vm::HostInterface, public chain::ExecutionObserver {
+class TraceSink : public vm::HostInterface,
+                  public vm::HookSink,
+                  public chain::ExecutionObserver {
  public:
   // ---- vm::HostInterface (receives the "wasai" hook calls) -------------
   std::uint32_t bind(std::string_view module, std::string_view field,
@@ -19,6 +29,15 @@ class TraceSink : public vm::HostInterface, public chain::ExecutionObserver {
   std::optional<vm::Value> call_host(std::uint32_t binding,
                                      std::span<const vm::Value> args,
                                      vm::Instance& instance) override;
+  vm::HookSink* hook_sink(std::uint32_t binding,
+                          std::uint32_t& sink_binding) override {
+    sink_binding = binding;
+    return this;
+  }
+
+  // ---- vm::HookSink (fast-path direct dispatch) ------------------------
+  void on_hook(std::uint32_t binding, const vm::Value* args,
+               std::size_t nargs) override;
 
   // ---- chain::ExecutionObserver ----------------------------------------
   void on_action_begin(abi::Name receiver, abi::Name code,
@@ -27,21 +46,23 @@ class TraceSink : public vm::HostInterface, public chain::ExecutionObserver {
   vm::HostInterface* hook_host() override { return this; }
 
   // ---- collected traces -------------------------------------------------
-  [[nodiscard]] const std::vector<ActionTrace>& actions() const {
-    return actions_;
+  [[nodiscard]] std::span<const ActionTrace> actions() const {
+    return {actions_.data(), live_};
   }
   /// Traces of a specific receiver only (the fuzzing target) — auxiliary
   /// contracts produce no events but do produce action segments.
   [[nodiscard]] std::vector<const ActionTrace*> actions_of(
       abi::Name receiver) const;
 
+  /// Drop all traces but keep the slot and event allocations for reuse.
   void clear();
 
   /// Total events captured since the last clear().
   [[nodiscard]] std::size_t event_count() const;
 
  private:
-  std::vector<ActionTrace> actions_;
+  std::vector<ActionTrace> actions_;  // slot pool; first live_ are current
+  std::size_t live_ = 0;
   std::vector<std::size_t> open_;  // stack of indices into actions_
 };
 

@@ -6,61 +6,92 @@ namespace wasai::scanner {
 
 using instrument::EventKind;
 
-TraceFacts extract_facts(const instrument::ActionTrace& trace,
-                         const instrument::SiteTable& sites,
-                         const wasm::Module& module) {
-  // Table image for call_indirect resolution.
-  std::vector<std::uint32_t> table;
-  if (!module.tables.empty()) {
-    table.assign(module.tables[0].limits.min, wasm::kNoMatch);
-  }
-  for (const auto& seg : module.elements) {
-    for (std::size_t i = 0; i < seg.func_indices.size(); ++i) {
-      if (seg.offset + i < table.size()) {
-        table[seg.offset + i] = seg.func_indices[i];
-      }
-    }
-  }
+namespace {
 
-  const wasm::FuncType transfer_sig{
+const wasm::FuncType& transfer_signature() {
+  static const wasm::FuncType sig{
       {wasm::ValType::I64, wasm::ValType::I64, wasm::ValType::I64,
        wasm::ValType::I32, wasm::ValType::I32},
       {}};
+  return sig;
+}
 
+}  // namespace
+
+SiteIndex::SiteIndex(const instrument::SiteTable& sites,
+                     const wasm::Module& module) {
+  sites_.reserve(sites.size());
+  for (const auto& info : sites.sites) {
+    const auto& ins =
+        module.defined(info.func_index).body[info.instr_index];
+    Site s;
+    s.op = ins.op;
+    s.is_branch =
+        ins.op == wasm::Opcode::If || ins.op == wasm::Opcode::BrIf;
+    s.is_i64_cmp =
+        ins.op == wasm::Opcode::I64Eq || ins.op == wasm::Opcode::I64Ne;
+    if (ins.op == wasm::Opcode::Call &&
+        module.is_imported_function(ins.a)) {
+      s.api_name = module.function_import(ins.a).field.c_str();
+    }
+    sites_.push_back(s);
+  }
+
+  // Table image for call_indirect resolution, collapsed straight to the
+  // import field each live element lands on.
+  if (!module.tables.empty()) {
+    table_api_.assign(module.tables[0].limits.min, nullptr);
+  }
+  for (const auto& seg : module.elements) {
+    for (std::size_t i = 0; i < seg.func_indices.size(); ++i) {
+      if (seg.offset + i >= table_api_.size()) continue;
+      const auto target = seg.func_indices[i];
+      table_api_[seg.offset + i] =
+          module.is_imported_function(target)
+              ? module.function_import(target).field.c_str()
+              : nullptr;
+    }
+  }
+
+  transfer_shaped_.assign(module.num_functions(), false);
+  for (std::uint32_t f = 0; f < module.num_functions(); ++f) {
+    transfer_shaped_[f] = module.function_type(f) == transfer_signature();
+  }
+}
+
+bool SiteIndex::transfer_shaped(std::uint32_t func_index) const {
+  // Mirror Module::function_type's range contract for unknown ids.
+  return transfer_shaped_.at(func_index);
+}
+
+TraceFacts extract_facts(const instrument::ActionTrace& trace,
+                         const SiteIndex& index) {
   TraceFacts facts;
   for (const auto& ev : trace.events) {
     switch (ev.kind) {
       case EventKind::FunctionBegin:
         facts.function_ids.push_back(ev.site);
-        if (module.function_type(ev.site) == transfer_sig) {
+        if (index.transfer_shaped(ev.site)) {
           facts.transfer_shaped.push_back(ev.site);
         }
         break;
       case EventKind::CallDirect: {
-        const auto& info = sites.at(ev.site);
-        const auto& ins =
-            module.defined(info.func_index).body[info.instr_index];
-        if (module.is_imported_function(ins.a)) {
-          facts.api_calls.push_back(
-              ApiEvent{module.function_import(ins.a).field, ev.site});
+        const char* api = index.site(ev.site).api_name;
+        if (api != nullptr) {
+          facts.api_calls.push_back(ApiEvent{api, ev.site});
         }
         break;
       }
       case EventKind::CallIndirect: {
-        const std::uint32_t elem = ev.val(0).u32();
-        if (elem < table.size() && table[elem] != wasm::kNoMatch &&
-            module.is_imported_function(table[elem])) {
-          facts.api_calls.push_back(
-              ApiEvent{module.function_import(table[elem]).field, ev.site});
+        const char* api = index.table_api(ev.val(0).u32());
+        if (api != nullptr) {
+          facts.api_calls.push_back(ApiEvent{api, ev.site});
         }
         break;
       }
       case EventKind::Instr: {
         if (ev.nvals != 2) break;
-        const auto& info = sites.at(ev.site);
-        const auto& ins =
-            module.defined(info.func_index).body[info.instr_index];
-        if (ins.op == wasm::Opcode::I64Eq || ins.op == wasm::Opcode::I64Ne) {
+        if (index.site(ev.site).is_i64_cmp) {
           facts.i64_comparisons.push_back(
               CmpEvent{ev.val(0).u64(), ev.val(1).u64()});
         }
@@ -71,6 +102,12 @@ TraceFacts extract_facts(const instrument::ActionTrace& trace,
     }
   }
   return facts;
+}
+
+TraceFacts extract_facts(const instrument::ActionTrace& trace,
+                         const instrument::SiteTable& sites,
+                         const wasm::Module& module) {
+  return extract_facts(trace, SiteIndex(sites, module));
 }
 
 }  // namespace wasai::scanner

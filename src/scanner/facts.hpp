@@ -50,10 +50,52 @@ struct TraceFacts {
   }
 };
 
+/// Precomputed per-site metadata: everything extract_facts and the branch
+/// accumulator would otherwise re-derive per event via SiteTable lookups
+/// plus Module::defined() body indexing. Built once per fuzzing target
+/// (sites and module are fixed after instrumentation) and reused for every
+/// trace of the campaign. Referenced data (import field names) aliases the
+/// module, which must outlive the index.
+class SiteIndex {
+ public:
+  struct Site {
+    wasm::Opcode op = wasm::Opcode::Nop;
+    bool is_branch = false;          // If / BrIf (coverage keys)
+    bool is_i64_cmp = false;         // I64Eq / I64Ne (comparison facts)
+    const char* api_name = nullptr;  // direct call to an import, else null
+  };
+
+  SiteIndex() = default;
+  SiteIndex(const instrument::SiteTable& sites, const wasm::Module& module);
+
+  /// Per-site metadata; throws std::out_of_range for unknown site ids
+  /// (same contract as SiteTable::at).
+  [[nodiscard]] const Site& site(std::uint32_t s) const {
+    return sites_.at(s);
+  }
+  /// Import field a table element resolves to, or nullptr.
+  [[nodiscard]] const char* table_api(std::uint32_t elem) const {
+    return elem < table_api_.size() ? table_api_[elem] : nullptr;
+  }
+  /// True if the function's signature matches transfer@eosio.token.
+  [[nodiscard]] bool transfer_shaped(std::uint32_t func_index) const;
+
+ private:
+  std::vector<Site> sites_;
+  std::vector<const char*> table_api_;    // by table element index
+  std::vector<bool> transfer_shaped_;     // by function-space index
+};
+
 /// Walk the raw events; `module` must be the original (uninstrumented)
 /// module matching `sites`.
 TraceFacts extract_facts(const instrument::ActionTrace& trace,
                          const instrument::SiteTable& sites,
                          const wasm::Module& module);
+
+/// Same extraction driven by a prebuilt SiteIndex — the per-event hash
+/// lookups and body indexing collapse into dense-array reads. Produces
+/// identical TraceFacts to the three-argument overload.
+TraceFacts extract_facts(const instrument::ActionTrace& trace,
+                         const SiteIndex& index);
 
 }  // namespace wasai::scanner

@@ -52,6 +52,16 @@ class TestgenHost : public vm::HostInterface {
     return static_cast<std::uint32_t>(names_.size() - 1);
   }
 
+  vm::HookSink* hook_sink(std::uint32_t binding,
+                          std::uint32_t& sink_binding) override {
+    // Forward hook resolution so the trace sink's imports dispatch directly
+    // on the VM fast path, exactly as they do under the chain controller.
+    if (binding >= kSinkBase && sink_ != nullptr) {
+      return sink_->hook_sink(binding - kSinkBase, sink_binding);
+    }
+    return nullptr;
+  }
+
   std::optional<Value> call_host(std::uint32_t binding,
                                  std::span<const Value> args,
                                  vm::Instance& instance) override {
@@ -115,13 +125,18 @@ class TestgenHost : public vm::HostInterface {
 
 // ----------------------------------------------------------- probe records
 
+/// One probe snapshot. Values live in the owning Recorder's shared arena
+/// (offset + length), not in per-record vectors: snapshotting every executed
+/// instruction with three heap allocations apiece dominated oracle runtime.
 struct ProbeRecord {
   std::uint32_t func = 0;
   std::uint32_t pc = 0;
   std::size_t frame_base = 0;
-  std::vector<Value> stack;
-  std::vector<Value> locals;
-  std::vector<Value> globals;
+  std::size_t stack_off = 0;
+  std::size_t stack_len = 0;
+  std::size_t locals_off = 0;
+  std::size_t locals_len = 0;
+  std::size_t globals_off = 0;
 };
 
 class Recorder : public vm::ExecProbe {
@@ -133,19 +148,34 @@ class Recorder : public vm::ExecProbe {
     r.func = view.func_index;
     r.pc = view.pc;
     r.frame_base = view.frame_stack_base;
-    r.stack.assign(view.stack.begin(), view.stack.end());
-    r.locals.assign(view.locals.begin(), view.locals.end());
-    r.globals.reserve(num_globals_);
+    r.stack_off = arena_.size();
+    r.stack_len = view.stack.size();
+    arena_.insert(arena_.end(), view.stack.begin(), view.stack.end());
+    r.locals_off = arena_.size();
+    r.locals_len = view.locals.size();
+    arena_.insert(arena_.end(), view.locals.begin(), view.locals.end());
+    r.globals_off = arena_.size();
     for (std::uint32_t g = 0; g < num_globals_; ++g) {
-      r.globals.push_back(inst.global(g));
+      arena_.push_back(inst.global(g));
     }
-    records.push_back(std::move(r));
+    records.push_back(r);
+  }
+
+  [[nodiscard]] std::span<const Value> stack(const ProbeRecord& r) const {
+    return {arena_.data() + r.stack_off, r.stack_len};
+  }
+  [[nodiscard]] std::span<const Value> locals(const ProbeRecord& r) const {
+    return {arena_.data() + r.locals_off, r.locals_len};
+  }
+  [[nodiscard]] std::span<const Value> globals(const ProbeRecord& r) const {
+    return {arena_.data() + r.globals_off, num_globals_};
   }
 
   std::vector<ProbeRecord> records;
 
  private:
   std::uint32_t num_globals_;
+  std::vector<Value> arena_;
 };
 
 // ------------------------------------------------------------ concretizer
@@ -232,22 +262,25 @@ struct PendingCompare {
 /// the action function's entry until it returns.
 class DiffObserver : public symbolic::ReplayObserver {
  public:
-  DiffObserver(const std::vector<ProbeRecord>& records, std::size_t start,
+  DiffObserver(const Recorder& recorder, std::size_t start,
                std::size_t stack_offset, ActionCheck& check,
                std::vector<Divergence>& divergences)
-      : records_(records),
+      : recorder_(recorder),
         cursor_(start),
         stack_offset_(stack_offset),
         check_(&check),
         divergences_(&divergences) {}
 
   void on_event(const symbolic::ReplayStepView& view) override {
-    if (cursor_ >= records_.size()) {
+    if (cursor_ >= recorder_.records.size()) {
       diverge("replay event at site " + std::to_string(view.site) +
               " has no concrete counterpart");
       return;
     }
-    const ProbeRecord& rec = records_[cursor_++];
+    const ProbeRecord& rec = recorder_.records[cursor_++];
+    const auto stack = recorder_.stack(rec);
+    const auto locals = recorder_.locals(rec);
+    const auto globals = recorder_.globals(rec);
     ++check_->events_compared;
     const std::string at = "func " + std::to_string(view.func_index) +
                            " instr " + std::to_string(view.instr_index);
@@ -257,10 +290,10 @@ class DiffObserver : public symbolic::ReplayObserver {
               ", replay at " + at);
       return;
     }
-    if (rec.stack.size() < stack_offset_ ||
-        rec.stack.size() - stack_offset_ != view.stack.size()) {
+    if (stack.size() < stack_offset_ ||
+        stack.size() - stack_offset_ != view.stack.size()) {
       diverge(at + ": stack height " +
-              std::to_string(rec.stack.size() - stack_offset_) +
+              std::to_string(stack.size() - stack_offset_) +
               " concrete vs " + std::to_string(view.stack.size()) + " replay");
       return;
     }
@@ -269,22 +302,22 @@ class DiffObserver : public symbolic::ReplayObserver {
       return;
     }
     for (std::size_t i = 0; i < view.stack.size(); ++i) {
-      compare(view.stack[i], rec.stack[stack_offset_ + i],
+      compare(view.stack[i], stack[stack_offset_ + i],
               at + " stack[" + std::to_string(i) + "]");
     }
-    if (rec.locals.size() != view.locals.size()) {
+    if (locals.size() != view.locals.size()) {
       diverge(at + ": locals count mismatch");
     } else {
       for (std::size_t i = 0; i < view.locals.size(); ++i) {
-        compare(view.locals[i], rec.locals[i],
+        compare(view.locals[i], locals[i],
                 at + " local[" + std::to_string(i) + "]");
       }
     }
-    if (rec.globals.size() != view.globals.size()) {
+    if (globals.size() != view.globals.size()) {
       diverge(at + ": globals count mismatch");
     } else {
       for (std::size_t i = 0; i < view.globals.size(); ++i) {
-        compare(view.globals[i], rec.globals[i],
+        compare(view.globals[i], globals[i],
                 at + " global[" + std::to_string(i) + "]");
       }
     }
@@ -329,7 +362,7 @@ class DiffObserver : public symbolic::ReplayObserver {
  private:
   static constexpr std::size_t kMaxReported = 32;
 
-  const std::vector<ProbeRecord>& records_;
+  const Recorder& recorder_;
   std::size_t cursor_;
   std::size_t stack_offset_;
   ActionCheck* check_;
@@ -362,6 +395,7 @@ bool run_apply(vm::Vm& vm, vm::Instance& inst, std::uint64_t self,
 
 void check_action(const std::shared_ptr<const wasm::Module>& original,
                   const std::shared_ptr<const wasm::Module>& instrumented,
+                  const std::shared_ptr<const vm::FlatModule>& instr_flat,
                   const instrument::SiteTable& sites, const ActionSpec& spec,
                   std::uint64_t self, OracleResult& out, util::Digest& digest) {
   ActionCheck check;
@@ -385,10 +419,12 @@ void check_action(const std::shared_ptr<const wasm::Module>& original,
     return;
   }
 
-  // Run B: the INSTRUMENTED module, capturing the trace.
+  // Run B: the INSTRUMENTED module on the VM fast path, capturing the
+  // trace. Run A stays on the legacy interpreter, so every oracle action is
+  // also a legacy-vs-fastpath differential check.
   instrument::TraceSink sink;
   TestgenHost host_b(self, data, &sink);
-  vm::Instance inst_b(instrumented, host_b);
+  vm::Instance inst_b(instrumented, host_b, instr_flat);
   vm::Vm vm_b;
   sink.on_action_begin(abi::Name(self), abi::Name(self), spec.def.name);
   std::string trap_b;
@@ -426,10 +462,10 @@ void check_action(const std::shared_ptr<const wasm::Module>& original,
     out.actions.push_back(check);
     return;
   }
-  const std::size_t stack_offset = recorder.records[start].stack.size();
+  const std::size_t stack_offset = recorder.records[start].stack_len;
 
   symbolic::Z3Env env;
-  DiffObserver observer(recorder.records, start, stack_offset, check,
+  DiffObserver observer(recorder, start, stack_offset, check,
                         out.divergences);
   symbolic::ReplayResult replayed;
   try {
@@ -556,10 +592,11 @@ OracleResult check_module(const Generated& gen) {
     auto original = std::make_shared<const wasm::Module>(gen.module);
     auto instr_mod =
         std::make_shared<const wasm::Module>(instrumented.module);
+    const auto instr_flat = vm::FlatModule::build(instr_mod);
     const std::uint64_t self = abi::name("testgen").value();
     for (const ActionSpec& action : gen.spec.actions) {
-      check_action(original, instr_mod, instrumented.sites, action, self,
-                   out, digest);
+      check_action(original, instr_mod, instr_flat, instrumented.sites,
+                   action, self, out, digest);
       if (!out.error.empty()) break;
     }
   } catch (const util::Error& e) {

@@ -1,0 +1,327 @@
+// Fast-path executor tests: flattened side-table invariants for the tricky
+// control shapes (br_table, nested loops, empty else) plus legacy-vs-fast
+// differential parity — same results, step counts, trap messages, and
+// byte-identical traces / reports over the tier-1 testgen corpus.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/templates.hpp"
+#include "engine/fuzzer.hpp"
+#include "instrument/trace_io.hpp"
+#include "testgen/generator.hpp"
+#include "tests/test_support.hpp"
+#include "wasm/encoder.hpp"
+
+namespace {
+
+using namespace wasai;
+using vm::FlatModule;
+using vm::FlatOp;
+using vm::Value;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+// ------------------------------------------------------- execution helpers
+
+struct RunOutcome {
+  std::vector<Value> results;
+  std::uint64_t steps = 0;
+  std::string trap;  // empty when the run completed
+};
+
+RunOutcome run_path(const std::shared_ptr<const wasm::Module>& module,
+                    bool fast, const std::string& export_name,
+                    std::span<const Value> args) {
+  test::RecordingHost host;
+  vm::Instance inst(module, host,
+                    fast ? FlatModule::build(module) : nullptr);
+  vm::Vm vm;
+  RunOutcome out;
+  try {
+    out.results = vm.invoke(inst, *inst.module().find_export(export_name),
+                            args);
+  } catch (const util::Trap& t) {
+    out.trap = t.what();
+  }
+  out.steps = vm.steps();
+  return out;
+}
+
+/// Both executors must agree on results, step count and trap message.
+void expect_parity(wasm::Module module, const std::string& export_name,
+                   std::initializer_list<Value> args) {
+  auto shared = std::make_shared<const wasm::Module>(std::move(module));
+  const auto legacy = run_path(shared, false, export_name, args);
+  const auto fast = run_path(shared, true, export_name, args);
+  EXPECT_EQ(legacy.trap, fast.trap);
+  EXPECT_EQ(legacy.steps, fast.steps);
+  ASSERT_EQ(legacy.results.size(), fast.results.size());
+  for (std::size_t i = 0; i < legacy.results.size(); ++i) {
+    EXPECT_EQ(legacy.results[i].bits, fast.results[i].bits)
+        << export_name << " result " << i;
+  }
+}
+
+// --------------------------------------------------- flattened side tables
+
+/// f(sel): br_table over two nested blocks + default. Returns 10/20/30
+/// (the 30 is on the stack when the default branch exits the frame).
+wasm::Module br_table_module() {
+  wasm::ModuleBuilder b;
+  Instr table(Opcode::BrTable);
+  table.table = {0, 1};  // sel 0 -> inner block, sel 1 -> outer block
+  table.a = 2;           // default -> function (acts as return)
+  const std::vector<Instr> body = {
+      wasm::block(),            // 0 (outer)
+      wasm::block(),            // 1 (inner)
+      wasm::i32_const(30),      // 2 (result if the default branch fires)
+      wasm::local_get(0),       // 3
+      table,                    // 4
+      Instr(Opcode::End),       // 5 (inner end)
+      wasm::i32_const(10),      // 6
+      Instr(Opcode::Return),    // 7
+      Instr(Opcode::End),       // 8 (outer end)
+      wasm::i32_const(20),      // 9
+      Instr(Opcode::Return),    // 10
+      Instr(Opcode::End),       // 11 (function end, unreachable)
+  };
+  const auto f =
+      b.add_func(FuncType{{ValType::I32}, {ValType::I32}}, {}, body, "f");
+  b.export_func("f", f);
+  return std::move(b).build();
+}
+
+TEST(FlattenSideTables, BrTableTargets) {
+  auto module = std::make_shared<const wasm::Module>(br_table_module());
+  const auto flat = FlatModule::build(module);
+  const auto& ff = flat->function(0);
+  ASSERT_EQ(ff.code.size(), 12u);
+  ASSERT_EQ(ff.code[4].op, FlatOp::BrTable);
+  const auto& bt = ff.brtables.at(ff.code[4].aux);
+  ASSERT_EQ(bt.targets.size(), 2u);
+  // depth 0 = inner block: resume after its End.
+  EXPECT_EQ(bt.targets[0].target_pc, 6u);
+  EXPECT_FALSE(bt.targets[0].is_loop);
+  EXPECT_FALSE(bt.targets[0].to_function);
+  EXPECT_EQ(bt.targets[0].arity, 0u);
+  // depth 1 = outer block: resume after its End.
+  EXPECT_EQ(bt.targets[1].target_pc, 9u);
+  // default depth 2 exits the frame.
+  EXPECT_TRUE(bt.fallback.to_function);
+}
+
+TEST(FlattenSideTables, BrTableExecutionParity) {
+  for (const std::int32_t sel : {0, 1, 2, 7}) {
+    expect_parity(br_table_module(), "f", {Value::i32s(sel)});
+  }
+}
+
+/// f(n): two nested loops; the inner br_if continues the inner loop, the
+/// outer br_if continues the outer loop.
+wasm::Module nested_loop_module() {
+  const std::vector<Instr> body = {
+      wasm::loop(),        // 0 (outer)
+      wasm::loop(),        // 1 (inner)
+      // acc += 1
+      wasm::local_get(1),
+      wasm::i64_const(1),
+      Instr(Opcode::I64Add),
+      wasm::local_set(1),
+      // --n; continue inner while n % 3 != 0
+      wasm::local_get(0),
+      wasm::i64_const(1),
+      Instr(Opcode::I64Sub),
+      wasm::local_set(0),
+      wasm::local_get(0),
+      wasm::i64_const(3),
+      Instr(Opcode::I64RemU),
+      wasm::i64_const(0),
+      Instr(Opcode::I64Ne),
+      wasm::br_if(0),      // 15 -> inner loop head
+      Instr(Opcode::End),  // 16 (inner end)
+      wasm::local_get(0),
+      wasm::i64_const(0),
+      Instr(Opcode::I64Ne),
+      wasm::br_if(0),      // 20 -> outer loop head (inner already closed)
+      Instr(Opcode::End),  // 21 (outer end)
+      wasm::local_get(1),
+      Instr(Opcode::End),
+  };
+  wasm::ModuleBuilder b;
+  const auto f = b.add_func(FuncType{{ValType::I64}, {ValType::I64}},
+                            {ValType::I64}, body, "f");
+  b.export_func("f", f);
+  return std::move(b).build();
+}
+
+TEST(FlattenSideTables, NestedLoopTargets) {
+  auto module = std::make_shared<const wasm::Module>(nested_loop_module());
+  const auto flat = FlatModule::build(module);
+  const auto& ff = flat->function(0);
+  ASSERT_EQ(ff.code[15].op, FlatOp::BrIf);
+  const auto& inner = ff.branches.at(ff.code[15].aux);
+  EXPECT_TRUE(inner.is_loop);
+  EXPECT_EQ(inner.target_pc, 2u);  // first instruction inside the inner loop
+  EXPECT_EQ(inner.depth, 1u);      // ctrl index relative to the frame base
+  EXPECT_EQ(inner.arity, 0u);      // loop labels carry no values
+  ASSERT_EQ(ff.code[20].op, FlatOp::BrIf);
+  const auto& outer = ff.branches.at(ff.code[20].aux);
+  EXPECT_TRUE(outer.is_loop);
+  EXPECT_EQ(outer.target_pc, 1u);
+  EXPECT_EQ(outer.depth, 0u);
+}
+
+TEST(FlattenSideTables, NestedLoopExecutionParity) {
+  for (const std::int64_t n : {1, 3, 7, 30}) {
+    expect_parity(nested_loop_module(), "f", {Value::i64(n)});
+  }
+}
+
+/// f(c): if/else where the else arm is empty, plus an if with no else.
+wasm::Module empty_else_module() {
+  const std::vector<Instr> body = {
+      wasm::local_get(0),   // 0
+      wasm::if_(),          // 1
+      wasm::i32_const(5),   // 2
+      wasm::local_set(1),   // 3
+      Instr(Opcode::Else),  // 4 (empty arm)
+      Instr(Opcode::End),   // 5
+      wasm::local_get(0),   // 6
+      wasm::if_(),          // 7 (no else at all)
+      wasm::local_get(1),
+      wasm::i32_const(100),
+      Instr(Opcode::I32Add),
+      wasm::local_set(1),
+      Instr(Opcode::End),   // 12
+      wasm::local_get(1),
+      Instr(Opcode::End),
+  };
+  wasm::ModuleBuilder b;
+  const auto f = b.add_func(FuncType{{ValType::I32}, {ValType::I32}},
+                            {ValType::I32}, body, "f");
+  b.export_func("f", f);
+  return std::move(b).build();
+}
+
+TEST(FlattenSideTables, EmptyElseTargets) {
+  auto module = std::make_shared<const wasm::Module>(empty_else_module());
+  const auto flat = FlatModule::build(module);
+  const auto& ff = flat->function(0);
+  // If with an else: false path enters the (empty) else arm.
+  ASSERT_EQ(ff.code[1].op, FlatOp::If);
+  EXPECT_EQ(ff.code[1].a, 5u);  // pc after the Else marker
+  EXPECT_TRUE(ff.code[1].flags & vm::kFlatIfPushOnFalse);
+  // Else reached by falling out of the then-arm skips to after the End.
+  ASSERT_EQ(ff.code[4].op, FlatOp::ElseSkip);
+  EXPECT_EQ(ff.code[4].a, 6u);
+  // If without an else: false path skips past the End, pushes no ctrl.
+  ASSERT_EQ(ff.code[7].op, FlatOp::If);
+  EXPECT_EQ(ff.code[7].a, 13u);
+  EXPECT_FALSE(ff.code[7].flags & vm::kFlatIfPushOnFalse);
+  // The function-terminating End is statically a return.
+  EXPECT_EQ(ff.code.back().op, FlatOp::Return);
+}
+
+TEST(FlattenSideTables, EmptyElseExecutionParity) {
+  expect_parity(empty_else_module(), "f", {Value::i32(0)});
+  expect_parity(empty_else_module(), "f", {Value::i32(1)});
+}
+
+TEST(FlattenSideTables, TrapParity) {
+  // Division by zero must trap with the same message on both paths.
+  wasm::ModuleBuilder b;
+  const std::vector<Instr> body = {
+      wasm::local_get(0),
+      wasm::i32_const(0),
+      Instr(Opcode::I32DivU),
+      Instr(Opcode::End),
+  };
+  const auto f = b.add_func(FuncType{{ValType::I32}, {ValType::I32}}, {},
+                            body, "f");
+  b.export_func("f", f);
+  expect_parity(std::move(b).build(), "f", {Value::i32(9)});
+}
+
+TEST(FlattenSideTables, RejectsMismatchedModule) {
+  auto a = std::make_shared<const wasm::Module>(empty_else_module());
+  auto b = std::make_shared<const wasm::Module>(empty_else_module());
+  const auto flat = FlatModule::build(a);
+  test::RecordingHost host;
+  EXPECT_THROW(vm::Instance(b, host, flat), util::ValidationError);
+}
+
+// ------------------------------------------------- end-to-end differential
+
+struct PipelineOutcome {
+  util::Bytes traces;  // serialized bytes of the final capture window
+  engine::FuzzReport report;
+};
+
+PipelineOutcome run_pipeline(const util::Bytes& wasm_bytes,
+                             const wasai::abi::Abi& contract_abi,
+                             bool fastpath) {
+  engine::FuzzOptions options;
+  options.iterations = 10;
+  options.rng_seed = 1;
+  options.vm_fastpath = fastpath;
+  engine::Fuzzer fuzzer(wasm_bytes, contract_abi, options);
+  PipelineOutcome out;
+  out.report = fuzzer.run();
+  out.traces =
+      instrument::serialize_traces(fuzzer.harness().sink().actions());
+  return out;
+}
+
+std::string findings_of(const engine::FuzzReport& report) {
+  std::string out;
+  for (const auto& finding : report.scan.findings) {
+    out += scanner::to_string(finding.type);
+    out += ';';
+  }
+  return out;
+}
+
+void expect_pipeline_parity(const std::string& id,
+                            const util::Bytes& wasm_bytes,
+                            const wasai::abi::Abi& contract_abi) {
+  const auto legacy = run_pipeline(wasm_bytes, contract_abi, false);
+  const auto fast = run_pipeline(wasm_bytes, contract_abi, true);
+  EXPECT_EQ(legacy.traces, fast.traces) << id << ": trace bytes diverged";
+  EXPECT_EQ(legacy.report.transactions, fast.report.transactions) << id;
+  EXPECT_EQ(legacy.report.distinct_branches, fast.report.distinct_branches)
+      << id;
+  EXPECT_EQ(legacy.report.adaptive_seeds, fast.report.adaptive_seeds) << id;
+  EXPECT_EQ(legacy.report.solver_queries, fast.report.solver_queries) << id;
+  EXPECT_EQ(findings_of(legacy.report), findings_of(fast.report)) << id;
+  ASSERT_EQ(legacy.report.curve.size(), fast.report.curve.size()) << id;
+  for (std::size_t i = 0; i < legacy.report.curve.size(); ++i) {
+    EXPECT_EQ(legacy.report.curve[i].branches, fast.report.curve[i].branches)
+        << id << " iteration " << i;
+  }
+}
+
+TEST(FastpathDifferential, TestgenTier1Corpus) {
+  for (std::uint64_t offset = 0; offset < 3; ++offset) {
+    const std::uint64_t seed = test::kTestgenTier1Seed + offset;
+    const auto gen = testgen::generate(seed);
+    expect_pipeline_parity("testgen_" + std::to_string(seed),
+                           wasm::encode(gen.module), gen.abi);
+  }
+}
+
+TEST(FastpathDifferential, TemplateFamilies) {
+  util::Rng rng(2022);
+  for (auto sample : {corpus::make_fake_eos_sample(rng, true),
+                      corpus::make_missauth_sample(rng, true),
+                      corpus::make_rollback_sample(rng, true)}) {
+    expect_pipeline_parity(sample.tag, sample.wasm, sample.abi);
+  }
+}
+
+}  // namespace

@@ -18,6 +18,7 @@
 //   --no-solver-cache disable the cross-iteration flip query cache
 //   --solver-cache-capacity N
 //                     cached verdicts kept per contract (default 4096)
+//   --no-fastpath     legacy VM interpreter (A/B perf baseline)
 //   --out FILE        JSONL records destination (default: stdout)
 //   --resume FILE     checkpoint/resume: parse FILE as a previous run's
 //                     record stream (tolerating a torn final line), skip
@@ -85,7 +86,7 @@ int usage() {
       "  wasai-campaign run <corpus-dir> [--jobs N] [--iterations N]\n"
       "        [--seed N] [--deadline-ms N] [--hung-grace N] [--retries N]\n"
       "        [--parallel] [--no-incremental] [--no-solver-cache]\n"
-      "        [--solver-cache-capacity N]\n"
+      "        [--solver-cache-capacity N] [--no-fastpath]\n"
       "        [--out FILE] [--resume FILE] [--summary FILE]\n"
       "        [--findings-only] [--trace-out FILE] [--no-obs]\n"
       "  wasai-campaign check-trace <trace.json>\n");
@@ -126,6 +127,8 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--solver-cache-capacity" && i + 1 < argc) {
       options.fuzz.solver_cache_capacity =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-fastpath") {
+      options.fuzz.vm_fastpath = false;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {

@@ -13,6 +13,8 @@
 //   --no-solver-cache    disable the cross-iteration flip query cache
 //   --solver-cache-capacity N
 //                        cached verdicts kept (default 4096)
+//   --no-fastpath        legacy VM interpreter (A/B perf baseline; output
+//                        is byte-identical to the default fast path)
 //   --address-pool       enable the dynamic sender pool extension
 //   --trace-out FILE     save the final campaign's traces (§3.3.1 format)
 //   --obs-trace FILE     save a Chrome trace-event JSON of the analysis
@@ -63,8 +65,8 @@ int usage() {
       "  wasai analyze <contract.wasm> <contract.abi> [--iterations N]\n"
       "        [--seed N] [--no-feedback] [--parallel] [--no-incremental]\n"
       "        [--no-solver-cache] [--solver-cache-capacity N]\n"
-      "        [--address-pool] [--trace-out FILE] [--obs-trace FILE]\n"
-      "        [--no-obs]\n"
+      "        [--no-fastpath] [--address-pool] [--trace-out FILE]\n"
+      "        [--obs-trace FILE] [--no-obs]\n"
       "  wasai emit-sample <fake-eos|fake-notif|miss-auth|blockinfo|"
       "rollback>\n"
       "        <out-prefix> [--safe]\n"
@@ -117,6 +119,8 @@ int cmd_analyze(int argc, char** argv) {
     } else if (arg == "--solver-cache-capacity" && i + 1 < argc) {
       options.fuzz.solver_cache_capacity =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-fastpath") {
+      options.fuzz.vm_fastpath = false;
     } else if (arg == "--address-pool") {
       options.fuzz.dynamic_address_pool = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
