@@ -1,0 +1,226 @@
+// Sharded fuzz-engine performance suite: runs the shared perf corpus
+// through the serial fuzz loop and through the batch-synchronous sharded
+// engine at 1, 2, 4 and 8 lanes, and writes BENCH_fuzz.json.
+//
+// Two phases per configuration (mirroring bench_perf_vm):
+//   pipeline — the full concolic loop (symbolic feedback on). The serial
+//              and shards-1 runs must produce identical per-contract
+//              fingerprints — findings, transactions, coverage, adaptive
+//              seeds AND a digest of the final captured trace bytes. ANY
+//              divergence fails the bench (exit 1). Higher shard counts
+//              legitimately explore different per-lane chain schedules, so
+//              they are measured but not fingerprint-gated.
+//   exec     — feedback off (execution-dominated loop). The headline
+//              `speedup` is the hotloop contract's transactions/sec at 4
+//              shards over the serial loop: the hotloop spends its time
+//              inside the interpreter, which is exactly the work the shard
+//              lanes parallelize. `speedup_ok` requires >= 1.8x AND parity;
+//              it reflects the host's core count (a single-core runner
+//              cannot pass it), so only fingerprint parity gates the exit
+//              status — same policy as bench_perf_vm.
+//
+// Knobs: WASAI_BENCH_ITERATIONS (default 24 pipeline rounds per contract),
+// WASAI_BENCH_EXEC_ITERATIONS (default 120 exec rounds per contract),
+// WASAI_BENCH_OUT (default BENCH_fuzz.json in the working directory).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_corpus.hpp"
+#include "bench/bench_util.hpp"
+#include "engine/fuzzer.hpp"
+#include "instrument/trace_io.hpp"
+#include "util/digest.hpp"
+#include "util/jsonl.hpp"
+
+namespace {
+
+using namespace wasai;
+
+using bench::Contract;
+using bench::Fingerprint;
+
+struct Config {
+  std::string name;
+  int fuzz_shards;  // 0 = serial loop
+};
+
+struct ConfigTotals {
+  double fuzz_ms = 0;            // exec phase wall time, whole corpus
+  std::size_t transactions = 0;  // exec phase transactions, whole corpus
+  double hotloop_fuzz_ms = 0;    // exec phase, hotloop contract only
+  std::size_t hotloop_transactions = 0;
+  double pipeline_fuzz_ms = 0;
+  std::size_t pipeline_transactions = 0;
+  std::size_t distinct_branches = 0;
+  std::vector<Fingerprint> fingerprints;
+
+  [[nodiscard]] static double tps(std::size_t txns, double ms) {
+    return ms > 0 ? static_cast<double>(txns) / (ms / 1e3) : 0.0;
+  }
+  [[nodiscard]] double transactions_per_sec() const {
+    return tps(transactions, fuzz_ms);
+  }
+  [[nodiscard]] double hotloop_transactions_per_sec() const {
+    return tps(hotloop_transactions, hotloop_fuzz_ms);
+  }
+  [[nodiscard]] double pipeline_transactions_per_sec() const {
+    return tps(pipeline_transactions, pipeline_fuzz_ms);
+  }
+};
+
+/// One fuzzing run; returns the report and folds the final captured traces
+/// of the primary harness into a digest.
+engine::FuzzReport run_one(const Contract& contract, int fuzz_shards,
+                           bool feedback, int iterations,
+                           std::uint64_t* trace_digest) {
+  engine::FuzzOptions options;
+  options.iterations = iterations;
+  options.rng_seed = 1;
+  options.symbolic_feedback = feedback;
+  options.fuzz_shards = fuzz_shards;
+  engine::Fuzzer fuzzer(contract.wasm, contract.abi, options);
+  auto report = fuzzer.run();
+  if (trace_digest != nullptr) {
+    util::Digest digest;
+    digest.bytes(instrument::serialize_traces(
+        fuzzer.harness().sink().actions()));
+    *trace_digest = digest.value();
+  }
+  return report;
+}
+
+ConfigTotals run_config(const std::vector<Contract>& corpus,
+                        const Config& config, int pipeline_iterations,
+                        int exec_iterations) {
+  ConfigTotals totals;
+  for (const auto& contract : corpus) {
+    std::uint64_t trace_digest = 0;
+    const auto pipeline =
+        run_one(contract, config.fuzz_shards, /*feedback=*/true,
+                pipeline_iterations, &trace_digest);
+    totals.pipeline_fuzz_ms += pipeline.fuzz_ms;
+    totals.pipeline_transactions += pipeline.transactions;
+    totals.distinct_branches += pipeline.distinct_branches;
+    totals.fingerprints.push_back(Fingerprint{
+        pipeline.adaptive_seeds, pipeline.distinct_branches,
+        pipeline.transactions, bench::findings_fingerprint(pipeline),
+        trace_digest});
+
+    const auto exec = run_one(contract, config.fuzz_shards,
+                              /*feedback=*/false, exec_iterations, nullptr);
+    totals.fuzz_ms += exec.fuzz_ms;
+    totals.transactions += exec.transactions;
+    if (contract.id == "hotloop") {
+      totals.hotloop_fuzz_ms += exec.fuzz_ms;
+      totals.hotloop_transactions += exec.transactions;
+    }
+  }
+  return totals;
+}
+
+util::Json totals_to_json(const ConfigTotals& t) {
+  util::JsonObject out;
+  const auto num = [](auto v) { return util::Json(static_cast<double>(v)); };
+  out.emplace("fuzz_ms", num(t.fuzz_ms));
+  out.emplace("transactions", num(t.transactions));
+  out.emplace("transactions_per_sec", num(t.transactions_per_sec()));
+  out.emplace("hotloop_fuzz_ms", num(t.hotloop_fuzz_ms));
+  out.emplace("hotloop_transactions", num(t.hotloop_transactions));
+  out.emplace("hotloop_transactions_per_sec",
+              num(t.hotloop_transactions_per_sec()));
+  out.emplace("pipeline_fuzz_ms", num(t.pipeline_fuzz_ms));
+  out.emplace("pipeline_transactions", num(t.pipeline_transactions));
+  out.emplace("pipeline_transactions_per_sec",
+              num(t.pipeline_transactions_per_sec()));
+  out.emplace("distinct_branches", num(t.distinct_branches));
+  return util::Json(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  const int pipeline_iterations =
+      static_cast<int>(bench::env_long("WASAI_BENCH_ITERATIONS", 24));
+  const int exec_iterations =
+      static_cast<int>(bench::env_long("WASAI_BENCH_EXEC_ITERATIONS", 120));
+  const char* out_env = std::getenv("WASAI_BENCH_OUT");
+  const std::string out_path =
+      out_env == nullptr ? "BENCH_fuzz.json" : out_env;
+
+  const auto corpus = bench::build_perf_corpus();
+  std::printf(
+      "bench_perf_fuzz: %zu contracts, %d pipeline + %d exec iterations "
+      "each\n",
+      corpus.size(), pipeline_iterations, exec_iterations);
+
+  const Config configs[] = {
+      {"serial", 0}, {"shards-1", 1}, {"shards-2", 2},
+      {"shards-4", 4}, {"shards-8", 8},
+  };
+
+  std::map<std::string, ConfigTotals> totals;
+  for (const auto& config : configs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    totals[config.name] =
+        run_config(corpus, config, pipeline_iterations, exec_iterations);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const ConfigTotals& t = totals[config.name];
+    std::printf(
+        "  %-9s %8.1f exec ms, %5zu txns, %8.1f txn/sec, "
+        "hotloop %8.1f txn/sec  (%.1fs)\n",
+        config.name.c_str(), t.fuzz_ms, t.transactions,
+        t.transactions_per_sec(), t.hotloop_transactions_per_sec(), secs);
+  }
+
+  // Parity gate: one shard lane must reproduce the serial loop's
+  // per-contract outcomes (including the trace bytes) exactly.
+  bool parity_ok = true;
+  const auto& reference = totals["serial"].fingerprints;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (totals["shards-1"].fingerprints[i] == reference[i]) continue;
+    parity_ok = false;
+    std::printf("PARITY DIVERGENCE: shards-1 on %s\n", corpus[i].id.c_str());
+  }
+
+  const double serial_tps = totals["serial"].hotloop_transactions_per_sec();
+  const double quad_tps = totals["shards-4"].hotloop_transactions_per_sec();
+  const double speedup = serial_tps > 0 ? quad_tps / serial_tps : 0.0;
+  const bool speedup_ok = parity_ok && speedup >= 1.8;
+  std::printf(
+      "shards-4 vs serial (hotloop): %.1f -> %.1f txn/sec (%.2fx), "
+      "parity %s, speedup %s\n",
+      serial_tps, quad_tps, speedup, parity_ok ? "ok" : "DIVERGED",
+      speedup_ok ? "ok" : "below 1.8x");
+
+  util::JsonObject doc;
+  util::JsonArray ids;
+  for (const auto& contract : corpus) ids.emplace_back(contract.id);
+  doc.emplace("corpus", util::Json(std::move(ids)));
+  doc.emplace("iterations",
+              util::Json(static_cast<double>(pipeline_iterations)));
+  doc.emplace("exec_iterations",
+              util::Json(static_cast<double>(exec_iterations)));
+  util::JsonObject config_obj;
+  for (const auto& [name, t] : totals) {
+    config_obj.emplace(name, totals_to_json(t));
+  }
+  doc.emplace("configs", util::Json(std::move(config_obj)));
+  doc.emplace("parity_ok", util::Json(parity_ok));
+  doc.emplace("speedup", util::Json(speedup));
+  doc.emplace("speedup_ok", util::Json(speedup_ok));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << util::dump_json(util::Json(std::move(doc))) << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Only parity is a hard failure: throughput scaling depends on the
+  // host's core count, but any serial/shards-1 divergence is a
+  // determinism-contract bug.
+  return parity_ok ? 0 : 1;
+}

@@ -62,6 +62,8 @@ void fill_analysis(ContractRecord& record, const AnalysisResult& result) {
         static_cast<double>(result.details.transactions) /
         (result.details.fuzz_ms / 1000.0);
   }
+  record.fuzz_shards = result.details.fuzz_shards;
+  record.shard_transactions = result.details.shard_transactions;
   record.iterations_run = result.details.iterations_run;
   record.timings.init_ms = result.init_ms;
   record.timings.fuzz_ms = result.details.fuzz_ms;

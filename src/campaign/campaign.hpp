@@ -105,6 +105,10 @@ struct ContractRecord {
   std::size_t solver_cache_evictions = 0;
   /// Fuzz throughput: transactions per second of fuzz-loop wall time.
   double transactions_per_sec = 0;
+  /// Shard lanes the fuzz loop ran (1 = serial loop) and the per-lane
+  /// transaction counts (sum to `transactions`).
+  std::size_t fuzz_shards = 1;
+  std::vector<std::size_t> shard_transactions;
   int iterations_run = 0;
   /// Per-phase wall/self time of this contract's span slice (empty with
   /// observability off). Serialized as the record's `obs` JSONL block.

@@ -477,6 +477,35 @@ TEST(Campaign, RecordJsonRoundTripsByteIdentically) {
   }
 }
 
+TEST(Campaign, ShardedFuzzRecordsCarryPerLaneCounts) {
+  Rng rng(11);
+  const auto sample = corpus::make_fake_eos_sample(rng, true);
+  auto options = quick_options();
+  options.fuzz.fuzz_shards = 2;
+  CampaignRunner runner(options);
+  const auto report = runner.run({from_sample("fake-eos", sample)});
+
+  ASSERT_EQ(report.records.size(), 1u);
+  const auto& record = report.records[0];
+  EXPECT_EQ(record.fuzz_shards, 2u);
+  ASSERT_EQ(record.shard_transactions.size(), 2u);
+  EXPECT_EQ(record.shard_transactions[0] + record.shard_transactions[1],
+            record.transactions);
+
+  // The JSONL line carries the shard fields and round-trips them.
+  const std::string dumped = util::dump_json(record_to_json(record));
+  const ContractRecord reparsed = record_from_json(util::parse_json(dumped));
+  EXPECT_EQ(util::dump_json(record_to_json(reparsed)), dumped);
+  EXPECT_EQ(reparsed.fuzz_shards, 2u);
+  EXPECT_EQ(reparsed.shard_transactions, record.shard_transactions);
+
+  // Pre-shard record streams (no such keys) parse as single-lane serial.
+  const ContractRecord legacy = record_from_json(
+      util::parse_json(R"({"id":"old","status":"ok","attempts":1})"));
+  EXPECT_EQ(legacy.fuzz_shards, 1u);
+  EXPECT_TRUE(legacy.shard_transactions.empty());
+}
+
 TEST(Campaign, ResumeAfterTornStreamMergesWithoutReanalysis) {
   namespace fs = std::filesystem;
   const auto inputs = mixed_corpus();

@@ -382,6 +382,49 @@ TEST(Database, IterationOrder) {
   EXPECT_EQ(db.row_count(), 3u);
 }
 
+TEST(Database, SnapshotRestoreRoundTripPreservesIterationOrder) {
+  // Transaction atomicity and shard cloning both rely on Database being a
+  // plain value type: a copy taken before mutations must restore the exact
+  // row set AND the exact lower_bound/next walk order afterwards.
+  Database db;
+  const TableKey accounts{1, 100};
+  const TableKey stats{2, 200};
+  db.store(accounts, 30, {3});
+  db.store(accounts, 10, {1});
+  db.store(accounts, 20, {2});
+  db.store(stats, 7, {9, 9});
+
+  const Database snapshot = db;  // what Controller::Snapshot captures
+
+  // Mutate every table: overwrite, erase, insert, and add a new table.
+  db.update(accounts, 10, {0xff});
+  db.erase(accounts, 20);
+  db.store(accounts, 15, {5});
+  db.store(stats, 1, {});
+  db.store(TableKey{3, 300}, 42, {4});
+  ASSERT_EQ(db.row_count(), 6u);
+
+  db = snapshot;  // restore
+
+  EXPECT_EQ(db.row_count(), 4u);
+  ASSERT_NE(db.find(accounts, 10), nullptr);
+  EXPECT_EQ(*db.find(accounts, 10), (util::Bytes{1}));
+  ASSERT_NE(db.find(accounts, 20), nullptr);
+  EXPECT_EQ(*db.find(accounts, 20), (util::Bytes{2}));
+  EXPECT_EQ(db.find(accounts, 15), nullptr);
+  EXPECT_EQ(db.find(stats, 1), nullptr);
+  EXPECT_EQ(db.find(TableKey{3, 300}, 42), nullptr);
+
+  // The full iteration walk is back to the pre-mutation order.
+  EXPECT_EQ(db.lower_bound(accounts, 0), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(db.next(accounts, 10), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(db.next(accounts, 20), std::optional<std::uint64_t>(30));
+  EXPECT_EQ(db.next(accounts, 30), std::nullopt);
+  EXPECT_EQ(db.lower_bound(stats, 0), std::optional<std::uint64_t>(7));
+  EXPECT_EQ(db.next(stats, 7), std::nullopt);
+  EXPECT_EQ(db.table_keys(), (std::vector<TableKey>{accounts, stats}));
+}
+
 // ------------------------------------------------------- wasm contracts
 
 /// Builds a minimal Wasm contract exercising db + assert host functions:
@@ -499,6 +542,108 @@ TEST(WasmContract, TrapRevertsDbWrites) {
   EXPECT_FALSE(r.success);
   const Database* db = chain.find_database(c);
   EXPECT_TRUE(db == nullptr || db->empty());
+}
+
+/// Contract for the shard-clone atomicity test. Each `seed*` action
+/// commits one row to table (scope 0, table 1); `boom` stores pk 20 and
+/// then asserts false, so its write must never become visible.
+util::Bytes build_seeded_db_contract() {
+  using namespace wasai::wasm;
+  ModuleBuilder b;
+  constexpr ValType I32 = ValType::I32;
+  constexpr ValType I64 = ValType::I64;
+  const auto db_store = b.import_func(
+      "env", "db_store_i64",
+      FuncType{{I64, I64, I64, I64, I32, I32}, {I32}});
+  const auto assert_fn =
+      b.import_func("env", "eosio_assert", FuncType{{I32, I32}, {}});
+  b.add_memory(1);
+
+  std::vector<Instr> body;
+  const auto store_on = [&](const char* action, std::int64_t pk) {
+    const std::vector<Instr> block = {
+        local_get(2),
+        i64_const_u(abi::name(action).value()),
+        Instr(Opcode::I64Eq),
+        if_(),
+        i64_const(0),         // scope
+        i64_const(1),         // table
+        local_get(0),         // payer = receiver
+        i64_const(pk),
+        i32_const(0),         // data ptr
+        i32_const(8),         // len
+        call(db_store),
+        Instr(Opcode::Drop),
+        Instr(Opcode::End),
+    };
+    body.insert(body.end(), block.begin(), block.end());
+  };
+  store_on("seeda", 10);
+  store_on("seedb", 30);
+  store_on("seedc", 20);
+  store_on("boom", 20);
+  const std::vector<Instr> trap = {
+      local_get(2),
+      i64_const_u(abi::name("boom").value()),
+      Instr(Opcode::I64Eq),
+      if_(),
+      i32_const(0),           // condition: fail
+      i32_const(64),          // message ptr
+      call(assert_fn),
+      Instr(Opcode::End),
+      Instr(Opcode::End),     // function
+  };
+  body.insert(body.end(), trap.begin(), trap.end());
+
+  const auto apply =
+      b.add_func(FuncType{{I64, I64, I64}, {}}, {}, body, "apply");
+  b.export_func("apply", apply);
+  b.add_data(64, {'b', 'o', 'o', 'm', 0});
+  return encode(std::move(b).build());
+}
+
+TEST(WasmContract, FailedTransactionLeavesNoPartialRowsInShardClone) {
+  // The sharded fuzzer gives each lane its own chain by copying the
+  // Controller after setup. A transaction that traps midway rolls back
+  // before any such copy can be taken, so a clone must see only committed
+  // rows — in the committed iteration order — and writes made on the clone
+  // must never surface in the original.
+  Controller chain;
+  const Name c = name("shardclone");
+  abi::Abi abi;
+  for (const char* action : {"seeda", "seedb", "seedc", "boom"}) {
+    abi.actions.push_back(abi::ActionDef{name(action), {}});
+  }
+  chain.deploy_contract(c, build_seeded_db_contract(), abi);
+
+  const auto push = [&](Controller& target, const char* action) {
+    Action act;
+    act.account = c;
+    act.name = name(action);
+    return target.push_action(act);
+  };
+  ASSERT_TRUE(push(chain, "seeda").success);
+  ASSERT_TRUE(push(chain, "seedb").success);
+  const auto failed = push(chain, "boom");
+  ASSERT_FALSE(failed.success);
+  EXPECT_NE(failed.error.find("boom"), std::string::npos);
+
+  Controller clone = chain;
+  const TableKey tk{0, 1};
+  const Database* db = clone.find_database(c);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->row_count(), 2u);
+  EXPECT_EQ(db->find(tk, 20), nullptr);  // boom's write did not leak
+  EXPECT_EQ(db->lower_bound(tk, 0), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(db->next(tk, 10), std::optional<std::uint64_t>(30));
+  EXPECT_EQ(db->next(tk, 30), std::nullopt);
+
+  // The clone is a live, independent chain: committing pk 20 there must
+  // not appear in the original's database.
+  ASSERT_TRUE(push(clone, "seedc").success);
+  EXPECT_EQ(clone.find_database(c)->row_count(), 3u);
+  EXPECT_EQ(chain.find_database(c)->row_count(), 2u);
+  EXPECT_EQ(chain.find_database(c)->find(tk, 20), nullptr);
 }
 
 TEST(WasmContract, DeployRejectsContractWithoutApply) {

@@ -1,0 +1,194 @@
+// Shard-parity differential suite for the batch-synchronous sharded fuzz
+// engine (--fuzz-shards, PR 9):
+//  * fuzz_shards=1 must be byte-identical to the legacy serial loop — same
+//    trace bytes, same report, same curve — over the tier-1 testgen corpus
+//    and every template family;
+//  * any fixed shard count must be run-to-run deterministic (the merge
+//    order is shard-index order, never thread-completion order);
+//  * the five §3.5 oracle verdicts must be unchanged under fuzz_shards=4.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/templates.hpp"
+#include "engine/fuzzer.hpp"
+#include "instrument/trace_io.hpp"
+#include "testgen/generator.hpp"
+#include "tests/test_support.hpp"
+#include "wasm/encoder.hpp"
+
+namespace {
+
+using namespace wasai;
+
+struct Outcome {
+  util::Bytes lane0_traces;  // final capture window of the primary harness
+  engine::FuzzReport report;
+};
+
+Outcome run_pipeline(const util::Bytes& wasm_bytes,
+                     const wasai::abi::Abi& contract_abi, int fuzz_shards,
+                     int iterations = 12, std::uint64_t rng_seed = 1) {
+  engine::FuzzOptions options;
+  options.iterations = iterations;
+  options.rng_seed = rng_seed;
+  options.fuzz_shards = fuzz_shards;  // 0 = legacy serial loop
+  engine::Fuzzer fuzzer(wasm_bytes, contract_abi, options);
+  Outcome out;
+  out.report = fuzzer.run();
+  out.lane0_traces =
+      instrument::serialize_traces(fuzzer.harness().sink().actions());
+  return out;
+}
+
+std::string findings_of(const engine::FuzzReport& report) {
+  std::string out;
+  for (const auto& finding : report.scan.findings) {
+    out += scanner::to_string(finding.type);
+    out += ';';
+  }
+  return out;
+}
+
+/// Everything observable about a run except wall-clock times, flattened into
+/// one comparable string.
+std::string fingerprint(const Outcome& out) {
+  std::string fp;
+  const auto& r = out.report;
+  fp += "tx=" + std::to_string(r.transactions);
+  fp += " iters=" + std::to_string(r.iterations_run);
+  fp += " branches=" + std::to_string(r.distinct_branches);
+  fp += " adaptive=" + std::to_string(r.adaptive_seeds);
+  fp += " queries=" + std::to_string(r.solver_queries);
+  fp += " replays=" + std::to_string(r.replays);
+  fp += "/" + std::to_string(r.replay_failures);
+  fp += " findings=" + findings_of(r);
+  fp += " shards=" + std::to_string(r.fuzz_shards);
+  fp += " lane_tx=";
+  for (const auto n : r.shard_transactions) fp += std::to_string(n) + ",";
+  fp += " curve=";
+  for (const auto& p : r.curve) {
+    fp += std::to_string(p.iteration) + ":" + std::to_string(p.branches) + ",";
+  }
+  fp += " traces=";
+  for (const auto b : out.lane0_traces) {
+    fp += "0123456789abcdef"[b >> 4];
+    fp += "0123456789abcdef"[b & 0xf];
+  }
+  return fp;
+}
+
+void expect_identical(const std::string& id, const Outcome& serial,
+                      const Outcome& sharded) {
+  EXPECT_EQ(serial.lane0_traces, sharded.lane0_traces)
+      << id << ": trace bytes diverged";
+  EXPECT_EQ(fingerprint(serial), fingerprint(sharded)) << id;
+  EXPECT_EQ(serial.report.scan.found, sharded.report.scan.found) << id;
+}
+
+// ---------------------------------------------- serial vs one shard (byte)
+
+TEST(FuzzShardParity, SerialVsOneShardTestgenTier1Corpus) {
+  for (std::uint64_t offset = 0; offset < 3; ++offset) {
+    const std::uint64_t seed = test::kTestgenTier1Seed + offset;
+    const auto gen = testgen::generate(seed);
+    const util::Bytes wasm_bytes = wasm::encode(gen.module);
+    const auto serial = run_pipeline(wasm_bytes, gen.abi, /*fuzz_shards=*/0);
+    const auto one = run_pipeline(wasm_bytes, gen.abi, /*fuzz_shards=*/1);
+    expect_identical("testgen_" + std::to_string(seed), serial, one);
+  }
+}
+
+TEST(FuzzShardParity, SerialVsOneShardTemplateFamilies) {
+  util::Rng rng(2022);
+  for (const auto& sample : {corpus::make_fake_eos_sample(rng, true),
+                             corpus::make_fake_notif_sample(rng, true),
+                             corpus::make_missauth_sample(rng, true),
+                             corpus::make_blockinfo_sample(rng, true),
+                             corpus::make_rollback_sample(rng, true)}) {
+    const auto serial = run_pipeline(sample.wasm, sample.abi,
+                                     /*fuzz_shards=*/0);
+    const auto one = run_pipeline(sample.wasm, sample.abi, /*fuzz_shards=*/1);
+    expect_identical(sample.tag, serial, one);
+  }
+}
+
+// ------------------------------------------------ fixed-N run determinism
+
+TEST(FuzzShardParity, FixedShardCountIsRunToRunDeterministic) {
+  const auto gen = testgen::generate(test::kTestgenTier1Seed);
+  const util::Bytes wasm_bytes = wasm::encode(gen.module);
+  for (const int shards : {2, 4}) {
+    const auto first = run_pipeline(wasm_bytes, gen.abi, shards);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto again = run_pipeline(wasm_bytes, gen.abi, shards);
+      EXPECT_EQ(fingerprint(first), fingerprint(again))
+          << "shards=" << shards << " repeat " << repeat;
+    }
+  }
+}
+
+TEST(FuzzShardParity, PartialFinalBatchIsDeterministic) {
+  // 10 iterations over 4 lanes: the last batch runs only 2 lanes — the
+  // truncation must be by iteration count, not padded, and deterministic.
+  util::Rng rng(2022);
+  const auto sample = corpus::make_fake_eos_sample(rng, true);
+  const auto first = run_pipeline(sample.wasm, sample.abi, /*fuzz_shards=*/4,
+                                  /*iterations=*/10);
+  const auto again = run_pipeline(sample.wasm, sample.abi, /*fuzz_shards=*/4,
+                                  /*iterations=*/10);
+  EXPECT_EQ(first.report.iterations_run, 10);
+  EXPECT_EQ(fingerprint(first), fingerprint(again));
+}
+
+// ----------------------------------------------- shard accounting invariant
+
+TEST(FuzzShardParity, ShardTransactionCountsSumToTotal) {
+  const auto gen = testgen::generate(test::kTestgenTier1Seed);
+  const util::Bytes wasm_bytes = wasm::encode(gen.module);
+
+  const auto serial = run_pipeline(wasm_bytes, gen.abi, /*fuzz_shards=*/0);
+  EXPECT_EQ(serial.report.fuzz_shards, 1u);
+  ASSERT_EQ(serial.report.shard_transactions.size(), 1u);
+  EXPECT_EQ(serial.report.shard_transactions[0], serial.report.transactions);
+
+  const auto quad = run_pipeline(wasm_bytes, gen.abi, /*fuzz_shards=*/4);
+  EXPECT_EQ(quad.report.fuzz_shards, 4u);
+  ASSERT_EQ(quad.report.shard_transactions.size(), 4u);
+  std::size_t sum = 0;
+  for (const auto n : quad.report.shard_transactions) sum += n;
+  EXPECT_EQ(sum, quad.report.transactions);
+  // Batch-synchronous round-robin: lane loads differ by at most one tx.
+  for (const auto n : quad.report.shard_transactions) {
+    EXPECT_GE(n + 1, quad.report.transactions / 4);
+    EXPECT_LE(n, quad.report.transactions / 4 + 1);
+  }
+}
+
+// ------------------------------------------- §3.5 verdicts under 4 shards
+
+TEST(FuzzShardParity, OracleVerdictsUnchangedAtFourShards) {
+  // Same configuration as the oracle-conformance scans (36 iterations,
+  // seed 7), over the five vulnerable template families: sharded execution
+  // may reorder exploration but must not change any oracle's verdict.
+  util::Rng rng(2022);
+  for (const auto& sample : {corpus::make_fake_eos_sample(rng, true),
+                             corpus::make_fake_notif_sample(rng, true),
+                             corpus::make_missauth_sample(rng, true),
+                             corpus::make_blockinfo_sample(rng, true),
+                             corpus::make_rollback_sample(rng, true)}) {
+    const auto serial = run_pipeline(sample.wasm, sample.abi,
+                                     /*fuzz_shards=*/0, /*iterations=*/36,
+                                     /*rng_seed=*/7);
+    const auto quad = run_pipeline(sample.wasm, sample.abi,
+                                   /*fuzz_shards=*/4, /*iterations=*/36,
+                                   /*rng_seed=*/7);
+    EXPECT_EQ(serial.report.scan.found, quad.report.scan.found) << sample.tag;
+    // Non-vacuity: the serial baseline really detects the planted bug.
+    EXPECT_TRUE(serial.report.scan.found.count(sample.category) == 1)
+        << sample.tag << ": serial baseline missed the planted finding";
+  }
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "abi/serializer.hpp"
 #include "chain/controller.hpp"
 #include "corpus/contract_builder.hpp"
+#include "engine/fuzzer.hpp"
 #include "instrument/instrumenter.hpp"
 #include "instrument/trace_sink.hpp"
 #include "scanner/facts.hpp"
@@ -266,6 +267,80 @@ TEST(Property, ValidatorNeverAcceptsWhatDecoderRejects) {
   // The mutation set must exercise both outcomes to mean anything.
   EXPECT_GT(decoded, 0);
   EXPECT_GT(rejected, 0);
+}
+
+// ------------------------------------------- shard rng & coverage curve
+
+TEST(Property, ForkedStreamsAreDeterministicAndPairwiseDistinct) {
+  // The sharded fuzz loop derives lane k's mutator and seed-selection
+  // streams with Rng::fork(k). Determinism of that derivation (same seed,
+  // same salt -> same stream) is what makes a fixed --fuzz-shards N run
+  // reproducible; pairwise distinctness is what keeps the lanes from
+  // mutating in lockstep.
+  const auto prefix = [](Rng rng, int n) {
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(rng.next());
+    return out;
+  };
+  Rng meta(20260807);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t seed = meta.next();
+    const Rng parent(seed);
+    std::vector<std::vector<std::uint64_t>> streams;
+    streams.push_back(prefix(parent, 32));  // the parent's own stream
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      EXPECT_EQ(prefix(parent.fork(salt), 32),
+                prefix(Rng(seed).fork(salt), 32))
+          << "seed " << seed << " salt " << salt;
+      streams.push_back(prefix(parent.fork(salt), 32));
+    }
+    for (std::size_t a = 0; a < streams.size(); ++a) {
+      for (std::size_t b = a + 1; b < streams.size(); ++b) {
+        EXPECT_NE(streams[a], streams[b])
+            << "seed " << seed << ": streams " << a << " and " << b
+            << " coincide";
+      }
+    }
+    // fork() is const: deriving children must not advance the parent.
+    Rng forked(seed);
+    (void)forked.fork(5);
+    EXPECT_EQ(prefix(forked, 8), prefix(Rng(seed), 8)) << "seed " << seed;
+  }
+}
+
+TEST(Property, MergedCoverageCurveIsMonotonic) {
+  // Per-lane fresh-branch sets merge into the report curve in shard-index
+  // order; whatever the lane count, the merged curve must record one point
+  // per iteration, strictly increasing iteration numbers, a non-decreasing
+  // cumulative branch count, and a final value equal to distinct_branches.
+  Rng seeds(20260807);
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t seed = seeds.next();
+    const auto gen = testgen::generate(seed);
+    const auto binary = wasm::encode(gen.module);
+    for (const int shards : {0, 1, 2, 4}) {
+      engine::FuzzOptions options;
+      options.iterations = 16;
+      options.rng_seed = 1;
+      options.fuzz_shards = shards;
+      engine::Fuzzer fuzzer(binary, gen.abi, options);
+      const auto report = fuzzer.run();
+      ASSERT_EQ(report.curve.size(), 16u)
+          << "seed " << seed << " shards " << shards;
+      for (std::size_t i = 1; i < report.curve.size(); ++i) {
+        EXPECT_GT(report.curve[i].iteration, report.curve[i - 1].iteration)
+            << "seed " << seed << " shards " << shards << " point " << i;
+        EXPECT_GE(report.curve[i].branches, report.curve[i - 1].branches)
+            << "seed " << seed << " shards " << shards << " point " << i;
+        EXPECT_GE(report.curve[i].elapsed_ms,
+                  report.curve[i - 1].elapsed_ms)
+            << "seed " << seed << " shards " << shards << " point " << i;
+      }
+      EXPECT_EQ(report.curve.back().branches, report.distinct_branches)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
 }
 
 }  // namespace

@@ -19,6 +19,9 @@
 //   --solver-cache-capacity N
 //                     cached verdicts kept per contract (default 4096)
 //   --no-fastpath     legacy VM interpreter (A/B perf baseline)
+//   --fuzz-shards N   batch-synchronous sharded fuzzing inside each
+//                     contract, over N cloned chain snapshots (composes
+//                     with --jobs; 1 matches the serial loop byte for byte)
 //   --out FILE        JSONL records destination (default: stdout)
 //   --resume FILE     checkpoint/resume: parse FILE as a previous run's
 //                     record stream (tolerating a torn final line), skip
@@ -87,6 +90,7 @@ int usage() {
       "        [--seed N] [--deadline-ms N] [--hung-grace N] [--retries N]\n"
       "        [--parallel] [--no-incremental] [--no-solver-cache]\n"
       "        [--solver-cache-capacity N] [--no-fastpath]\n"
+      "        [--fuzz-shards N]\n"
       "        [--out FILE] [--resume FILE] [--summary FILE]\n"
       "        [--findings-only] [--trace-out FILE] [--no-obs]\n"
       "  wasai-campaign check-trace <trace.json>\n");
@@ -129,6 +133,8 @@ int cmd_run(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-fastpath") {
       options.fuzz.vm_fastpath = false;
+    } else if (arg == "--fuzz-shards" && i + 1 < argc) {
+      options.fuzz.fuzz_shards = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {

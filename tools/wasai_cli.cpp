@@ -15,6 +15,9 @@
 //                        cached verdicts kept (default 4096)
 //   --no-fastpath        legacy VM interpreter (A/B perf baseline; output
 //                        is byte-identical to the default fast path)
+//   --fuzz-shards N      batch-synchronous sharded fuzzing over N cloned
+//                        chain snapshots (1 is byte-identical to the
+//                        default serial loop; any fixed N is deterministic)
 //   --address-pool       enable the dynamic sender pool extension
 //   --trace-out FILE     save the final campaign's traces (§3.3.1 format)
 //   --obs-trace FILE     save a Chrome trace-event JSON of the analysis
@@ -65,7 +68,8 @@ int usage() {
       "  wasai analyze <contract.wasm> <contract.abi> [--iterations N]\n"
       "        [--seed N] [--no-feedback] [--parallel] [--no-incremental]\n"
       "        [--no-solver-cache] [--solver-cache-capacity N]\n"
-      "        [--no-fastpath] [--address-pool] [--trace-out FILE]\n"
+      "        [--no-fastpath] [--fuzz-shards N] [--address-pool]\n"
+      "        [--trace-out FILE]\n"
       "        [--obs-trace FILE] [--no-obs]\n"
       "  wasai emit-sample <fake-eos|fake-notif|miss-auth|blockinfo|"
       "rollback>\n"
@@ -121,6 +125,8 @@ int cmd_analyze(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-fastpath") {
       options.fuzz.vm_fastpath = false;
+    } else if (arg == "--fuzz-shards" && i + 1 < argc) {
+      options.fuzz.fuzz_shards = std::atoi(argv[++i]);
     } else if (arg == "--address-pool") {
       options.fuzz.dynamic_address_pool = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
