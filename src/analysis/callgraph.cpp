@@ -1,0 +1,113 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+
+namespace wasai::analysis {
+
+namespace {
+
+/// Element-segment entries whose function type equals `expected`, over all
+/// segments of the module's (single MVP) table. Missing or empty tables
+/// yield an empty candidate set — the call_indirect can only trap.
+std::vector<std::uint32_t> indirect_candidates(const wasm::Module& module,
+                                               const wasm::FuncType& expected) {
+  std::vector<std::uint32_t> out;
+  if (module.tables.empty() && module.elements.empty()) return out;
+  for (const auto& segment : module.elements) {
+    for (const std::uint32_t func : segment.func_indices) {
+      if (func >= module.num_functions()) continue;  // malformed entry
+      if (module.function_type(func) == expected) out.push_back(func);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const wasm::Module& module) : module_(&module) {
+  const std::uint32_t num_imports = module.num_imported_functions();
+  callees_.resize(module.num_functions());
+
+  for (std::uint32_t d = 0; d < module.functions.size(); ++d) {
+    const std::uint32_t caller = num_imports + d;
+    const wasm::Function& fn = module.functions[d];
+    for (std::uint32_t i = 0; i < fn.body.size(); ++i) {
+      const wasm::Instr& ins = fn.body[i];
+      if (ins.op == wasm::Opcode::Call) {
+        if (ins.a >= module.num_functions()) continue;  // validator rejects
+        sites_.push_back(CallSite{caller, i, ins.a, false});
+        callees_[caller].push_back(ins.a);
+      } else if (ins.op == wasm::Opcode::CallIndirect) {
+        if (ins.a >= module.types.size()) continue;
+        const auto candidates =
+            indirect_candidates(module, module.types[ins.a]);
+        if (candidates.empty()) unresolved_indirect_ = true;
+        for (const std::uint32_t callee : candidates) {
+          sites_.push_back(CallSite{caller, i, callee, true});
+          callees_[caller].push_back(callee);
+        }
+      }
+    }
+  }
+  for (auto& edges : callees_) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  apply_ = module.find_export("apply");
+  reachable_.assign(module.num_functions(), false);
+  if (apply_) reachable_ = reachable_from(*apply_);
+}
+
+std::vector<bool> CallGraph::reachable_from(std::uint32_t root) const {
+  std::vector<bool> seen(module_->num_functions(), false);
+  if (root >= seen.size()) return seen;
+  std::vector<std::uint32_t> stack{root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    const std::uint32_t f = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t callee : callees_[f]) {
+      if (!seen[callee]) {
+        seen[callee] = true;
+        stack.push_back(callee);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<CallSite> CallGraph::reachable_import_calls(
+    std::string_view field) const {
+  std::vector<CallSite> out;
+  for (const CallSite& site : sites_) {
+    if (!reachable(site.caller)) continue;
+    if (!module_->is_imported_function(site.callee)) continue;
+    if (module_->function_import(site.callee).field == field) {
+      out.push_back(site);
+    }
+  }
+  return out;
+}
+
+bool CallGraph::import_reachable(std::string_view field) const {
+  for (const CallSite& site : sites_) {
+    if (!reachable(site.caller)) continue;
+    if (!module_->is_imported_function(site.callee)) continue;
+    if (module_->function_import(site.callee).field == field) return true;
+  }
+  return false;
+}
+
+std::size_t CallGraph::reachable_defined_callees() const {
+  std::size_t n = 0;
+  for (std::uint32_t f = module_->num_imported_functions();
+       f < module_->num_functions(); ++f) {
+    if (reachable(f) && (!apply_ || f != *apply_)) ++n;
+  }
+  return n;
+}
+
+}  // namespace wasai::analysis

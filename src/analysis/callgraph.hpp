@@ -1,0 +1,92 @@
+// Whole-module call graph (static pre-analysis layer, stage 1): direct
+// `call` edges plus a conservative resolution of every `call_indirect` to
+// the type-matched element-segment entries of the module's table. The
+// graph is the reachability backbone the oracle gates and the dataflow
+// pass stand on: an import that is not reachable from `apply` can never
+// appear in a trace, so any oracle keyed on that import is statically
+// impossible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "wasm/module.hpp"
+
+namespace wasai::analysis {
+
+/// One call instruction, in function-space indices of the analyzed module.
+struct CallSite {
+  std::uint32_t caller = 0;       // function-space index (always defined)
+  std::uint32_t instr_index = 0;  // position in the caller's body
+  std::uint32_t callee = 0;       // function-space index
+  bool indirect = false;          // resolved via the table, not `call`
+};
+
+class CallGraph {
+ public:
+  /// Build the graph. `call_indirect` resolves to every element-segment
+  /// entry whose declared type matches the instruction's expected type —
+  /// the standard conservative approximation. An absent or empty table
+  /// (every runtime call_indirect traps) simply contributes no edges;
+  /// `has_unresolved_indirect()` records that such a site exists.
+  explicit CallGraph(const wasm::Module& module);
+
+  [[nodiscard]] const wasm::Module& module() const { return *module_; }
+
+  /// All call sites, in (caller, instr_index) order.
+  [[nodiscard]] const std::vector<CallSite>& sites() const { return sites_; }
+
+  /// Outgoing callee set of a function (deduplicated, sorted).
+  [[nodiscard]] const std::vector<std::uint32_t>& callees(
+      std::uint32_t func_index) const {
+    return callees_.at(func_index);
+  }
+
+  /// Function-space index of the exported `apply`, or nullopt.
+  [[nodiscard]] std::optional<std::uint32_t> apply_index() const {
+    return apply_;
+  }
+
+  /// True when the module contains a call_indirect but the table has no
+  /// type-matching entry for it (the call can only trap at runtime).
+  [[nodiscard]] bool has_unresolved_indirect() const {
+    return unresolved_indirect_;
+  }
+
+  /// Functions reachable from `root` (inclusive), as a dense bitmap over
+  /// the function index space.
+  [[nodiscard]] std::vector<bool> reachable_from(std::uint32_t root) const;
+
+  /// Reachability from apply; all-false when there is no apply export.
+  [[nodiscard]] const std::vector<bool>& reachable_from_apply() const {
+    return reachable_;
+  }
+
+  /// True when `func_index` is reachable from apply.
+  [[nodiscard]] bool reachable(std::uint32_t func_index) const {
+    return func_index < reachable_.size() && reachable_[func_index];
+  }
+
+  /// Call sites reachable from apply whose callee is the named import.
+  /// The workhorse of the oracle gates ("is any tapos_block_num call
+  /// reachable?").
+  [[nodiscard]] std::vector<CallSite> reachable_import_calls(
+      std::string_view field) const;
+
+  /// True when any reachable call site targets the named import.
+  [[nodiscard]] bool import_reachable(std::string_view field) const;
+
+  /// Defined functions reachable from apply, excluding apply itself.
+  [[nodiscard]] std::size_t reachable_defined_callees() const;
+
+ private:
+  const wasm::Module* module_;
+  std::vector<CallSite> sites_;
+  std::vector<std::vector<std::uint32_t>> callees_;  // by function index
+  std::optional<std::uint32_t> apply_;
+  std::vector<bool> reachable_;
+  bool unresolved_indirect_ = false;
+};
+
+}  // namespace wasai::analysis

@@ -1,0 +1,245 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wasai::analysis {
+
+namespace {
+
+using wasm::Opcode;
+
+/// One open construct during the linear scan: enough to resolve a label
+/// depth to its branch-target instruction (loop header, or the matching
+/// `end` for blocks/ifs, whose fall-out continues the outer flow).
+struct OpenCtrl {
+  Opcode op;
+  std::uint32_t opener;
+  std::uint32_t end;
+};
+
+struct Scan {
+  const std::vector<wasm::Instr>& body;
+  const wasm::ControlMap& control;
+  std::vector<OpenCtrl> open;
+
+  /// Branch-target instruction index for label depth `d` at the current
+  /// scan position. Depth 0 is the innermost open construct; the function
+  /// frame acts as one implicit outermost block targeting the final `end`.
+  [[nodiscard]] std::uint32_t target(std::uint32_t depth) const {
+    if (depth >= open.size()) {
+      // Branch out of the function frame: lands on the terminating `end`.
+      return static_cast<std::uint32_t>(body.size()) - 1;
+    }
+    const OpenCtrl& c = open[open.size() - 1 - depth];
+    return c.op == Opcode::Loop ? c.opener : c.end;
+  }
+};
+
+}  // namespace
+
+bool Cfg::dominates(std::uint32_t a, std::uint32_t b) const {
+  if (!block_reachable(a) || !block_reachable(b)) return false;
+  while (rpo_index[b] > rpo_index[a]) b = idom[b];
+  return a == b;
+}
+
+Cfg build_cfg(const wasm::Function& function) {
+  const std::vector<wasm::Instr>& body = function.body;
+  if (body.empty()) throw util::ValidationError("cfg: empty function body");
+  const wasm::ControlMap control = wasm::analyze_control(body);
+  const auto n = static_cast<std::uint32_t>(body.size());
+
+  // ---- pass 1: leaders -------------------------------------------------
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  Scan scan{body, control, {}};
+  const auto mark = [&](std::uint32_t i) {
+    if (i < n) leader[i] = true;
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const wasm::Instr& ins = body[i];
+    switch (ins.op) {
+      case Opcode::Block:
+      case Opcode::Loop:
+      case Opcode::If:
+        scan.open.push_back(OpenCtrl{ins.op, i, control.end_idx[i]});
+        if (ins.op == Opcode::Loop) mark(i);  // back-edge target
+        if (ins.op == Opcode::If) {
+          mark(i + 1);  // then arm
+          const std::uint32_t e = control.else_idx[i];
+          // False edge: into the else arm, or onto the matching `end`.
+          mark(e != wasm::kNoMatch ? e + 1 : control.end_idx[i]);
+        }
+        break;
+      case Opcode::Else:
+        mark(i + 1);                 // else arm (reached via the If edge)
+        mark(control.end_idx[i]);    // then arm jumps over the else arm
+        break;
+      case Opcode::End:
+        if (!scan.open.empty()) scan.open.pop_back();
+        break;
+      case Opcode::Br:
+      case Opcode::BrIf:
+        mark(scan.target(ins.a));
+        mark(i + 1);
+        break;
+      case Opcode::BrTable:
+        for (const std::uint32_t depth : ins.table) mark(scan.target(depth));
+        mark(scan.target(ins.a));
+        mark(i + 1);
+        break;
+      case Opcode::Return:
+      case Opcode::Unreachable:
+        mark(i + 1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ---- pass 2: blocks + edges -----------------------------------------
+  Cfg cfg;
+  cfg.block_of.assign(n, kNoBlock);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      cfg.blocks.push_back(BasicBlock{i, i, {}, {}});
+    }
+    cfg.block_of[i] = static_cast<std::uint32_t>(cfg.blocks.size()) - 1;
+    cfg.blocks.back().end = i + 1;
+  }
+
+  scan.open.clear();
+  const auto block_at = [&](std::uint32_t i) { return cfg.block_of[i]; };
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& block = cfg.blocks[b];
+    // Replay the control stack across this block so branch depths resolve
+    // exactly as they did during the leader scan.
+    std::vector<std::uint32_t>& succs = block.succs;
+    for (std::uint32_t i = block.begin; i < block.end; ++i) {
+      const wasm::Instr& ins = body[i];
+      const bool last = i + 1 == block.end;
+      switch (ins.op) {
+        case Opcode::Block:
+        case Opcode::Loop:
+        case Opcode::If:
+          scan.open.push_back(OpenCtrl{ins.op, i, control.end_idx[i]});
+          if (ins.op == Opcode::If && last) {
+            succs.push_back(block_at(i + 1));
+            const std::uint32_t e = control.else_idx[i];
+            succs.push_back(
+                block_at(e != wasm::kNoMatch ? e + 1 : control.end_idx[i]));
+          }
+          break;
+        case Opcode::Else:
+          if (last) succs.push_back(block_at(control.end_idx[i]));
+          break;
+        case Opcode::End:
+          if (!scan.open.empty()) scan.open.pop_back();
+          if (last && i + 1 < n) succs.push_back(block_at(i + 1));
+          break;
+        case Opcode::Br:
+          if (last) succs.push_back(block_at(scan.target(ins.a)));
+          break;
+        case Opcode::BrIf:
+          if (last) {
+            succs.push_back(block_at(scan.target(ins.a)));
+            if (i + 1 < n) succs.push_back(block_at(i + 1));
+          }
+          break;
+        case Opcode::BrTable:
+          if (last) {
+            for (const std::uint32_t depth : ins.table) {
+              succs.push_back(block_at(scan.target(depth)));
+            }
+            succs.push_back(block_at(scan.target(ins.a)));
+          }
+          break;
+        case Opcode::Return:
+        case Opcode::Unreachable:
+          break;  // no successors
+        default:
+          if (last && i + 1 < n) succs.push_back(block_at(i + 1));
+          break;
+      }
+    }
+    // A block ending in a non-terminator (fall-through into the next
+    // leader) that was not handled above.
+    if (succs.empty()) {
+      const wasm::Instr& term = body[block.end - 1];
+      const bool terminator =
+          term.op == Opcode::Return || term.op == Opcode::Unreachable ||
+          term.op == Opcode::Br || term.op == Opcode::BrTable ||
+          (term.op == Opcode::End && block.end == n);
+      if (!terminator && block.end < n) {
+        succs.push_back(block_at(block.end));
+      }
+    }
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+  }
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (const std::uint32_t s : cfg.blocks[b].succs) {
+      cfg.blocks[s].preds.push_back(b);
+    }
+  }
+
+  // ---- pass 3: reverse postorder --------------------------------------
+  const auto nblocks = static_cast<std::uint32_t>(cfg.blocks.size());
+  std::vector<std::uint8_t> state(nblocks, 0);  // 0=new 1=open 2=done
+  std::vector<std::uint32_t> post;
+  post.reserve(nblocks);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < cfg.blocks[b].succs.size()) {
+      const std::uint32_t s = cfg.blocks[b].succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo.assign(post.rbegin(), post.rend());
+  cfg.rpo_index.assign(nblocks, kNoBlock);
+  for (std::uint32_t i = 0; i < cfg.rpo.size(); ++i) {
+    cfg.rpo_index[cfg.rpo[i]] = i;
+  }
+
+  // ---- pass 4: dominators (Cooper–Harvey–Kennedy over RPO) -------------
+  cfg.idom.assign(nblocks, kNoBlock);
+  cfg.idom[0] = 0;
+  const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (cfg.rpo_index[a] > cfg.rpo_index[b]) a = cfg.idom[a];
+      while (cfg.rpo_index[b] > cfg.rpo_index[a]) b = cfg.idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t b : cfg.rpo) {
+      if (b == 0) continue;
+      std::uint32_t new_idom = kNoBlock;
+      for (const std::uint32_t p : cfg.blocks[b].preds) {
+        if (!cfg.block_reachable(p) || cfg.idom[p] == kNoBlock) continue;
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && cfg.idom[b] != new_idom) {
+        cfg.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace wasai::analysis

@@ -1,0 +1,59 @@
+// Per-function control-flow graphs (static pre-analysis layer, stage 2),
+// recovered from Wasm's structured control flow: basic blocks over body
+// instruction ranges, successor/predecessor edges, reverse postorder and
+// immediate dominators. Block/loop/if nesting is resolved with the same
+// ControlMap the interpreter and flatcode builder use, so the CFG agrees
+// with runtime branching by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/control.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::analysis {
+
+inline constexpr std::uint32_t kNoBlock = 0xffffffff;
+
+/// One basic block: the half-open instruction range [begin, end) of the
+/// function body. The entry block starts at 0; `end` of the exit-most block
+/// is body.size().
+struct BasicBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::vector<std::uint32_t> succs;
+  std::vector<std::uint32_t> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry
+  /// Blocks in reverse postorder of a DFS from the entry. Unreachable
+  /// blocks (dead code after return/unreachable/br) are absent.
+  std::vector<std::uint32_t> rpo;
+  /// rpo position of each block; kNoBlock for unreachable blocks.
+  std::vector<std::uint32_t> rpo_index;
+  /// Immediate dominator of each block; entry's idom is itself, and
+  /// unreachable blocks carry kNoBlock.
+  std::vector<std::uint32_t> idom;
+  /// Block containing each instruction index (kNoBlock only for
+  /// out-of-range queries).
+  std::vector<std::uint32_t> block_of;
+
+  [[nodiscard]] bool block_reachable(std::uint32_t block) const {
+    return block < rpo_index.size() && rpo_index[block] != kNoBlock;
+  }
+  /// True when instruction `i` lies in a reachable block.
+  [[nodiscard]] bool instr_reachable(std::uint32_t i) const {
+    return i < block_of.size() && block_reachable(block_of[i]);
+  }
+  /// True when block `a` dominates block `b` (reflexive). False when
+  /// either block is unreachable.
+  [[nodiscard]] bool dominates(std::uint32_t a, std::uint32_t b) const;
+};
+
+/// Build the CFG of one defined function. Throws util::ValidationError on
+/// unbalanced control (the validator rejects such bodies anyway).
+Cfg build_cfg(const wasm::Function& function);
+
+}  // namespace wasai::analysis

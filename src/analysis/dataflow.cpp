@@ -1,0 +1,671 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace wasai::analysis {
+
+namespace {
+
+using wasm::Opcode;
+
+constexpr std::uint8_t kTaintAll = kTaintAction | kTaintEnv;
+constexpr int kMaxPasses = 64;
+/// Largest read_action_data window tracked per byte; longer (or unknown)
+/// lengths fall back to the blanket taint.
+constexpr std::uint64_t kMaxWindowBytes = 64 * 1024;
+
+AbsVal top_value() { return AbsVal::varying(kTaintAll); }
+
+/// Join `v` into `into`, reporting whether `into` grew.
+bool join_into(AbsVal& into, const AbsVal& v) {
+  const AbsVal joined = join(into, v);
+  if (joined == into) return false;
+  into = joined;
+  return true;
+}
+
+bool join_into(std::optional<AbsVal>& into, const AbsVal& v) {
+  if (!into) {
+    into = v;
+    return true;
+  }
+  return join_into(*into, v);
+}
+
+/// True when a statically-zero operand forces the op's result to zero no
+/// matter what the other (possibly tainted) operand holds. This is what
+/// lets `0 << len`-style length-guard idioms classify as Constant: the
+/// replayer builds the same subterm over a literal numeral, so the whole
+/// condition is semantically fixed and its flip queries are unconditionally
+/// unsat. Division and remainder are deliberately excluded — SMT-LIB gives
+/// x/0 a total (all-ones) semantics, so `0 / tainted` is NOT a constant
+/// term from the solver's point of view.
+bool absorbs_to_zero(Opcode op, const AbsVal& a, const AbsVal& b) {
+  const bool a_zero = a.kind == AbsVal::Kind::Const && a.konst == 0;
+  const bool b_zero = b.kind == AbsVal::Kind::Const && b.konst == 0;
+  switch (op) {
+    case Opcode::I32Mul:
+    case Opcode::I64Mul:
+    case Opcode::I32And:
+    case Opcode::I64And:
+      return a_zero || b_zero;
+    case Opcode::I32Shl:
+    case Opcode::I64Shl:
+    case Opcode::I32ShrS:
+    case Opcode::I64ShrS:
+    case Opcode::I32ShrU:
+    case Opcode::I64ShrU:
+    case Opcode::I32Rotl:
+    case Opcode::I64Rotl:
+    case Opcode::I32Rotr:
+    case Opcode::I64Rotr:
+      return a_zero;  // zero shifted or rotated by anything stays zero
+    default:
+      return false;
+  }
+}
+
+/// Abstract linear memory: byte-granular taint cells at known addresses
+/// plus a blanket mask covering stores through unknown addresses. Loads
+/// union the blanket with the touched cells; the value itself is always
+/// Varying (the replayer materializes unwritten cells as fresh variables).
+class MemState {
+ public:
+  [[nodiscard]] std::uint8_t load(const AbsVal& addr, std::uint32_t offset,
+                                  std::uint32_t width) const {
+    std::uint8_t t = blanket_;
+    if (addr.kind == AbsVal::Kind::Const) {
+      const std::uint64_t base = addr.konst + offset;
+      for (std::uint32_t b = 0; b < width; ++b) {
+        const auto it = cells_.find(base + b);
+        if (it != cells_.end()) t |= it->second;
+      }
+    } else {
+      // Unknown address: any written cell could be read, and an
+      // attacker-chosen address makes the read value depend on the input.
+      t |= all_cells_ | addr.taint_bits();
+    }
+    return t;
+  }
+
+  bool store(const AbsVal& addr, std::uint32_t offset, std::uint32_t width,
+             std::uint8_t value_taint, std::uint8_t addr_taint) {
+    if (addr.kind == AbsVal::Kind::Const) {
+      return taint_window(addr.konst + offset, width, value_taint);
+    }
+    // Unknown target: the value may land anywhere, and the *placement*
+    // itself leaks the address taint into whatever a later load observes.
+    return raise_blanket(value_taint | addr_taint);
+  }
+
+  bool taint_window(std::uint64_t base, std::uint64_t length,
+                    std::uint8_t taint) {
+    if (taint == 0) return false;
+    if (length > kMaxWindowBytes) return raise_blanket(taint);
+    bool changed = false;
+    for (std::uint64_t b = 0; b < length; ++b) {
+      std::uint8_t& cell = cells_[base + b];
+      if ((cell | taint) != cell) {
+        cell |= taint;
+        changed = true;
+      }
+    }
+    if ((all_cells_ | taint) != all_cells_) {
+      all_cells_ |= taint;
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool raise_blanket(std::uint8_t taint) {
+    if ((blanket_ | taint) == blanket_) return false;
+    blanket_ |= taint;
+    return true;
+  }
+
+  [[nodiscard]] bool action_tainted() const {
+    return ((blanket_ | all_cells_) & kTaintAction) != 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint8_t> cells_;
+  std::uint8_t all_cells_ = 0;  // union of every cell taint
+  std::uint8_t blanket_ = 0;    // covers stores through unknown addresses
+};
+
+/// Memory side effect of a host import.
+enum class MemEffect : std::uint8_t {
+  None,
+  ActionWindow,  // read_action_data: taints [ptr, ptr+len) with ACTION
+  EnvBlanket,    // db reads: out-buffer at unknown extent, ENV taint
+  FullBlanket,   // unknown import: assume it can write anything
+};
+
+struct ImportEffect {
+  std::uint8_t result_taint = 0;
+  MemEffect mem = MemEffect::None;
+};
+
+ImportEffect classify_import(std::string_view field) {
+  if (field == "read_action_data") {
+    return {kTaintAction, MemEffect::ActionWindow};
+  }
+  if (field == "action_data_size") return {kTaintAction, MemEffect::None};
+  // The receiver varies with the notification context the attacker sets up.
+  if (field == "current_receiver") return {kTaintAll, MemEffect::None};
+  if (field == "current_time" || field == "tapos_block_num" ||
+      field == "tapos_block_prefix" || field == "has_auth" ||
+      field == "db_find_i64" || field == "db_lowerbound_i64" ||
+      field == "db_store_i64") {
+    return {kTaintEnv, MemEffect::None};
+  }
+  if (field == "db_get_i64" || field == "db_next_i64") {
+    return {kTaintEnv, MemEffect::EnvBlanket};
+  }
+  if (field == "db_remove_i64" || field == "db_update_i64" ||
+      field == "eosio_assert" || field == "printi" ||
+      field == "require_auth" || field == "require_auth2" ||
+      field == "require_recipient" || field == "send_inline" ||
+      field == "send_deferred") {
+    return {0, MemEffect::None};
+  }
+  return {kTaintAll, MemEffect::FullBlanket};
+}
+
+/// One open Block/Loop/If during the abstract walk.
+struct AFrame {
+  Opcode op;
+  std::size_t height;  // operand-stack height at entry
+  std::uint8_t arity;  // 0 or 1 result values
+  std::optional<AbsVal> result;
+  bool live_at_entry;
+};
+
+class Interp {
+ public:
+  Interp(const wasm::Module& module, const CallGraph& graph,
+         DataflowResult& out)
+      : module_(module), graph_(graph), out_(out) {
+    const std::uint32_t num_imports = module.num_imported_functions();
+    for (std::uint32_t d = 0; d < module.functions.size(); ++d) {
+      const std::uint32_t index = num_imports + d;
+      if (!graph.reachable(index)) continue;
+      const wasm::Function& fn = module.functions[d];
+      const wasm::FuncType& type = module.function_type(index);
+      FunctionSummary summary;
+      summary.returns_value = !type.results.empty();
+      // Every reachable defined function may receive action-derived
+      // arguments through the dispatcher — parameters start ACTION.
+      summary.locals.assign(type.params.size(),
+                            AbsVal::varying(kTaintAction));
+      // Declared locals are zero-initialized by the Wasm semantics.
+      summary.locals.resize(type.params.size() + fn.locals.size(),
+                            AbsVal::constant(0));
+      out_.functions.emplace(index, std::move(summary));
+    }
+    // Global index space: imported globals first (opaque), then defined
+    // globals seeded from their constant initializers.
+    for (const auto& imp : module.imports) {
+      if (imp.kind == wasm::ExternalKind::Global) {
+        globals_.push_back(AbsVal::varying(kTaintEnv));
+      }
+    }
+    for (const auto& global : module.globals) {
+      globals_.push_back(AbsVal::constant(global.init_bits));
+    }
+  }
+
+  /// Walk every reachable function once; returns whether any summary,
+  /// global or memory fact grew.
+  bool pass() {
+    changed_ = false;
+    const std::uint32_t num_imports = module_.num_imported_functions();
+    for (std::uint32_t d = 0; d < module_.functions.size(); ++d) {
+      const std::uint32_t index = num_imports + d;
+      if (out_.functions.contains(index)) walk(index);
+    }
+    return changed_;
+  }
+
+  void finish() {
+    out_.memory_action_tainted = mem_.action_tainted();
+    std::vector<std::uint64_t> keys;
+    keys.reserve(facts_.size());
+    for (const auto& [key, fact] : facts_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t key : keys) {
+      out_.branch_index.emplace(key, out_.branches.size());
+      out_.branches.push_back(facts_.at(key));
+    }
+  }
+
+  void discard_facts() { facts_.clear(); }
+
+ private:
+  void walk(std::uint32_t func_index) {
+    func_ = func_index;
+    const wasm::Function& fn = module_.defined(func_index);
+    stack_.clear();
+    frames_.clear();
+    live_ = true;
+    for (std::uint32_t i = 0; i < fn.body.size(); ++i) {
+      step(fn.body[i], i);
+    }
+  }
+
+  FunctionSummary& summary() { return out_.functions.at(func_); }
+
+  AbsVal pop() {
+    if (stack_.empty()) return top_value();  // malformed body: stay sound
+    AbsVal v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  void push(const AbsVal& v) { stack_.push_back(v); }
+
+  void note(bool grew) { changed_ = changed_ || grew; }
+
+  void record(std::uint32_t instr, Opcode op, const AbsVal& cond) {
+    BranchFact fact;
+    fact.func_index = func_;
+    fact.instr_index = instr;
+    fact.op = op;
+    fact.taint = cond.taint_bits();
+    if (cond.is_constant()) {
+      fact.cls = BranchClass::Constant;
+    } else if (!cond.action_tainted()) {
+      fact.cls = BranchClass::UntaintedInput;
+    } else {
+      fact.cls = BranchClass::TaintReachable;
+    }
+    facts_[(static_cast<std::uint64_t>(func_) << 32) | instr] = fact;
+  }
+
+  /// Join a br-carried value into the frame at label depth `d` (loops carry
+  /// nothing; depth past the frame stack targets the function result).
+  void branch_to(std::uint32_t depth) {
+    if (depth >= frames_.size()) {
+      FunctionSummary& s = summary();
+      if (s.returns_value && !stack_.empty()) {
+        note(join_into(s.result, stack_.back()));
+      }
+      return;
+    }
+    AFrame& frame = frames_[frames_.size() - 1 - depth];
+    if (frame.op != Opcode::Loop && frame.arity == 1 && !stack_.empty()) {
+      note(join_into(frame.result, stack_.back()));
+    }
+  }
+
+  void call_defined(std::uint32_t callee,
+                    const std::vector<AbsVal>& args) {
+    auto it = out_.functions.find(callee);
+    const wasm::FuncType& type = module_.function_type(callee);
+    if (it != out_.functions.end()) {
+      FunctionSummary& s = it->second;
+      for (std::size_t p = 0; p < args.size() && p < s.locals.size(); ++p) {
+        note(join_into(s.locals[p], args[p]));
+      }
+      if (!type.results.empty()) {
+        push(s.result);
+      }
+    } else if (!type.results.empty()) {
+      push(top_value());
+    }
+  }
+
+  void call_import(std::uint32_t callee, const std::vector<AbsVal>& args,
+                   std::uint32_t instr) {
+    const std::string& field = module_.function_import(callee).field;
+    const ImportEffect effect = classify_import(field);
+    switch (effect.mem) {
+      case MemEffect::None:
+        break;
+      case MemEffect::ActionWindow: {
+        // read_action_data(ptr, len): precise window when both are known.
+        const AbsVal& ptr = args.size() > 0 ? args[0] : top_value();
+        const AbsVal& len = args.size() > 1 ? args[1] : top_value();
+        if (ptr.kind == AbsVal::Kind::Const &&
+            len.kind == AbsVal::Kind::Const) {
+          note(mem_.taint_window(ptr.konst, len.konst, kTaintAction));
+        } else {
+          note(mem_.raise_blanket(kTaintAction));
+        }
+        break;
+      }
+      case MemEffect::EnvBlanket:
+        note(mem_.raise_blanket(kTaintEnv));
+        break;
+      case MemEffect::FullBlanket:
+        note(mem_.raise_blanket(kTaintAll));
+        break;
+    }
+    if (field == "eosio_assert" && !args.empty()) {
+      // The asserted condition is a prunable flip site, same as a branch.
+      record(instr, Opcode::Call, args[0]);
+    }
+    if (!module_.function_type(callee).results.empty()) {
+      push(AbsVal::varying(effect.result_taint));
+    }
+  }
+
+  void step(const wasm::Instr& ins, std::uint32_t i) {
+    const wasm::OpInfo& info = wasm::op_info(ins.op);
+    if (!live_) {
+      // Dead code: track nesting only; stacks are restored at else/end.
+      switch (ins.op) {
+        case Opcode::Block:
+        case Opcode::Loop:
+        case Opcode::If:
+          frames_.push_back(AFrame{ins.op, stack_.size(),
+                                   block_arity(ins.a), std::nullopt, false});
+          break;
+        case Opcode::Else:
+          if (!frames_.empty() && frames_.back().live_at_entry) {
+            restore_to(frames_.back());
+            live_ = true;
+          }
+          break;
+        case Opcode::End:
+          end_frame();
+          break;
+        default:
+          break;
+      }
+      return;
+    }
+
+    switch (info.cls) {
+      case wasm::OpClass::Const:
+        push(AbsVal::constant(ins.imm));
+        return;
+      case wasm::OpClass::Variable:
+        variable_op(ins);
+        return;
+      case wasm::OpClass::Load: {
+        const AbsVal addr = pop();
+        push(AbsVal::varying(mem_.load(addr, ins.b, info.access_bytes)));
+        return;
+      }
+      case wasm::OpClass::Store: {
+        const AbsVal val = pop();
+        const AbsVal addr = pop();
+        note(mem_.store(addr, ins.b, info.access_bytes, val.taint_bits(),
+                        addr.taint_bits()));
+        return;
+      }
+      case wasm::OpClass::Memory:
+        if (ins.op == Opcode::MemoryGrow) pop();
+        push(AbsVal::varying(kTaintEnv));
+        return;
+      case wasm::OpClass::Unary: {
+        const AbsVal a = pop();
+        push(a.is_constant() ? AbsVal::const_derived()
+                             : AbsVal::varying(a.taint_bits()));
+        return;
+      }
+      case wasm::OpClass::Binary: {
+        const AbsVal b = pop();
+        const AbsVal a = pop();
+        if (absorbs_to_zero(ins.op, a, b)) {
+          push(AbsVal::constant(0));
+        } else {
+          push(a.is_constant() && b.is_constant()
+                   ? AbsVal::const_derived()
+                   : AbsVal::varying(a.taint_bits() | b.taint_bits()));
+        }
+        return;
+      }
+      case wasm::OpClass::Parametric:
+        if (ins.op == Opcode::Drop) {
+          pop();
+        } else {  // select
+          const AbsVal cond = pop();
+          const AbsVal v2 = pop();
+          const AbsVal v1 = pop();
+          AbsVal merged = join(v1, v2);
+          if (!cond.is_constant()) {
+            merged = AbsVal::varying(merged.taint_bits() | cond.taint_bits());
+          }
+          push(merged);
+        }
+        return;
+      case wasm::OpClass::Control:
+        control_op(ins, i);
+        return;
+    }
+  }
+
+  void variable_op(const wasm::Instr& ins) {
+    FunctionSummary& s = summary();
+    switch (ins.op) {
+      case Opcode::LocalGet:
+        push(ins.a < s.locals.size() ? s.locals[ins.a] : top_value());
+        break;
+      case Opcode::LocalSet: {
+        const AbsVal v = pop();
+        if (ins.a < s.locals.size()) note(join_into(s.locals[ins.a], v));
+        break;
+      }
+      case Opcode::LocalTee:
+        if (!stack_.empty() && ins.a < s.locals.size()) {
+          note(join_into(s.locals[ins.a], stack_.back()));
+        }
+        break;
+      case Opcode::GlobalGet:
+        push(ins.a < globals_.size() ? globals_[ins.a] : top_value());
+        break;
+      case Opcode::GlobalSet: {
+        const AbsVal v = pop();
+        if (ins.a < globals_.size()) note(join_into(globals_[ins.a], v));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  static std::uint8_t block_arity(std::uint32_t block_type) {
+    return block_type == wasm::kBlockVoid ? 0 : 1;
+  }
+
+  void restore_to(const AFrame& frame) {
+    if (stack_.size() > frame.height) stack_.resize(frame.height);
+  }
+
+  void end_frame() {
+    if (frames_.empty()) {
+      // Function-terminating `end`: a live fall-off returns the top value.
+      FunctionSummary& s = summary();
+      if (live_ && s.returns_value && !stack_.empty()) {
+        note(join_into(s.result, stack_.back()));
+      }
+      return;
+    }
+    AFrame frame = frames_.back();
+    frames_.pop_back();
+    if (live_ && frame.arity == 1 && !stack_.empty()) {
+      join_into(frame.result, stack_.back());
+    }
+    restore_to(frame);
+    if (frame.live_at_entry) {
+      // Conservatively resume: the construct's exit is reachable via a br
+      // or the fall-through of some arm.
+      live_ = true;
+      if (frame.arity == 1) {
+        push(frame.result.value_or(AbsVal::constant(0)));
+      }
+    }
+  }
+
+  void control_op(const wasm::Instr& ins, std::uint32_t i) {
+    switch (ins.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Block:
+      case Opcode::Loop:
+        frames_.push_back(AFrame{ins.op, stack_.size(), block_arity(ins.a),
+                                 std::nullopt, true});
+        break;
+      case Opcode::If: {
+        const AbsVal cond = pop();
+        record(i, Opcode::If, cond);
+        frames_.push_back(AFrame{ins.op, stack_.size(), block_arity(ins.a),
+                                 std::nullopt, true});
+        break;
+      }
+      case Opcode::Else:
+        if (!frames_.empty()) {
+          AFrame& frame = frames_.back();
+          if (frame.arity == 1 && !stack_.empty()) {
+            join_into(frame.result, stack_.back());
+          }
+          restore_to(frame);
+          live_ = frame.live_at_entry;
+        }
+        break;
+      case Opcode::End:
+        end_frame();
+        break;
+      case Opcode::Br:
+        branch_to(ins.a);
+        live_ = false;
+        break;
+      case Opcode::BrIf: {
+        const AbsVal cond = pop();
+        record(i, Opcode::BrIf, cond);
+        branch_to(ins.a);
+        break;
+      }
+      case Opcode::BrTable: {
+        const AbsVal idx = pop();
+        record(i, Opcode::BrTable, idx);
+        for (const std::uint32_t depth : ins.table) branch_to(depth);
+        branch_to(ins.a);
+        live_ = false;
+        break;
+      }
+      case Opcode::Return: {
+        FunctionSummary& s = summary();
+        if (s.returns_value && !stack_.empty()) {
+          note(join_into(s.result, stack_.back()));
+        }
+        live_ = false;
+        break;
+      }
+      case Opcode::Unreachable:
+        live_ = false;
+        break;
+      case Opcode::Call: {
+        if (ins.a >= module_.num_functions()) break;
+        const wasm::FuncType& type = module_.function_type(ins.a);
+        std::vector<AbsVal> args(type.params.size());
+        for (std::size_t p = type.params.size(); p-- > 0;) args[p] = pop();
+        if (module_.is_imported_function(ins.a)) {
+          call_import(ins.a, args, i);
+        } else {
+          call_defined(ins.a, args);
+        }
+        break;
+      }
+      case Opcode::CallIndirect: {
+        if (ins.a >= module_.types.size()) break;
+        const wasm::FuncType& type = module_.types[ins.a];
+        pop();  // table index
+        std::vector<AbsVal> args(type.params.size());
+        for (std::size_t p = type.params.size(); p-- > 0;) args[p] = pop();
+        indirect_call(type, args, i);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void indirect_call(const wasm::FuncType& type,
+                     const std::vector<AbsVal>& args, std::uint32_t i) {
+    // Conservative targets: every type-matched call site the graph found
+    // at this (caller, instr) position.
+    std::optional<AbsVal> result;
+    bool any = false;
+    for (const CallSite& site : graph_.sites()) {
+      if (site.caller != func_ || site.instr_index != i || !site.indirect) {
+        continue;
+      }
+      any = true;
+      if (module_.is_imported_function(site.callee)) {
+        const std::size_t before = stack_.size();
+        call_import(site.callee, args, i);
+        if (stack_.size() > before) join_into(result, pop());
+      } else {
+        const std::size_t before = stack_.size();
+        call_defined(site.callee, args);
+        if (stack_.size() > before) join_into(result, pop());
+      }
+    }
+    if (!type.results.empty()) {
+      // An empty candidate set means the call can only trap; the pushed
+      // value is never observed, but keep the stack shape balanced.
+      push(any ? result.value_or(top_value()) : top_value());
+    }
+  }
+
+  const wasm::Module& module_;
+  const CallGraph& graph_;
+  DataflowResult& out_;
+  std::vector<AbsVal> globals_;
+  MemState mem_;
+  std::unordered_map<std::uint64_t, BranchFact> facts_;
+
+  // Per-walk state.
+  std::uint32_t func_ = 0;
+  std::vector<AbsVal> stack_;
+  std::vector<AFrame> frames_;
+  bool live_ = true;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == AbsVal::Kind::Const && b.kind == AbsVal::Kind::Const) {
+    return a.konst == b.konst ? a : AbsVal::const_derived();
+  }
+  if (a.is_constant() && b.is_constant()) return AbsVal::const_derived();
+  return AbsVal::varying(a.taint_bits() | b.taint_bits());
+}
+
+const char* to_string(BranchClass cls) {
+  switch (cls) {
+    case BranchClass::Constant:
+      return "constant";
+    case BranchClass::UntaintedInput:
+      return "untainted";
+    case BranchClass::TaintReachable:
+      return "taint_reachable";
+    case BranchClass::Unreachable:
+      return "unreachable";
+  }
+  return "unknown";
+}
+
+DataflowResult run_dataflow(const wasm::Module& module,
+                            const CallGraph& graph) {
+  DataflowResult result;
+  Interp interp(module, graph, result);
+  for (result.passes = 0; result.passes < kMaxPasses; ++result.passes) {
+    if (!interp.pass()) break;
+  }
+  if (result.passes == kMaxPasses) {
+    // Fixpoint cap hit: discard all facts so nothing downstream prunes.
+    result.converged = false;
+    interp.discard_facts();
+  }
+  interp.finish();
+  return result;
+}
+
+}  // namespace wasai::analysis

@@ -1,0 +1,128 @@
+// Forward dataflow / taint pass (static pre-analysis layer, stage 3): a
+// whole-module abstract interpretation over a three-point value lattice
+// (known constant / constant-derived / varying-with-taint) that decides,
+// per conditional site, whether the condition can ever depend on this
+// transaction's action input.
+//
+// Taint model (aligned with the replayer's input model — see DESIGN.md
+// "Static pre-analysis"):
+//  * kTaintAction marks values an attacker can steer through the current
+//    transaction: action-handler parameters (every defined function's
+//    parameters, conservatively, since the dispatcher forwards action data),
+//    read_action_data / action_data_size results, and anything computed
+//    from them. Only these values can be changed by mutating a seed, so a
+//    branch condition without kTaintAction can never be flipped by the
+//    concolic loop — its flip queries are provably futile.
+//  * kTaintEnv marks chain-environment values (current_time, tapos_*,
+//    database contents, memory growth): they vary across blocks but are
+//    fixed for any single transaction.
+//  * Memory is a byte-granular cell map for constant addresses plus a
+//    blanket taint for stores through unknown addresses; loads always
+//    produce varying values (the replayer materializes unwritten cells as
+//    fresh unconstrained variables) whose taint joins the touched cells.
+//
+// The pass is a module-level fixpoint: per-function local/result summaries,
+// global summaries and the memory state are joined across repeated
+// structured walks of every apply-reachable function until stable. All
+// rules err toward MORE taint, so `UntaintedInput` is a proof, while
+// `TaintReachable` is merely "not disproven".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/callgraph.hpp"
+#include "wasm/module.hpp"
+
+namespace wasai::analysis {
+
+inline constexpr std::uint8_t kTaintAction = 1;
+inline constexpr std::uint8_t kTaintEnv = 2;
+
+/// Abstract value: a known constant, a value derived purely from constants
+/// (folded value not tracked), or a varying value with a taint mask.
+struct AbsVal {
+  enum class Kind : std::uint8_t { Const, ConstDerived, Varying };
+  Kind kind = Kind::Varying;
+  std::uint64_t konst = 0;  // meaningful for Kind::Const only
+  std::uint8_t taint = 0;   // meaningful for Kind::Varying only
+
+  static AbsVal constant(std::uint64_t c) {
+    return AbsVal{Kind::Const, c, 0};
+  }
+  static AbsVal const_derived() { return AbsVal{Kind::ConstDerived, 0, 0}; }
+  static AbsVal varying(std::uint8_t t) { return AbsVal{Kind::Varying, 0, t}; }
+
+  [[nodiscard]] bool is_constant() const { return kind != Kind::Varying; }
+  [[nodiscard]] std::uint8_t taint_bits() const {
+    return kind == Kind::Varying ? taint : 0;
+  }
+  [[nodiscard]] bool action_tainted() const {
+    return (taint_bits() & kTaintAction) != 0;
+  }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+/// Lattice join (Const(c) ⊔ Const(c) = Const(c); constants of different
+/// values stay constant-derived; anything varying absorbs taints).
+AbsVal join(const AbsVal& a, const AbsVal& b);
+
+/// How the pass classified one conditional site. The flip gate prunes
+/// Constant and UntaintedInput sites; everything else is kept.
+enum class BranchClass : std::uint8_t {
+  Constant,        // condition is a compile-time constant
+  UntaintedInput,  // varies, but provably never with action input
+  TaintReachable,  // may depend on action input — keep flipping
+  /// Assigned by the report layer, never by the dataflow pass: the site
+  /// lives in a function (or CFG region) unreachable from apply.
+  Unreachable,
+};
+
+const char* to_string(BranchClass cls);
+
+/// One classified conditional: an If / BrIf / BrTable condition or the
+/// asserted condition of a direct eosio_assert call.
+struct BranchFact {
+  std::uint32_t func_index = 0;   // function-space index
+  std::uint32_t instr_index = 0;  // body position
+  wasm::Opcode op = wasm::Opcode::Nop;
+  BranchClass cls = BranchClass::TaintReachable;
+  std::uint8_t taint = 0;  // taint mask of the condition (Varying only)
+};
+
+/// Post-fixpoint summaries of one defined function.
+struct FunctionSummary {
+  std::vector<AbsVal> locals;  // parameters first, declared locals after
+  AbsVal result = AbsVal::varying(0);
+  bool returns_value = false;
+};
+
+struct DataflowResult {
+  /// Classified conditionals of apply-reachable functions, in
+  /// (func, instr) order.
+  std::vector<BranchFact> branches;
+  /// (func_index << 32 | instr_index) -> index into `branches`.
+  std::unordered_map<std::uint64_t, std::size_t> branch_index;
+  /// Defined-function summaries keyed by function-space index.
+  std::unordered_map<std::uint32_t, FunctionSummary> functions;
+  bool memory_action_tainted = false;  // any cell may hold action data
+  int passes = 0;         // fixpoint iterations used
+  bool converged = true;  // false = cap hit; facts discarded (no pruning)
+
+  [[nodiscard]] const BranchFact* find(std::uint32_t func,
+                                       std::uint32_t instr) const {
+    const auto it =
+        branch_index.find((static_cast<std::uint64_t>(func) << 32) | instr);
+    return it == branch_index.end() ? nullptr : &branches[it->second];
+  }
+};
+
+/// Run the fixpoint over every function reachable from apply. Functions
+/// outside the reachable set contribute no branch facts (their sites are
+/// classified via the call graph as unreachable by the report layer).
+DataflowResult run_dataflow(const wasm::Module& module,
+                            const CallGraph& graph);
+
+}  // namespace wasai::analysis

@@ -1,0 +1,307 @@
+#include "analysis/report.hpp"
+
+#include <chrono>
+
+#include "analysis/cfg.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace wasai::analysis {
+
+namespace {
+
+using wasm::Opcode;
+
+constexpr const char* kBlockinfoApis[] = {"tapos_block_num",
+                                          "tapos_block_prefix"};
+constexpr const char* kEffectApis[] = {"send_inline", "db_store_i64",
+                                       "db_update_i64", "db_remove_i64"};
+constexpr const char* kDbApis[] = {
+    "db_find_i64",  "db_get_i64",   "db_lowerbound_i64", "db_next_i64",
+    "db_remove_i64", "db_store_i64", "db_update_i64"};
+
+OracleVerdict impossible(Oracle oracle, std::string reason) {
+  OracleVerdict v;
+  v.oracle = oracle;
+  v.possible = false;
+  v.reason = std::move(reason);
+  return v;
+}
+
+OracleVerdict possible(Oracle oracle, std::string reason,
+                       std::vector<Witness> witnesses = {}) {
+  OracleVerdict v;
+  v.oracle = oracle;
+  v.possible = true;
+  v.reason = std::move(reason);
+  v.witnesses = std::move(witnesses);
+  return v;
+}
+
+std::vector<Witness> witnesses_for(const CallGraph& graph,
+                                   std::string_view api) {
+  std::vector<Witness> out;
+  for (const CallSite& site : graph.reachable_import_calls(api)) {
+    out.push_back(Witness{site.caller, site.instr_index, std::string(api)});
+  }
+  return out;
+}
+
+template <typename Apis>
+std::vector<Witness> witnesses_for_any(const CallGraph& graph,
+                                       const Apis& apis) {
+  std::vector<Witness> out;
+  for (const char* api : apis) {
+    auto w = witnesses_for(graph, api);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+/// Verdicts against the exact firing conditions of scanner.cpp: each
+/// `impossible` names the trace fact the dynamic oracle needs and proves
+/// no reachable code can produce it.
+void judge_oracles(StaticReport& report, const CallGraph& graph) {
+  if (!report.has_apply) {
+    for (std::size_t i = 0; i < kNumOracles; ++i) {
+      report.oracles[i] =
+          impossible(static_cast<Oracle>(i), "no apply export");
+    }
+    return;
+  }
+
+  // Fake EOS / Fake Notif both require the eosponser — a defined function
+  // other than apply — to run on a forged payload.
+  const std::size_t callees = graph.reachable_defined_callees();
+  for (const Oracle oracle : {Oracle::FakeEos, Oracle::FakeNotif}) {
+    report.oracles[static_cast<std::size_t>(oracle)] =
+        callees == 0
+            ? impossible(oracle,
+                         "apply reaches no other defined function, so no "
+                         "eosponser can execute")
+            : possible(oracle, "apply reaches " + std::to_string(callees) +
+                                   " defined function(s)");
+  }
+
+  auto miss_auth = witnesses_for_any(graph, kEffectApis);
+  report.oracles[static_cast<std::size_t>(Oracle::MissAuth)] =
+      miss_auth.empty()
+          ? impossible(Oracle::MissAuth,
+                       "no side-effect API (send_inline/db write) reachable "
+                       "from apply")
+          : possible(Oracle::MissAuth, "reachable side-effect call sites",
+                     std::move(miss_auth));
+
+  auto blockinfo = witnesses_for_any(graph, kBlockinfoApis);
+  report.oracles[static_cast<std::size_t>(Oracle::BlockinfoDep)] =
+      blockinfo.empty()
+          ? impossible(Oracle::BlockinfoDep,
+                       "no tapos_block_num/tapos_block_prefix call "
+                       "reachable from apply")
+          : possible(Oracle::BlockinfoDep,
+                     "reachable blockchain-state call sites",
+                     std::move(blockinfo));
+
+  auto rollback = witnesses_for(graph, "send_inline");
+  report.oracles[static_cast<std::size_t>(Oracle::Rollback)] =
+      rollback.empty()
+          ? impossible(Oracle::Rollback,
+                       "no send_inline call reachable from apply")
+          : possible(Oracle::Rollback, "reachable inline-action call sites",
+                     std::move(rollback));
+}
+
+bool is_assert_call(const wasm::Module& module, const wasm::Instr& ins) {
+  return ins.op == Opcode::Call && ins.a < module.num_imported_functions() &&
+         module.function_import(ins.a).field == "eosio_assert";
+}
+
+bool is_conditional(const wasm::Module& module, const wasm::Instr& ins) {
+  return ins.op == Opcode::If || ins.op == Opcode::BrIf ||
+         ins.op == Opcode::BrTable || is_assert_call(module, ins);
+}
+
+}  // namespace
+
+const char* to_string(Oracle oracle) {
+  switch (oracle) {
+    case Oracle::FakeEos:
+      return "Fake EOS";
+    case Oracle::FakeNotif:
+      return "Fake Notif";
+    case Oracle::MissAuth:
+      return "MissAuth";
+    case Oracle::BlockinfoDep:
+      return "BlockinfoDep";
+    case Oracle::Rollback:
+      return "Rollback";
+  }
+  return "?";
+}
+
+StaticReport analyze_module(const wasm::Module& module, obs::Obs* obs) {
+  obs::Span span(obs, obs::span_name::kStaticAnalyze);
+  const auto start = std::chrono::steady_clock::now();
+
+  StaticReport report;
+  const CallGraph graph(module);
+  report.has_apply = graph.apply_index().has_value();
+  report.unresolved_indirect = graph.has_unresolved_indirect();
+  report.functions_total = module.functions.size();
+  report.call_sites = graph.sites().size();
+  const std::uint32_t num_imports = module.num_imported_functions();
+  for (std::uint32_t d = 0; d < module.functions.size(); ++d) {
+    if (graph.reachable(num_imports + d)) ++report.functions_reachable;
+  }
+
+  judge_oracles(report, graph);
+  for (const char* api : kDbApis) {
+    if (graph.import_reachable(api)) {
+      report.uses_db = true;
+      break;
+    }
+  }
+
+  const DataflowResult flow = run_dataflow(module, graph);
+  report.converged = flow.converged;
+  report.dataflow_passes = flow.passes;
+
+  // Classify every conditional site of every defined function. Sites the
+  // dataflow walked carry its verdict; sites it never reached (dead code,
+  // unreachable functions) are provably never executed.
+  for (std::uint32_t d = 0; d < module.functions.size(); ++d) {
+    const std::uint32_t func = num_imports + d;
+    const wasm::Function& fn = module.functions[d];
+    const bool func_reachable = graph.reachable(func);
+
+    // CFG reachability within the function; degrade to "all reachable"
+    // when the body defeats the builder (the validator will reject it
+    // downstream anyway).
+    const Cfg* cfg = nullptr;
+    Cfg cfg_storage;
+    if (func_reachable && !fn.body.empty()) {
+      try {
+        cfg_storage = build_cfg(fn);
+        cfg = &cfg_storage;
+      } catch (const util::Error&) {
+        cfg = nullptr;
+      }
+    }
+
+    for (std::uint32_t i = 0; i < fn.body.size(); ++i) {
+      const wasm::Instr& ins = fn.body[i];
+      if (!is_conditional(module, ins)) continue;
+      SiteClass site;
+      site.func_index = func;
+      site.instr_index = i;
+      site.op = ins.op;
+      if (!func_reachable || (cfg != nullptr && !cfg->instr_reachable(i))) {
+        site.cls = BranchClass::Unreachable;
+      } else if (const BranchFact* fact = flow.find(func, i)) {
+        site.cls = fact->cls;
+        site.taint = fact->taint;
+      } else {
+        // Reachable but never walked live (e.g. CFG build failed, or the
+        // walk's liveness was stricter than the CFG): stay permissive.
+        site.cls = BranchClass::TaintReachable;
+      }
+      report.site_index.emplace(
+          (static_cast<std::uint64_t>(func) << 32) | i,
+          report.branches.size());
+      report.branches.push_back(site);
+    }
+  }
+
+  for (const SiteClass& site : report.branches) {
+    switch (site.cls) {
+      case BranchClass::Constant:
+        ++report.constant_branches;
+        break;
+      case BranchClass::UntaintedInput:
+        ++report.untainted_branches;
+        break;
+      case BranchClass::TaintReachable:
+        ++report.taint_reachable_branches;
+        break;
+      case BranchClass::Unreachable:
+        ++report.unreachable_branches;
+        break;
+    }
+  }
+  report.flip_feedback_futile = report.taint_reachable_branches == 0;
+
+  report.analyze_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+std::vector<std::uint8_t> make_flip_gate(const StaticReport& report,
+                                         const instrument::SiteTable& sites) {
+  std::vector<std::uint8_t> gate(sites.size(), 0);
+  for (std::uint32_t s = 0; s < sites.size(); ++s) {
+    const instrument::SiteInfo& info = sites.at(s);
+    const SiteClass* site = report.find(info.func_index, info.instr_index);
+    if (site != nullptr && site->cls != BranchClass::TaintReachable) {
+      gate[s] = 1;
+    }
+  }
+  return gate;
+}
+
+util::Json report_to_json(const StaticReport& report, bool include_table) {
+  util::JsonObject out;
+  out["apply"] = util::Json(report.has_apply);
+  out["converged"] = util::Json(report.converged);
+  out["passes"] = util::Json(static_cast<double>(report.dataflow_passes));
+  out["unresolved_indirect"] = util::Json(report.unresolved_indirect);
+  util::JsonObject functions;
+  functions["total"] =
+      util::Json(static_cast<double>(report.functions_total));
+  functions["reachable"] =
+      util::Json(static_cast<double>(report.functions_reachable));
+  out["functions"] = util::Json(std::move(functions));
+  out["call_sites"] = util::Json(static_cast<double>(report.call_sites));
+
+  util::JsonObject oracles;
+  for (const OracleVerdict& v : report.oracles) {
+    util::JsonObject entry;
+    entry["possible"] = util::Json(v.possible);
+    entry["reason"] = util::Json(v.reason);
+    entry["witnesses"] = util::Json(static_cast<double>(v.witnesses.size()));
+    oracles[to_string(v.oracle)] = util::Json(std::move(entry));
+  }
+  out["oracles"] = util::Json(std::move(oracles));
+
+  util::JsonObject branches;
+  branches["constant"] =
+      util::Json(static_cast<double>(report.constant_branches));
+  branches["untainted"] =
+      util::Json(static_cast<double>(report.untainted_branches));
+  branches["taint_reachable"] =
+      util::Json(static_cast<double>(report.taint_reachable_branches));
+  branches["unreachable"] =
+      util::Json(static_cast<double>(report.unreachable_branches));
+  out["branches"] = util::Json(std::move(branches));
+  out["futile"] = util::Json(report.flip_feedback_futile);
+  out["uses_db"] = util::Json(report.uses_db);
+  out["ms"] = util::Json(report.analyze_ms);
+
+  if (include_table) {
+    util::JsonArray table;
+    for (const SiteClass& site : report.branches) {
+      util::JsonObject row;
+      row["func"] = util::Json(static_cast<double>(site.func_index));
+      row["instr"] = util::Json(static_cast<double>(site.instr_index));
+      row["op"] = util::Json(std::string(wasm::op_info(site.op).name));
+      row["class"] = util::Json(std::string(to_string(site.cls)));
+      row["taint"] = util::Json(static_cast<double>(site.taint));
+      table.push_back(util::Json(std::move(row)));
+    }
+    out["table"] = util::Json(std::move(table));
+  }
+  return util::Json(std::move(out));
+}
+
+}  // namespace wasai::analysis

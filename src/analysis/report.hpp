@@ -1,0 +1,135 @@
+// Static pre-analysis entry point: runs the call graph, per-function CFGs
+// and the dataflow/taint pass over one decoded module and distills them
+// into the per-contract StaticReport the rest of the pipeline consumes —
+// five per-oracle verdicts with witness sites, and a classification of
+// every conditional site (branch or eosio_assert) the concolic fuzzer
+// could ever try to flip.
+//
+// Conservatism contract (see DESIGN.md): `impossible` and every prunable
+// branch class are PROOFS under the module's semantics; `possible` /
+// TaintReachable only mean "not disproven". Anything the analysis cannot
+// resolve (unconverged fixpoint, malformed bodies, missing apply) degrades
+// to the permissive answer, so enabling the pass can only remove work the
+// dynamic stages would have wasted, never findings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "instrument/trace.hpp"
+#include "util/json.hpp"
+
+namespace wasai::obs {
+class Obs;
+}
+
+namespace wasai::analysis {
+
+/// The five §2.3 oracle classes, in scanner::VulnType order. Kept as a
+/// separate enum so the analysis layer stays independent of the scanner.
+enum class Oracle : std::uint8_t {
+  FakeEos = 0,
+  FakeNotif,
+  MissAuth,
+  BlockinfoDep,
+  Rollback,
+};
+
+inline constexpr std::size_t kNumOracles = 5;
+
+/// Display name, identical to scanner::to_string(VulnType) spelling.
+const char* to_string(Oracle oracle);
+
+/// One call site justifying a `possible` verdict.
+struct Witness {
+  std::uint32_t func_index = 0;
+  std::uint32_t instr_index = 0;
+  std::string api;  // the imported host function called there
+};
+
+struct OracleVerdict {
+  Oracle oracle{};
+  /// False = statically impossible: the dynamic scanner can never fire
+  /// this oracle on this module, so its payload schedule can be skipped.
+  bool possible = true;
+  std::string reason;
+  std::vector<Witness> witnesses;
+};
+
+/// Classification of one conditional site (If / BrIf / BrTable condition,
+/// or a direct eosio_assert call's asserted condition).
+struct SiteClass {
+  std::uint32_t func_index = 0;
+  std::uint32_t instr_index = 0;
+  wasm::Opcode op = wasm::Opcode::Nop;
+  BranchClass cls = BranchClass::TaintReachable;
+  std::uint8_t taint = 0;
+};
+
+struct StaticReport {
+  bool has_apply = false;
+  bool unresolved_indirect = false;  // a call_indirect with no table match
+  bool converged = true;             // dataflow fixpoint completed
+  int dataflow_passes = 0;
+  std::size_t functions_total = 0;      // defined functions
+  std::size_t functions_reachable = 0;  // ... reachable from apply
+  std::size_t call_sites = 0;           // resolved call edges
+  std::array<OracleVerdict, kNumOracles> oracles{};
+  /// Every conditional site of every defined function, in (func, instr)
+  /// order — the branch classification table.
+  std::vector<SiteClass> branches;
+  std::size_t constant_branches = 0;
+  std::size_t untainted_branches = 0;
+  std::size_t taint_reachable_branches = 0;
+  std::size_t unreachable_branches = 0;
+  /// True when no site is TaintReachable: symbolic feedback cannot derive
+  /// any new seed, so replay+solve can be skipped wholesale (provided the
+  /// DBG has no database APIs to observe — see `uses_db`).
+  bool flip_feedback_futile = false;
+  /// Any db_* import reachable from apply (DBG seed selection feeds on
+  /// database traffic, so replay-skip is only safe when this is false).
+  bool uses_db = false;
+  double analyze_ms = 0;
+
+  [[nodiscard]] const OracleVerdict& verdict(Oracle oracle) const {
+    return oracles[static_cast<std::size_t>(oracle)];
+  }
+  [[nodiscard]] bool oracle_possible(Oracle oracle) const {
+    return verdict(oracle).possible;
+  }
+  [[nodiscard]] const SiteClass* find(std::uint32_t func,
+                                      std::uint32_t instr) const {
+    const auto it =
+        site_index.find((static_cast<std::uint64_t>(func) << 32) | instr);
+    return it == site_index.end() ? nullptr : &branches[it->second];
+  }
+
+  /// (func << 32 | instr) -> index into `branches`.
+  std::unordered_map<std::uint64_t, std::size_t> site_index;
+};
+
+/// Run the full static pass (call graph → CFGs → dataflow → verdicts)
+/// under a `static_analyze` obs span. Never throws on analyzable modules;
+/// malformed function bodies degrade that function to the permissive
+/// classification.
+StaticReport analyze_module(const wasm::Module& module,
+                            obs::Obs* obs = nullptr);
+
+/// Lower the branch table onto instrumentation site ids: out[site] != 0
+/// means the flip query at that site is provably futile (condition is
+/// constant, untainted or unreachable) and may be skipped. Sites without a
+/// classification stay 0 (never pruned).
+std::vector<std::uint8_t> make_flip_gate(const StaticReport& report,
+                                         const instrument::SiteTable& sites);
+
+/// JSON form of the report (the campaign `static` block). When
+/// `include_table` is set the full per-site branch table is embedded —
+/// used by the wasai-static dump tool, too verbose for campaign JSONL.
+util::Json report_to_json(const StaticReport& report,
+                          bool include_table = false);
+
+}  // namespace wasai::analysis

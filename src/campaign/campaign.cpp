@@ -64,6 +64,24 @@ void fill_analysis(ContractRecord& record, const AnalysisResult& result) {
   }
   record.fuzz_shards = result.details.fuzz_shards;
   record.shard_transactions = result.details.shard_transactions;
+  if (result.details.static_report.has_value()) {
+    const analysis::StaticReport& sr = *result.details.static_report;
+    StaticRecord st;
+    st.converged = sr.converged;
+    st.passes = sr.dataflow_passes;
+    for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+      st.oracle_possible[i] = sr.oracles[i].possible;
+    }
+    st.constant_branches = sr.constant_branches;
+    st.untainted_branches = sr.untainted_branches;
+    st.taint_reachable_branches = sr.taint_reachable_branches;
+    st.unreachable_branches = sr.unreachable_branches;
+    st.flips_pruned = result.details.flips_pruned;
+    st.replays_skipped = result.details.replays_skipped;
+    st.gate_violations = result.details.oracle_gate_violations;
+    st.analyze_ms = sr.analyze_ms;
+    record.static_record = st;
+  }
   record.iterations_run = result.details.iterations_run;
   record.timings.init_ms = result.init_ms;
   record.timings.fuzz_ms = result.details.fuzz_ms;
@@ -472,6 +490,11 @@ CampaignSummary summarize_records(
     s.total_solver_queries += record.solver_queries;
     s.total_solver_cache_hits += record.solver_cache_hits;
     s.total_solver_cache_misses += record.solver_cache_misses;
+    if (record.static_record.has_value()) {
+      s.total_flips_pruned += record.static_record->flips_pruned;
+      s.total_replays_skipped += record.static_record->replays_skipped;
+      s.total_gate_violations += record.static_record->gate_violations;
+    }
     s.total_solver_ms += record.timings.solver_ms;
   }
   s.findings_by_type.assign(by_type.begin(), by_type.end());

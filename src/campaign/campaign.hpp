@@ -26,8 +26,10 @@
 //    digest is already in a previous run's record stream (see resume.hpp).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -67,6 +69,28 @@ const char* to_string(ContractStatus s);
 /// across renames, paths and campaign composition.
 std::string content_digest(const util::Bytes& wasm,
                            const std::string& abi_json);
+
+/// Compact static pre-analysis summary for one contract — the JSONL
+/// `static` block. Engaged only when the fuzz loop ran with
+/// static_analysis on (absent under --no-static, keeping that record
+/// stream byte-identical to the pre-static schema).
+struct StaticRecord {
+  bool converged = false;      // dataflow fixpoint reached (facts kept)
+  std::size_t passes = 0;      // dataflow passes to fixpoint
+  /// Per-oracle static verdicts in scanner::VulnType order; false =
+  /// statically impossible (the scanner gate counts any contradiction).
+  std::array<bool, analysis::kNumOracles> oracle_possible{};
+  // Branch classification table counts (see analysis::BranchClass).
+  std::size_t constant_branches = 0;
+  std::size_t untainted_branches = 0;
+  std::size_t taint_reachable_branches = 0;
+  std::size_t unreachable_branches = 0;
+  // Dynamic effect of the gates over the whole run:
+  std::size_t flips_pruned = 0;     // flip queries skipped by the gate
+  std::size_t replays_skipped = 0;  // feedback replays skipped wholesale
+  std::size_t gate_violations = 0;  // findings contradicting a verdict (0!)
+  double analyze_ms = 0;            // static pass wall time
+};
 
 struct PhaseTimings {
   double load_ms = 0;    // file read + ABI parse
@@ -109,6 +133,9 @@ struct ContractRecord {
   /// transaction counts (sum to `transactions`).
   std::size_t fuzz_shards = 1;
   std::vector<std::size_t> shard_transactions;
+  /// Static pre-analysis block; disengaged under --no-static (and for
+  /// records parsed from pre-static JSONL streams).
+  std::optional<StaticRecord> static_record;
   int iterations_run = 0;
   /// Per-phase wall/self time of this contract's span slice (empty with
   /// observability off). Serialized as the record's `obs` JSONL block.
@@ -143,6 +170,13 @@ struct CampaignSummary {
   std::size_t total_solver_queries = 0;
   std::size_t total_solver_cache_hits = 0;
   std::size_t total_solver_cache_misses = 0;
+  /// Static-gate rollups over completed records (zero under --no-static).
+  std::size_t total_flips_pruned = 0;
+  std::size_t total_replays_skipped = 0;
+  /// Soundness tripwire: any finding that contradicted a statically
+  /// impossible verdict, summed campaign-wide. Non-zero means the static
+  /// pass broke its conservatism contract — CI gates on this being 0.
+  std::size_t total_gate_violations = 0;
   double total_solver_ms = 0;
   double wall_ms = 0;  // whole-campaign wall time
   /// Finding counts keyed by vulnerability name ("FakeEos", ...).

@@ -115,6 +115,32 @@ Json record_to_json(const ContractRecord& record) {
   out.emplace("replays", num(record.replays));
   out.emplace("replay_failures", num(record.replay_failures));
   out.emplace("solver", Json(std::move(solver)));
+  // Static pre-analysis block; absent entirely under --no-static, so that
+  // record stream keeps the pre-static schema byte-for-byte.
+  if (record.static_record.has_value()) {
+    const StaticRecord& st = *record.static_record;
+    JsonObject oracles;
+    for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+      oracles.emplace(
+          analysis::to_string(static_cast<analysis::Oracle>(i)),
+          Json(st.oracle_possible[i]));
+    }
+    JsonObject branches;
+    branches.emplace("constant", num(st.constant_branches));
+    branches.emplace("untainted", num(st.untainted_branches));
+    branches.emplace("taint_reachable", num(st.taint_reachable_branches));
+    branches.emplace("unreachable", num(st.unreachable_branches));
+    JsonObject st_json;
+    st_json.emplace("converged", Json(st.converged));
+    st_json.emplace("passes", num(st.passes));
+    st_json.emplace("oracles", Json(std::move(oracles)));
+    st_json.emplace("branch_classes", Json(std::move(branches)));
+    st_json.emplace("flips_pruned", num(st.flips_pruned));
+    st_json.emplace("replays_skipped", num(st.replays_skipped));
+    st_json.emplace("gate_violations", num(st.gate_violations));
+    st_json.emplace("analyze_ms", num(st.analyze_ms));
+    out.emplace("static", Json(std::move(st_json)));
+  }
   out.emplace("coverage_curve", Json(std::move(curve)));
   out.emplace("findings", findings_array(record.scan));
   out.emplace("custom_findings", custom_array(record.custom));
@@ -166,6 +192,32 @@ ContractRecord record_from_json(const Json& json) {
     record.solver_cache_hits = get_size(*solver, "cache_hits");
     record.solver_cache_misses = get_size(*solver, "cache_misses");
     record.solver_cache_evictions = get_size(*solver, "cache_evictions");
+  }
+  // Pre-static streams carry no `static` block; the record stays
+  // disengaged (exactly like a --no-static run).
+  if (const Json* st_json = json.find("static")) {
+    StaticRecord st;
+    const Json* converged = st_json->find("converged");
+    st.converged = converged != nullptr && converged->as_bool();
+    st.passes = get_size(*st_json, "passes");
+    if (const Json* oracles = st_json->find("oracles")) {
+      for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+        const Json* possible =
+            oracles->find(analysis::to_string(static_cast<analysis::Oracle>(i)));
+        st.oracle_possible[i] = possible == nullptr || possible->as_bool();
+      }
+    }
+    if (const Json* branches = st_json->find("branch_classes")) {
+      st.constant_branches = get_size(*branches, "constant");
+      st.untainted_branches = get_size(*branches, "untainted");
+      st.taint_reachable_branches = get_size(*branches, "taint_reachable");
+      st.unreachable_branches = get_size(*branches, "unreachable");
+    }
+    st.flips_pruned = get_size(*st_json, "flips_pruned");
+    st.replays_skipped = get_size(*st_json, "replays_skipped");
+    st.gate_violations = get_size(*st_json, "gate_violations");
+    st.analyze_ms = get_num(*st_json, "analyze_ms");
+    record.static_record = st;
   }
   if (const Json* curve = json.find("coverage_curve")) {
     for (const Json& point : curve->as_array()) {
@@ -234,6 +286,9 @@ Json summary_to_json(const CampaignSummary& summary) {
   out.emplace("solver_queries", num(summary.total_solver_queries));
   out.emplace("solver_cache_hits", num(summary.total_solver_cache_hits));
   out.emplace("solver_cache_misses", num(summary.total_solver_cache_misses));
+  out.emplace("flips_pruned", num(summary.total_flips_pruned));
+  out.emplace("replays_skipped", num(summary.total_replays_skipped));
+  out.emplace("gate_violations", num(summary.total_gate_violations));
   out.emplace("solver_ms", num(summary.total_solver_ms));
   out.emplace("wall_ms", num(summary.wall_ms));
   out.emplace("findings_by_type", Json(std::move(by_type)));

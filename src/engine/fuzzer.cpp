@@ -18,6 +18,18 @@ std::vector<abi::Name> default_accounts(const HarnessNames& names) {
           names.fake_notif, abi::name("lucky"), abi::name("admin")};
 }
 
+// The verdict-to-gate lowering below maps by index.
+static_assert(static_cast<int>(analysis::Oracle::FakeEos) ==
+              static_cast<int>(scanner::VulnType::FakeEos));
+static_assert(static_cast<int>(analysis::Oracle::FakeNotif) ==
+              static_cast<int>(scanner::VulnType::FakeNotif));
+static_assert(static_cast<int>(analysis::Oracle::MissAuth) ==
+              static_cast<int>(scanner::VulnType::MissAuth));
+static_assert(static_cast<int>(analysis::Oracle::BlockinfoDep) ==
+              static_cast<int>(scanner::VulnType::BlockinfoDep));
+static_assert(static_cast<int>(analysis::Oracle::Rollback) ==
+              static_cast<int>(scanner::VulnType::Rollback));
+
 }  // namespace
 
 Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
@@ -54,6 +66,26 @@ Fuzzer::Fuzzer(const util::Bytes& contract_wasm, abi::Abi abi,
     pool_.add(mutator.random_seed(abi::transfer_action_def()));
   }
   harness_.set_dynamic_senders(options_.dynamic_address_pool);
+
+  // Static pre-analysis: one pass over the original module at deploy time.
+  // Everything it feeds downstream is a proof of futility, so the fuzz
+  // loop's observable outcome (seeds, coverage, verdicts) is unchanged —
+  // only the wasted work goes away.
+  if (options_.static_analysis) {
+    analysis::StaticReport static_report =
+        analysis::analyze_module(harness_.original(), options_.obs);
+    flip_gate_ = analysis::make_flip_gate(static_report, harness_.sites());
+    scanner::OracleGate gate;
+    for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+      if (!static_report.oracles[i].possible) {
+        gate.forbid(static_cast<scanner::VulnType>(i));
+      }
+    }
+    scanner_.set_gate(gate);
+    replay_skip_ =
+        static_report.flip_feedback_futile && !static_report.uses_db;
+    report_.static_report = std::move(static_report);
+  }
 }
 
 void Fuzzer::ensure_lanes(int lanes) {
@@ -358,6 +390,7 @@ void Fuzzer::finalize_report(
     }
   }
   report_.distinct_branches = branches.size();
+  report_.oracle_gate_violations = scanner_.gate_violations();
   if (solver_cache_ != nullptr) {
     report_.solver_cache_evictions = solver_cache_->stats().evictions;
   }
@@ -373,6 +406,13 @@ void Fuzzer::finalize_report(
 
 void Fuzzer::feedback_trace(Shard& shard,
                             const instrument::ActionTrace& trace) {
+  if (replay_skip_) {
+    // Statically proven futile: no flip site can bind action input and the
+    // DBG has no database traffic to observe, so the replay could neither
+    // add a seed nor change seed selection.
+    ++report_.replays_skipped;
+    return;
+  }
   static const abi::ActionDef kTransferDef = abi::transfer_action_def();
   ChainHarness& h = *shard.harness;
   const abi::ActionDef* def = h.contract_abi().find(trace.action);
@@ -402,6 +442,10 @@ void Fuzzer::feedback_trace(Shard& shard,
       solver_opts.cache = solver_cache_.get();
     }
     if (solver_opts.obs == nullptr) solver_opts.obs = options_.obs;
+    if (!flip_gate_.empty() && solver_opts.prune_flip_sites == nullptr) {
+      solver_opts.prune_flip_sites = &flip_gate_;
+      solver_opts.pruned_flips_free_budget = options_.static_prioritize;
+    }
     auto adaptive =
         options_.parallel_solving
             ? symbolic::solve_flips_parallel(env_, replayed, h.last_params(),
@@ -417,6 +461,7 @@ void Fuzzer::feedback_trace(Shard& shard,
     report_.solver_wall_ms += adaptive.wall_ms;
     report_.solver_cache_hits += adaptive.cache_hits;
     report_.solver_cache_misses += adaptive.cache_misses;
+    report_.flips_pruned += adaptive.pruned;
     for (auto& params : adaptive.seeds) {
       pool_.add_priority(Seed{trace.action, std::move(params)});
       ++report_.adaptive_seeds;

@@ -23,6 +23,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "analysis/report.hpp"
 #include "engine/dbg.hpp"
 #include "engine/harness.hpp"
 #include "engine/mutator.hpp"
@@ -71,6 +72,17 @@ struct FuzzOptions {
   /// (each lane's chain evolves independently) while staying run-to-run
   /// deterministic for fixed N. See DESIGN.md "Sharded fuzzing".
   int fuzz_shards = 0;
+  /// Static pre-analysis (call graph + CFGs + taint pass) at construction
+  /// time: flip queries on provably input-independent branches are skipped,
+  /// replay+solve is skipped wholesale on feedback-futile contracts, and
+  /// statically impossible oracles are gated (non-suppressively — see
+  /// scanner::OracleGate). Verdict- and fingerprint-neutral by design; the
+  /// --no-static kill switch turns it off for A/B comparison.
+  bool static_analysis = true;
+  /// Opt-in, NOT schedule-neutral: let pruned flips free their max_flips
+  /// slots so the budget reaches deeper taint-reachable flip targets (see
+  /// SolverOptions::pruned_flips_free_budget). Off by default.
+  bool static_prioritize = false;
   symbolic::SolverOptions solver{};
   std::size_t max_pool_per_action = 32;
   /// Cooperative cancellation: checked at every iteration-batch boundary
@@ -121,6 +133,16 @@ struct FuzzReport {
   /// Transactions executed per shard lane, indexed by lane; sums to
   /// `transactions`. The serial loop reports the single-lane vector.
   std::vector<std::size_t> shard_transactions;
+  /// Static pre-analysis results; engaged when static_analysis was on.
+  std::optional<analysis::StaticReport> static_report;
+  /// Flip queries skipped by the static gate across the whole run.
+  std::size_t flips_pruned = 0;
+  /// Replay+solve invocations skipped because the contract is statically
+  /// feedback-futile (no taint-reachable flip site, no database traffic).
+  std::size_t replays_skipped = 0;
+  /// Scanner findings that contradicted a statically impossible verdict
+  /// (always 0 when the analysis is sound; see Scanner::gate_violations).
+  std::size_t oracle_gate_violations = 0;
   /// Wall time of the fuzz loop itself (excludes harness construction).
   double fuzz_ms = 0;
   /// Iterations actually executed (< options.iterations when cancelled).
@@ -202,6 +224,11 @@ class Fuzzer {
 
   FuzzOptions options_;
   ChainHarness harness_;
+  /// Static flip gate by site id (empty when static_analysis is off).
+  std::vector<std::uint8_t> flip_gate_;
+  /// Statically proven: replay+solve can produce nothing (no taint-reachable
+  /// flip and no DBG-observable database traffic).
+  bool replay_skip_ = false;
   SeedPool pool_;
   Dbg dbg_;
   scanner::Scanner scanner_;

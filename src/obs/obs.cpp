@@ -8,10 +8,12 @@ namespace wasai::obs {
 
 const std::vector<std::string>& span_vocabulary() {
   static const std::vector<std::string> kNames = {
-      span_name::kContract, span_name::kLoad,       span_name::kInit,
-      span_name::kDecode,   span_name::kInstrument, span_name::kDeploy,
-      span_name::kFuzz,     span_name::kExecute,    span_name::kOracleScan,
-      span_name::kReplay,   span_name::kSolve,
+      span_name::kContract,      span_name::kLoad,
+      span_name::kInit,          span_name::kStaticAnalyze,
+      span_name::kDecode,        span_name::kInstrument,
+      span_name::kDeploy,        span_name::kFuzz,
+      span_name::kExecute,       span_name::kOracleScan,
+      span_name::kReplay,        span_name::kSolve,
   };
   return kNames;
 }

@@ -45,6 +45,7 @@ namespace span_name {
 inline constexpr const char* kContract = "contract";      // one analyze()
 inline constexpr const char* kLoad = "load";              // file read + ABI
 inline constexpr const char* kInit = "init";              // harness build
+inline constexpr const char* kStaticAnalyze = "static_analyze";  // pre-analysis
 inline constexpr const char* kDecode = "decode";          // wasm::decode
 inline constexpr const char* kInstrument = "instrument";  // hook injection
 inline constexpr const char* kDeploy = "deploy";          // chain set_code

@@ -20,6 +20,7 @@ using Clock = std::chrono::steady_clock;
 /// insert() calls can LRU-evict the cache slot a pointer would dangle into.
 struct PendingFlip {
   QueryKey key;                  // meaningful only with a cache
+  bool pruned = false;           // statically futile: never dispatched
   std::optional<CacheEntry> hit; // engaged: answered by the cache
   /// Index of an identical query earlier in this batch. Duplicates are not
   /// dispatched; the merge resolves them the way the serial walk would —
@@ -74,11 +75,30 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   // verdict of its own (one can overshoot the hard cap while the other
   // lands sat), diverging from the serial seed stream.
   std::unordered_map<std::uint64_t, std::size_t> first_by_key;
+  std::size_t slots_used = 0;  // flips counted against max_flips
   for (std::size_t k = 0;
-       k < replay.path.size() && flips.size() < options.max_flips; ++k) {
+       k < replay.path.size() && slots_used < options.max_flips; ++k) {
     const PathStep& step = replay.path[k];
     if (step.can_flip && step.flip) {
       PendingFlip pending;
+      // Statically futile flips consume their slot (unless the opt-in
+      // prioritization knob frees it) but are neither cached nor
+      // dispatched — the same schedule the serial walk produces under its
+      // gate.
+      if (options.prune_flip_sites != nullptr &&
+          step.site < options.prune_flip_sites->size() &&
+          (*options.prune_flip_sites)[step.site] != 0) {
+        pending.pruned = true;
+        if (!options.pruned_flips_free_budget) ++slots_used;
+        flips.push_back(std::move(pending));
+        if (step.hold) {
+          prefix.push_back(&*step.hold);
+          if (exporter.has_value()) exporter->add(*step.hold);
+          if (options.cache != nullptr) digest.extend(*step.hold);
+        }
+        continue;
+      }
+      ++slots_used;
       if (options.cache != nullptr) {
         pending.key = digest.flip_key(*step.flip);
         if (const CacheEntry* hit = options.cache->lookup(pending.key)) {
@@ -117,7 +137,8 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   AdaptiveSeeds out;
   std::vector<std::size_t> miss_indices;
   for (std::size_t i = 0; i < flips.size(); ++i) {
-    if (!flips[i].hit.has_value() && !flips[i].dup_of.has_value()) {
+    if (!flips[i].pruned && !flips[i].hit.has_value() &&
+        !flips[i].dup_of.has_value()) {
       miss_indices.push_back(i);
     }
   }
@@ -210,6 +231,11 @@ AdaptiveSeeds solve_flips_parallel(Z3Env& env, const ReplayResult& replay,
   };
   for (std::size_t i = 0; i < flips.size(); ++i) {
     const PendingFlip& pending = flips[i];
+    if (pending.pruned) {
+      ++out.pruned;
+      if (options.obs != nullptr) options.obs->count("solver.flips_pruned");
+      continue;
+    }
     if (pending.dup_of.has_value()) {
       // An identical query earlier in this batch (its merge step ran
       // already — dup_of < i). Resolve exactly as the serial walk would on

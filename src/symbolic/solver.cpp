@@ -137,6 +137,19 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
   QueryDigest digest;                   // rolling prefix digest (cache keys)
   std::vector<const z3::expr*> prefix;  // holds walked so far
 
+  const auto push_hold = [&](const PathStep& step) {
+    if (step.hold) {
+      prefix.push_back(&*step.hold);
+      if (walker.has_value()) walker->add(*step.hold);
+      if (opts.cache != nullptr) digest.extend(*step.hold);
+    }
+  };
+  const auto statically_pruned = [&](const PathStep& step) {
+    return opts.prune_flip_sites != nullptr &&
+           step.site < opts.prune_flip_sites->size() &&
+           (*opts.prune_flip_sites)[step.site] != 0;
+  };
+
   for (std::size_t k = 0; k < replay.path.size(); ++k) {
     const PathStep& step = replay.path[k];
     if (step.can_flip && step.flip) {
@@ -151,6 +164,18 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
       if (opts.wall_budget_ms != 0 && ms_since(start) >= opts.wall_budget_ms) {
         out.aborted = true;
         break;
+      }
+      // The static pre-analysis proved this condition cannot depend on
+      // action input: no model could change the seed, so skip the query.
+      // The flip slot is still consumed (unless the opt-in prioritization
+      // knob frees it), keeping the schedule under max_flips identical
+      // with and without the gate.
+      if (statically_pruned(step)) {
+        if (!opts.pruned_flips_free_budget) ++flips_attempted;
+        ++out.pruned;
+        if (opts.obs != nullptr) opts.obs->count("solver.flips_pruned");
+        push_hold(step);
+        continue;
       }
       ++flips_attempted;
 
@@ -245,11 +270,7 @@ AdaptiveSeeds solve_flips(Z3Env& env, const ReplayResult& replay,
         }
       }
     }
-    if (step.hold) {
-      prefix.push_back(&*step.hold);
-      if (walker.has_value()) walker->add(*step.hold);
-      if (opts.cache != nullptr) digest.extend(*step.hold);
-    }
+    push_hold(step);
   }
   out.wall_ms = ms_since(start);
   return out;

@@ -51,6 +51,20 @@ struct SolverOptions {
   /// Total wall budget for one solve_flips call; once exhausted, remaining
   /// flips are skipped (`aborted` is set). 0 = unlimited.
   unsigned wall_budget_ms = 0;
+  /// Static flip gate (the pre-analysis branch table lowered onto site
+  /// ids): a non-zero entry at PathStep.site marks that flip as provably
+  /// futile — its condition can never depend on action input — and the
+  /// walk skips the query entirely. A pruned flip still consumes a flip
+  /// slot, so the schedule under max_flips is identical with and without
+  /// the gate. Sites beyond the vector (or a null pointer) are never
+  /// pruned. Not owned.
+  const std::vector<std::uint8_t>* prune_flip_sites = nullptr;
+  /// Opt-in prioritization (NOT schedule-neutral): pruned flips stop
+  /// consuming max_flips slots, so the freed budget reaches deeper
+  /// taint-reachable flip targets the cap would otherwise cut off. Off by
+  /// default — turning it on changes the flip schedule whenever the cap
+  /// binds.
+  bool pruned_flips_free_budget = false;
   /// Cooperative cancellation checked between queries (campaign deadlines).
   /// Not owned; may be null.
   const util::CancelToken* cancel = nullptr;
@@ -79,6 +93,9 @@ struct AdaptiveSeeds {
   std::size_t unknown = 0;   // timeouts and non-sat wall overshoots
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;  // flips that went to Z3 despite a cache
+  /// Flips skipped by the static gate (prune_flip_sites). Not part of the
+  /// sat/unsat/unknown partition: a pruned flip was never decided.
+  std::size_t pruned = 0;
   double wall_ms = 0;            // total wall time spent solving
   bool aborted = false;  // stopped early (wall budget or cancellation)
 };

@@ -1,0 +1,483 @@
+// Static pre-analysis unit suite: call-graph construction (direct +
+// type-matched call_indirect, empty/absent tables), CFG recovery on the
+// structured-control edge cases (br_table duplicate targets, if without
+// else, loop back-edges, dead code after return), RPO/dominator invariants
+// over generated modules, and the dataflow branch classification including
+// the zero-absorbing constant folds. The runtime half of the table edge
+// cases (call_indirect traps) is covered here too so the static and
+// dynamic table semantics stay in one place.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/report.hpp"
+#include "eosvm/vm.hpp"
+#include "testgen/generator.hpp"
+#include "wasm/builder.hpp"
+#include "wasm/decoder.hpp"
+#include "wasm/encoder.hpp"
+#include "wasm/validator.hpp"
+
+#include "test_support.hpp"
+
+namespace wasai {
+namespace {
+
+using analysis::BranchClass;
+using analysis::CallGraph;
+using analysis::Cfg;
+using analysis::kNoBlock;
+using analysis::Oracle;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::ModuleBuilder;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+
+const FuncType kApplyType{{I64, I64, I64}, {}};
+
+Instr br_table(std::vector<std::uint32_t> targets, std::uint32_t fallback) {
+  Instr ins(Opcode::BrTable, fallback);
+  ins.table = std::move(targets);
+  return ins;
+}
+
+Instr call_indirect(std::uint32_t type_index) {
+  return Instr(Opcode::CallIndirect, type_index);
+}
+
+/// Build + validate a single-function module and hand back its CFG.
+Cfg cfg_of(FuncType type, std::vector<ValType> locals,
+           std::vector<Instr> body) {
+  ModuleBuilder b;
+  b.add_func(type, std::move(locals), std::move(body));
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+  return analysis::build_cfg(m.functions[0]);
+}
+
+/// Structural invariants every CFG must satisfy, whatever the body shape:
+/// block ranges partition the body, edges are symmetric, RPO enumerates
+/// exactly the reachable blocks, and the dominator tree is rooted at the
+/// entry with idoms strictly earlier in RPO.
+void check_cfg_invariants(const Cfg& cfg, std::size_t body_size) {
+  ASSERT_FALSE(cfg.blocks.empty());
+  EXPECT_EQ(cfg.blocks[0].begin, 0u);
+  ASSERT_EQ(cfg.block_of.size(), body_size);
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    const auto& block = cfg.blocks[b];
+    ASSERT_LT(block.begin, block.end);
+    if (b + 1 < cfg.blocks.size()) {
+      EXPECT_EQ(block.end, cfg.blocks[b + 1].begin);
+    } else {
+      EXPECT_EQ(block.end, body_size);
+    }
+    for (std::uint32_t i = block.begin; i < block.end; ++i) {
+      EXPECT_EQ(cfg.block_of[i], b);
+    }
+    for (const std::uint32_t s : block.succs) {
+      ASSERT_LT(s, cfg.blocks.size());
+      const auto& preds = cfg.blocks[s].preds;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), b), preds.end());
+    }
+    for (const std::uint32_t p : block.preds) {
+      ASSERT_LT(p, cfg.blocks.size());
+      const auto& succs = cfg.blocks[p].succs;
+      EXPECT_NE(std::find(succs.begin(), succs.end(), b), succs.end());
+    }
+    // Successor lists are deduplicated (br_table fan-in collapses).
+    std::set<std::uint32_t> unique(block.succs.begin(), block.succs.end());
+    EXPECT_EQ(unique.size(), block.succs.size());
+  }
+
+  ASSERT_EQ(cfg.rpo_index.size(), cfg.blocks.size());
+  ASSERT_EQ(cfg.idom.size(), cfg.blocks.size());
+  EXPECT_FALSE(cfg.rpo.empty());
+  EXPECT_EQ(cfg.rpo[0], 0u);  // entry first
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < cfg.rpo.size(); ++i) {
+    const std::uint32_t b = cfg.rpo[i];
+    EXPECT_TRUE(seen.insert(b).second) << "duplicate rpo entry " << b;
+    EXPECT_EQ(cfg.rpo_index[b], i);
+  }
+  EXPECT_EQ(cfg.idom[0], 0u);
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!cfg.block_reachable(b)) {
+      EXPECT_EQ(cfg.idom[b], kNoBlock);
+      EXPECT_FALSE(cfg.dominates(0, b));
+      continue;
+    }
+    EXPECT_TRUE(cfg.dominates(0, b)) << "entry must dominate block " << b;
+    EXPECT_TRUE(cfg.dominates(b, b)) << "dominance is reflexive";
+    if (b != 0) {
+      const std::uint32_t d = cfg.idom[b];
+      ASSERT_NE(d, kNoBlock);
+      EXPECT_TRUE(cfg.block_reachable(d));
+      EXPECT_LT(cfg.rpo_index[d], cfg.rpo_index[b])
+          << "idom must precede its block in rpo";
+      EXPECT_TRUE(cfg.dominates(d, b));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- CFG
+
+TEST(Cfg, BrTableDuplicateTargetsCollapseToOneEdge) {
+  //  0 block        1 block        2 local.get 0
+  //  3 br_table {0,0,1} default 1
+  //  4 end          5 end          6 end
+  const Cfg cfg = cfg_of(FuncType{{I32}, {}}, {},
+                         {wasm::block(), wasm::block(), wasm::local_get(0),
+                          br_table({0, 0, 1}, 1), Instr(Opcode::End),
+                          Instr(Opcode::End), Instr(Opcode::End)});
+  check_cfg_invariants(cfg, 7);
+  // Depth 0 twice and depth 1 (== default) resolve to the two block ends;
+  // the duplicate entries must not produce duplicate edges.
+  const auto& dispatch = cfg.blocks[cfg.block_of[3]];
+  EXPECT_EQ(dispatch.succs.size(), 2u);
+  EXPECT_NE(dispatch.succs[0], dispatch.succs[1]);
+  // Both targets are reachable and dominated by the dispatch block.
+  for (const std::uint32_t s : dispatch.succs) {
+    EXPECT_TRUE(cfg.block_reachable(s));
+    EXPECT_TRUE(cfg.dominates(cfg.block_of[3], s));
+  }
+}
+
+TEST(Cfg, IfWithoutElseBranchesToMergePoint) {
+  //  0 local.get 0   1 if   2 nop   3 end   4 end
+  const Cfg cfg =
+      cfg_of(FuncType{{I32}, {}}, {},
+             {wasm::local_get(0), wasm::if_(), Instr(Opcode::Nop),
+              Instr(Opcode::End), Instr(Opcode::End)});
+  check_cfg_invariants(cfg, 5);
+  const std::uint32_t cond = cfg.block_of[1];
+  const std::uint32_t then_arm = cfg.block_of[2];
+  const std::uint32_t merge = cfg.block_of[3];
+  ASSERT_NE(then_arm, merge);
+  // The false edge of an else-less if goes straight to the merge point.
+  EXPECT_EQ(cfg.blocks[cond].succs,
+            (std::vector<std::uint32_t>{then_arm, merge}));
+  // The then arm cannot dominate the merge (the false edge bypasses it),
+  // but the condition block dominates both.
+  EXPECT_FALSE(cfg.dominates(then_arm, merge));
+  EXPECT_EQ(cfg.idom[merge], cond);
+}
+
+TEST(Cfg, LoopBackEdgeTargetsHeader) {
+  //  0 loop   1 local.get 0   2 br_if 0   3 end   4 end
+  const Cfg cfg = cfg_of(FuncType{{I32}, {}}, {},
+                         {wasm::loop(), wasm::local_get(0), wasm::br_if(0),
+                          Instr(Opcode::End), Instr(Opcode::End)});
+  check_cfg_invariants(cfg, 5);
+  // The loop header starts a block; br_if 0 targets it (back edge) and
+  // falls through to the loop exit.
+  const std::uint32_t header = cfg.block_of[0];
+  const std::uint32_t exit = cfg.block_of[3];
+  const auto& succs = cfg.blocks[cfg.block_of[2]].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), header), succs.end())
+      << "back edge to the loop header is missing";
+  EXPECT_NE(std::find(succs.begin(), succs.end(), exit), succs.end());
+  EXPECT_TRUE(cfg.dominates(header, exit));
+}
+
+TEST(Cfg, CodeAfterReturnIsUnreachable) {
+  //  0 return   1 nop   2 nop   3 end
+  const Cfg cfg = cfg_of(FuncType{{}, {}}, {},
+                         {Instr(Opcode::Return), Instr(Opcode::Nop),
+                          Instr(Opcode::Nop), Instr(Opcode::End)});
+  check_cfg_invariants(cfg, 4);
+  EXPECT_TRUE(cfg.instr_reachable(0));
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(cfg.instr_reachable(i)) << "instr " << i;
+  }
+  // Dead blocks are absent from RPO and carry no idom.
+  EXPECT_EQ(cfg.rpo.size(), 1u);
+  EXPECT_EQ(cfg.idom[cfg.block_of[1]], kNoBlock);
+}
+
+TEST(Cfg, InvariantsHoldAcrossGeneratedModules) {
+  // The generator emits dispatcher + deserializer + handler shapes with
+  // nested blocks, br_tables and loops — a far denser edge-case mix than
+  // hand-written bodies.
+  for (std::uint64_t seed = test::kTestgenTier1Seed;
+       seed < test::kTestgenTier1Seed + 8; ++seed) {
+    const auto gen = testgen::generate(seed);
+    for (const auto& function : gen.module.functions) {
+      const Cfg cfg = analysis::build_cfg(function);
+      check_cfg_invariants(cfg, function.body.size());
+    }
+  }
+}
+
+// ------------------------------------------------------------- CallGraph
+
+TEST(CallGraph, DirectCallsAndImportReachability) {
+  ModuleBuilder b;
+  const auto auth =
+      b.import_func("env", "require_auth", FuncType{{I64}, {}});
+  const auto time =
+      b.import_func("env", "current_time", FuncType{{}, {I64}});
+  const auto helper = b.add_func(
+      FuncType{{}, {}}, {},
+      {wasm::i64_const(5), wasm::call(auth), Instr(Opcode::End)});
+  const auto apply = b.add_func(
+      kApplyType, {}, {wasm::call(helper), Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  // Orphan: calls current_time but nothing reaches it.
+  b.add_func(FuncType{{}, {}}, {},
+             {wasm::call(time), Instr(Opcode::Drop), Instr(Opcode::End)});
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const CallGraph graph(m);
+  ASSERT_TRUE(graph.apply_index().has_value());
+  EXPECT_EQ(*graph.apply_index(), apply);
+  EXPECT_TRUE(graph.reachable(helper));
+  EXPECT_TRUE(graph.reachable(auth));
+  EXPECT_FALSE(graph.reachable(time));
+  EXPECT_TRUE(graph.import_reachable("require_auth"));
+  EXPECT_FALSE(graph.import_reachable("current_time"));
+  EXPECT_FALSE(graph.has_unresolved_indirect());
+
+  const auto calls = graph.reachable_import_calls("require_auth");
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].caller, helper);
+  EXPECT_EQ(calls[0].callee, auth);
+  EXPECT_FALSE(calls[0].indirect);
+}
+
+TEST(CallGraph, CallIndirectResolvesOnlyTypeMatchedEntries) {
+  ModuleBuilder b;
+  const FuncType void_type{{}, {}};
+  const FuncType other_type{{I64}, {}};
+  const auto matched =
+      b.add_func(void_type, {}, {Instr(Opcode::End)});
+  const auto mismatched = b.add_func(
+      other_type, {}, {Instr(Opcode::End)});
+  const auto apply = b.add_func(
+      kApplyType, {},
+      {wasm::i32_const(0), call_indirect(b.type_index(void_type)),
+       Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  b.add_table(2);
+  b.add_elem(0, {matched, mismatched});
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const CallGraph graph(m);
+  EXPECT_FALSE(graph.has_unresolved_indirect());
+  const auto& callees = graph.callees(apply);
+  EXPECT_NE(std::find(callees.begin(), callees.end(), matched),
+            callees.end());
+  EXPECT_EQ(std::find(callees.begin(), callees.end(), mismatched),
+            callees.end())
+      << "type-mismatched table entry must not become an edge";
+  EXPECT_TRUE(graph.reachable(matched));
+  EXPECT_FALSE(graph.reachable(mismatched));
+  // The resolved site is flagged as indirect.
+  const auto site = std::find_if(
+      graph.sites().begin(), graph.sites().end(),
+      [&](const auto& s) { return s.caller == apply; });
+  ASSERT_NE(site, graph.sites().end());
+  EXPECT_TRUE(site->indirect);
+}
+
+TEST(CallGraph, EmptyTableLeavesIndirectUnresolved) {
+  ModuleBuilder b;
+  const FuncType void_type{{}, {}};
+  const auto apply = b.add_func(
+      kApplyType, {},
+      {wasm::i32_const(0), call_indirect(b.type_index(void_type)),
+       Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  b.add_table(0);  // table exists, holds nothing: every call traps
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const CallGraph graph(m);
+  EXPECT_TRUE(graph.has_unresolved_indirect());
+  EXPECT_TRUE(graph.callees(apply).empty());
+  // The report surfaces the flag for the campaign JSONL.
+  const auto report = analysis::analyze_module(m);
+  EXPECT_TRUE(report.unresolved_indirect);
+}
+
+TEST(CallGraph, AbsentTableIsUnresolvedAndRejectedByValidator) {
+  ModuleBuilder b;
+  const FuncType void_type{{}, {}};
+  const auto apply = b.add_func(
+      kApplyType, {},
+      {wasm::i32_const(0), call_indirect(b.type_index(void_type)),
+       Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  const wasm::Module m = std::move(b).build();
+
+  // The decoder round-trips the shape; the validator is the layer that
+  // rejects it, so the analysis must tolerate it without throwing.
+  const wasm::Module decoded = wasm::decode(wasm::encode(m));
+  EXPECT_THROW(wasm::validate(decoded), util::ValidationError);
+  const CallGraph graph(decoded);
+  EXPECT_TRUE(graph.has_unresolved_indirect());
+  EXPECT_TRUE(graph.callees(apply).empty());
+}
+
+// ------------------------------------------------------ call_indirect VM
+
+TEST(CallIndirectVm, EmptyTableTrapsOutOfBounds) {
+  ModuleBuilder b;
+  const FuncType void_type{{}, {}};
+  const auto main = b.add_func(
+      FuncType{{}, {}}, {},
+      {wasm::i32_const(0), call_indirect(b.type_index(void_type)),
+       Instr(Opcode::End)});
+  b.add_table(0);
+  wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  test::RecordingHost host;
+  auto inst = test::instantiate(std::move(m), host);
+  vm::Vm vm;
+  EXPECT_THROW(vm.invoke(inst, main, {}), util::Trap);
+}
+
+TEST(CallIndirectVm, NullEntryTraps) {
+  ModuleBuilder b;
+  const FuncType void_type{{}, {}};
+  const auto target = b.add_func(void_type, {}, {Instr(Opcode::End)});
+  const auto main = b.add_func(
+      FuncType{{I32}, {}}, {},
+      {wasm::local_get(0), call_indirect(b.type_index(void_type)),
+       Instr(Opcode::End)});
+  b.add_table(2);
+  b.add_elem(0, {target});  // slot 1 stays null
+  wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  test::RecordingHost host;
+  auto inst = test::instantiate(std::move(m), host);
+  vm::Vm vm;
+  EXPECT_NO_THROW(vm.invoke(inst, main, {{vm::Value::i32(0)}}));
+  EXPECT_THROW(vm.invoke(inst, main, {{vm::Value::i32(1)}}), util::Trap);
+}
+
+// -------------------------------------------------------------- Dataflow
+
+/// An apply whose single `if` condition is the given expression over
+/// parameter 0 (i64, action-tainted by the input model).
+analysis::StaticReport report_for_condition(std::vector<Instr> condition) {
+  ModuleBuilder b;
+  std::vector<Instr> body = std::move(condition);
+  body.push_back(wasm::if_());
+  body.push_back(Instr(Opcode::Nop));
+  body.push_back(Instr(Opcode::End));
+  body.push_back(Instr(Opcode::End));
+  const auto apply = b.add_func(kApplyType, {}, std::move(body));
+  b.export_func("apply", apply);
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+  return analysis::analyze_module(m);
+}
+
+TEST(Dataflow, ZeroShiftedByTaintedAmountClassifiesConstant) {
+  // 0 << wrap(p0): the shifted value is zero whatever the (tainted) shift
+  // amount, so the condition is a compile-time constant — the flip gate
+  // may prune it even though the condition expression mentions the input.
+  const auto report = report_for_condition(
+      {wasm::i32_const(0), wasm::local_get(0), Instr(Opcode::I32WrapI64),
+       Instr(Opcode::I32Shl)});
+  ASSERT_EQ(report.branches.size(), 1u);
+  EXPECT_EQ(report.branches[0].cls, BranchClass::Constant);
+  EXPECT_EQ(report.constant_branches, 1u);
+  EXPECT_TRUE(report.flip_feedback_futile);
+}
+
+TEST(Dataflow, ZeroMaskedTaintClassifiesConstant) {
+  // wrap(p0) & 0 — absorbing on either side.
+  const auto report = report_for_condition(
+      {wasm::local_get(0), Instr(Opcode::I32WrapI64), wasm::i32_const(0),
+       Instr(Opcode::I32And)});
+  ASSERT_EQ(report.branches.size(), 1u);
+  EXPECT_EQ(report.branches[0].cls, BranchClass::Constant);
+}
+
+TEST(Dataflow, TaintedShiftOfNonZeroStaysTaintReachable) {
+  // wrap(p0) << 1 genuinely varies with the action input: no fold.
+  const auto report = report_for_condition(
+      {wasm::local_get(0), Instr(Opcode::I32WrapI64), wasm::i32_const(1),
+       Instr(Opcode::I32Shl)});
+  ASSERT_EQ(report.branches.size(), 1u);
+  EXPECT_EQ(report.branches[0].cls, BranchClass::TaintReachable);
+  EXPECT_NE(report.branches[0].taint & analysis::kTaintAction, 0);
+  EXPECT_FALSE(report.flip_feedback_futile);
+}
+
+TEST(Dataflow, ZeroDividedByTaintedIsNotFolded) {
+  // 0 / x is NOT constant under SMT-LIB semantics (x = 0 yields all-ones),
+  // so the conservatism contract forbids folding it.
+  const auto report = report_for_condition(
+      {wasm::i32_const(0), wasm::local_get(0), Instr(Opcode::I32WrapI64),
+       Instr(Opcode::I32DivU)});
+  ASSERT_EQ(report.branches.size(), 1u);
+  EXPECT_EQ(report.branches[0].cls, BranchClass::TaintReachable);
+}
+
+// ---------------------------------------------------------------- Report
+
+TEST(Report, OraclesImpossibleWithoutWitnessApis) {
+  // apply exists but calls nothing: no eosponser, no side-effect API, no
+  // blockinfo API, no inline action — all five oracles are impossible.
+  ModuleBuilder b;
+  const auto apply = b.add_func(kApplyType, {}, {Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const auto report = analysis::analyze_module(m);
+  ASSERT_TRUE(report.has_apply);
+  for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+    EXPECT_FALSE(report.oracles[i].possible)
+        << analysis::to_string(static_cast<Oracle>(i));
+    EXPECT_FALSE(report.oracles[i].reason.empty());
+  }
+}
+
+TEST(Report, BlockinfoWitnessNamesTheCallSite) {
+  ModuleBuilder b;
+  const auto tapos =
+      b.import_func("env", "tapos_block_num", FuncType{{}, {I32}});
+  const auto apply = b.add_func(
+      kApplyType, {},
+      {wasm::call(tapos), Instr(Opcode::Drop), Instr(Opcode::End)});
+  b.export_func("apply", apply);
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const auto report = analysis::analyze_module(m);
+  const auto& verdict = report.verdict(Oracle::BlockinfoDep);
+  ASSERT_TRUE(verdict.possible);
+  ASSERT_FALSE(verdict.witnesses.empty());
+  EXPECT_EQ(verdict.witnesses[0].api, "tapos_block_num");
+  EXPECT_EQ(verdict.witnesses[0].func_index, apply);
+}
+
+TEST(Report, ModuleWithoutApplyIsFullyImpossible) {
+  ModuleBuilder b;
+  b.add_func(FuncType{{}, {}}, {}, {Instr(Opcode::End)});
+  const wasm::Module m = std::move(b).build();
+  wasm::validate(m);
+
+  const auto report = analysis::analyze_module(m);
+  EXPECT_FALSE(report.has_apply);
+  for (std::size_t i = 0; i < analysis::kNumOracles; ++i) {
+    EXPECT_FALSE(report.oracles[i].possible);
+  }
+}
+
+}  // namespace
+}  // namespace wasai

@@ -136,6 +136,11 @@ Json normalize_record(const Json& record) {
   }
   out["timings"] = Json(std::move(timings));
   out["transactions_per_sec"] = Json(0.0);
+  if (out.contains("static")) {
+    JsonObject static_block = out.at("static").as_object();
+    static_block["analyze_ms"] = Json(0.0);  // wall clock, like timings
+    out["static"] = Json(std::move(static_block));
+  }
   JsonArray curve;
   for (const auto& point : out.at("coverage_curve").as_array()) {
     const auto& triple = point.as_array();

@@ -22,6 +22,11 @@
 //   --fuzz-shards N   batch-synchronous sharded fuzzing inside each
 //                     contract, over N cloned chain snapshots (composes
 //                     with --jobs; 1 matches the serial loop byte for byte)
+//   --no-static       disable the static pre-analysis pass (per-record
+//                     `static` blocks disappear; findings are identical)
+//   --static-prioritize
+//                     statically pruned flips free their budget slots
+//                     (opt-in: changes the flip schedule)
 //   --out FILE        JSONL records destination (default: stdout)
 //   --resume FILE     checkpoint/resume: parse FILE as a previous run's
 //                     record stream (tolerating a torn final line), skip
@@ -90,7 +95,7 @@ int usage() {
       "        [--seed N] [--deadline-ms N] [--hung-grace N] [--retries N]\n"
       "        [--parallel] [--no-incremental] [--no-solver-cache]\n"
       "        [--solver-cache-capacity N] [--no-fastpath]\n"
-      "        [--fuzz-shards N]\n"
+      "        [--fuzz-shards N] [--no-static] [--static-prioritize]\n"
       "        [--out FILE] [--resume FILE] [--summary FILE]\n"
       "        [--findings-only] [--trace-out FILE] [--no-obs]\n"
       "  wasai-campaign check-trace <trace.json>\n");
@@ -135,6 +140,10 @@ int cmd_run(int argc, char** argv) {
       options.fuzz.vm_fastpath = false;
     } else if (arg == "--fuzz-shards" && i + 1 < argc) {
       options.fuzz.fuzz_shards = std::atoi(argv[++i]);
+    } else if (arg == "--no-static") {
+      options.fuzz.static_analysis = false;
+    } else if (arg == "--static-prioritize") {
+      options.fuzz.static_prioritize = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {

@@ -18,6 +18,12 @@
 //   --fuzz-shards N      batch-synchronous sharded fuzzing over N cloned
 //                        chain snapshots (1 is byte-identical to the
 //                        default serial loop; any fixed N is deterministic)
+//   --no-static          disable the static pre-analysis pass (flip-query
+//                        pruning + oracle gating off; verdicts and the
+//                        fingerprint are identical either way — A/B switch)
+//   --static-prioritize  let statically pruned flips free their budget
+//                        slots so deeper taint-reachable flips are reached
+//                        (opt-in: changes the flip schedule)
 //   --address-pool       enable the dynamic sender pool extension
 //   --trace-out FILE     save the final campaign's traces (§3.3.1 format)
 //   --obs-trace FILE     save a Chrome trace-event JSON of the analysis
@@ -68,7 +74,8 @@ int usage() {
       "  wasai analyze <contract.wasm> <contract.abi> [--iterations N]\n"
       "        [--seed N] [--no-feedback] [--parallel] [--no-incremental]\n"
       "        [--no-solver-cache] [--solver-cache-capacity N]\n"
-      "        [--no-fastpath] [--fuzz-shards N] [--address-pool]\n"
+      "        [--no-fastpath] [--fuzz-shards N] [--no-static]\n"
+      "        [--static-prioritize] [--address-pool]\n"
       "        [--trace-out FILE]\n"
       "        [--obs-trace FILE] [--no-obs]\n"
       "  wasai emit-sample <fake-eos|fake-notif|miss-auth|blockinfo|"
@@ -127,6 +134,10 @@ int cmd_analyze(int argc, char** argv) {
       options.fuzz.vm_fastpath = false;
     } else if (arg == "--fuzz-shards" && i + 1 < argc) {
       options.fuzz.fuzz_shards = std::atoi(argv[++i]);
+    } else if (arg == "--no-static") {
+      options.fuzz.static_analysis = false;
+    } else if (arg == "--static-prioritize") {
+      options.fuzz.static_prioritize = true;
     } else if (arg == "--address-pool") {
       options.fuzz.dynamic_address_pool = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -174,6 +185,22 @@ int cmd_analyze(int argc, char** argv) {
       "%zu cache hits, %zu adaptive seeds\n",
       report.transactions, report.distinct_branches, report.replays,
       report.solver_queries, report.solver_cache_hits, report.adaptive_seeds);
+  if (report.static_report.has_value()) {
+    const auto& st = *report.static_report;
+    std::size_t impossible = 0;
+    for (const auto& verdict : st.oracles) {
+      if (!verdict.possible) ++impossible;
+    }
+    std::printf(
+        "static: %zu/%zu functions reachable, branches "
+        "%zu const / %zu untainted / %zu tainted / %zu dead; "
+        "%zu oracles impossible, %zu flips pruned, %zu replays skipped, "
+        "%zu gate violations (%.2f ms)\n",
+        st.functions_reachable, st.functions_total, st.constant_branches,
+        st.untainted_branches, st.taint_reachable_branches,
+        st.unreachable_branches, impossible, report.flips_pruned,
+        report.replays_skipped, report.oracle_gate_violations, st.analyze_ms);
+  }
 
   if (obs != nullptr) {
     // Per-phase wall/self breakdown of this analysis (the same numbers the
